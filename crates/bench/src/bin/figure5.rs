@@ -1,0 +1,18 @@
+//! Regenerates Figure 5: yield loss, defect escape and guard-band population
+//! as op-amp specification tests are cumulatively eliminated.
+
+use stc_bench::{populations, scaled, threads};
+use stc_core::GuardBandConfig;
+
+fn main() {
+    let train_instances = scaled(5000, 200);
+    let test_instances = scaled(1000, 100);
+    eprintln!(
+        "building op-amp population: {train_instances} training + {test_instances} test instances"
+    );
+    let (train, test) =
+        populations::opamp_population(train_instances, test_instances, 2005, threads());
+    let (_, rendered) =
+        stc_bench::experiments::figure5(&train, &test, &GuardBandConfig::paper_default());
+    println!("{rendered}");
+}

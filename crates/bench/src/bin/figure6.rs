@@ -1,0 +1,24 @@
+//! Regenerates Figure 6: error versus number of training instances with the
+//! 3-dB-bandwidth test eliminated.
+
+use stc_bench::{populations, scaled, threads};
+use stc_core::GuardBandConfig;
+
+fn main() {
+    let train_instances = scaled(5000, 500);
+    let test_instances = scaled(1000, 100);
+    eprintln!(
+        "building op-amp population: {train_instances} training + {test_instances} test instances"
+    );
+    let (train, test) =
+        populations::opamp_population(train_instances, test_instances, 2005, threads());
+    let sizes: Vec<usize> = [250, 500, 1000, 2000, 3000, 4000, 5000]
+        .iter()
+        .map(|&n: &usize| n.min(train.len()))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let (_, rendered) =
+        stc_bench::experiments::figure6(&train, &test, &sizes, &GuardBandConfig::paper_default());
+    println!("{rendered}");
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table 1: op-amp specifications, ranges and population yields.
+//!
+//! Paper scale is 5000 training + 1000 test instances; set `STC_SCALE` to run
+//! a reduced population.
+
+use stc_bench::{populations, scaled, threads};
+
+fn main() {
+    let train_instances = scaled(5000, 200);
+    let test_instances = scaled(1000, 100);
+    eprintln!(
+        "building op-amp population: {train_instances} training + {test_instances} test instances"
+    );
+    let (train, test) =
+        populations::opamp_population(train_instances, test_instances, 2005, threads());
+    println!("{}", stc_bench::experiments::table1(&train, &test));
+}

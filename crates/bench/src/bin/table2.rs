@@ -1,0 +1,16 @@
+//! Regenerates Table 2: accelerometer specifications, ranges and yields.
+//!
+//! Paper scale is 1000 training + 1000 test instances.
+
+use stc_bench::{populations, scaled, threads};
+
+fn main() {
+    let train_instances = scaled(1000, 200);
+    let test_instances = scaled(1000, 200);
+    eprintln!(
+        "building accelerometer population: {train_instances} training + {test_instances} test instances"
+    );
+    let (train, test) =
+        populations::mems_population(train_instances, test_instances, 2005, threads());
+    println!("{}", stc_bench::experiments::table2(&train, &test));
+}

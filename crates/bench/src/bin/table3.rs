@@ -1,0 +1,18 @@
+//! Regenerates Table 3: eliminating the accelerometer hot/cold temperature
+//! insertions and predicting their outcomes from room-temperature tests.
+
+use stc_bench::{populations, scaled, threads};
+use stc_core::GuardBandConfig;
+
+fn main() {
+    let train_instances = scaled(1000, 200);
+    let test_instances = scaled(1000, 200);
+    eprintln!(
+        "building accelerometer population: {train_instances} training + {test_instances} test instances"
+    );
+    let (train, test) =
+        populations::mems_population(train_instances, test_instances, 2005, threads());
+    let (_, rendered) =
+        stc_bench::experiments::table3(&train, &test, &GuardBandConfig::paper_default());
+    println!("{rendered}");
+}

@@ -1,0 +1,110 @@
+//! Shared Monte-Carlo populations for the experiments.
+//!
+//! Building the op-amp population is the expensive part of every experiment
+//! (thousands of transistor-level simulations), so the harness builds it once
+//! per process and shares it behind a lock.
+
+use parking_lot::Mutex;
+
+use spec_test_compaction::adapters::{AccelerometerDevice, OpAmpDevice};
+use stc_core::{generate_train_test, MeasurementSet, MonteCarloConfig};
+
+/// Quantiles used to calibrate the op-amp acceptability ranges so the
+/// training yield lands near the paper's 75.4 %
+/// (calibrated with the `calibrate` binary: 2 % tails give 75.5 % training yield).
+const OPAMP_QUANTILES: (f64, f64) = (0.02, 0.98);
+
+/// Quantiles used to calibrate the accelerometer ranges so the training yield
+/// lands near the paper's 77.4 % (the 12 temperature tests are strongly correlated,
+/// so the per-spec tails must be much wider than 1/12th of the target).
+const MEMS_QUANTILES: (f64, f64) = (0.075, 0.925);
+
+static OPAMP_CACHE: Mutex<Option<((usize, usize, u64), (MeasurementSet, MeasurementSet))>> =
+    Mutex::new(None);
+static MEMS_CACHE: Mutex<Option<((usize, usize, u64), (MeasurementSet, MeasurementSet))>> =
+    Mutex::new(None);
+
+/// Builds (or returns the cached) op-amp training/test population.
+///
+/// # Panics
+///
+/// Panics if the Monte-Carlo generation fails, which indicates a broken
+/// simulator rather than a recoverable condition in an experiment harness.
+pub fn opamp_population(
+    train_instances: usize,
+    test_instances: usize,
+    seed: u64,
+    threads: usize,
+) -> (MeasurementSet, MeasurementSet) {
+    let key = (train_instances, test_instances, seed);
+    let mut cache = OPAMP_CACHE.lock();
+    if let Some((cached_key, population)) = cache.as_ref() {
+        if *cached_key == key {
+            return population.clone();
+        }
+    }
+    let device = OpAmpDevice::paper_setup();
+    let config = MonteCarloConfig::new(train_instances)
+        .with_seed(seed)
+        .with_threads(threads)
+        .with_calibration_quantiles(OPAMP_QUANTILES.0, OPAMP_QUANTILES.1);
+    let population = generate_train_test(&device, &config, test_instances)
+        .expect("op-amp population generation failed");
+    *cache = Some((key, population.clone()));
+    population
+}
+
+/// Builds (or returns the cached) accelerometer training/test population with
+/// all twelve temperature tests.
+///
+/// # Panics
+///
+/// Panics if the Monte-Carlo generation fails.
+pub fn mems_population(
+    train_instances: usize,
+    test_instances: usize,
+    seed: u64,
+    threads: usize,
+) -> (MeasurementSet, MeasurementSet) {
+    let key = (train_instances, test_instances, seed);
+    let mut cache = MEMS_CACHE.lock();
+    if let Some((cached_key, population)) = cache.as_ref() {
+        if *cached_key == key {
+            return population.clone();
+        }
+    }
+    let device = AccelerometerDevice::paper_setup();
+    let config = MonteCarloConfig::new(train_instances)
+        .with_seed(seed)
+        .with_threads(threads)
+        .with_calibration_quantiles(MEMS_QUANTILES.0, MEMS_QUANTILES.1);
+    let population = generate_train_test(&device, &config, test_instances)
+        .expect("accelerometer population generation failed");
+    *cache = Some((key, population.clone()));
+    population
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opamp_population_is_cached_and_labelled() {
+        let (train, test) = opamp_population(40, 20, 11, 4);
+        assert_eq!(train.len(), 40);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.specs().len(), 11);
+        // Second call with the same key returns the cached population.
+        let (train2, _) = opamp_population(40, 20, 11, 4);
+        assert_eq!(train.rows()[0], train2.rows()[0]);
+    }
+
+    #[test]
+    fn mems_population_has_twelve_tests() {
+        let (train, test) = mems_population(60, 30, 13, 4);
+        assert_eq!(train.specs().len(), 12);
+        assert_eq!(test.specs().len(), 12);
+        let yield_fraction = train.yield_fraction();
+        assert!(yield_fraction > 0.3 && yield_fraction < 1.0, "yield {yield_fraction}");
+    }
+}

@@ -1,0 +1,21 @@
+use std::time::Instant;
+use stc_circuit::devices::opamp::{OpAmp, OpAmpParams};
+use stc_circuit::variation::VariationModel;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+fn main() {
+    let t0 = Instant::now();
+    let nominal = OpAmp::default().measure().unwrap();
+    println!("nominal in {:?}: {:?}", t0.elapsed(), nominal);
+    let model = VariationModel::paper_default();
+    let mut rng = StdRng::seed_from_u64(7);
+    let t0 = Instant::now();
+    let mut failures = 0;
+    let n = 20;
+    for _ in 0..n {
+        let params = model.perturb_opamp(&OpAmpParams::nominal(), &mut rng);
+        if OpAmp::new(params).measure().is_err() { failures += 1; }
+    }
+    println!("{} instances in {:?} ({:?}/instance), {} failures", n, t0.elapsed(), t0.elapsed()/n, failures);
+}

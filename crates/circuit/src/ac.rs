@@ -1,0 +1,181 @@
+//! Small-signal AC analysis.
+
+use crate::dc::DcSolution;
+use crate::linalg::{solve_complex, Complex};
+use crate::mna::{assemble_ac, MnaLayout};
+use crate::netlist::{Circuit, NodeId};
+use crate::{CircuitError, Result};
+
+/// Result of an AC frequency sweep: one complex solution vector per frequency.
+#[derive(Debug, Clone)]
+pub struct AcSweep {
+    layout: MnaLayout,
+    frequencies: Vec<f64>,
+    solutions: Vec<Vec<Complex>>,
+}
+
+impl AcSweep {
+    /// The swept frequencies in hertz.
+    pub fn frequencies(&self) -> &[f64] {
+        &self.frequencies
+    }
+
+    /// Complex node voltage at sweep point `index`.
+    pub fn phasor(&self, node: NodeId, index: usize) -> Complex {
+        self.layout.voltage_complex(&self.solutions[index], node)
+    }
+
+    /// Magnitude response of a node over the whole sweep.
+    pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
+        (0..self.frequencies.len()).map(|i| self.phasor(node, i).norm()).collect()
+    }
+
+    /// Phase response (radians) of a node over the whole sweep.
+    pub fn phase(&self, node: NodeId) -> Vec<f64> {
+        (0..self.frequencies.len()).map(|i| self.phasor(node, i).arg()).collect()
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.frequencies.len()
+    }
+
+    /// Whether the sweep contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.frequencies.is_empty()
+    }
+}
+
+/// Generates `points` logarithmically spaced frequencies between `start` and
+/// `stop` (inclusive), the usual grid for Bode-style sweeps.
+///
+/// # Panics
+///
+/// Panics if `start` or `stop` are non-positive or `points < 2`.
+pub fn log_frequency_sweep(start: f64, stop: f64, points: usize) -> Vec<f64> {
+    assert!(start > 0.0 && stop > start, "invalid frequency range");
+    assert!(points >= 2, "need at least two sweep points");
+    let log_start = start.log10();
+    let log_stop = stop.log10();
+    (0..points)
+        .map(|i| {
+            let frac = i as f64 / (points - 1) as f64;
+            10f64.powf(log_start + frac * (log_stop - log_start))
+        })
+        .collect()
+}
+
+/// Runs an AC analysis at the given frequencies, linearising the circuit
+/// around the DC operating point `op`.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidAnalysis`] for an empty frequency list or
+/// non-positive frequencies, and propagates matrix errors from the solver.
+pub fn ac_analysis(circuit: &Circuit, op: &DcSolution, frequencies: &[f64]) -> Result<AcSweep> {
+    if frequencies.is_empty() {
+        return Err(CircuitError::InvalidAnalysis {
+            reason: "AC sweep needs at least one frequency".to_string(),
+        });
+    }
+    if frequencies.iter().any(|&f| !(f > 0.0) || !f.is_finite()) {
+        return Err(CircuitError::InvalidAnalysis {
+            reason: "AC sweep frequencies must be positive and finite".to_string(),
+        });
+    }
+    let layout = MnaLayout::new(circuit);
+    if layout.size() != op.layout().size() {
+        return Err(CircuitError::InvalidAnalysis {
+            reason: "operating point does not match circuit".to_string(),
+        });
+    }
+    let mut solutions = Vec::with_capacity(frequencies.len());
+    for &frequency in frequencies {
+        let omega = std::f64::consts::TAU * frequency;
+        let (a, b) = assemble_ac(circuit, &layout, op.solution_vector(), omega);
+        solutions.push(solve_complex(a, b)?);
+    }
+    Ok(AcSweep { layout, frequencies: frequencies.to_vec(), solutions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::dc_operating_point;
+    use crate::elements::SourceWaveform;
+
+    fn rc_low_pass() -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.ac_voltage_source("V1", vin, Circuit::ground(), SourceWaveform::dc(0.0), 1.0).unwrap();
+        c.resistor("R1", vin, vout, 1_000.0).unwrap();
+        c.capacitor("C1", vout, Circuit::ground(), 159.154943e-9).unwrap(); // fc = 1 kHz
+        (c, vout)
+    }
+
+    #[test]
+    fn low_pass_corner_and_rolloff() {
+        let (c, vout) = rc_low_pass();
+        let op = dc_operating_point(&c).unwrap();
+        let freqs = [10.0, 1_000.0, 100_000.0];
+        let sweep = ac_analysis(&c, &op, &freqs).unwrap();
+        let mag = sweep.magnitude(vout);
+        assert!((mag[0] - 1.0).abs() < 1e-3, "passband {mag:?}");
+        assert!((mag[1] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-2, "corner {mag:?}");
+        assert!(mag[2] < 0.02, "stopband {mag:?}");
+        // Phase approaches -90° far above the corner.
+        let phase = sweep.phase(vout);
+        assert!(phase[2] < -1.4, "phase {phase:?}");
+    }
+
+    #[test]
+    fn lc_resonance_peaks_at_resonant_frequency() {
+        // Series RLC driven by 1 V AC, output across the capacitor.
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let mid = c.node("mid");
+        let vout = c.node("vout");
+        c.ac_voltage_source("V1", vin, Circuit::ground(), SourceWaveform::dc(0.0), 1.0).unwrap();
+        c.resistor("R1", vin, mid, 10.0).unwrap();
+        c.inductor("L1", mid, vout, 1e-3).unwrap();
+        c.capacitor("C1", vout, Circuit::ground(), 1e-6).unwrap();
+        let op = dc_operating_point(&c).unwrap();
+        // f0 = 1/(2 pi sqrt(LC)) ≈ 5.03 kHz; Q = sqrt(L/C)/R ≈ 3.16.
+        let sweep =
+            ac_analysis(&c, &op, &log_frequency_sweep(100.0, 100_000.0, 201)).unwrap();
+        let mag = sweep.magnitude(vout);
+        let (peak_index, peak) = mag
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let f_peak = sweep.frequencies()[peak_index];
+        assert!((f_peak / 5_033.0 - 1.0).abs() < 0.1, "peak at {f_peak}");
+        assert!(*peak > 2.0 && *peak < 4.0, "Q-limited peak {peak}");
+    }
+
+    #[test]
+    fn invalid_sweeps_are_rejected() {
+        let (c, _) = rc_low_pass();
+        let op = dc_operating_point(&c).unwrap();
+        assert!(ac_analysis(&c, &op, &[]).is_err());
+        assert!(ac_analysis(&c, &op, &[-1.0]).is_err());
+        assert!(ac_analysis(&c, &op, &[0.0]).is_err());
+    }
+
+    #[test]
+    fn log_sweep_is_monotonic_and_hits_endpoints() {
+        let f = log_frequency_sweep(1.0, 1e6, 61);
+        assert_eq!(f.len(), 61);
+        assert!((f[0] - 1.0).abs() < 1e-12);
+        assert!((f[60] - 1e6).abs() < 1e-6);
+        assert!(f.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid frequency range")]
+    fn log_sweep_rejects_bad_range() {
+        log_frequency_sweep(10.0, 1.0, 10);
+    }
+}

@@ -1,0 +1,296 @@
+//! DC operating-point analysis (Newton–Raphson with gmin and source stepping).
+
+use crate::linalg::solve_real;
+use crate::mna::{assemble_real, AssemblyOptions, DynamicState, MnaLayout};
+use crate::netlist::{Circuit, NodeId};
+use crate::{CircuitError, Result};
+
+/// Maximum Newton iterations per solve attempt.
+const MAX_NEWTON_ITERATIONS: usize = 300;
+/// Largest node-voltage update applied in one Newton step (volts).
+const VOLTAGE_STEP_LIMIT: f64 = 0.5;
+/// Absolute convergence tolerance on node voltages (volts).
+const ABSTOL: f64 = 1e-9;
+/// Relative convergence tolerance on node voltages.
+const RELTOL: f64 = 1e-6;
+
+/// Result of a DC operating-point analysis.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    layout: MnaLayout,
+    x: Vec<f64>,
+}
+
+impl DcSolution {
+    pub(crate) fn new(layout: MnaLayout, x: Vec<f64>) -> Self {
+        DcSolution { layout, x }
+    }
+
+    /// Voltage of a node (0 for ground).
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        self.layout.voltage(&self.x, node)
+    }
+
+    /// Current through an element that carries a branch unknown
+    /// (voltage sources, inductors, VCVS), by element index.
+    ///
+    /// The current flows from the element's positive/first terminal through
+    /// the element to its negative/second terminal.
+    pub fn branch_current(&self, element_index: usize) -> Option<f64> {
+        self.layout.branch_row(element_index).map(|row| self.x[row])
+    }
+
+    /// The raw solution vector (node voltages then branch currents).
+    pub fn solution_vector(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// The MNA layout used to interpret [`DcSolution::solution_vector`].
+    pub fn layout(&self) -> &MnaLayout {
+        &self.layout
+    }
+}
+
+/// Runs one Newton–Raphson solve from the initial guess `x0`.
+pub(crate) fn newton_solve(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    x0: &[f64],
+    dynamic: Option<&DynamicState>,
+    options: &AssemblyOptions,
+) -> Result<Vec<f64>> {
+    let mut x = x0.to_vec();
+    let node_rows = layout.node_count() - 1;
+    let analysis = if options.time_step.is_some() { "transient" } else { "dc" };
+    for _iteration in 0..MAX_NEWTON_ITERATIONS {
+        let (a, b) = assemble_real(circuit, layout, &x, dynamic, options);
+        let x_new = solve_real(a, b)?;
+        // Largest node-voltage change decides convergence and damping; branch
+        // currents follow the voltages.
+        let mut max_delta = 0.0f64;
+        for row in 0..node_rows {
+            max_delta = max_delta.max((x_new[row] - x[row]).abs());
+        }
+        let converged = (0..node_rows).all(|row| {
+            (x_new[row] - x[row]).abs() <= ABSTOL + RELTOL * x_new[row].abs()
+        });
+        if max_delta > VOLTAGE_STEP_LIMIT {
+            let scale = VOLTAGE_STEP_LIMIT / max_delta;
+            for row in 0..x.len() {
+                x[row] += (x_new[row] - x[row]) * scale;
+            }
+        } else {
+            x = x_new;
+        }
+        if converged {
+            return Ok(x);
+        }
+    }
+    Err(CircuitError::NoConvergence { analysis, iterations: MAX_NEWTON_ITERATIONS })
+}
+
+/// Computes the DC operating point of a circuit.
+///
+/// Linear circuits are solved directly; nonlinear circuits use Newton–Raphson
+/// and fall back to gmin stepping and then source stepping when the plain
+/// iteration fails to converge.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::EmptyCircuit`] for circuits without elements,
+/// [`CircuitError::SingularMatrix`] for structurally defective netlists and
+/// [`CircuitError::NoConvergence`] when all continuation strategies fail.
+///
+/// # Example
+///
+/// ```
+/// use stc_circuit::{dc_operating_point, Circuit, SourceWaveform};
+///
+/// # fn main() -> Result<(), stc_circuit::CircuitError> {
+/// let mut circuit = Circuit::new();
+/// let vin = circuit.node("vin");
+/// let vout = circuit.node("vout");
+/// circuit.voltage_source("V1", vin, Circuit::ground(), SourceWaveform::dc(2.0))?;
+/// circuit.resistor("R1", vin, vout, 1_000.0)?;
+/// circuit.resistor("R2", vout, Circuit::ground(), 3_000.0)?;
+/// let op = dc_operating_point(&circuit)?;
+/// assert!((op.voltage(vout) - 1.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dc_operating_point(circuit: &Circuit) -> Result<DcSolution> {
+    dc_operating_point_from(circuit, None)
+}
+
+/// Same as [`dc_operating_point`] but starting Newton from a caller-provided
+/// initial guess (for example the solution of a nearby circuit variant, which
+/// greatly speeds up Monte-Carlo sweeps).
+///
+/// # Errors
+///
+/// See [`dc_operating_point`].
+pub fn dc_operating_point_from(
+    circuit: &Circuit,
+    initial_guess: Option<&[f64]>,
+) -> Result<DcSolution> {
+    if circuit.elements().is_empty() || circuit.node_count() < 2 {
+        return Err(CircuitError::EmptyCircuit);
+    }
+    let layout = MnaLayout::new(circuit);
+    let x0 = match initial_guess {
+        Some(guess) if guess.len() == layout.size() => guess.to_vec(),
+        _ => vec![0.0; layout.size()],
+    };
+
+    // 1. Plain Newton.
+    let options = AssemblyOptions::default();
+    if let Ok(x) = newton_solve(circuit, &layout, &x0, None, &options) {
+        return Ok(DcSolution::new(layout, x));
+    }
+
+    // 2. gmin stepping: start with a heavily damped circuit and relax.
+    let mut x = x0.clone();
+    let mut gmin_ok = true;
+    for exponent in [-3.0f64, -4.0, -5.0, -6.0, -7.0, -8.0, -9.0, -10.0, -11.0, -12.0] {
+        let options = AssemblyOptions { gmin: 10f64.powf(exponent), ..AssemblyOptions::default() };
+        match newton_solve(circuit, &layout, &x, None, &options) {
+            Ok(next) => x = next,
+            Err(_) => {
+                gmin_ok = false;
+                break;
+            }
+        }
+    }
+    if gmin_ok {
+        return Ok(DcSolution::new(layout, x));
+    }
+
+    // 3. Source stepping: ramp all independent sources from 10 % to 100 %.
+    let mut x = x0;
+    for step in 1..=10 {
+        let options = AssemblyOptions {
+            source_scale: step as f64 / 10.0,
+            ..AssemblyOptions::default()
+        };
+        x = newton_solve(circuit, &layout, &x, None, &options)?;
+    }
+    Ok(DcSolution::new(layout, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::{DiodeModel, MosfetModel, MosfetPolarity, SourceWaveform};
+
+    #[test]
+    fn empty_circuit_is_rejected() {
+        let c = Circuit::new();
+        assert!(matches!(dc_operating_point(&c), Err(CircuitError::EmptyCircuit)));
+    }
+
+    #[test]
+    fn voltage_divider() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.voltage_source("V1", vin, Circuit::ground(), SourceWaveform::dc(10.0)).unwrap();
+        c.resistor("R1", vin, vout, 7000.0).unwrap();
+        c.resistor("R2", vout, Circuit::ground(), 3000.0).unwrap();
+        let op = dc_operating_point(&c).unwrap();
+        assert!((op.voltage(vout) - 3.0).abs() < 1e-6);
+        // Supply current = 10 V / 10 kΩ = 1 mA, flowing out of the + terminal
+        // through the external circuit, i.e. -1 mA through the source branch.
+        let i = op.branch_current(0).unwrap();
+        assert!((i + 1e-3).abs() < 1e-9, "source current {i}");
+    }
+
+    #[test]
+    fn diode_drop_is_about_point_six_volts() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let vd = c.node("vd");
+        c.voltage_source("V1", vin, Circuit::ground(), SourceWaveform::dc(5.0)).unwrap();
+        c.resistor("R1", vin, vd, 4700.0).unwrap();
+        c.diode("D1", vd, Circuit::ground(), DiodeModel::silicon()).unwrap();
+        let op = dc_operating_point(&c).unwrap();
+        let v = op.voltage(vd);
+        assert!(v > 0.5 && v < 0.75, "diode voltage {v}");
+    }
+
+    #[test]
+    fn nmos_source_follower_tracks_gate_minus_threshold() {
+        // Gate at 2.5 V, drain at 5 V, source through 10 kΩ to ground:
+        // the source settles near Vg - Vth - Vov.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let gate = c.node("gate");
+        let src = c.node("src");
+        c.voltage_source("VDD", vdd, Circuit::ground(), SourceWaveform::dc(5.0)).unwrap();
+        c.voltage_source("VG", gate, Circuit::ground(), SourceWaveform::dc(2.5)).unwrap();
+        c.mosfet(
+            "M1",
+            vdd,
+            gate,
+            src,
+            MosfetPolarity::Nmos,
+            MosfetModel::nmos_default(),
+            50e-6,
+            1e-6,
+        )
+        .unwrap();
+        c.resistor("RS", src, Circuit::ground(), 10_000.0).unwrap();
+        let op = dc_operating_point(&c).unwrap();
+        let vs = op.voltage(src);
+        assert!(vs > 1.4 && vs < 1.9, "source voltage {vs}");
+    }
+
+    #[test]
+    fn nmos_inverter_output_swings_low_when_input_high() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.voltage_source("VDD", vdd, Circuit::ground(), SourceWaveform::dc(5.0)).unwrap();
+        c.voltage_source("VIN", vin, Circuit::ground(), SourceWaveform::dc(5.0)).unwrap();
+        c.resistor("RD", vdd, vout, 10_000.0).unwrap();
+        c.mosfet(
+            "M1",
+            vout,
+            vin,
+            Circuit::ground(),
+            MosfetPolarity::Nmos,
+            MosfetModel::nmos_default(),
+            20e-6,
+            1e-6,
+        )
+        .unwrap();
+        let op = dc_operating_point(&c).unwrap();
+        assert!(op.voltage(vout) < 0.5, "inverter output {}", op.voltage(vout));
+    }
+
+    #[test]
+    fn floating_node_reports_singular_or_resolves_via_gmin() {
+        // A node connected only through a capacitor has no DC path; the gmin
+        // conductance keeps the matrix solvable and pins it near ground.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.voltage_source("V1", a, Circuit::ground(), SourceWaveform::dc(1.0)).unwrap();
+        c.capacitor("C1", a, b, 1e-9).unwrap();
+        let op = dc_operating_point(&c).unwrap();
+        assert!(op.voltage(b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_start() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let vd = c.node("vd");
+        c.voltage_source("V1", vin, Circuit::ground(), SourceWaveform::dc(3.0)).unwrap();
+        c.resistor("R1", vin, vd, 1000.0).unwrap();
+        c.diode("D1", vd, Circuit::ground(), DiodeModel::silicon()).unwrap();
+        let cold = dc_operating_point(&c).unwrap();
+        let warm = dc_operating_point_from(&c, Some(cold.solution_vector())).unwrap();
+        assert!((cold.voltage(vd) - warm.voltage(vd)).abs() < 1e-9);
+    }
+}

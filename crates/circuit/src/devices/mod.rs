@@ -1,0 +1,10 @@
+//! Ready-made device-under-test circuits.
+//!
+//! The paper's first case study is an operational amplifier whose eleven
+//! specifications are measured by Spectre simulation.  [`opamp`] provides a
+//! transistor-level two-stage CMOS op-amp together with the testbench circuits
+//! and measurement routines for every specification in Table 1.
+
+pub mod opamp;
+
+pub use opamp::{OpAmp, OpAmpMeasurements, OpAmpParams};

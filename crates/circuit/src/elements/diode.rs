@@ -1,0 +1,102 @@
+//! Junction diode model (Shockley equation with series-free companion model).
+
+use serde::{Deserialize, Serialize};
+
+/// Diode model card.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiodeModel {
+    /// Saturation current in amperes.
+    pub saturation_current: f64,
+    /// Emission coefficient (ideality factor).
+    pub emission_coefficient: f64,
+    /// Thermal voltage `kT/q` in volts.
+    pub thermal_voltage: f64,
+}
+
+impl DiodeModel {
+    /// A generic small-signal silicon diode (`Is = 1e-14 A`, `n = 1`,
+    /// `Vt = 25.85 mV`).
+    pub fn silicon() -> Self {
+        DiodeModel {
+            saturation_current: 1e-14,
+            emission_coefficient: 1.0,
+            thermal_voltage: 0.02585,
+        }
+    }
+
+    /// Diode current and small-signal conductance at junction voltage `v`.
+    ///
+    /// The exponent is limited (equivalent to SPICE's junction-voltage
+    /// limiting) so that Newton iterations cannot overflow.
+    pub fn evaluate(&self, v: f64) -> (f64, f64) {
+        let n_vt = self.emission_coefficient * self.thermal_voltage;
+        // Above v_crit, linearise the exponential to keep Newton stable.
+        let v_crit = n_vt * 40.0;
+        let gmin = 1e-12;
+        if v <= v_crit {
+            let e = (v / n_vt).exp();
+            let current = self.saturation_current * (e - 1.0) + gmin * v;
+            let conductance = self.saturation_current * e / n_vt + gmin;
+            (current, conductance)
+        } else {
+            let e = (v_crit / n_vt).exp();
+            let g_at_crit = self.saturation_current * e / n_vt;
+            let i_at_crit = self.saturation_current * (e - 1.0);
+            (i_at_crit + g_at_crit * (v - v_crit) + gmin * v, g_at_crit + gmin)
+        }
+    }
+}
+
+impl Default for DiodeModel {
+    fn default() -> Self {
+        DiodeModel::silicon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_current_grows_exponentially() {
+        let model = DiodeModel::silicon();
+        let (i_06, _) = model.evaluate(0.6);
+        let (i_07, _) = model.evaluate(0.7);
+        assert!(i_07 > i_06 * 10.0);
+        assert!(i_06 > 0.0);
+    }
+
+    #[test]
+    fn reverse_current_saturates_near_minus_is() {
+        let model = DiodeModel::silicon();
+        let (i, g) = model.evaluate(-1.0);
+        assert!(i < 0.0);
+        assert!(i > -1e-11); // -Is plus gmin leakage
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn conductance_is_derivative_of_current() {
+        let model = DiodeModel::silicon();
+        for &v in &[-0.5, 0.2, 0.5, 0.65] {
+            let h = 1e-7;
+            let (i_plus, _) = model.evaluate(v + h);
+            let (i_minus, _) = model.evaluate(v - h);
+            let numeric = (i_plus - i_minus) / (2.0 * h);
+            let (_, analytic) = model.evaluate(v);
+            let scale = analytic.abs().max(1e-12);
+            assert!(
+                ((numeric - analytic) / scale).abs() < 1e-3,
+                "v={v}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_forward_bias_does_not_overflow() {
+        let model = DiodeModel::silicon();
+        let (i, g) = model.evaluate(5.0);
+        assert!(i.is_finite());
+        assert!(g.is_finite());
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for circuit construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building netlists or running analyses.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A node index referenced by an element does not exist in the circuit.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the circuit.
+        node_count: usize,
+    },
+    /// An element parameter was outside its physical domain.
+    InvalidParameter {
+        /// Element name.
+        element: String,
+        /// Parameter name.
+        parameter: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+    /// The MNA matrix was singular (for example a floating node or a loop of
+    /// ideal voltage sources).
+    SingularMatrix {
+        /// Index of the pivot that vanished.
+        pivot: usize,
+    },
+    /// Newton–Raphson failed to converge even with gmin and source stepping.
+    NoConvergence {
+        /// Analysis that failed ("dc", "transient", …).
+        analysis: &'static str,
+        /// Iterations performed in the last attempt.
+        iterations: usize,
+    },
+    /// An analysis was asked to do something impossible
+    /// (for example a transient with a non-positive time step).
+    InvalidAnalysis {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A waveform measurement could not be extracted
+    /// (for example the waveform never crosses the requested threshold).
+    MeasurementFailed {
+        /// Name of the measurement ("rise_time", "unity_gain_frequency", …).
+        measurement: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The circuit has no elements or no non-ground nodes.
+    EmptyCircuit,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownNode { node, node_count } => {
+                write!(f, "node {node} does not exist (circuit has {node_count} nodes)")
+            }
+            CircuitError::InvalidParameter { element, parameter, value } => {
+                write!(f, "element {element}: invalid {parameter} = {value}")
+            }
+            CircuitError::SingularMatrix { pivot } => {
+                write!(f, "singular MNA matrix at pivot {pivot} (floating node or source loop)")
+            }
+            CircuitError::NoConvergence { analysis, iterations } => {
+                write!(f, "{analysis} analysis did not converge after {iterations} iterations")
+            }
+            CircuitError::InvalidAnalysis { reason } => write!(f, "invalid analysis: {reason}"),
+            CircuitError::MeasurementFailed { measurement, reason } => {
+                write!(f, "measurement {measurement} failed: {reason}")
+            }
+            CircuitError::EmptyCircuit => write!(f, "circuit has no elements"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CircuitError::UnknownNode { node: 7, node_count: 3 };
+        assert!(e.to_string().contains('7'));
+        let e = CircuitError::NoConvergence { analysis: "dc", iterations: 99 };
+        assert!(e.to_string().contains("dc"));
+        let e = CircuitError::MeasurementFailed {
+            measurement: "rise_time",
+            reason: "never crosses 90 %".into(),
+        };
+        assert!(e.to_string().contains("rise_time"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

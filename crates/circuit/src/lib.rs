@@ -1,0 +1,73 @@
+//! # stc-circuit
+//!
+//! A small, self-contained analog circuit simulator used as the substitute
+//! for Cadence Virtuoso Spectre in the reproduction of *"Specification Test
+//! Compaction for Analog Circuits and MEMS"* (DATE 2005).
+//!
+//! The simulator provides the three analyses the paper's specification tests
+//! need:
+//!
+//! * [`dc_operating_point`] — Newton–Raphson DC solution with gmin and source
+//!   stepping,
+//! * [`ac_analysis`] — small-signal frequency sweeps around the operating
+//!   point,
+//! * [`transient_analysis`] — fixed-step trapezoidal/backward-Euler time
+//!   integration.
+//!
+//! Circuits are built programmatically with [`Circuit`]; the element set
+//! (R, L, C, independent and controlled sources, diodes and level-1 MOSFETs)
+//! is enough for the two-stage CMOS operational amplifier of the paper's
+//! first case study, which is available ready-made in [`devices::opamp`]
+//! together with testbenches for all eleven Table 1 specifications.
+//!
+//! ## Example
+//!
+//! ```
+//! use stc_circuit::{dc_operating_point, Circuit, SourceWaveform};
+//!
+//! # fn main() -> Result<(), stc_circuit::CircuitError> {
+//! let mut circuit = Circuit::new();
+//! let vin = circuit.node("vin");
+//! let vout = circuit.node("vout");
+//! circuit.voltage_source("V1", vin, Circuit::ground(), SourceWaveform::dc(1.0))?;
+//! circuit.resistor("R1", vin, vout, 1_000.0)?;
+//! circuit.resistor("R2", vout, Circuit::ground(), 1_000.0)?;
+//! let op = dc_operating_point(&circuit)?;
+//! assert!((op.voltage(vout) - 0.5).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ac;
+mod dc;
+mod error;
+mod measure;
+mod mna;
+mod netlist;
+mod transient;
+mod waveform;
+
+pub mod devices;
+pub mod elements;
+pub mod linalg;
+pub mod variation;
+
+pub use ac::{ac_analysis, log_frequency_sweep, AcSweep};
+pub use dc::{dc_operating_point, dc_operating_point_from, DcSolution};
+pub use elements::{DiodeModel, Element, MosfetModel, MosfetPolarity, SourceWaveform};
+pub use error::CircuitError;
+pub use measure::{
+    bandwidth_3db, dc_gain, peak_frequency, phase_margin, quality_factor, unity_gain_frequency,
+};
+pub use mna::{IntegrationMethod, MnaLayout};
+pub use netlist::{Circuit, NodeId};
+pub use transient::{
+    transient_analysis, transient_analysis_from, TransientParams, TransientResult,
+};
+pub use waveform::Waveform;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CircuitError>;

@@ -1,0 +1,301 @@
+//! Dense matrices and LU solves (real and complex).
+
+use serde::{Deserialize, Serialize};
+
+use super::Complex;
+use crate::CircuitError;
+
+/// A dense, row-major `n × n` matrix of generic scalars.
+///
+/// # Example
+///
+/// ```
+/// use stc_circuit::linalg::{solve_real, Matrix};
+///
+/// # fn main() -> Result<(), stc_circuit::CircuitError> {
+/// let mut a = Matrix::zeros(2);
+/// a[(0, 0)] = 2.0;
+/// a[(1, 1)] = 4.0;
+/// let x = solve_real(a, vec![2.0, 8.0])?;
+/// assert_eq!(x, vec![1.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix<T> {
+    n: usize,
+    values: Vec<T>,
+}
+
+impl<T: Copy + Default> Matrix<T> {
+    /// Creates an `n × n` matrix filled with the default scalar (zero).
+    pub fn zeros(n: usize) -> Self {
+        Matrix { n, values: vec![T::default(); n * n] }
+    }
+
+    /// Matrix dimension.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Resets every entry to the default scalar, keeping the allocation.
+    pub fn clear(&mut self) {
+        for v in &mut self.values {
+            *v = T::default();
+        }
+    }
+}
+
+impl<T> std::ops::Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    fn index(&self, (row, col): (usize, usize)) -> &T {
+        &self.values[row * self.n + col]
+    }
+}
+
+impl<T> std::ops::IndexMut<(usize, usize)> for Matrix<T> {
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut T {
+        &mut self.values[row * self.n + col]
+    }
+}
+
+impl Matrix<f64> {
+    /// Adds `value` to entry `(row, col)` — the MNA "stamp" primitive.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        self.values[row * self.n + col] += value;
+    }
+}
+
+impl Matrix<Complex> {
+    /// Adds `value` to entry `(row, col)` — the MNA "stamp" primitive.
+    pub fn add(&mut self, row: usize, col: usize, value: Complex) {
+        let entry = &mut self.values[row * self.n + col];
+        *entry = *entry + value;
+    }
+}
+
+/// Solves `A x = b` for real `A` by LU factorization with partial pivoting.
+///
+/// Consumes the matrix (the factorization is done in place).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::SingularMatrix`] when a pivot is (numerically)
+/// zero, which for MNA systems indicates a floating node or an inconsistent
+/// source loop.
+pub fn solve_real(mut a: Matrix<f64>, mut b: Vec<f64>) -> Result<Vec<f64>, CircuitError> {
+    let n = a.size();
+    assert_eq!(b.len(), n, "rhs length must match matrix size");
+    for k in 0..n {
+        // Partial pivoting.
+        let mut pivot_row = k;
+        let mut pivot_mag = a[(k, k)].abs();
+        for r in (k + 1)..n {
+            let mag = a[(r, k)].abs();
+            if mag > pivot_mag {
+                pivot_mag = mag;
+                pivot_row = r;
+            }
+        }
+        if pivot_mag < 1e-300 {
+            return Err(CircuitError::SingularMatrix { pivot: k });
+        }
+        if pivot_row != k {
+            for c in 0..n {
+                let tmp = a[(k, c)];
+                a[(k, c)] = a[(pivot_row, c)];
+                a[(pivot_row, c)] = tmp;
+            }
+            b.swap(k, pivot_row);
+        }
+        let pivot = a[(k, k)];
+        for r in (k + 1)..n {
+            let factor = a[(r, k)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in k..n {
+                let v = a[(k, c)];
+                a[(r, c)] -= factor * v;
+            }
+            b[r] -= factor * b[k];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for k in (0..n).rev() {
+        let mut sum = b[k];
+        for c in (k + 1)..n {
+            sum -= a[(k, c)] * x[c];
+        }
+        x[k] = sum / a[(k, k)];
+    }
+    Ok(x)
+}
+
+/// Solves `A x = b` for complex `A` by LU factorization with partial pivoting.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::SingularMatrix`] when a pivot magnitude vanishes.
+pub fn solve_complex(
+    mut a: Matrix<Complex>,
+    mut b: Vec<Complex>,
+) -> Result<Vec<Complex>, CircuitError> {
+    let n = a.size();
+    assert_eq!(b.len(), n, "rhs length must match matrix size");
+    for k in 0..n {
+        let mut pivot_row = k;
+        let mut pivot_mag = a[(k, k)].norm();
+        for r in (k + 1)..n {
+            let mag = a[(r, k)].norm();
+            if mag > pivot_mag {
+                pivot_mag = mag;
+                pivot_row = r;
+            }
+        }
+        if pivot_mag < 1e-300 {
+            return Err(CircuitError::SingularMatrix { pivot: k });
+        }
+        if pivot_row != k {
+            for c in 0..n {
+                let tmp = a[(k, c)];
+                a[(k, c)] = a[(pivot_row, c)];
+                a[(pivot_row, c)] = tmp;
+            }
+            b.swap(k, pivot_row);
+        }
+        let pivot = a[(k, k)];
+        for r in (k + 1)..n {
+            let factor = a[(r, k)] / pivot;
+            if factor.norm() == 0.0 {
+                continue;
+            }
+            for c in k..n {
+                let v = a[(k, c)];
+                a[(r, c)] = a[(r, c)] - factor * v;
+            }
+            b[r] = b[r] - factor * b[k];
+        }
+    }
+    let mut x = vec![Complex::zero(); n];
+    for k in (0..n).rev() {
+        let mut sum = b[k];
+        for c in (k + 1)..n {
+            sum = sum - a[(k, c)] * x[c];
+        }
+        x[k] = sum / a[(k, k)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_real_system() {
+        // [2 1; 1 3] x = [3; 5]  =>  x = [0.8, 1.4]
+        let mut a = Matrix::zeros(2);
+        a[(0, 0)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 3.0;
+        let x = solve_real(a, vec![3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [0 1; 1 0] x = [2; 3]  =>  x = [3, 2]
+        let mut a = Matrix::zeros(2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let x = solve_real(a, vec![2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let mut a = Matrix::zeros(2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 4.0;
+        assert!(matches!(
+            solve_real(a, vec![1.0, 2.0]),
+            Err(CircuitError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn random_real_systems_round_trip() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for n in [1usize, 3, 7, 15] {
+            let mut a = Matrix::zeros(n);
+            for r in 0..n {
+                for c in 0..n {
+                    a[(r, c)] = rng.gen_range(-1.0..1.0);
+                }
+                a[(r, r)] += 3.0; // diagonally dominant => well conditioned
+            }
+            let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 1.5).collect();
+            let mut b = vec![0.0; n];
+            for r in 0..n {
+                for c in 0..n {
+                    b[r] += a[(r, c)] * x_true[c];
+                }
+            }
+            let x = solve_real(a, b).unwrap();
+            for (xi, ti) in x.iter().zip(x_true.iter()) {
+                assert!((xi - ti).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn solves_complex_system() {
+        // (1 + j) x = 2j  =>  x = 1 + j
+        let mut a = Matrix::zeros(1);
+        a[(0, 0)] = Complex::new(1.0, 1.0);
+        let x = solve_complex(a, vec![Complex::new(0.0, 2.0)]).unwrap();
+        assert!((x[0].re - 1.0).abs() < 1e-12);
+        assert!((x[0].im - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_round_trip() {
+        let n = 5;
+        let mut a = Matrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                a[(r, c)] = Complex::new((r + c) as f64 * 0.1, (r as f64 - c as f64) * 0.2);
+            }
+            a[(r, r)] = a[(r, r)] + Complex::real(4.0);
+        }
+        let x_true: Vec<Complex> =
+            (0..n).map(|i| Complex::new(i as f64, -(i as f64) / 2.0)).collect();
+        let mut b = vec![Complex::zero(); n];
+        for r in 0..n {
+            for c in 0..n {
+                b[r] = b[r] + a[(r, c)] * x_true[c];
+            }
+        }
+        let x = solve_complex(a, b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((*xi - *ti).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clear_resets_entries() {
+        let mut a: Matrix<f64> = Matrix::zeros(2);
+        a.add(0, 0, 5.0);
+        a.clear();
+        assert_eq!(a[(0, 0)], 0.0);
+        assert_eq!(a.size(), 2);
+    }
+}

@@ -1,0 +1,342 @@
+//! Fixed-step transient analysis.
+
+use crate::dc::{dc_operating_point, newton_solve, DcSolution};
+use crate::elements::Element;
+use crate::mna::{AssemblyOptions, DynamicState, IntegrationMethod, MnaLayout};
+use crate::netlist::{Circuit, NodeId};
+use crate::waveform::Waveform;
+use crate::{CircuitError, Result};
+
+/// Parameters of a transient run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientParams {
+    /// Simulation stop time in seconds.
+    pub stop_time: f64,
+    /// Fixed time step in seconds.
+    pub time_step: f64,
+    /// Integration method (trapezoidal by default).
+    pub method: IntegrationMethod,
+}
+
+impl TransientParams {
+    /// Creates parameters with the trapezoidal integration method.
+    pub fn new(stop_time: f64, time_step: f64) -> Self {
+        TransientParams { stop_time, time_step, method: IntegrationMethod::Trapezoidal }
+    }
+
+    /// Switches to backward Euler (more damped, unconditionally smooth).
+    pub fn with_backward_euler(mut self) -> Self {
+        self.method = IntegrationMethod::BackwardEuler;
+        self
+    }
+}
+
+/// Result of a transient analysis.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    layout: MnaLayout,
+    times: Vec<f64>,
+    solutions: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// Simulated time points in seconds.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of accepted time points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Voltage of `node` at time-point index `index`.
+    pub fn voltage(&self, node: NodeId, index: usize) -> f64 {
+        self.layout.voltage(&self.solutions[index], node)
+    }
+
+    /// Full waveform of a node voltage.
+    pub fn waveform(&self, node: NodeId) -> Waveform {
+        let values = (0..self.len()).map(|i| self.voltage(node, i)).collect();
+        Waveform::new(self.times.clone(), values)
+    }
+
+    /// Branch current of element `element_index` at time-point `index`
+    /// (only for elements carrying a branch unknown).
+    pub fn branch_current(&self, element_index: usize, index: usize) -> Option<f64> {
+        self.layout.branch_row(element_index).map(|row| self.solutions[index][row])
+    }
+}
+
+/// Runs a fixed-step transient analysis.
+///
+/// The initial condition is the DC operating point with every source at its
+/// `t = 0` value.  The first step uses backward Euler (no history is available
+/// for the trapezoidal rule); subsequent steps use the configured method.  If
+/// a Newton solve fails at some time point, the step is retried with backward
+/// Euler and half the step size before giving up.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidAnalysis`] for non-positive step or stop
+/// times and propagates DC/Newton failures.
+///
+/// # Example
+///
+/// ```
+/// use stc_circuit::{transient_analysis, Circuit, SourceWaveform, TransientParams};
+///
+/// # fn main() -> Result<(), stc_circuit::CircuitError> {
+/// // RC charging curve: v(t) = 1 - exp(-t/RC), RC = 1 ms.
+/// let mut circuit = Circuit::new();
+/// let vin = circuit.node("vin");
+/// let vout = circuit.node("vout");
+/// circuit.voltage_source("V1", vin, Circuit::ground(), SourceWaveform::step(0.0, 1.0, 0.0))?;
+/// circuit.resistor("R1", vin, vout, 1_000.0)?;
+/// circuit.capacitor("C1", vout, Circuit::ground(), 1e-6)?;
+/// let result = transient_analysis(&circuit, &TransientParams::new(5e-3, 5e-6))?;
+/// let wave = result.waveform(vout);
+/// assert!((wave.final_value() - 1.0).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn transient_analysis(
+    circuit: &Circuit,
+    params: &TransientParams,
+) -> Result<TransientResult> {
+    transient_analysis_from(circuit, params, None)
+}
+
+/// Same as [`transient_analysis`] but starting from a caller-supplied DC
+/// operating point (which must belong to the same circuit).
+///
+/// # Errors
+///
+/// See [`transient_analysis`].
+pub fn transient_analysis_from(
+    circuit: &Circuit,
+    params: &TransientParams,
+    initial: Option<&DcSolution>,
+) -> Result<TransientResult> {
+    if !(params.time_step > 0.0) || !(params.stop_time > params.time_step) {
+        return Err(CircuitError::InvalidAnalysis {
+            reason: format!(
+                "transient needs 0 < time_step ({}) < stop_time ({})",
+                params.time_step, params.stop_time
+            ),
+        });
+    }
+    let layout = MnaLayout::new(circuit);
+    let op;
+    let initial_x: &[f64] = match initial {
+        Some(solution) if solution.layout().size() == layout.size() => {
+            solution.solution_vector()
+        }
+        _ => {
+            op = dc_operating_point(circuit)?;
+            op.solution_vector()
+        }
+    };
+
+    let element_count = circuit.elements().len();
+    let mut state = DynamicState {
+        x: initial_x.to_vec(),
+        capacitor_currents: vec![0.0; element_count],
+    };
+    let mut times = vec![0.0];
+    let mut solutions = vec![state.x.clone()];
+
+    let mut time = 0.0;
+    let mut first_step = true;
+    while time < params.stop_time - 0.5 * params.time_step {
+        let h = params.time_step;
+        let t_new = time + h;
+        let method = if first_step { IntegrationMethod::BackwardEuler } else { params.method };
+        let x_new = step(circuit, &layout, &state, t_new, h, method)
+            .or_else(|_| {
+                // Retry with the more robust combination: backward Euler and
+                // two half-steps.
+                let half = h / 2.0;
+                let x_mid = step(
+                    circuit,
+                    &layout,
+                    &state,
+                    time + half,
+                    half,
+                    IntegrationMethod::BackwardEuler,
+                )?;
+                let mid_state = advance_state(
+                    circuit,
+                    &layout,
+                    &state,
+                    x_mid,
+                    half,
+                    IntegrationMethod::BackwardEuler,
+                );
+                step(
+                    circuit,
+                    &layout,
+                    &mid_state,
+                    t_new,
+                    half,
+                    IntegrationMethod::BackwardEuler,
+                )
+            })?;
+        state = advance_state(circuit, &layout, &state, x_new, h, method);
+        times.push(t_new);
+        solutions.push(state.x.clone());
+        time = t_new;
+        first_step = false;
+    }
+    Ok(TransientResult { layout, times, solutions })
+}
+
+/// Solves one time step and returns the new solution vector.
+fn step(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    state: &DynamicState,
+    t_new: f64,
+    h: f64,
+    method: IntegrationMethod,
+) -> Result<Vec<f64>> {
+    let options = AssemblyOptions {
+        gmin: 1e-12,
+        source_scale: 1.0,
+        time_step: Some((t_new, h, method)),
+    };
+    newton_solve(circuit, layout, &state.x, Some(state), &options)
+}
+
+/// Computes the dynamic state (capacitor currents) after an accepted step.
+fn advance_state(
+    circuit: &Circuit,
+    layout: &MnaLayout,
+    previous: &DynamicState,
+    x_new: Vec<f64>,
+    h: f64,
+    method: IntegrationMethod,
+) -> DynamicState {
+    let mut capacitor_currents = previous.capacitor_currents.clone();
+    for (index, element) in circuit.elements().iter().enumerate() {
+        if let Element::Capacitor { a, b, capacitance, .. } = element {
+            let v_new = layout.voltage(&x_new, *a) - layout.voltage(&x_new, *b);
+            let v_old = layout.voltage(&previous.x, *a) - layout.voltage(&previous.x, *b);
+            capacitor_currents[index] = match method {
+                IntegrationMethod::BackwardEuler => capacitance / h * (v_new - v_old),
+                IntegrationMethod::Trapezoidal => {
+                    2.0 * capacitance / h * (v_new - v_old) - previous.capacitor_currents[index]
+                }
+            };
+        }
+    }
+    DynamicState { x: x_new, capacitor_currents }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::SourceWaveform;
+
+    #[test]
+    fn rc_step_response_matches_analytic_solution() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.voltage_source("V1", vin, Circuit::ground(), SourceWaveform::step(0.0, 1.0, 0.0))
+            .unwrap();
+        c.resistor("R1", vin, vout, 1_000.0).unwrap();
+        c.capacitor("C1", vout, Circuit::ground(), 1e-6).unwrap();
+        let result = transient_analysis(&c, &TransientParams::new(5e-3, 2e-6)).unwrap();
+        let wave = result.waveform(vout);
+        // Compare against 1 - exp(-t/RC) at a few points.
+        for &t in &[0.5e-3, 1e-3, 2e-3] {
+            let expected = 1.0 - (-t / 1e-3_f64).exp();
+            assert!(
+                (wave.value_at(t) - expected).abs() < 0.01,
+                "t={t}: {} vs {expected}",
+                wave.value_at(t)
+            );
+        }
+    }
+
+    #[test]
+    fn rlc_step_rings_with_expected_overshoot() {
+        // Series RLC: R = 50, L = 1 mH, C = 1 µF -> zeta ≈ 0.79 overshoot small;
+        // use R = 10 for zeta ≈ 0.158 -> overshoot ≈ exp(-pi*z/sqrt(1-z^2)) ≈ 0.60.
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let mid = c.node("mid");
+        let vout = c.node("vout");
+        c.voltage_source("V1", vin, Circuit::ground(), SourceWaveform::step(0.0, 1.0, 0.0))
+            .unwrap();
+        c.resistor("R1", vin, mid, 10.0).unwrap();
+        c.inductor("L1", mid, vout, 1e-3).unwrap();
+        c.capacitor("C1", vout, Circuit::ground(), 1e-6).unwrap();
+        let result = transient_analysis(&c, &TransientParams::new(3e-3, 1e-6)).unwrap();
+        let wave = result.waveform(vout);
+        let zeta = 10.0 / 2.0 * (1e-6f64 / 1e-3).sqrt();
+        let expected = (-std::f64::consts::PI * zeta / (1.0 - zeta * zeta).sqrt()).exp();
+        let measured = wave.overshoot();
+        assert!(
+            (measured - expected).abs() < 0.08,
+            "overshoot {measured} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn backward_euler_damps_more_than_trapezoidal() {
+        let build = || {
+            let mut c = Circuit::new();
+            let vin = c.node("vin");
+            let mid = c.node("mid");
+            let vout = c.node("vout");
+            c.voltage_source("V1", vin, Circuit::ground(), SourceWaveform::step(0.0, 1.0, 0.0))
+                .unwrap();
+            c.resistor("R1", vin, mid, 10.0).unwrap();
+            c.inductor("L1", mid, vout, 1e-3).unwrap();
+            c.capacitor("C1", vout, Circuit::ground(), 1e-6).unwrap();
+            c
+        };
+        let trap = transient_analysis(&build(), &TransientParams::new(2e-3, 2e-6)).unwrap();
+        let be = transient_analysis(
+            &build(),
+            &TransientParams::new(2e-3, 2e-6).with_backward_euler(),
+        )
+        .unwrap();
+        let vout = build().find_node("vout").unwrap();
+        assert!(trap.waveform(vout).overshoot() > be.waveform(vout).overshoot());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.voltage_source("V1", a, Circuit::ground(), SourceWaveform::dc(1.0)).unwrap();
+        c.resistor("R1", a, Circuit::ground(), 1.0).unwrap();
+        assert!(transient_analysis(&c, &TransientParams::new(0.0, 1e-6)).is_err());
+        assert!(transient_analysis(&c, &TransientParams::new(1e-3, 0.0)).is_err());
+        assert!(transient_analysis(&c, &TransientParams::new(1e-6, 1e-3)).is_err());
+    }
+
+    #[test]
+    fn sine_source_propagates_through_resistor() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.voltage_source("V1", vin, Circuit::ground(), SourceWaveform::sine(0.0, 1.0, 1_000.0))
+            .unwrap();
+        c.resistor("R1", vin, vout, 1_000.0).unwrap();
+        c.resistor("R2", vout, Circuit::ground(), 1_000.0).unwrap();
+        let result = transient_analysis(&c, &TransientParams::new(2e-3, 5e-6)).unwrap();
+        let wave = result.waveform(vout);
+        // Half-amplitude divider of a 1 V sine.
+        assert!((wave.max_value() - 0.5).abs() < 0.02, "max {}", wave.max_value());
+        assert!((wave.min_value() + 0.5).abs() < 0.02, "min {}", wave.min_value());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the circuit simulator: conservation laws and
+//! closed-form checks that must hold for any parameter values.
+
+use proptest::prelude::*;
+use stc_circuit::{
+    ac_analysis, dc_operating_point, transient_analysis, Circuit, SourceWaveform,
+    TransientParams,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A resistive divider always produces the analytic output voltage.
+    #[test]
+    fn divider_matches_closed_form(
+        source in 0.1f64..20.0,
+        r1 in 10.0f64..1e6,
+        r2 in 10.0f64..1e6,
+    ) {
+        let mut circuit = Circuit::new();
+        let vin = circuit.node("vin");
+        let vout = circuit.node("vout");
+        circuit.voltage_source("V1", vin, Circuit::ground(), SourceWaveform::dc(source)).unwrap();
+        circuit.resistor("R1", vin, vout, r1).unwrap();
+        circuit.resistor("R2", vout, Circuit::ground(), r2).unwrap();
+        let op = dc_operating_point(&circuit).unwrap();
+        let expected = source * r2 / (r1 + r2);
+        prop_assert!((op.voltage(vout) - expected).abs() < 1e-6 * expected.abs().max(1.0));
+    }
+
+    /// Kirchhoff's current law at the supply: the source current equals the
+    /// current through the load for a single-loop circuit.
+    #[test]
+    fn source_current_matches_ohms_law(source in 0.5f64..10.0, resistance in 10.0f64..1e5) {
+        let mut circuit = Circuit::new();
+        let vin = circuit.node("vin");
+        circuit.voltage_source("V1", vin, Circuit::ground(), SourceWaveform::dc(source)).unwrap();
+        circuit.resistor("R1", vin, Circuit::ground(), resistance).unwrap();
+        let op = dc_operating_point(&circuit).unwrap();
+        let branch = op.branch_current(0).unwrap();
+        // The gmin conductance to ground adds a ~1e-12 S leakage path, so the
+        // comparison tolerance must sit above source * gmin.
+        let expected = source / resistance;
+        prop_assert!((branch + expected).abs() < 1e-10 + 1e-5 * expected);
+    }
+
+    /// The RC low-pass magnitude matches 1/sqrt(1 + (f/fc)^2) at any frequency.
+    #[test]
+    fn rc_low_pass_matches_transfer_function(
+        resistance in 100.0f64..1e5,
+        capacitance in 1e-9f64..1e-6,
+        relative_frequency in 0.05f64..20.0,
+    ) {
+        let mut circuit = Circuit::new();
+        let vin = circuit.node("vin");
+        let vout = circuit.node("vout");
+        circuit
+            .ac_voltage_source("V1", vin, Circuit::ground(), SourceWaveform::dc(0.0), 1.0)
+            .unwrap();
+        circuit.resistor("R1", vin, vout, resistance).unwrap();
+        circuit.capacitor("C1", vout, Circuit::ground(), capacitance).unwrap();
+        let corner = 1.0 / (std::f64::consts::TAU * resistance * capacitance);
+        let frequency = relative_frequency * corner;
+        let op = dc_operating_point(&circuit).unwrap();
+        let sweep = ac_analysis(&circuit, &op, &[frequency]).unwrap();
+        let magnitude = sweep.magnitude(vout)[0];
+        let expected = 1.0 / (1.0 + relative_frequency * relative_frequency).sqrt();
+        prop_assert!((magnitude - expected).abs() < 1e-3, "{magnitude} vs {expected}");
+    }
+
+    /// An RC step response never overshoots and always settles to the source
+    /// value, whatever the time constant.
+    #[test]
+    fn rc_step_response_is_monotonic(
+        resistance in 100.0f64..10_000.0,
+        capacitance in 1e-8f64..1e-6,
+    ) {
+        let mut circuit = Circuit::new();
+        let vin = circuit.node("vin");
+        let vout = circuit.node("vout");
+        circuit
+            .voltage_source("V1", vin, Circuit::ground(), SourceWaveform::step(0.0, 1.0, 0.0))
+            .unwrap();
+        circuit.resistor("R1", vin, vout, resistance).unwrap();
+        circuit.capacitor("C1", vout, Circuit::ground(), capacitance).unwrap();
+        let tau = resistance * capacitance;
+        let result =
+            transient_analysis(&circuit, &TransientParams::new(6.0 * tau, tau / 50.0)).unwrap();
+        let wave = result.waveform(vout);
+        prop_assert!(wave.overshoot() < 1e-6);
+        prop_assert!((wave.final_value() - 1.0).abs() < 0.01);
+        prop_assert!(wave.values().windows(2).all(|w| w[1] >= w[0] - 1e-9));
+    }
+}

@@ -1,0 +1,494 @@
+//! The greedy specification-test compaction loop (paper Figure 2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::MeasurementSet;
+use crate::guardband::{GuardBandConfig, GuardBandedClassifier};
+use crate::metrics::ErrorBreakdown;
+use crate::ordering::EliminationOrder;
+use crate::{CompactionError, Result};
+
+/// Configuration of the compaction loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompactionConfig {
+    /// User-defined tolerance on the prediction error (`e_T` in the paper):
+    /// a candidate test stays eliminated only if the prediction error of the
+    /// model built without it is at or below this fraction.
+    pub error_tolerance: f64,
+    /// Order in which candidate tests are examined.
+    pub order: EliminationOrder,
+    /// Guard-band / SVM settings shared by every model trained in the loop.
+    pub guard_band: GuardBandConfig,
+    /// Optional cap on how many tests may be eliminated (`None` = unlimited).
+    pub max_eliminated: Option<usize>,
+}
+
+impl CompactionConfig {
+    /// The paper's defaults: 1 % error tolerance, 5 % guard band,
+    /// classification-power ordering.
+    pub fn paper_default() -> Self {
+        CompactionConfig {
+            error_tolerance: 0.01,
+            order: EliminationOrder::ByClassificationPower,
+            guard_band: GuardBandConfig::paper_default(),
+            max_eliminated: None,
+        }
+    }
+
+    /// Sets the error tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.error_tolerance = tolerance;
+        self
+    }
+
+    /// Sets the elimination order.
+    pub fn with_order(mut self, order: EliminationOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets the guard-band configuration.
+    pub fn with_guard_band(mut self, guard_band: GuardBandConfig) -> Self {
+        self.guard_band = guard_band;
+        self
+    }
+
+    /// Caps the number of eliminated tests.
+    pub fn with_max_eliminated(mut self, max: usize) -> Self {
+        self.max_eliminated = Some(max);
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.error_tolerance >= 0.0 && self.error_tolerance < 1.0) {
+            return Err(CompactionError::InvalidConfig {
+                parameter: "error_tolerance",
+                value: self.error_tolerance,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        CompactionConfig::paper_default()
+    }
+}
+
+/// Outcome of one examined candidate test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompactionStep {
+    /// Index of the specification that was examined.
+    pub spec_index: usize,
+    /// Name of the specification.
+    pub spec_name: String,
+    /// Whether the test was (permanently) eliminated.
+    pub eliminated: bool,
+    /// Prediction-error breakdown on the held-out test data for the model
+    /// built *without* this test (and without all previously eliminated ones).
+    pub breakdown: ErrorBreakdown,
+}
+
+/// Result of a compaction run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompactionResult {
+    /// Indices of the specifications that must still be tested, in original
+    /// order.
+    pub kept: Vec<usize>,
+    /// Indices of the eliminated specifications, in elimination order.
+    pub eliminated: Vec<usize>,
+    /// Per-candidate log of the loop.
+    pub steps: Vec<CompactionStep>,
+    /// Error breakdown of the final compacted test set on the test data.
+    pub final_breakdown: ErrorBreakdown,
+}
+
+impl CompactionResult {
+    /// Fraction of tests removed from the complete specification test set.
+    pub fn compaction_ratio(&self) -> f64 {
+        let total = self.kept.len() + self.eliminated.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.eliminated.len() as f64 / total as f64
+        }
+    }
+}
+
+/// The compaction engine: owns the training and held-out test populations.
+#[derive(Debug, Clone)]
+pub struct Compactor {
+    training: MeasurementSet,
+    testing: MeasurementSet,
+}
+
+impl Compactor {
+    /// Creates a compactor from a training population (used to fit the SVM
+    /// models) and an independent test population (used to measure the
+    /// prediction error that gates each elimination).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::DimensionMismatch`] when the two sets do not
+    /// share a specification set and [`CompactionError::InsufficientData`]
+    /// when either population is empty.
+    pub fn new(training: MeasurementSet, testing: MeasurementSet) -> Result<Self> {
+        if training.specs() != testing.specs() {
+            return Err(CompactionError::DimensionMismatch {
+                expected: training.specs().len(),
+                found: testing.specs().len(),
+            });
+        }
+        if training.is_empty() || testing.is_empty() {
+            return Err(CompactionError::InsufficientData {
+                reason: "training and test populations must be non-empty".to_string(),
+            });
+        }
+        Ok(Compactor { training, testing })
+    }
+
+    /// The training population.
+    pub fn training(&self) -> &MeasurementSet {
+        &self.training
+    }
+
+    /// The held-out test population.
+    pub fn testing(&self) -> &MeasurementSet {
+        &self.testing
+    }
+
+    /// Trains a guard-banded classifier for an explicit kept set and evaluates
+    /// it on the test population.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors.
+    pub fn evaluate_kept_set(
+        &self,
+        kept: &[usize],
+        guard_band: &GuardBandConfig,
+    ) -> Result<(GuardBandedClassifier, ErrorBreakdown)> {
+        let classifier = GuardBandedClassifier::train(&self.training, kept, guard_band)?;
+        let breakdown = classifier.evaluate(&self.testing);
+        Ok((classifier, breakdown))
+    }
+
+    /// Runs the greedy compaction loop of Figure 2.
+    ///
+    /// Every candidate test (in the configured order) is tentatively removed;
+    /// a model predicting overall pass/fail from the remaining tests is
+    /// trained and scored on the held-out data.  If the prediction error is at
+    /// or below the tolerance the removal becomes permanent, otherwise the
+    /// test is restored.  At least one test always remains.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration/data errors; SVM failures for one candidate are
+    /// treated as "cannot eliminate" rather than aborting the whole run.
+    pub fn compact(&self, config: &CompactionConfig) -> Result<CompactionResult> {
+        config.validate()?;
+        let spec_count = self.training.specs().len();
+        let order = config.order.resolve(&self.training)?;
+        if let Some(&bad) = order.iter().find(|&&c| c >= spec_count) {
+            return Err(CompactionError::UnknownSpecification { index: bad, count: spec_count });
+        }
+
+        let mut eliminated: Vec<usize> = Vec::new();
+        let mut steps = Vec::new();
+        for &candidate in &order {
+            if eliminated.contains(&candidate) {
+                continue;
+            }
+            if let Some(max) = config.max_eliminated {
+                if eliminated.len() >= max {
+                    break;
+                }
+            }
+            let kept: Vec<usize> = (0..spec_count)
+                .filter(|c| !eliminated.contains(c) && *c != candidate)
+                .collect();
+            if kept.is_empty() {
+                // Never eliminate the last remaining test.
+                break;
+            }
+            let verdict = self.evaluate_kept_set(&kept, &config.guard_band);
+            match verdict {
+                Ok((_, breakdown)) => {
+                    let eliminate = breakdown.prediction_error() <= config.error_tolerance;
+                    if eliminate {
+                        eliminated.push(candidate);
+                    }
+                    steps.push(CompactionStep {
+                        spec_index: candidate,
+                        spec_name: self.training.specs().spec(candidate).name().to_string(),
+                        eliminated: eliminate,
+                        breakdown,
+                    });
+                }
+                Err(CompactionError::Svm(_)) | Err(CompactionError::InsufficientData { .. }) => {
+                    // Model could not be built without this test: keep it.
+                    steps.push(CompactionStep {
+                        spec_index: candidate,
+                        spec_name: self.training.specs().spec(candidate).name().to_string(),
+                        eliminated: false,
+                        breakdown: ErrorBreakdown::default(),
+                    });
+                }
+                Err(other) => return Err(other),
+            }
+        }
+
+        let kept: Vec<usize> = (0..spec_count).filter(|c| !eliminated.contains(c)).collect();
+        let final_breakdown = if eliminated.is_empty() {
+            // Nothing was removed: the complete test set has no prediction
+            // error by construction.
+            let mut breakdown = ErrorBreakdown::default();
+            for i in 0..self.testing.len() {
+                let truth = self.testing.label(i);
+                breakdown.record(
+                    truth,
+                    match truth {
+                        crate::DeviceLabel::Good => crate::Prediction::Good,
+                        crate::DeviceLabel::Bad => crate::Prediction::Bad,
+                    },
+                );
+            }
+            breakdown
+        } else {
+            self.evaluate_kept_set(&kept, &config.guard_band)?.1
+        };
+
+        Ok(CompactionResult { kept, eliminated, steps, final_breakdown })
+    }
+
+    /// Forces the elimination of the tests in `order`, one after another,
+    /// regardless of any tolerance, and records the error breakdown after each
+    /// cumulative elimination.  This regenerates the Figure 5 sweep of the
+    /// paper (yield loss / defect escape / guard band versus eliminated
+    /// tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors and invalid indices; the sweep stops before
+    /// eliminating the last remaining test.
+    pub fn elimination_sweep(
+        &self,
+        order: &[usize],
+        guard_band: &GuardBandConfig,
+    ) -> Result<Vec<CompactionStep>> {
+        let spec_count = self.training.specs().len();
+        if let Some(&bad) = order.iter().find(|&&c| c >= spec_count) {
+            return Err(CompactionError::UnknownSpecification { index: bad, count: spec_count });
+        }
+        let mut eliminated: Vec<usize> = Vec::new();
+        let mut steps = Vec::new();
+        for &candidate in order {
+            if eliminated.contains(&candidate) {
+                continue;
+            }
+            let kept: Vec<usize> = (0..spec_count)
+                .filter(|c| !eliminated.contains(c) && *c != candidate)
+                .collect();
+            if kept.is_empty() {
+                break;
+            }
+            eliminated.push(candidate);
+            let (_, breakdown) = self.evaluate_kept_set(&kept, guard_band)?;
+            steps.push(CompactionStep {
+                spec_index: candidate,
+                spec_name: self.training.specs().spec(candidate).name().to_string(),
+                eliminated: true,
+                breakdown,
+            });
+        }
+        Ok(steps)
+    }
+
+    /// Eliminates a single specification and reports the resulting error
+    /// breakdown for a given number of training instances (used for the
+    /// Figure 6 training-set-size study).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors and invalid indices.
+    pub fn eliminate_single(
+        &self,
+        spec_index: usize,
+        training_instances: usize,
+        guard_band: &GuardBandConfig,
+    ) -> Result<ErrorBreakdown> {
+        let spec_count = self.training.specs().len();
+        if spec_index >= spec_count {
+            return Err(CompactionError::UnknownSpecification {
+                index: spec_index,
+                count: spec_count,
+            });
+        }
+        let kept: Vec<usize> = (0..spec_count).filter(|&c| c != spec_index).collect();
+        let truncated = self.training.truncated(training_instances.max(1));
+        let classifier = GuardBandedClassifier::train(&truncated, &kept, guard_band)?;
+        Ok(classifier.evaluate(&self.testing))
+    }
+
+    /// Eliminates a *group* of specifications at once (for example every
+    /// hot-temperature test of the accelerometer) and reports the error
+    /// breakdown of the model built on the remaining tests.  This regenerates
+    /// the Table 3 experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors, invalid indices and an empty remaining set.
+    pub fn eliminate_group(
+        &self,
+        group: &[usize],
+        guard_band: &GuardBandConfig,
+    ) -> Result<ErrorBreakdown> {
+        let spec_count = self.training.specs().len();
+        if let Some(&bad) = group.iter().find(|&&c| c >= spec_count) {
+            return Err(CompactionError::UnknownSpecification { index: bad, count: spec_count });
+        }
+        let kept: Vec<usize> = (0..spec_count).filter(|c| !group.contains(c)).collect();
+        if kept.is_empty() {
+            return Err(CompactionError::EmptyTestSet);
+        }
+        Ok(self.evaluate_kept_set(&kept, guard_band)?.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SyntheticDevice;
+    use crate::montecarlo::{generate_train_test, MonteCarloConfig};
+
+    /// Five specs where consecutive specs are strongly correlated: several of
+    /// them are redundant by construction.
+    fn redundant_population() -> Compactor {
+        let device = SyntheticDevice::new(5, 1.8, 0.92);
+        let (train, test) =
+            generate_train_test(&device, &MonteCarloConfig::new(500).with_seed(31), 300).unwrap();
+        Compactor::new(train, test).unwrap()
+    }
+
+    /// Independent specs: nothing should be removable at a tight tolerance.
+    fn independent_population() -> Compactor {
+        let device = SyntheticDevice::new(4, 1.5, 0.0);
+        let (train, test) =
+            generate_train_test(&device, &MonteCarloConfig::new(500).with_seed(32), 300).unwrap();
+        Compactor::new(train, test).unwrap()
+    }
+
+    #[test]
+    fn redundant_specs_are_eliminated_with_controlled_error() {
+        let compactor = redundant_population();
+        let config = CompactionConfig::paper_default().with_tolerance(0.03);
+        let result = compactor.compact(&config).unwrap();
+        assert!(
+            !result.eliminated.is_empty(),
+            "highly correlated specs should allow compaction: {result:?}"
+        );
+        assert!(result.final_breakdown.prediction_error() <= 0.03 + 1e-9);
+        assert!(!result.kept.is_empty());
+        assert_eq!(result.kept.len() + result.eliminated.len(), 5);
+        assert!(result.compaction_ratio() > 0.0);
+        assert_eq!(result.steps.len(), 5);
+    }
+
+    #[test]
+    fn independent_specs_resist_compaction_at_tight_tolerance() {
+        let compactor = independent_population();
+        let config = CompactionConfig::paper_default().with_tolerance(0.005);
+        let result = compactor.compact(&config).unwrap();
+        // With fully independent specs, dropping any of them forfeits real
+        // information; at a 0.5 % tolerance almost nothing should go.
+        assert!(result.eliminated.len() <= 1, "eliminated {:?}", result.eliminated);
+    }
+
+    #[test]
+    fn loose_tolerance_eliminates_more_than_tight_tolerance() {
+        let compactor = redundant_population();
+        let tight = compactor
+            .compact(&CompactionConfig::paper_default().with_tolerance(0.01))
+            .unwrap();
+        let loose = compactor
+            .compact(&CompactionConfig::paper_default().with_tolerance(0.2))
+            .unwrap();
+        assert!(loose.eliminated.len() >= tight.eliminated.len());
+        // The loop never removes every test.
+        assert!(!loose.kept.is_empty());
+    }
+
+    #[test]
+    fn max_eliminated_caps_the_loop() {
+        let compactor = redundant_population();
+        let config = CompactionConfig::paper_default()
+            .with_tolerance(0.5)
+            .with_max_eliminated(1);
+        let result = compactor.compact(&config).unwrap();
+        assert_eq!(result.eliminated.len(), 1);
+    }
+
+    #[test]
+    fn elimination_sweep_reports_monotonically_growing_eliminated_set() {
+        let compactor = redundant_population();
+        let steps = compactor
+            .elimination_sweep(&[4, 3, 2, 1, 0], &GuardBandConfig::paper_default())
+            .unwrap();
+        // The last test is never eliminated.
+        assert_eq!(steps.len(), 4);
+        assert!(steps.iter().all(|s| s.eliminated));
+        // Error is non-trivial by the time most tests are gone.
+        assert!(steps.last().unwrap().breakdown.prediction_error() >= 0.0);
+    }
+
+    #[test]
+    fn eliminate_single_error_shrinks_with_more_training_data() {
+        let compactor = redundant_population();
+        let guard_band = GuardBandConfig::paper_default();
+        let small = compactor.eliminate_single(4, 60, &guard_band).unwrap();
+        let large = compactor.eliminate_single(4, 500, &guard_band).unwrap();
+        assert!(
+            large.prediction_error() <= small.prediction_error() + 0.02,
+            "more data should not hurt: small {:?} large {:?}",
+            small,
+            large
+        );
+    }
+
+    #[test]
+    fn eliminate_group_validates_inputs() {
+        let compactor = independent_population();
+        let guard_band = GuardBandConfig::paper_default();
+        assert!(compactor.eliminate_group(&[9], &guard_band).is_err());
+        assert!(compactor.eliminate_group(&[0, 1, 2, 3], &guard_band).is_err());
+        let breakdown = compactor.eliminate_group(&[3], &guard_band).unwrap();
+        assert!(breakdown.total > 0);
+    }
+
+    #[test]
+    fn mismatched_populations_are_rejected() {
+        let a = redundant_population();
+        let b = independent_population();
+        assert!(Compactor::new(a.training().clone(), b.testing().clone()).is_err());
+    }
+
+    #[test]
+    fn invalid_tolerance_is_rejected() {
+        let compactor = independent_population();
+        let config = CompactionConfig::paper_default().with_tolerance(1.5);
+        assert!(compactor.compact(&config).is_err());
+    }
+
+    #[test]
+    fn functional_order_is_respected() {
+        let compactor = redundant_population();
+        let config = CompactionConfig::paper_default()
+            .with_tolerance(0.5)
+            .with_order(EliminationOrder::Functional(vec![2, 0]));
+        let result = compactor.compact(&config).unwrap();
+        // Only the listed candidates are ever examined.
+        assert!(result.steps.len() <= 2);
+        assert!(result.steps.iter().all(|s| s.spec_index == 2 || s.spec_index == 0));
+    }
+}

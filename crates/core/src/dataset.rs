@@ -1,0 +1,322 @@
+//! Measurement datasets: the training/test data of the compaction flow.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::SpecificationSet;
+use crate::{CompactionError, Result};
+
+/// Pass/fail status of one device instance against the full specification set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceLabel {
+    /// Every specification value is inside its acceptability range.
+    Good,
+    /// At least one specification value is outside its range.
+    Bad,
+}
+
+impl DeviceLabel {
+    /// The `+1` / `-1` encoding used by the SVM classifier.
+    pub fn to_class(self) -> f64 {
+        match self {
+            DeviceLabel::Good => 1.0,
+            DeviceLabel::Bad => -1.0,
+        }
+    }
+
+    /// Decodes the SVM class encoding.
+    pub fn from_class(class: f64) -> Self {
+        if class > 0.0 {
+            DeviceLabel::Good
+        } else {
+            DeviceLabel::Bad
+        }
+    }
+}
+
+/// A set of measured device instances: one row of specification measurements
+/// per instance, together with the specification set that defines pass/fail.
+///
+/// This is the "training data" produced by the Figure 1 flow and consumed by
+/// the Figure 2 compaction loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementSet {
+    specs: SpecificationSet,
+    rows: Vec<Vec<f64>>,
+}
+
+impl MeasurementSet {
+    /// Creates a measurement set, validating row dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::DimensionMismatch`] if any row does not have
+    /// one value per specification.
+    pub fn new(specs: SpecificationSet, rows: Vec<Vec<f64>>) -> Result<Self> {
+        if let Some(bad) = rows.iter().find(|r| r.len() != specs.len()) {
+            return Err(CompactionError::DimensionMismatch {
+                expected: specs.len(),
+                found: bad.len(),
+            });
+        }
+        Ok(MeasurementSet { specs, rows })
+    }
+
+    /// The specification set describing the columns.
+    pub fn specs(&self) -> &SpecificationSet {
+        &self.specs
+    }
+
+    /// Number of device instances.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the set holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The raw measurement rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Measurement row of instance `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// Pass/fail label of instance `i` against the full specification set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn label(&self, i: usize) -> DeviceLabel {
+        if self.specs.passes(&self.rows[i]) {
+            DeviceLabel::Good
+        } else {
+            DeviceLabel::Bad
+        }
+    }
+
+    /// Pass/fail label of instance `i` with all ranges tightened/widened by a
+    /// fraction of their width (used for guard-band labelling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn label_with_margin(&self, i: usize, delta: f64) -> DeviceLabel {
+        if self.specs.passes_with_margin(&self.rows[i], delta) {
+            DeviceLabel::Good
+        } else {
+            DeviceLabel::Bad
+        }
+    }
+
+    /// Labels of every instance.
+    pub fn labels(&self) -> Vec<DeviceLabel> {
+        (0..self.len()).map(|i| self.label(i)).collect()
+    }
+
+    /// Overall yield: fraction of instances that pass every specification.
+    pub fn yield_fraction(&self) -> f64 {
+        if self.is_empty() {
+            return 1.0;
+        }
+        let good = (0..self.len()).filter(|&i| self.label(i) == DeviceLabel::Good).count();
+        good as f64 / self.len() as f64
+    }
+
+    /// Fraction of instances that pass specification `column` alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::UnknownSpecification`] for a bad column.
+    pub fn per_spec_yield(&self, column: usize) -> Result<f64> {
+        if column >= self.specs.len() {
+            return Err(CompactionError::UnknownSpecification {
+                index: column,
+                count: self.specs.len(),
+            });
+        }
+        if self.is_empty() {
+            return Ok(1.0);
+        }
+        let spec = self.specs.spec(column);
+        let pass = self.rows.iter().filter(|r| spec.passes(r[column])).count();
+        Ok(pass as f64 / self.len() as f64)
+    }
+
+    /// Splits the instances into two measurement sets at `index`
+    /// (first `index` rows, remaining rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len()`.
+    pub fn split_at(&self, index: usize) -> (MeasurementSet, MeasurementSet) {
+        let (first, second) = self.rows.split_at(index);
+        (
+            MeasurementSet { specs: self.specs.clone(), rows: first.to_vec() },
+            MeasurementSet { specs: self.specs.clone(), rows: second.to_vec() },
+        )
+    }
+
+    /// Returns a measurement set containing the first `count` instances
+    /// (or all of them when `count >= len()`).
+    pub fn truncated(&self, count: usize) -> MeasurementSet {
+        MeasurementSet {
+            specs: self.specs.clone(),
+            rows: self.rows.iter().take(count).cloned().collect(),
+        }
+    }
+
+    /// Builds the SVM training dataset for a given set of *kept* specification
+    /// columns: features are the kept measurements normalised to their
+    /// acceptability ranges, the target is the overall pass/fail label
+    /// computed with `label_margin` applied to every range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::EmptyTestSet`] when `kept` is empty and
+    /// [`CompactionError::UnknownSpecification`] for an out-of-range column.
+    pub fn to_svm_dataset(&self, kept: &[usize], label_margin: f64) -> Result<stc_svm::Dataset> {
+        if kept.is_empty() {
+            return Err(CompactionError::EmptyTestSet);
+        }
+        if let Some(&bad) = kept.iter().find(|&&c| c >= self.specs.len()) {
+            return Err(CompactionError::UnknownSpecification {
+                index: bad,
+                count: self.specs.len(),
+            });
+        }
+        let mut dataset = stc_svm::Dataset::new(kept.len())?;
+        for i in 0..self.len() {
+            let features: Vec<f64> = kept
+                .iter()
+                .map(|&c| self.specs.spec(c).normalize(self.rows[i][c]))
+                .collect();
+            let label = self.label_with_margin(i, label_margin).to_class();
+            dataset.push(features, label)?;
+        }
+        Ok(dataset)
+    }
+
+    /// Normalised kept-column feature vector of instance `i` (the tester-side
+    /// view of the measurements after compaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or any column index is out of bounds.
+    pub fn features(&self, i: usize, kept: &[usize]) -> Vec<f64> {
+        kept.iter().map(|&c| self.specs.spec(c).normalize(self.rows[i][c])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Specification;
+
+    fn two_spec_set() -> SpecificationSet {
+        SpecificationSet::new(vec![
+            Specification::new("a", "-", 0.5, 0.0, 1.0).unwrap(),
+            Specification::new("b", "-", 5.0, 0.0, 10.0).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn sample_set() -> MeasurementSet {
+        MeasurementSet::new(
+            two_spec_set(),
+            vec![
+                vec![0.5, 5.0],   // good
+                vec![0.9, 9.0],   // good
+                vec![1.5, 5.0],   // bad (a out of range)
+                vec![0.5, 12.0],  // bad (b out of range)
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_dimensions() {
+        let specs = two_spec_set();
+        assert!(MeasurementSet::new(specs, vec![vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn labels_and_yield() {
+        let set = sample_set();
+        assert_eq!(set.label(0), DeviceLabel::Good);
+        assert_eq!(set.label(2), DeviceLabel::Bad);
+        assert_eq!(set.yield_fraction(), 0.5);
+        assert_eq!(set.labels().len(), 4);
+        assert_eq!(DeviceLabel::Good.to_class(), 1.0);
+        assert_eq!(DeviceLabel::from_class(-2.0), DeviceLabel::Bad);
+    }
+
+    #[test]
+    fn per_spec_yield_isolates_columns() {
+        let set = sample_set();
+        assert_eq!(set.per_spec_yield(0).unwrap(), 0.75);
+        assert_eq!(set.per_spec_yield(1).unwrap(), 0.75);
+        assert!(set.per_spec_yield(7).is_err());
+    }
+
+    #[test]
+    fn margin_labelling_shrinks_the_good_region() {
+        let set = sample_set();
+        // Instance 1 is at 0.9/9.0 — inside the plain ranges but outside a
+        // 15 % guard-banded (tightened) range.
+        assert_eq!(set.label(1), DeviceLabel::Good);
+        assert_eq!(set.label_with_margin(1, 0.15), DeviceLabel::Bad);
+        // Widening never turns a good device bad.
+        assert_eq!(set.label_with_margin(1, -0.15), DeviceLabel::Good);
+    }
+
+    #[test]
+    fn split_and_truncate() {
+        let set = sample_set();
+        let (a, b) = set.split_at(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 3);
+        assert_eq!(set.truncated(2).len(), 2);
+        assert_eq!(set.truncated(99).len(), 4);
+    }
+
+    #[test]
+    fn svm_dataset_uses_normalised_kept_columns() {
+        let set = sample_set();
+        let data = set.to_svm_dataset(&[1], 0.0).unwrap();
+        assert_eq!(data.dimension(), 1);
+        assert_eq!(data.len(), 4);
+        // Column b of instance 0 is 5.0 in range [0, 10] -> 0.5.
+        assert_eq!(data.features(0), &[0.5]);
+        // Labels reflect the *overall* pass/fail, not just the kept column:
+        // instance 2 passes spec b but fails spec a, so its label is bad.
+        assert_eq!(data.label(2), -1.0);
+        assert!(set.to_svm_dataset(&[], 0.0).is_err());
+        assert!(set.to_svm_dataset(&[9], 0.0).is_err());
+    }
+
+    #[test]
+    fn features_match_svm_dataset_rows() {
+        let set = sample_set();
+        let data = set.to_svm_dataset(&[0, 1], 0.0).unwrap();
+        for i in 0..set.len() {
+            assert_eq!(set.features(i, &[0, 1]), data.features(i));
+        }
+    }
+
+    #[test]
+    fn empty_set_has_full_yield() {
+        let empty = MeasurementSet::new(two_spec_set(), vec![]).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.yield_fraction(), 1.0);
+        assert_eq!(empty.per_spec_yield(0).unwrap(), 1.0);
+    }
+}

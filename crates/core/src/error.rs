@@ -1,0 +1,136 @@
+//! Error type for the compaction methodology.
+
+use std::error::Error;
+use std::fmt;
+
+use stc_svm::SvmError;
+
+/// Errors produced by data generation, model building or compaction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CompactionError {
+    /// A specification definition was invalid (empty name, reversed range, …).
+    InvalidSpecification {
+        /// Name of the offending specification.
+        name: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A measurement matrix did not match the specification set.
+    DimensionMismatch {
+        /// Number of specifications expected.
+        expected: usize,
+        /// Number of measurement columns found.
+        found: usize,
+    },
+    /// The referenced specification index does not exist.
+    UnknownSpecification {
+        /// The offending index.
+        index: usize,
+        /// Number of specifications in the set.
+        count: usize,
+    },
+    /// The operation needs at least one specification to remain testable.
+    EmptyTestSet,
+    /// A dataset was empty or single-class where a model had to be trained.
+    InsufficientData {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An invalid configuration value (tolerance, guard band, grid size, …).
+    InvalidConfig {
+        /// Name of the configuration parameter.
+        parameter: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The device simulation failed while generating Monte-Carlo data.
+    SimulationFailed {
+        /// Instance index that failed.
+        instance: usize,
+        /// Error message from the device model.
+        message: String,
+    },
+    /// A lookup-table tester model would be too large to build.
+    LookupTableTooLarge {
+        /// Number of cells the requested table would need.
+        cells: u128,
+        /// The configured limit.
+        limit: u128,
+    },
+    /// An underlying SVM error.
+    Svm(SvmError),
+}
+
+impl fmt::Display for CompactionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompactionError::InvalidSpecification { name, reason } => {
+                write!(f, "invalid specification {name}: {reason}")
+            }
+            CompactionError::DimensionMismatch { expected, found } => {
+                write!(f, "measurement row has {found} values, expected {expected}")
+            }
+            CompactionError::UnknownSpecification { index, count } => {
+                write!(f, "specification index {index} out of range (set has {count})")
+            }
+            CompactionError::EmptyTestSet => {
+                write!(f, "at least one specification test must remain")
+            }
+            CompactionError::InsufficientData { reason } => {
+                write!(f, "insufficient training data: {reason}")
+            }
+            CompactionError::InvalidConfig { parameter, value } => {
+                write!(f, "invalid configuration: {parameter} = {value}")
+            }
+            CompactionError::SimulationFailed { instance, message } => {
+                write!(f, "device simulation failed for instance {instance}: {message}")
+            }
+            CompactionError::LookupTableTooLarge { cells, limit } => {
+                write!(f, "lookup table would need {cells} cells (limit {limit})")
+            }
+            CompactionError::Svm(err) => write!(f, "svm error: {err}"),
+        }
+    }
+}
+
+impl Error for CompactionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompactionError::Svm(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SvmError> for CompactionError {
+    fn from(err: SvmError) -> Self {
+        CompactionError::Svm(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CompactionError::DimensionMismatch { expected: 11, found: 10 };
+        assert!(e.to_string().contains("11"));
+        let e = CompactionError::Svm(SvmError::EmptyDataset);
+        assert!(e.to_string().contains("svm"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompactionError>();
+    }
+
+    #[test]
+    fn svm_errors_convert() {
+        let e: CompactionError = SvmError::SingleClass.into();
+        assert!(matches!(e, CompactionError::Svm(SvmError::SingleClass)));
+    }
+}

@@ -1,0 +1,309 @@
+//! Grid-based training-data compaction and the lookup-table tester model
+//! (paper Sections 4.3 and 3.3).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{DeviceLabel, MeasurementSet};
+use crate::guardband::{GuardBandedClassifier, Prediction};
+use crate::{CompactionError, Result};
+
+/// Largest number of cells a lookup table is allowed to have.
+const LOOKUP_TABLE_CELL_LIMIT: u128 = 4_000_000;
+
+/// Compresses a training population by gridding the normalised measurement
+/// space (paper Section 4.3): cells containing both good and bad instances
+/// keep all their instances (they straddle the class boundary and carry the
+/// information the classifier needs); homogeneous cells are merged into a
+/// single representative at the cell centre.
+///
+/// Returns the compressed rows (in original measurement units) so they can be
+/// wrapped in a new [`MeasurementSet`].
+///
+/// # Errors
+///
+/// Returns [`CompactionError::InvalidConfig`] when `cells_per_dim < 2` and
+/// [`CompactionError::InsufficientData`] for an empty population.
+pub fn compress_training_data(
+    data: &MeasurementSet,
+    cells_per_dim: usize,
+) -> Result<MeasurementSet> {
+    if cells_per_dim < 2 {
+        return Err(CompactionError::InvalidConfig {
+            parameter: "cells_per_dim",
+            value: cells_per_dim as f64,
+        });
+    }
+    if data.is_empty() {
+        return Err(CompactionError::InsufficientData {
+            reason: "cannot compress an empty population".to_string(),
+        });
+    }
+    let specs = data.specs();
+    let dims = specs.len();
+
+    #[derive(Default)]
+    struct Cell {
+        rows: Vec<usize>,
+        good: usize,
+        bad: usize,
+    }
+
+    // Cells cover the normalised band [-0.25, 1.25] around the acceptance
+    // box; anything further out is clamped into the outermost cells so gross
+    // outliers do not explode the key space.
+    let (grid_lower, grid_upper) = (-0.25, 1.25);
+    let mut cells: HashMap<Vec<u16>, Cell> = HashMap::new();
+    for i in 0..data.len() {
+        let key: Vec<u16> = (0..dims)
+            .map(|c| {
+                let normalised = specs.spec(c).normalize(data.row(i)[c]);
+                let position = (normalised - grid_lower) / (grid_upper - grid_lower);
+                ((position * cells_per_dim as f64) as isize)
+                    .clamp(0, cells_per_dim as isize - 1) as u16
+            })
+            .collect();
+        let cell = cells.entry(key).or_default();
+        cell.rows.push(i);
+        match data.label(i) {
+            DeviceLabel::Good => cell.good += 1,
+            DeviceLabel::Bad => cell.bad += 1,
+        }
+    }
+
+    let mut compressed: Vec<Vec<f64>> = Vec::new();
+    for cell in cells.values() {
+        if cell.good > 0 && cell.bad > 0 {
+            // Boundary cell: keep every instance.
+            for &i in &cell.rows {
+                compressed.push(data.row(i).to_vec());
+            }
+        } else {
+            // Homogeneous cell: merge to the centroid (which preserves the
+            // label because the cell is single-class).
+            let mut centroid = vec![0.0; dims];
+            for &i in &cell.rows {
+                for (c, value) in data.row(i).iter().enumerate() {
+                    centroid[c] += value / cell.rows.len() as f64;
+                }
+            }
+            compressed.push(centroid);
+        }
+    }
+    MeasurementSet::new(specs.clone(), compressed)
+}
+
+/// A tester-side lookup table over the compacted specification space
+/// (paper Section 3.3): the space of kept, normalised measurements is divided
+/// into a regular grid and each cell centre is classified once by the
+/// statistical model; production devices are then classified by a table
+/// lookup, which costs almost nothing on the tester.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LookupTableTester {
+    kept: Vec<usize>,
+    cells_per_dim: usize,
+    /// Normalised-space coverage: cells span `[lower, upper]` in every kept
+    /// dimension.
+    lower: f64,
+    upper: f64,
+    attributes: Vec<Prediction>,
+}
+
+impl LookupTableTester {
+    /// Builds the table by sampling the classifier at every cell centre.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::LookupTableTooLarge`] when
+    /// `cells_per_dim ^ kept` exceeds the internal limit and
+    /// [`CompactionError::InvalidConfig`] for a degenerate grid.
+    pub fn build(
+        classifier: &GuardBandedClassifier,
+        cells_per_dim: usize,
+    ) -> Result<LookupTableTester> {
+        if cells_per_dim < 2 {
+            return Err(CompactionError::InvalidConfig {
+                parameter: "cells_per_dim",
+                value: cells_per_dim as f64,
+            });
+        }
+        let kept = classifier.kept().to_vec();
+        let cells = (cells_per_dim as u128).pow(kept.len() as u32);
+        if cells > LOOKUP_TABLE_CELL_LIMIT {
+            return Err(CompactionError::LookupTableTooLarge {
+                cells,
+                limit: LOOKUP_TABLE_CELL_LIMIT,
+            });
+        }
+        // Cover a bit more than the acceptability box so devices slightly
+        // outside still hit a cell.
+        let lower = -0.25;
+        let upper = 1.25;
+        let mut attributes = Vec::with_capacity(cells as usize);
+        let mut index = vec![0usize; kept.len()];
+        loop {
+            let centre: Vec<f64> = index
+                .iter()
+                .map(|&i| lower + (i as f64 + 0.5) * (upper - lower) / cells_per_dim as f64)
+                .collect();
+            attributes.push(classifier.classify_features(&centre));
+            // Odometer increment.
+            let mut dim = 0;
+            loop {
+                if dim == kept.len() {
+                    return Ok(LookupTableTester {
+                        kept,
+                        cells_per_dim,
+                        lower,
+                        upper,
+                        attributes,
+                    });
+                }
+                index[dim] += 1;
+                if index[dim] < cells_per_dim {
+                    break;
+                }
+                index[dim] = 0;
+                dim += 1;
+            }
+        }
+    }
+
+    /// The kept specification indices the table expects.
+    pub fn kept(&self) -> &[usize] {
+        &self.kept
+    }
+
+    /// Number of cells in the table.
+    pub fn cell_count(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Classifies a normalised kept-column feature vector by table lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length does not match the kept set.
+    pub fn classify_features(&self, features: &[f64]) -> Prediction {
+        assert_eq!(features.len(), self.kept.len(), "feature vector length mismatch");
+        let mut flat = 0usize;
+        let mut stride = 1usize;
+        for &value in features {
+            let position = (value - self.lower) / (self.upper - self.lower);
+            let cell = ((position * self.cells_per_dim as f64) as isize)
+                .clamp(0, self.cells_per_dim as isize - 1) as usize;
+            flat += cell * stride;
+            stride *= self.cells_per_dim;
+        }
+        self.attributes[flat]
+    }
+
+    /// Classifies instance `i` of a measurement set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the measurement set does not contain the kept columns.
+    pub fn classify_instance(&self, data: &MeasurementSet, i: usize) -> Prediction {
+        self.classify_features(&data.features(i, &self.kept))
+    }
+
+    /// Fraction of a population on which the table and the exact classifier
+    /// agree (a sanity metric for choosing the grid resolution).
+    pub fn agreement_with(&self, classifier: &GuardBandedClassifier, data: &MeasurementSet) -> f64 {
+        if data.is_empty() {
+            return 1.0;
+        }
+        let matching = (0..data.len())
+            .filter(|&i| self.classify_instance(data, i) == classifier.classify_instance(data, i))
+            .count();
+        matching as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SyntheticDevice;
+    use crate::guardband::GuardBandConfig;
+    use crate::montecarlo::{generate_train_test, MonteCarloConfig};
+
+    fn population() -> (MeasurementSet, MeasurementSet) {
+        let device = SyntheticDevice::new(3, 1.5, 0.85);
+        generate_train_test(&device, &MonteCarloConfig::new(400).with_seed(77), 200).unwrap()
+    }
+
+    #[test]
+    fn compression_reduces_size_and_keeps_both_classes() {
+        let (train, _) = population();
+        let compressed = compress_training_data(&train, 6).unwrap();
+        assert!(compressed.len() < train.len(), "{} -> {}", train.len(), compressed.len());
+        assert!(!compressed.is_empty());
+        // Merging homogeneous cells cannot erase a class entirely.
+        let yield_fraction = compressed.yield_fraction();
+        assert!(yield_fraction > 0.0 && yield_fraction < 1.0, "yield {yield_fraction}");
+    }
+
+    #[test]
+    fn compressed_data_still_trains_an_accurate_model() {
+        let (train, test) = population();
+        let compressed = compress_training_data(&train, 10).unwrap();
+        let config = GuardBandConfig::paper_default();
+        let full = GuardBandedClassifier::train(&train, &[0, 1], &config).unwrap();
+        let compact = GuardBandedClassifier::train(&compressed, &[0, 1], &config).unwrap();
+        let full_error = full.evaluate(&test).prediction_error();
+        let compact_error = compact.evaluate(&test).prediction_error();
+        assert!(
+            compact_error <= full_error + 0.06,
+            "compressed-model error {compact_error} vs {full_error}"
+        );
+    }
+
+    #[test]
+    fn compression_validates_inputs() {
+        let (train, _) = population();
+        assert!(compress_training_data(&train, 1).is_err());
+        let empty = MeasurementSet::new(train.specs().clone(), vec![]).unwrap();
+        assert!(compress_training_data(&empty, 4).is_err());
+    }
+
+    #[test]
+    fn lookup_table_matches_the_exact_classifier_closely() {
+        let (train, test) = population();
+        let classifier =
+            GuardBandedClassifier::train(&train, &[0, 1], &GuardBandConfig::paper_default())
+                .unwrap();
+        let table = LookupTableTester::build(&classifier, 48).unwrap();
+        assert_eq!(table.cell_count(), 48 * 48);
+        assert_eq!(table.kept(), &[0, 1]);
+        let agreement = table.agreement_with(&classifier, &test);
+        assert!(agreement > 0.93, "agreement {agreement}");
+    }
+
+    #[test]
+    fn finer_tables_agree_at_least_as_well() {
+        let (train, test) = population();
+        let classifier =
+            GuardBandedClassifier::train(&train, &[0, 1], &GuardBandConfig::paper_default())
+                .unwrap();
+        let coarse = LookupTableTester::build(&classifier, 8).unwrap();
+        let fine = LookupTableTester::build(&classifier, 64).unwrap();
+        assert!(
+            fine.agreement_with(&classifier, &test)
+                >= coarse.agreement_with(&classifier, &test) - 0.02
+        );
+    }
+
+    #[test]
+    fn oversized_tables_are_rejected() {
+        let (train, _) = population();
+        let classifier =
+            GuardBandedClassifier::train(&train, &[0, 1, 2], &GuardBandConfig::paper_default())
+                .unwrap();
+        assert!(matches!(
+            LookupTableTester::build(&classifier, 2000),
+            Err(CompactionError::LookupTableTooLarge { .. })
+        ));
+        assert!(LookupTableTester::build(&classifier, 1).is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! Guard-banded pass/fail prediction (paper Section 4.2).
+//!
+//! Two ε-SVM classifiers are trained on the same features but with the
+//! acceptability ranges perturbed in opposite directions: the *strict* model
+//! is trained on labels computed with every range tightened by the guard-band
+//! fraction, the *loose* model with every range widened by the same amount.
+//! A device on which the two models agree is classified with high confidence;
+//! a disagreement places the device in the guard-band region, where it can be
+//! retested or binned according to the application's quality needs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::MeasurementSet;
+use crate::metrics::ErrorBreakdown;
+use crate::{CompactionError, Result};
+use stc_svm::{Kernel, Svc, SvcParams};
+
+/// Three-way outcome of a guard-banded prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Prediction {
+    /// Both models predict the device passes the full specification set.
+    Good,
+    /// Both models predict the device fails.
+    Bad,
+    /// The two models disagree: the device lies near the decision boundary.
+    GuardBand,
+}
+
+/// Hyper-parameters of the guard-banded classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuardBandConfig {
+    /// Guard-band half-width as a fraction of each acceptability range
+    /// (the paper uses 5 % for the op-amp and the accelerometer).
+    pub guard_band_fraction: f64,
+    /// Soft-margin penalty of the underlying SVMs.
+    pub svm_c: f64,
+    /// RBF kernel width of the underlying SVMs.
+    pub svm_gamma: f64,
+    /// If `true`, a device whose *kept* measurements violate their own
+    /// acceptability ranges is classified bad regardless of the model (the
+    /// tester still applies those tests, so this information is free).
+    pub enforce_kept_ranges: bool,
+}
+
+impl GuardBandConfig {
+    /// The paper's settings: 5 % guard band, RBF SVM.
+    pub fn paper_default() -> Self {
+        GuardBandConfig {
+            guard_band_fraction: 0.05,
+            svm_c: 10.0,
+            svm_gamma: 1.0,
+            enforce_kept_ranges: true,
+        }
+    }
+
+    /// Sets the guard-band fraction.
+    pub fn with_guard_band(mut self, fraction: f64) -> Self {
+        self.guard_band_fraction = fraction;
+        self
+    }
+
+    /// Sets the SVM hyper-parameters.
+    pub fn with_svm(mut self, c: f64, gamma: f64) -> Self {
+        self.svm_c = c;
+        self.svm_gamma = gamma;
+        self
+    }
+
+    /// Disables the tester-side range check on kept specifications.
+    pub fn without_kept_range_check(mut self) -> Self {
+        self.enforce_kept_ranges = false;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.guard_band_fraction >= 0.0 && self.guard_band_fraction < 0.5) {
+            return Err(CompactionError::InvalidConfig {
+                parameter: "guard_band_fraction",
+                value: self.guard_band_fraction,
+            });
+        }
+        if !(self.svm_c > 0.0) {
+            return Err(CompactionError::InvalidConfig { parameter: "svm_c", value: self.svm_c });
+        }
+        if !(self.svm_gamma > 0.0) {
+            return Err(CompactionError::InvalidConfig {
+                parameter: "svm_gamma",
+                value: self.svm_gamma,
+            });
+        }
+        Ok(())
+    }
+
+    fn svc_params(&self) -> SvcParams {
+        SvcParams::new().with_c(self.svm_c).with_kernel(Kernel::rbf(self.svm_gamma))
+    }
+}
+
+impl Default for GuardBandConfig {
+    fn default() -> Self {
+        GuardBandConfig::paper_default()
+    }
+}
+
+/// A pair of SVM models predicting overall pass/fail from a subset of the
+/// specification measurements, with a guard band between them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardBandedClassifier {
+    kept: Vec<usize>,
+    strict: Svc,
+    loose: Svc,
+    config: GuardBandConfig,
+}
+
+impl GuardBandedClassifier {
+    /// Trains the strict/loose model pair on a training [`MeasurementSet`],
+    /// using only the measurement columns in `kept` as features.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors, data errors (for example when the
+    /// training population is single-class after guard-banding) and SVM
+    /// training failures.
+    pub fn train(
+        training: &MeasurementSet,
+        kept: &[usize],
+        config: &GuardBandConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        if training.len() < 10 {
+            return Err(CompactionError::InsufficientData {
+                reason: format!("{} training instances is too few", training.len()),
+            });
+        }
+        let strict_data = training.to_svm_dataset(kept, config.guard_band_fraction)?;
+        let loose_data = training.to_svm_dataset(kept, -config.guard_band_fraction)?;
+        let params = config.svc_params();
+        let strict = Svc::train(&strict_data, &params)?;
+        let loose = Svc::train(&loose_data, &params)?;
+        Ok(GuardBandedClassifier { kept: kept.to_vec(), strict, loose, config: *config })
+    }
+
+    /// The measurement columns (specification indices) this classifier needs.
+    pub fn kept(&self) -> &[usize] {
+        &self.kept
+    }
+
+    /// The configuration used for training.
+    pub fn config(&self) -> &GuardBandConfig {
+        &self.config
+    }
+
+    /// Classifies instance `i` of a measurement set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the measurement set does not contain the kept columns.
+    pub fn classify_instance(&self, data: &MeasurementSet, i: usize) -> Prediction {
+        if self.config.enforce_kept_ranges {
+            let fails_kept = self
+                .kept
+                .iter()
+                .any(|&c| !data.specs().spec(c).passes(data.row(i)[c]));
+            if fails_kept {
+                return Prediction::Bad;
+            }
+        }
+        let features = data.features(i, &self.kept);
+        self.classify_features(&features)
+    }
+
+    /// Classifies a pre-normalised feature vector (kept columns only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length does not match the number of kept columns.
+    pub fn classify_features(&self, features: &[f64]) -> Prediction {
+        let strict_good = self.strict.predict(features) > 0.0;
+        let loose_good = self.loose.predict(features) > 0.0;
+        match (strict_good, loose_good) {
+            (true, true) => Prediction::Good,
+            (false, false) => Prediction::Bad,
+            _ => Prediction::GuardBand,
+        }
+    }
+
+    /// Evaluates the classifier on a labelled population, producing the
+    /// yield-loss / defect-escape / guard-band breakdown.
+    pub fn evaluate(&self, data: &MeasurementSet) -> ErrorBreakdown {
+        let mut breakdown = ErrorBreakdown::default();
+        for i in 0..data.len() {
+            let truth = data.label(i);
+            let prediction = self.classify_instance(data, i);
+            breakdown.record(truth, prediction);
+        }
+        breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SyntheticDevice;
+    use crate::montecarlo::{generate_train_test, MonteCarloConfig};
+    use crate::spec::{Specification, SpecificationSet};
+
+    fn correlated_population() -> (MeasurementSet, MeasurementSet) {
+        let device = SyntheticDevice::new(4, 1.5, 0.8);
+        generate_train_test(&device, &MonteCarloConfig::new(400).with_seed(21), 200).unwrap()
+    }
+
+    #[test]
+    fn dropping_a_highly_correlated_spec_keeps_error_low() {
+        let (train, test) = correlated_population();
+        // Keep specs 0..3, drop spec 3 (highly correlated with spec 2).
+        let classifier =
+            GuardBandedClassifier::train(&train, &[0, 1, 2], &GuardBandConfig::paper_default())
+                .unwrap();
+        let breakdown = classifier.evaluate(&test);
+        assert!(breakdown.prediction_error() < 0.08, "error {:?}", breakdown);
+        assert!(breakdown.guard_band_fraction() < 0.5);
+        assert_eq!(breakdown.total, test.len());
+    }
+
+    #[test]
+    fn keeping_everything_gives_nearly_perfect_prediction() {
+        let (train, test) = correlated_population();
+        let classifier = GuardBandedClassifier::train(
+            &train,
+            &[0, 1, 2, 3],
+            &GuardBandConfig::paper_default(),
+        )
+        .unwrap();
+        let breakdown = classifier.evaluate(&test);
+        assert!(breakdown.prediction_error() < 0.03, "error {:?}", breakdown);
+    }
+
+    #[test]
+    fn wider_guard_band_captures_more_devices() {
+        let (train, test) = correlated_population();
+        let narrow = GuardBandedClassifier::train(
+            &train,
+            &[0, 1, 2],
+            &GuardBandConfig::paper_default().with_guard_band(0.02),
+        )
+        .unwrap()
+        .evaluate(&test);
+        let wide = GuardBandedClassifier::train(
+            &train,
+            &[0, 1, 2],
+            &GuardBandConfig::paper_default().with_guard_band(0.15),
+        )
+        .unwrap()
+        .evaluate(&test);
+        assert!(wide.guard_band_count >= narrow.guard_band_count);
+        // Devices in the band are not counted as misclassified, so the error
+        // of the wide band cannot exceed the narrow one by much.
+        assert!(wide.prediction_error() <= narrow.prediction_error() + 0.02);
+    }
+
+    #[test]
+    fn kept_range_enforcement_catches_kept_spec_failures() {
+        let specs = SpecificationSet::new(vec![
+            Specification::new("a", "-", 0.0, -1.0, 1.0).unwrap(),
+            Specification::new("b", "-", 0.0, -1.0, 1.0).unwrap(),
+        ])
+        .unwrap();
+        // Training data: spec b mirrors spec a, everything within ±2.
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let a = -2.0 + 4.0 * (i as f64) / 199.0;
+                vec![a, a]
+            })
+            .collect();
+        let train = MeasurementSet::new(specs.clone(), rows).unwrap();
+        let classifier =
+            GuardBandedClassifier::train(&train, &[0], &GuardBandConfig::paper_default()).unwrap();
+        // A device that obviously fails the kept spec is bad even if the SVM
+        // were to say otherwise.
+        let probe = MeasurementSet::new(specs, vec![vec![5.0, 0.0]]).unwrap();
+        assert_eq!(classifier.classify_instance(&probe, 0), Prediction::Bad);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let (train, _) = correlated_population();
+        let bad_band = GuardBandConfig::paper_default().with_guard_band(0.9);
+        assert!(GuardBandedClassifier::train(&train, &[0], &bad_band).is_err());
+        let bad_c = GuardBandConfig::paper_default().with_svm(0.0, 1.0);
+        assert!(GuardBandedClassifier::train(&train, &[0], &bad_c).is_err());
+        let bad_gamma = GuardBandConfig::paper_default().with_svm(1.0, -1.0);
+        assert!(GuardBandedClassifier::train(&train, &[0], &bad_gamma).is_err());
+    }
+
+    #[test]
+    fn tiny_training_sets_are_rejected() {
+        let specs = SpecificationSet::new(vec![
+            Specification::new("a", "-", 0.0, -1.0, 1.0).unwrap(),
+        ])
+        .unwrap();
+        let train = MeasurementSet::new(specs, vec![vec![0.0]; 5]).unwrap();
+        assert!(matches!(
+            GuardBandedClassifier::train(&train, &[0], &GuardBandConfig::paper_default()),
+            Err(CompactionError::InsufficientData { .. })
+        ));
+    }
+}

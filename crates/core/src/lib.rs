@@ -1,0 +1,87 @@
+//! # stc-core
+//!
+//! Statistical-learning-based specification test compaction — a reproduction
+//! of *"Specification Test Compaction for Analog Circuits and MEMS"*
+//! (Biswas, Li, Blanton, Pileggi — DATE 2005).
+//!
+//! Testing a non-digital component against all of its datasheet
+//! specifications is expensive; this crate removes *redundant* specification
+//! tests while keeping yield loss and defect escape below a user-defined
+//! tolerance:
+//!
+//! 1. [`montecarlo`] generates training data by simulating process-perturbed
+//!    device instances (Figure 1 of the paper) through any
+//!    [`DeviceUnderTest`] implementation,
+//! 2. [`Compactor::compact`] runs the greedy elimination loop (Figure 2),
+//!    training an ε-SVM classifier per candidate that predicts overall
+//!    pass/fail from the remaining measurements,
+//! 3. [`GuardBandedClassifier`] implements the guard-banding of Section 4.2:
+//!    two models trained on tightened/widened acceptability ranges bracket
+//!    the decision boundary, and devices on which they disagree fall into a
+//!    guard-band region for retest,
+//! 4. [`gridmodel`] provides the grid-based training-data compression of
+//!    Section 4.3 and the lookup-table tester model of Section 3.3, and
+//!    [`TesterProgram`] packages either representation for deployment,
+//! 5. [`baseline`] quantifies the ad-hoc compaction the paper argues against,
+//!    and [`TestCostModel`] turns kept sets into test-cost savings.
+//!
+//! The crate is device-agnostic: the op-amp of `stc-circuit` and the MEMS
+//! accelerometer of `stc-mems` plug in through the [`DeviceUnderTest`] trait
+//! (adapters live in the top-level `spec-test-compaction` crate).
+//!
+//! ## Example
+//!
+//! ```
+//! use stc_core::{
+//!     generate_train_test, CompactionConfig, Compactor, MonteCarloConfig, SyntheticDevice,
+//! };
+//!
+//! # fn main() -> Result<(), stc_core::CompactionError> {
+//! // A synthetic device with strongly correlated specifications: some of its
+//! // tests are redundant by construction.
+//! let device = SyntheticDevice::new(4, 1.8, 0.9);
+//! let (train, test) =
+//!     generate_train_test(&device, &MonteCarloConfig::new(300).with_seed(1), 150)?;
+//! let compactor = Compactor::new(train, test)?;
+//! let result = compactor.compact(&CompactionConfig::paper_default().with_tolerance(0.05))?;
+//! assert!(result.kept.len() + result.eliminated.len() == 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compaction;
+mod costmodel;
+mod dataset;
+mod device;
+mod error;
+mod guardband;
+mod metrics;
+mod ordering;
+mod spec;
+mod tester;
+
+pub mod baseline;
+pub mod gridmodel;
+pub mod montecarlo;
+pub mod report;
+
+pub use compaction::{CompactionConfig, CompactionResult, CompactionStep, Compactor};
+pub use costmodel::TestCostModel;
+pub use dataset::{DeviceLabel, MeasurementSet};
+pub use device::{DeviceUnderTest, SyntheticDevice};
+pub use error::CompactionError;
+pub use guardband::{GuardBandConfig, GuardBandedClassifier, Prediction};
+pub use metrics::ErrorBreakdown;
+pub use montecarlo::{
+    generate_measurement_set, generate_train_test, run_monte_carlo, MonteCarloConfig,
+    MonteCarloRun,
+};
+pub use ordering::EliminationOrder;
+pub use spec::{Specification, SpecificationSet};
+pub use tester::{TesterModel, TesterProgram};
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CompactionError>;

@@ -1,0 +1,130 @@
+//! Prediction-error metrics: yield loss, defect escape and guard-band counts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::DeviceLabel;
+use crate::guardband::Prediction;
+
+/// Breakdown of the prediction error of a compacted test set evaluated on a
+/// labelled population (paper Section 5.1: "yield loss is defined as the
+/// number of good devices the model predicted to be bad, and defect escape is
+/// the number of bad devices the model predicted to be good").
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ErrorBreakdown {
+    /// Number of devices evaluated.
+    pub total: usize,
+    /// Good devices predicted good.
+    pub true_good: usize,
+    /// Bad devices predicted bad.
+    pub true_bad: usize,
+    /// Good devices predicted bad (yield loss).
+    pub yield_loss_count: usize,
+    /// Bad devices predicted good (defect escape).
+    pub defect_escape_count: usize,
+    /// Devices whose prediction fell in the guard band.
+    pub guard_band_count: usize,
+}
+
+impl ErrorBreakdown {
+    /// Accumulates one device's outcome.
+    pub fn record(&mut self, truth: DeviceLabel, prediction: Prediction) {
+        self.total += 1;
+        match (truth, prediction) {
+            (_, Prediction::GuardBand) => self.guard_band_count += 1,
+            (DeviceLabel::Good, Prediction::Good) => self.true_good += 1,
+            (DeviceLabel::Bad, Prediction::Bad) => self.true_bad += 1,
+            (DeviceLabel::Good, Prediction::Bad) => self.yield_loss_count += 1,
+            (DeviceLabel::Bad, Prediction::Good) => self.defect_escape_count += 1,
+        }
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &ErrorBreakdown) {
+        self.total += other.total;
+        self.true_good += other.true_good;
+        self.true_bad += other.true_bad;
+        self.yield_loss_count += other.yield_loss_count;
+        self.defect_escape_count += other.defect_escape_count;
+        self.guard_band_count += other.guard_band_count;
+    }
+
+    /// Yield loss as a fraction of all evaluated devices.
+    pub fn yield_loss(&self) -> f64 {
+        self.fraction(self.yield_loss_count)
+    }
+
+    /// Defect escape as a fraction of all evaluated devices.
+    pub fn defect_escape(&self) -> f64 {
+        self.fraction(self.defect_escape_count)
+    }
+
+    /// Fraction of devices falling in the guard band.
+    pub fn guard_band_fraction(&self) -> f64 {
+        self.fraction(self.guard_band_count)
+    }
+
+    /// Total prediction error (yield loss plus defect escape).
+    pub fn prediction_error(&self) -> f64 {
+        self.yield_loss() + self.defect_escape()
+    }
+
+    /// Fraction of devices classified confidently and correctly.
+    pub fn accuracy(&self) -> f64 {
+        self.fraction(self.true_good + self.true_bad)
+    }
+
+    fn fraction(&self, count: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            count as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_fractions() {
+        let mut breakdown = ErrorBreakdown::default();
+        breakdown.record(DeviceLabel::Good, Prediction::Good);
+        breakdown.record(DeviceLabel::Good, Prediction::Good);
+        breakdown.record(DeviceLabel::Bad, Prediction::Bad);
+        breakdown.record(DeviceLabel::Good, Prediction::Bad);
+        breakdown.record(DeviceLabel::Bad, Prediction::Good);
+        breakdown.record(DeviceLabel::Bad, Prediction::GuardBand);
+        assert_eq!(breakdown.total, 6);
+        assert_eq!(breakdown.true_good, 2);
+        assert_eq!(breakdown.true_bad, 1);
+        assert_eq!(breakdown.yield_loss_count, 1);
+        assert_eq!(breakdown.defect_escape_count, 1);
+        assert_eq!(breakdown.guard_band_count, 1);
+        assert!((breakdown.yield_loss() - 1.0 / 6.0).abs() < 1e-12);
+        assert!((breakdown.defect_escape() - 1.0 / 6.0).abs() < 1e-12);
+        assert!((breakdown.guard_band_fraction() - 1.0 / 6.0).abs() < 1e-12);
+        assert!((breakdown.prediction_error() - 2.0 / 6.0).abs() < 1e-12);
+        assert!((breakdown.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_reports_zero() {
+        let breakdown = ErrorBreakdown::default();
+        assert_eq!(breakdown.yield_loss(), 0.0);
+        assert_eq!(breakdown.defect_escape(), 0.0);
+        assert_eq!(breakdown.prediction_error(), 0.0);
+        assert_eq!(breakdown.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = ErrorBreakdown::default();
+        a.record(DeviceLabel::Good, Prediction::Good);
+        let mut b = ErrorBreakdown::default();
+        b.record(DeviceLabel::Bad, Prediction::Good);
+        a.merge(&b);
+        assert_eq!(a.total, 2);
+        assert_eq!(a.defect_escape_count, 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Deployment of a compacted test set on the production tester
+//! (paper Section 3.3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::MeasurementSet;
+use crate::gridmodel::LookupTableTester;
+use crate::guardband::{GuardBandedClassifier, Prediction};
+use crate::metrics::ErrorBreakdown;
+use crate::spec::SpecificationSet;
+use crate::{CompactionError, Result};
+
+/// How the acceptance region of the compacted test set is represented on the
+/// tester.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TesterModel {
+    /// Ship the full SVM model pair to the tester (needs more tester compute).
+    Svm(GuardBandedClassifier),
+    /// Ship a grid lookup table derived from the model (cheap on the tester,
+    /// slightly approximate).
+    LookupTable(LookupTableTester),
+}
+
+/// A complete tester program: which specifications to measure and how to turn
+/// the measurements into an accept/reject/retest decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TesterProgram {
+    specs: SpecificationSet,
+    kept: Vec<usize>,
+    model: TesterModel,
+}
+
+impl TesterProgram {
+    /// Builds a tester program that ships the SVM model itself.
+    pub fn with_svm(specs: SpecificationSet, classifier: GuardBandedClassifier) -> Self {
+        let kept = classifier.kept().to_vec();
+        TesterProgram { specs, kept, model: TesterModel::Svm(classifier) }
+    }
+
+    /// Builds a tester program that ships a lookup table with the given grid
+    /// resolution (the paper's low-cost option).
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-size errors from [`LookupTableTester::build`].
+    pub fn with_lookup_table(
+        specs: SpecificationSet,
+        classifier: &GuardBandedClassifier,
+        cells_per_dim: usize,
+    ) -> Result<Self> {
+        let table = LookupTableTester::build(classifier, cells_per_dim)?;
+        Ok(TesterProgram {
+            specs,
+            kept: classifier.kept().to_vec(),
+            model: TesterModel::LookupTable(table),
+        })
+    }
+
+    /// The specifications that must still be measured on the tester.
+    pub fn kept(&self) -> &[usize] {
+        &self.kept
+    }
+
+    /// Names of the kept specifications, in measurement order.
+    pub fn kept_names(&self) -> Vec<&str> {
+        self.kept.iter().map(|&c| self.specs.spec(c).name()).collect()
+    }
+
+    /// Which model representation the program carries.
+    pub fn model(&self) -> &TesterModel {
+        &self.model
+    }
+
+    /// Classifies one device from its *kept* raw measurements (in the same
+    /// order as [`TesterProgram::kept`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::DimensionMismatch`] when the number of
+    /// measurements does not match the kept set.
+    pub fn classify(&self, kept_measurements: &[f64]) -> Result<Prediction> {
+        if kept_measurements.len() != self.kept.len() {
+            return Err(CompactionError::DimensionMismatch {
+                expected: self.kept.len(),
+                found: kept_measurements.len(),
+            });
+        }
+        // The kept tests are real measurements: a device violating one of
+        // their ranges is rejected outright.
+        for (&column, &value) in self.kept.iter().zip(kept_measurements.iter()) {
+            if !self.specs.spec(column).passes(value) {
+                return Ok(Prediction::Bad);
+            }
+        }
+        let features: Vec<f64> = self
+            .kept
+            .iter()
+            .zip(kept_measurements.iter())
+            .map(|(&column, &value)| self.specs.spec(column).normalize(value))
+            .collect();
+        Ok(match &self.model {
+            TesterModel::Svm(classifier) => classifier.classify_features(&features),
+            TesterModel::LookupTable(table) => table.classify_features(&features),
+        })
+    }
+
+    /// Applies the program to a full labelled population (which still carries
+    /// every measurement) and reports the error breakdown — the end-to-end
+    /// check that deployment behaves like the model it was derived from.
+    pub fn evaluate(&self, data: &MeasurementSet) -> ErrorBreakdown {
+        let mut breakdown = ErrorBreakdown::default();
+        for i in 0..data.len() {
+            let kept_measurements: Vec<f64> =
+                self.kept.iter().map(|&c| data.row(i)[c]).collect();
+            let prediction = self
+                .classify(&kept_measurements)
+                .expect("kept measurements are consistent by construction");
+            breakdown.record(data.label(i), prediction);
+        }
+        breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SyntheticDevice;
+    use crate::guardband::GuardBandConfig;
+    use crate::montecarlo::{generate_train_test, MonteCarloConfig};
+
+    fn setup() -> (MeasurementSet, MeasurementSet, GuardBandedClassifier) {
+        let device = SyntheticDevice::new(3, 1.5, 0.85);
+        let (train, test) =
+            generate_train_test(&device, &MonteCarloConfig::new(400).with_seed(55), 200).unwrap();
+        let classifier =
+            GuardBandedClassifier::train(&train, &[0, 1], &GuardBandConfig::paper_default())
+                .unwrap();
+        (train, test, classifier)
+    }
+
+    #[test]
+    fn svm_program_matches_direct_classifier_evaluation() {
+        let (train, test, classifier) = setup();
+        let program = TesterProgram::with_svm(train.specs().clone(), classifier.clone());
+        assert_eq!(program.kept(), &[0, 1]);
+        assert_eq!(program.kept_names(), vec!["spec0", "spec1"]);
+        let direct = classifier.evaluate(&test);
+        let deployed = program.evaluate(&test);
+        assert_eq!(direct.yield_loss_count, deployed.yield_loss_count);
+        assert_eq!(direct.defect_escape_count, deployed.defect_escape_count);
+    }
+
+    #[test]
+    fn lookup_table_program_is_close_to_the_svm_program() {
+        let (train, test, classifier) = setup();
+        let svm_program = TesterProgram::with_svm(train.specs().clone(), classifier.clone());
+        let table_program =
+            TesterProgram::with_lookup_table(train.specs().clone(), &classifier, 64).unwrap();
+        assert!(matches!(table_program.model(), TesterModel::LookupTable(_)));
+        let svm_eval = svm_program.evaluate(&test);
+        let table_eval = table_program.evaluate(&test);
+        assert!(
+            (svm_eval.prediction_error() - table_eval.prediction_error()).abs() < 0.03,
+            "svm {:?} table {:?}",
+            svm_eval,
+            table_eval
+        );
+    }
+
+    #[test]
+    fn classify_rejects_wrong_measurement_count_and_bad_kept_values() {
+        let (train, _, classifier) = setup();
+        let program = TesterProgram::with_svm(train.specs().clone(), classifier);
+        assert!(program.classify(&[0.0]).is_err());
+        // A kept measurement far outside its range is rejected outright.
+        assert_eq!(program.classify(&[99.0, 0.0]).unwrap(), Prediction::Bad);
+    }
+}

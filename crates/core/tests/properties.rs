@@ -1,0 +1,79 @@
+//! Property-based tests of the compaction invariants.
+
+use proptest::prelude::*;
+use stc_core::{
+    baseline, DeviceLabel, MeasurementSet, Specification, SpecificationSet,
+};
+
+fn spec_set(dimension: usize) -> SpecificationSet {
+    let specs = (0..dimension)
+        .map(|i| Specification::new(&format!("s{i}"), "-", 0.0, -1.0, 1.0).unwrap())
+        .collect();
+    SpecificationSet::new(specs).unwrap()
+}
+
+proptest! {
+    /// Normalisation maps the acceptability range onto [0, 1] and is strictly
+    /// monotonic, for arbitrary range placement.
+    #[test]
+    fn normalisation_is_monotonic(lower in -1e6f64..1e6, width in 1e-3f64..1e6, a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let spec = Specification::new("x", "-", lower, lower, lower + width).unwrap();
+        prop_assert!(spec.normalize(lower).abs() < 1e-12);
+        prop_assert!((spec.normalize(lower + width) - 1.0).abs() < 1e-12);
+        let va = lower + a * width;
+        let vb = lower + b * width;
+        if va < vb {
+            prop_assert!(spec.normalize(va) < spec.normalize(vb));
+        }
+    }
+
+    /// Tightening the ranges (positive margin) can only turn good devices bad,
+    /// never the reverse; widening does the opposite.
+    #[test]
+    fn margin_labelling_is_monotonic(
+        rows in prop::collection::vec(prop::collection::vec(-2.0f64..2.0, 3), 1..50),
+        margin in 0.0f64..0.4,
+    ) {
+        let data = MeasurementSet::new(spec_set(3), rows).unwrap();
+        for i in 0..data.len() {
+            let plain = data.label(i);
+            let strict = data.label_with_margin(i, margin);
+            let loose = data.label_with_margin(i, -margin);
+            if plain == DeviceLabel::Bad {
+                prop_assert_eq!(strict, DeviceLabel::Bad);
+            }
+            if plain == DeviceLabel::Good {
+                prop_assert_eq!(loose, DeviceLabel::Good);
+            }
+        }
+    }
+
+    /// Ad-hoc compaction never causes yield loss and its defect escape never
+    /// exceeds the bad fraction of the population; dropping more tests can
+    /// only increase (or keep) the escape.
+    #[test]
+    fn adhoc_defect_escape_is_monotone_in_dropped_tests(
+        rows in prop::collection::vec(prop::collection::vec(-2.0f64..2.0, 4), 5..60),
+    ) {
+        let data = MeasurementSet::new(spec_set(4), rows).unwrap();
+        let one = baseline::evaluate_adhoc(&data, &[3]).unwrap();
+        let two = baseline::evaluate_adhoc(&data, &[2, 3]).unwrap();
+        prop_assert_eq!(one.breakdown.yield_loss_count, 0);
+        prop_assert_eq!(two.breakdown.yield_loss_count, 0);
+        prop_assert!(two.breakdown.defect_escape_count >= one.breakdown.defect_escape_count);
+        let bad_count = data.len() - (data.yield_fraction() * data.len() as f64).round() as usize;
+        prop_assert!(two.breakdown.defect_escape_count <= bad_count);
+    }
+
+    /// The overall yield never exceeds any single specification's yield.
+    #[test]
+    fn overall_yield_is_bounded_by_per_spec_yield(
+        rows in prop::collection::vec(prop::collection::vec(-2.0f64..2.0, 3), 1..60),
+    ) {
+        let data = MeasurementSet::new(spec_set(3), rows).unwrap();
+        let overall = data.yield_fraction();
+        for column in 0..3 {
+            prop_assert!(overall <= data.per_spec_yield(column).unwrap() + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for MEMS model construction and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or evaluating the accelerometer model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MemsError {
+    /// A geometric or material parameter was outside its physical domain.
+    InvalidParameter {
+        /// Parameter name.
+        parameter: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+    /// A derived quantity (mass, stiffness, damping) became non-physical,
+    /// usually because process variation drove the geometry out of range.
+    NonPhysical {
+        /// Which derived quantity failed.
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A frequency-response measurement could not be extracted.
+    MeasurementFailed {
+        /// Name of the measurement.
+        measurement: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MemsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemsError::InvalidParameter { parameter, value } => {
+                write!(f, "invalid {parameter} = {value}")
+            }
+            MemsError::NonPhysical { quantity, value } => {
+                write!(f, "derived {quantity} is non-physical ({value})")
+            }
+            MemsError::MeasurementFailed { measurement, reason } => {
+                write!(f, "measurement {measurement} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MemsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MemsError::InvalidParameter { parameter: "beam_length", value: -1.0 };
+        assert!(e.to_string().contains("beam_length"));
+        let e = MemsError::NonPhysical { quantity: "stiffness", value: 0.0 };
+        assert!(e.to_string().contains("stiffness"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemsError>();
+    }
+}

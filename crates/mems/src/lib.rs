@@ -1,0 +1,54 @@
+//! # stc-mems
+//!
+//! Lumped-parameter behavioural model of a lateral comb-drive MEMS
+//! accelerometer, used as the substitute for the CMU NODAS component library
+//! in the reproduction of *"Specification Test Compaction for Analog Circuits
+//! and MEMS"* (DATE 2005).
+//!
+//! The model reduces the layout geometry ([`AccelerometerGeometry`]) and
+//! material properties ([`Material`]) to a second-order spring–mass–damper
+//! system ([`lumped`]) with a capacitive readout, and measures the four
+//! Table 2 specifications (scale factor, peak frequency, quality factor and
+//! 3-dB bandwidth) at the three test temperatures of the paper
+//! ([`TestTemperature`]): -40 °C, 27 °C and +80 °C.  Temperature is modelled
+//! as chip shrinkage/expansion that moves the anchors, exactly as described
+//! in Section 5.2 of the paper.
+//!
+//! ## Example
+//!
+//! ```
+//! use stc_mems::{Accelerometer, MemsVariation, TestTemperature};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), stc_mems::MemsError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let nominal = Accelerometer::nominal();
+//! let instance = MemsVariation::paper_default().perturb(&nominal, &mut rng);
+//! let hot = instance.measure(TestTemperature::Hot)?;
+//! assert!(hot.quality_factor > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accelerometer;
+mod error;
+mod geometry;
+mod material;
+mod temperature;
+mod variation;
+
+pub mod lumped;
+
+pub use accelerometer::{Accelerometer, AccelerometerMeasurements};
+pub use error::MemsError;
+pub use geometry::AccelerometerGeometry;
+pub use lumped::LumpedModel;
+pub use material::Material;
+pub use temperature::TestTemperature;
+pub use variation::MemsVariation;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, MemsError>;

@@ -1,0 +1,159 @@
+//! k-fold cross-validation and train/test splitting helpers.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Dataset, Result, Svc, SvcParams, SvmError};
+
+/// Deterministically splits `data` into `folds` disjoint index sets after a
+/// random shuffle driven by `rng`.
+///
+/// # Errors
+///
+/// Returns [`SvmError::InvalidFolds`] if `folds < 2` or there are fewer
+/// samples than folds.
+pub fn fold_indices<R: Rng>(data: &Dataset, folds: usize, rng: &mut R) -> Result<Vec<Vec<usize>>> {
+    if folds < 2 || data.len() < folds {
+        return Err(SvmError::InvalidFolds { folds, samples: data.len() });
+    }
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    indices.shuffle(rng);
+    let mut out = vec![Vec::new(); folds];
+    for (position, index) in indices.into_iter().enumerate() {
+        out[position % folds].push(index);
+    }
+    Ok(out)
+}
+
+/// Splits a dataset into a training and a test partition, with `test_fraction`
+/// of the samples (rounded down, at least one) going to the test set.
+///
+/// # Errors
+///
+/// Returns [`SvmError::EmptyDataset`] if `data` has fewer than two samples and
+/// [`SvmError::InvalidParameter`] if `test_fraction` is not in `(0, 1)`.
+pub fn train_test_split<R: Rng>(
+    data: &Dataset,
+    test_fraction: f64,
+    rng: &mut R,
+) -> Result<(Dataset, Dataset)> {
+    if data.len() < 2 {
+        return Err(SvmError::EmptyDataset);
+    }
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(SvmError::InvalidParameter { name: "test_fraction", value: test_fraction });
+    }
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    indices.shuffle(rng);
+    let test_len = ((data.len() as f64 * test_fraction) as usize).clamp(1, data.len() - 1);
+    let (test_idx, train_idx) = indices.split_at(test_len);
+    Ok((data.subset(train_idx), data.subset(test_idx)))
+}
+
+/// Mean k-fold cross-validated accuracy of an SVC with the given parameters.
+///
+/// Folds in which training fails (for example a fold whose training partition
+/// is single-class) are skipped; if every fold fails the original error is
+/// returned.
+///
+/// # Errors
+///
+/// Propagates fold-construction errors and the last training error when no
+/// fold could be evaluated.
+pub fn cross_validate_svc<R: Rng>(
+    data: &Dataset,
+    params: &SvcParams,
+    folds: usize,
+    rng: &mut R,
+) -> Result<f64> {
+    let fold_sets = fold_indices(data, folds, rng)?;
+    let all: Vec<usize> = (0..data.len()).collect();
+    let mut total = 0.0;
+    let mut evaluated = 0usize;
+    let mut last_error = None;
+    for fold in &fold_sets {
+        let test_set: Vec<usize> = fold.clone();
+        let train_set: Vec<usize> = all.iter().copied().filter(|i| !fold.contains(i)).collect();
+        let train = data.subset(&train_set);
+        let test = data.subset(&test_set);
+        match Svc::train(&train, params) {
+            Ok(model) => {
+                total += model.accuracy(&test);
+                evaluated += 1;
+            }
+            Err(err) => last_error = Some(err),
+        }
+    }
+    if evaluated == 0 {
+        Err(last_error.unwrap_or(SvmError::EmptyDataset))
+    } else {
+        Ok(total / evaluated as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn separable(n: usize) -> Dataset {
+        let mut d = Dataset::new(2).unwrap();
+        for i in 0..n {
+            let x = i as f64 / n as f64;
+            d.push(vec![x, x + 0.4], 1.0).unwrap();
+            d.push(vec![x, x - 0.4], -1.0).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn folds_partition_all_indices() {
+        let data = separable(20);
+        let mut rng = StdRng::seed_from_u64(7);
+        let folds = fold_indices(&data, 5, &mut rng).unwrap();
+        let mut seen: Vec<usize> = folds.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..data.len()).collect::<Vec<_>>());
+        for fold in &folds {
+            assert_eq!(fold.len(), data.len() / 5);
+        }
+    }
+
+    #[test]
+    fn invalid_fold_counts_are_rejected() {
+        let data = separable(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(fold_indices(&data, 1, &mut rng).is_err());
+        assert!(fold_indices(&data, 100, &mut rng).is_err());
+    }
+
+    #[test]
+    fn split_respects_fraction_and_disjointness() {
+        let data = separable(25);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (train, test) = train_test_split(&data, 0.2, &mut rng).unwrap();
+        assert_eq!(train.len() + test.len(), data.len());
+        assert_eq!(test.len(), data.len() / 5);
+        assert!(train_test_split(&data, 0.0, &mut rng).is_err());
+        assert!(train_test_split(&data, 1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn cross_validation_scores_separable_data_highly() {
+        let data = separable(30);
+        let params = SvcParams::new().with_c(10.0).with_kernel(Kernel::linear());
+        let mut rng = StdRng::seed_from_u64(11);
+        let score = cross_validate_svc(&data, &params, 5, &mut rng).unwrap();
+        assert!(score > 0.95, "cv accuracy {score}");
+    }
+
+    #[test]
+    fn split_of_tiny_dataset_fails() {
+        let mut d = Dataset::new(1).unwrap();
+        d.push(vec![0.0], 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(train_test_split(&d, 0.5, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! Training/test data containers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, SvmError};
+
+/// A single labelled sample: a feature vector and its target value.
+///
+/// For classification the label is `+1.0` or `-1.0`; for regression it is any
+/// finite real number.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Feature values.
+    pub features: Vec<f64>,
+    /// Target value (class label or regression target).
+    pub label: f64,
+}
+
+impl Sample {
+    /// Creates a new sample from a feature vector and a label.
+    pub fn new(features: Vec<f64>, label: f64) -> Self {
+        Sample { features, label }
+    }
+}
+
+/// A dense, fixed-dimension collection of labelled samples.
+///
+/// The dataset validates every inserted sample so that downstream training
+/// code can assume consistent, finite data.
+///
+/// # Example
+///
+/// ```
+/// use stc_svm::Dataset;
+///
+/// # fn main() -> Result<(), stc_svm::SvmError> {
+/// let mut data = Dataset::new(2)?;
+/// data.push(vec![0.0, 1.0], 1.0)?;
+/// data.push(vec![1.0, 0.0], -1.0)?;
+/// assert_eq!(data.len(), 2);
+/// assert_eq!(data.dimension(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    dimension: usize,
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset whose samples all have `dimension` features.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvmError::EmptyDimension`] if `dimension == 0`.
+    pub fn new(dimension: usize) -> Result<Self> {
+        if dimension == 0 {
+            return Err(SvmError::EmptyDimension);
+        }
+        Ok(Dataset { dimension, samples: Vec::new() })
+    }
+
+    /// Creates a dataset from parallel slices of feature vectors and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the vectors are empty, have inconsistent lengths or
+    /// contain non-finite values.
+    pub fn from_rows(rows: &[Vec<f64>], labels: &[f64]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(SvmError::EmptyDataset);
+        }
+        let mut data = Dataset::new(rows[0].len())?;
+        for (row, &label) in rows.iter().zip(labels.iter()) {
+            data.push(row.clone(), label)?;
+        }
+        Ok(data)
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvmError::DimensionMismatch`] if the feature vector has the
+    /// wrong length and [`SvmError::NonFiniteFeature`] if any entry (or the
+    /// label) is NaN or infinite.
+    pub fn push(&mut self, features: Vec<f64>, label: f64) -> Result<()> {
+        if features.len() != self.dimension {
+            return Err(SvmError::DimensionMismatch {
+                expected: self.dimension,
+                found: features.len(),
+            });
+        }
+        for (index, &value) in features.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(SvmError::NonFiniteFeature { index, value });
+            }
+        }
+        if !label.is_finite() {
+            return Err(SvmError::NonFiniteFeature { index: usize::MAX, value: label });
+        }
+        self.samples.push(Sample::new(features, label));
+        Ok(())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of features per sample.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Borrow of all samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Feature vector of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn features(&self, i: usize) -> &[f64] {
+        &self.samples[i].features
+    }
+
+    /// Label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn label(&self, i: usize) -> f64 {
+        self.samples[i].label
+    }
+
+    /// All labels, in insertion order.
+    pub fn labels(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.label).collect()
+    }
+
+    /// Iterator over samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+
+    /// Returns a new dataset containing only the samples at `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let samples = indices.iter().map(|&i| self.samples[i].clone()).collect();
+        Dataset { dimension: self.dimension, samples }
+    }
+
+    /// Returns a new dataset keeping only the feature columns in `columns`
+    /// (in the given order).
+    ///
+    /// This is the primitive the compaction methodology uses to "remove a
+    /// specification from the training data" (paper Section 3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvmError::EmptyDimension`] if `columns` is empty and
+    /// [`SvmError::DimensionMismatch`] if any column index is out of range.
+    pub fn select_columns(&self, columns: &[usize]) -> Result<Dataset> {
+        if columns.is_empty() {
+            return Err(SvmError::EmptyDimension);
+        }
+        if let Some(&bad) = columns.iter().find(|&&c| c >= self.dimension) {
+            return Err(SvmError::DimensionMismatch { expected: self.dimension, found: bad });
+        }
+        let mut out = Dataset::new(columns.len())?;
+        for sample in &self.samples {
+            let features: Vec<f64> = columns.iter().map(|&c| sample.features[c]).collect();
+            out.push(features, sample.label)?;
+        }
+        Ok(out)
+    }
+
+    /// Replaces every label using `f(old_label, features) -> new_label`.
+    pub fn relabel<F>(&self, mut f: F) -> Dataset
+    where
+        F: FnMut(f64, &[f64]) -> f64,
+    {
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| Sample::new(s.features.clone(), f(s.label, &s.features)))
+            .collect();
+        Dataset { dimension: self.dimension, samples }
+    }
+
+    /// Counts samples with a strictly positive label.
+    pub fn positive_count(&self) -> usize {
+        self.samples.iter().filter(|s| s.label > 0.0).count()
+    }
+
+    /// Counts samples with a non-positive label.
+    pub fn negative_count(&self) -> usize {
+        self.len() - self.positive_count()
+    }
+}
+
+impl Extend<Sample> for Dataset {
+    fn extend<T: IntoIterator<Item = Sample>>(&mut self, iter: T) {
+        for sample in iter {
+            // Samples that fail validation are silently skipped would be
+            // surprising; Extend cannot return errors so enforce via assert.
+            assert_eq!(
+                sample.features.len(),
+                self.dimension,
+                "extended sample has wrong dimension"
+            );
+            self.samples.push(sample);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Sample;
+    type IntoIter = std::slice::Iter<'a, Sample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(3).unwrap();
+        d.push(vec![1.0, 2.0, 3.0], 1.0).unwrap();
+        d.push(vec![4.0, 5.0, 6.0], -1.0).unwrap();
+        d.push(vec![7.0, 8.0, 9.0], 1.0).unwrap();
+        d
+    }
+
+    #[test]
+    fn new_rejects_zero_dimension() {
+        assert_eq!(Dataset::new(0).unwrap_err(), SvmError::EmptyDimension);
+    }
+
+    #[test]
+    fn push_rejects_wrong_dimension() {
+        let mut d = Dataset::new(2).unwrap();
+        let err = d.push(vec![1.0], 1.0).unwrap_err();
+        assert_eq!(err, SvmError::DimensionMismatch { expected: 2, found: 1 });
+    }
+
+    #[test]
+    fn push_rejects_nan_feature_and_label() {
+        let mut d = Dataset::new(1).unwrap();
+        assert!(matches!(
+            d.push(vec![f64::NAN], 1.0),
+            Err(SvmError::NonFiniteFeature { index: 0, .. })
+        ));
+        assert!(d.push(vec![0.0], f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn subset_and_counts() {
+        let d = toy();
+        assert_eq!(d.positive_count(), 2);
+        assert_eq!(d.negative_count(), 1);
+        let s = d.subset(&[0, 2]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.label(1), 1.0);
+        assert_eq!(s.features(1), &[7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn select_columns_keeps_order_and_validates() {
+        let d = toy();
+        let projected = d.select_columns(&[2, 0]).unwrap();
+        assert_eq!(projected.dimension(), 2);
+        assert_eq!(projected.features(0), &[3.0, 1.0]);
+        assert!(d.select_columns(&[]).is_err());
+        assert!(d.select_columns(&[5]).is_err());
+    }
+
+    #[test]
+    fn relabel_applies_function() {
+        let d = toy();
+        let flipped = d.relabel(|l, _| -l);
+        assert_eq!(flipped.label(0), -1.0);
+        assert_eq!(flipped.label(1), 1.0);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let rows = vec![vec![0.0, 1.0], vec![2.0, 3.0]];
+        let labels = vec![1.0, -1.0];
+        let d = Dataset::from_rows(&rows, &labels).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.labels(), labels);
+        assert!(Dataset::from_rows(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn iteration_yields_all_samples() {
+        let d = toy();
+        assert_eq!(d.iter().count(), 3);
+        assert_eq!((&d).into_iter().count(), 3);
+    }
+}

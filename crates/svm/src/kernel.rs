@@ -1,0 +1,212 @@
+//! Kernel functions for SVM training and prediction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, SvmError};
+
+/// A positive-definite kernel `K(x, y)` used by [`crate::Svc`] and
+/// [`crate::Svr`].
+///
+/// The paper's test-compaction flow uses an RBF kernel (the decision boundary
+/// of a mixed analog/MEMS acceptance region is curved, see Figure 3); the
+/// linear kernel is retained for the simpler cases and for fast unit tests.
+///
+/// # Example
+///
+/// ```
+/// use stc_svm::Kernel;
+///
+/// let k = Kernel::rbf(0.5);
+/// let same = k.eval(&[1.0, 2.0], &[1.0, 2.0]);
+/// assert!((same - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Kernel {
+    /// `K(x, y) = x · y`
+    Linear,
+    /// `K(x, y) = (gamma * x · y + coef0)^degree`
+    Polynomial {
+        /// Scale applied to the dot product.
+        gamma: f64,
+        /// Additive constant.
+        coef0: f64,
+        /// Polynomial degree.
+        degree: u32,
+    },
+    /// `K(x, y) = exp(-gamma * ||x - y||^2)`
+    Rbf {
+        /// Width parameter; larger values make the kernel more local.
+        gamma: f64,
+    },
+    /// `K(x, y) = tanh(gamma * x · y + coef0)`
+    Sigmoid {
+        /// Scale applied to the dot product.
+        gamma: f64,
+        /// Additive constant.
+        coef0: f64,
+    },
+}
+
+impl Kernel {
+    /// Linear kernel.
+    pub fn linear() -> Self {
+        Kernel::Linear
+    }
+
+    /// Gaussian radial-basis-function kernel with the given `gamma`.
+    pub fn rbf(gamma: f64) -> Self {
+        Kernel::Rbf { gamma }
+    }
+
+    /// Polynomial kernel `(gamma x·y + coef0)^degree`.
+    pub fn polynomial(gamma: f64, coef0: f64, degree: u32) -> Self {
+        Kernel::Polynomial { gamma, coef0, degree }
+    }
+
+    /// Sigmoid (hyperbolic tangent) kernel.
+    pub fn sigmoid(gamma: f64, coef0: f64) -> Self {
+        Kernel::Sigmoid { gamma, coef0 }
+    }
+
+    /// Validates the kernel hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvmError::InvalidParameter`] when `gamma` is not strictly
+    /// positive or `degree` is zero.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            Kernel::Linear => Ok(()),
+            Kernel::Rbf { gamma } | Kernel::Sigmoid { gamma, .. } => {
+                if gamma > 0.0 && gamma.is_finite() {
+                    Ok(())
+                } else {
+                    Err(SvmError::InvalidParameter { name: "gamma", value: gamma })
+                }
+            }
+            Kernel::Polynomial { gamma, degree, .. } => {
+                if !(gamma > 0.0 && gamma.is_finite()) {
+                    Err(SvmError::InvalidParameter { name: "gamma", value: gamma })
+                } else if degree == 0 {
+                    Err(SvmError::InvalidParameter { name: "degree", value: 0.0 })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Evaluates the kernel for two feature vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the vectors have different lengths.
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), y.len(), "kernel arguments must have equal length");
+        match *self {
+            Kernel::Linear => dot(x, y),
+            Kernel::Polynomial { gamma, coef0, degree } => {
+                (gamma * dot(x, y) + coef0).powi(degree as i32)
+            }
+            Kernel::Rbf { gamma } => (-gamma * squared_distance(x, y)).exp(),
+            Kernel::Sigmoid { gamma, coef0 } => (gamma * dot(x, y) + coef0).tanh(),
+        }
+    }
+
+    /// A reasonable default `gamma` for RBF kernels: `1 / dimension`,
+    /// matching the common LIBSVM heuristic.
+    pub fn default_gamma(dimension: usize) -> f64 {
+        if dimension == 0 {
+            1.0
+        } else {
+            1.0 / dimension as f64
+        }
+    }
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::Rbf { gamma: 1.0 }
+    }
+}
+
+fn dot(x: &[f64], y: &[f64]) -> f64 {
+    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+}
+
+fn squared_distance(x: &[f64], y: &[f64]) -> f64 {
+    x.iter()
+        .zip(y.iter())
+        .map(|(a, b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_kernel_is_dot_product() {
+        let k = Kernel::linear();
+        assert_eq!(k.eval(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn rbf_is_one_at_zero_distance_and_decays() {
+        let k = Kernel::rbf(2.0);
+        assert!((k.eval(&[1.0, 1.0], &[1.0, 1.0]) - 1.0).abs() < 1e-15);
+        let near = k.eval(&[0.0, 0.0], &[0.1, 0.0]);
+        let far = k.eval(&[0.0, 0.0], &[1.0, 0.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn polynomial_matches_manual_expansion() {
+        let k = Kernel::polynomial(1.0, 1.0, 2);
+        // (x·y + 1)^2 with x·y = 2
+        assert!((k.eval(&[1.0, 1.0], &[1.0, 1.0]) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded() {
+        let k = Kernel::sigmoid(0.5, 0.0);
+        let v = k.eval(&[10.0, 10.0], &[10.0, 10.0]);
+        assert!(v <= 1.0 && v >= -1.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        assert!(Kernel::rbf(0.0).validate().is_err());
+        assert!(Kernel::rbf(-1.0).validate().is_err());
+        assert!(Kernel::rbf(f64::NAN).validate().is_err());
+        assert!(Kernel::polynomial(1.0, 0.0, 0).validate().is_err());
+        assert!(Kernel::linear().validate().is_ok());
+        assert!(Kernel::rbf(0.7).validate().is_ok());
+    }
+
+    #[test]
+    fn default_gamma_follows_libsvm_heuristic() {
+        assert_eq!(Kernel::default_gamma(4), 0.25);
+        assert_eq!(Kernel::default_gamma(0), 1.0);
+    }
+
+    #[test]
+    fn kernels_are_symmetric() {
+        let kernels = [
+            Kernel::linear(),
+            Kernel::rbf(0.3),
+            Kernel::polynomial(0.5, 1.0, 3),
+            Kernel::sigmoid(0.2, 0.1),
+        ];
+        let x = [0.3, -1.2, 2.5];
+        let y = [1.1, 0.4, -0.9];
+        for k in kernels {
+            assert!((k.eval(&x, &y) - k.eval(&y, &x)).abs() < 1e-12, "{k:?} not symmetric");
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Per-feature scaling of datasets.
+//!
+//! The paper normalises every specification to its acceptability range so the
+//! multi-dimensional space converges uniformly (Section 4.3).  When an
+//! explicit range is not available (for example for raw behavioural
+//! quantities), min–max or z-score scaling learned from the training data is
+//! used instead.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Dataset, Result, SvmError};
+
+/// Which statistic the [`Scaler`] uses for each feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ScaleMethod {
+    /// Map the observed `[min, max]` of each feature to `[0, 1]`.
+    MinMax,
+    /// Subtract the mean and divide by the standard deviation.
+    ZScore,
+}
+
+/// A fitted per-feature affine transform `x' = (x - offset) / scale`.
+///
+/// # Example
+///
+/// ```
+/// use stc_svm::{Dataset, ScaleMethod, Scaler};
+///
+/// # fn main() -> Result<(), stc_svm::SvmError> {
+/// let mut data = Dataset::new(1)?;
+/// data.push(vec![10.0], 1.0)?;
+/// data.push(vec![20.0], -1.0)?;
+/// let scaler = Scaler::fit(&data, ScaleMethod::MinMax)?;
+/// assert_eq!(scaler.transform_vector(&[15.0]), vec![0.5]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    method: ScaleMethod,
+    offsets: Vec<f64>,
+    scales: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fits a scaler to the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvmError::EmptyDataset`] if the dataset has no samples.
+    pub fn fit(data: &Dataset, method: ScaleMethod) -> Result<Self> {
+        if data.is_empty() {
+            return Err(SvmError::EmptyDataset);
+        }
+        let dim = data.dimension();
+        let n = data.len() as f64;
+        let mut offsets = vec![0.0; dim];
+        let mut scales = vec![1.0; dim];
+        match method {
+            ScaleMethod::MinMax => {
+                for j in 0..dim {
+                    let mut lo = f64::INFINITY;
+                    let mut hi = f64::NEG_INFINITY;
+                    for s in data.iter() {
+                        lo = lo.min(s.features[j]);
+                        hi = hi.max(s.features[j]);
+                    }
+                    offsets[j] = lo;
+                    let span = hi - lo;
+                    scales[j] = if span.abs() < f64::EPSILON { 1.0 } else { span };
+                }
+            }
+            ScaleMethod::ZScore => {
+                for j in 0..dim {
+                    let mean = data.iter().map(|s| s.features[j]).sum::<f64>() / n;
+                    let var = data
+                        .iter()
+                        .map(|s| {
+                            let d = s.features[j] - mean;
+                            d * d
+                        })
+                        .sum::<f64>()
+                        / n;
+                    offsets[j] = mean;
+                    let sd = var.sqrt();
+                    scales[j] = if sd < f64::EPSILON { 1.0 } else { sd };
+                }
+            }
+        }
+        Ok(Scaler { method, offsets, scales })
+    }
+
+    /// Builds a scaler from explicit per-feature ranges `[lower, upper]`.
+    ///
+    /// This is how the compaction flow normalises each specification to its
+    /// acceptability range: the lower bound maps to 0 and the upper bound to 1
+    /// (paper Section 4.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvmError::InvalidParameter`] if any range is empty or
+    /// reversed, or [`SvmError::EmptyDimension`] if `ranges` is empty.
+    pub fn from_ranges(ranges: &[(f64, f64)]) -> Result<Self> {
+        if ranges.is_empty() {
+            return Err(SvmError::EmptyDimension);
+        }
+        let mut offsets = Vec::with_capacity(ranges.len());
+        let mut scales = Vec::with_capacity(ranges.len());
+        for &(lo, hi) in ranges {
+            if !(hi > lo) || !lo.is_finite() || !hi.is_finite() {
+                return Err(SvmError::InvalidParameter { name: "range", value: hi - lo });
+            }
+            offsets.push(lo);
+            scales.push(hi - lo);
+        }
+        Ok(Scaler { method: ScaleMethod::MinMax, offsets, scales })
+    }
+
+    /// The scaling method this scaler was fitted with.
+    pub fn method(&self) -> ScaleMethod {
+        self.method
+    }
+
+    /// Number of features this scaler expects.
+    pub fn dimension(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Scales a single feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length does not match [`Scaler::dimension`].
+    pub fn transform_vector(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.dimension(), "scaler dimension mismatch");
+        features
+            .iter()
+            .zip(self.offsets.iter().zip(self.scales.iter()))
+            .map(|(&x, (&o, &s))| (x - o) / s)
+            .collect()
+    }
+
+    /// Inverse of [`Scaler::transform_vector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length does not match [`Scaler::dimension`].
+    pub fn inverse_transform_vector(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.dimension(), "scaler dimension mismatch");
+        features
+            .iter()
+            .zip(self.offsets.iter().zip(self.scales.iter()))
+            .map(|(&x, (&o, &s))| x * s + o)
+            .collect()
+    }
+
+    /// Scales every sample of a dataset, keeping labels unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvmError::DimensionMismatch`] if the dataset dimension does
+    /// not match the scaler.
+    pub fn transform(&self, data: &Dataset) -> Result<Dataset> {
+        if data.dimension() != self.dimension() {
+            return Err(SvmError::DimensionMismatch {
+                expected: self.dimension(),
+                found: data.dimension(),
+            });
+        }
+        let mut out = Dataset::new(self.dimension())?;
+        for s in data.iter() {
+            out.push(self.transform_vector(&s.features), s.label)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(2).unwrap();
+        d.push(vec![0.0, 100.0], 1.0).unwrap();
+        d.push(vec![10.0, 300.0], -1.0).unwrap();
+        d.push(vec![5.0, 200.0], 1.0).unwrap();
+        d
+    }
+
+    #[test]
+    fn minmax_maps_extremes_to_unit_interval() {
+        let d = toy();
+        let scaler = Scaler::fit(&d, ScaleMethod::MinMax).unwrap();
+        let scaled = scaler.transform(&d).unwrap();
+        assert_eq!(scaled.features(0), &[0.0, 0.0]);
+        assert_eq!(scaled.features(1), &[1.0, 1.0]);
+        assert_eq!(scaled.features(2), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn zscore_centres_data() {
+        let d = toy();
+        let scaler = Scaler::fit(&d, ScaleMethod::ZScore).unwrap();
+        let scaled = scaler.transform(&d).unwrap();
+        for j in 0..2 {
+            let mean: f64 = scaled.iter().map(|s| s.features[j]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_feature_does_not_divide_by_zero() {
+        let mut d = Dataset::new(1).unwrap();
+        d.push(vec![5.0], 1.0).unwrap();
+        d.push(vec![5.0], -1.0).unwrap();
+        let scaler = Scaler::fit(&d, ScaleMethod::MinMax).unwrap();
+        let v = scaler.transform_vector(&[5.0]);
+        assert!(v[0].is_finite());
+    }
+
+    #[test]
+    fn from_ranges_maps_bounds_to_zero_one() {
+        let scaler = Scaler::from_ranges(&[(10.0, 20.0), (-1.0, 1.0)]).unwrap();
+        assert_eq!(scaler.transform_vector(&[10.0, -1.0]), vec![0.0, 0.0]);
+        assert_eq!(scaler.transform_vector(&[20.0, 1.0]), vec![1.0, 1.0]);
+        assert_eq!(scaler.transform_vector(&[15.0, 0.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn from_ranges_rejects_degenerate_ranges() {
+        assert!(Scaler::from_ranges(&[]).is_err());
+        assert!(Scaler::from_ranges(&[(1.0, 1.0)]).is_err());
+        assert!(Scaler::from_ranges(&[(2.0, 1.0)]).is_err());
+        assert!(Scaler::from_ranges(&[(0.0, f64::INFINITY)]).is_err());
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let scaler = Scaler::from_ranges(&[(10.0, 20.0), (-4.0, 4.0)]).unwrap();
+        let original = vec![13.0, 2.5];
+        let back = scaler.inverse_transform_vector(&scaler.transform_vector(&original));
+        for (a, b) in original.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transform_rejects_wrong_dimension() {
+        let scaler = Scaler::from_ranges(&[(0.0, 1.0)]).unwrap();
+        let d = toy();
+        assert!(scaler.transform(&d).is_err());
+    }
+}

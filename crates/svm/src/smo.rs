@@ -1,0 +1,481 @@
+//! Sequential minimal optimization (SMO) solver.
+//!
+//! This is a LIBSVM-style dual solver for problems of the form
+//!
+//! ```text
+//! minimize    0.5 * a' Q a + p' a
+//! subject to  y' a = delta,   0 <= a_i <= C_i
+//! ```
+//!
+//! where `Q[i][j] = y_i * y_j * K(x_i, x_j)`.  Both the C-SVC classifier
+//! ([`crate::Svc`]) and the ε-SVR regressor ([`crate::Svr`]) reduce their dual
+//! problems to this form and share the solver.
+//!
+//! The working-set selection uses the classical *maximal violating pair*
+//! heuristic; the stopping criterion is the duality-gap surrogate
+//! `m(a) - M(a) <= tolerance` from Keerthi et al.
+
+use std::collections::VecDeque;
+
+use crate::{Result, SvmError};
+
+/// Value used in place of a non-positive second derivative of the
+/// two-variable sub-problem (guards against a numerically indefinite kernel).
+const TAU: f64 = 1e-12;
+
+/// Abstract view of the `Q` matrix (`Q[i][j] = y_i y_j K(i, j)`).
+///
+/// Implementations compute rows on demand; the solver caches recently used
+/// rows internally so implementations can stay simple.
+pub trait QMatrix {
+    /// Number of optimization variables.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when the problem has no variables.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes row `i` of `Q` into `out` (which has length [`QMatrix::len`]).
+    fn row(&self, i: usize, out: &mut [f64]);
+
+    /// Diagonal entry `Q[i][i]`.
+    fn diag(&self, i: usize) -> f64;
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoParams {
+    /// Stopping tolerance on the maximal KKT violation (LIBSVM default 1e-3).
+    pub tolerance: f64,
+    /// Hard cap on the number of SMO iterations.
+    pub max_iterations: usize,
+    /// Number of `Q` rows kept in the internal cache.
+    pub cache_rows: usize,
+}
+
+impl Default for SmoParams {
+    fn default() -> Self {
+        SmoParams { tolerance: 1e-3, max_iterations: 200_000, cache_rows: 512 }
+    }
+}
+
+/// Description of one dual problem instance.
+#[derive(Debug, Clone)]
+pub struct SmoProblem {
+    /// Sign of each variable in the equality constraint (`+1` or `-1`).
+    pub y: Vec<f64>,
+    /// Linear term of the objective.
+    pub p: Vec<f64>,
+    /// Upper bound of each variable (per-variable `C`).
+    pub upper_bound: Vec<f64>,
+    /// Initial values of the variables (usually all zero).
+    pub initial_alpha: Vec<f64>,
+}
+
+/// Result of a successful SMO run.
+#[derive(Debug, Clone)]
+pub struct SmoSolution {
+    /// Optimal dual variables.
+    pub alpha: Vec<f64>,
+    /// Offset `rho` of the decision function (`f(x) = sum_i a_i y_i K(x_i,x) - rho`).
+    pub rho: f64,
+    /// Final objective value.
+    pub objective: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Simple FIFO row cache keyed by row index.
+struct RowCache {
+    capacity: usize,
+    order: VecDeque<usize>,
+    rows: Vec<Option<Vec<f64>>>,
+}
+
+impl RowCache {
+    fn new(capacity: usize, n: usize) -> Self {
+        RowCache { capacity: capacity.max(2), order: VecDeque::new(), rows: vec![None; n] }
+    }
+
+    fn get<'a, Q: QMatrix>(&'a mut self, q: &Q, i: usize) -> &'a [f64] {
+        if self.rows[i].is_none() {
+            let mut row = vec![0.0; q.len()];
+            q.row(i, &mut row);
+            if self.order.len() >= self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.rows[evicted] = None;
+                }
+            }
+            self.order.push_back(i);
+            self.rows[i] = Some(row);
+        }
+        self.rows[i].as_deref().expect("row was just inserted")
+    }
+}
+
+/// Solves the dual problem.
+///
+/// # Errors
+///
+/// Returns [`SvmError::EmptyDataset`] for a zero-variable problem,
+/// [`SvmError::InvalidParameter`] if the problem vectors have inconsistent
+/// lengths, and [`SvmError::NotConverged`] if the iteration budget is
+/// exhausted before the KKT conditions are met.
+pub fn solve<Q: QMatrix>(q: &Q, problem: &SmoProblem, params: &SmoParams) -> Result<SmoSolution> {
+    let n = q.len();
+    if n == 0 {
+        return Err(SvmError::EmptyDataset);
+    }
+    if problem.y.len() != n
+        || problem.p.len() != n
+        || problem.upper_bound.len() != n
+        || problem.initial_alpha.len() != n
+    {
+        return Err(SvmError::InvalidParameter { name: "problem size", value: n as f64 });
+    }
+    if params.tolerance <= 0.0 {
+        return Err(SvmError::InvalidParameter {
+            name: "tolerance",
+            value: params.tolerance,
+        });
+    }
+
+    let y = &problem.y;
+    let p = &problem.p;
+    let c = &problem.upper_bound;
+    let mut alpha = problem.initial_alpha.clone();
+    let mut cache = RowCache::new(params.cache_rows, n);
+
+    // Gradient of the objective: G_t = sum_s Q[t][s] alpha_s + p_t.
+    let mut grad: Vec<f64> = p.clone();
+    for s in 0..n {
+        if alpha[s] != 0.0 {
+            let row = cache.get(q, s).to_vec();
+            for t in 0..n {
+                grad[t] += row[t] * alpha[s];
+            }
+        }
+    }
+
+    let mut iterations = 0;
+    loop {
+        // Working-set selection: maximal violating pair.
+        let mut g_max = f64::NEG_INFINITY;
+        let mut g_min = f64::INFINITY;
+        let mut i_sel: Option<usize> = None;
+        let mut j_sel: Option<usize> = None;
+        for t in 0..n {
+            let value = -y[t] * grad[t];
+            let in_up = (y[t] > 0.0 && alpha[t] < c[t]) || (y[t] < 0.0 && alpha[t] > 0.0);
+            let in_low = (y[t] > 0.0 && alpha[t] > 0.0) || (y[t] < 0.0 && alpha[t] < c[t]);
+            if in_up && value > g_max {
+                g_max = value;
+                i_sel = Some(t);
+            }
+            if in_low && value < g_min {
+                g_min = value;
+                j_sel = Some(t);
+            }
+        }
+
+        let (i, j) = match (i_sel, j_sel) {
+            (Some(i), Some(j)) => (i, j),
+            // Degenerate case: every variable is stuck at a bound in a way that
+            // leaves one of the index sets empty.  The current point is optimal
+            // for the feasible region.
+            _ => break,
+        };
+
+        if g_max - g_min <= params.tolerance {
+            break;
+        }
+        if iterations >= params.max_iterations {
+            return Err(SvmError::NotConverged { iterations });
+        }
+        iterations += 1;
+
+        let q_i = cache.get(q, i).to_vec();
+        let q_j = cache.get(q, j).to_vec();
+        let old_ai = alpha[i];
+        let old_aj = alpha[j];
+
+        if (y[i] - y[j]).abs() > f64::EPSILON {
+            // Opposite signs.
+            let mut quad = q.diag(i) + q.diag(j) + 2.0 * q_i[j];
+            if quad <= 0.0 {
+                quad = TAU;
+            }
+            let delta = (-grad[i] - grad[j]) / quad;
+            let diff = alpha[i] - alpha[j];
+            alpha[i] += delta;
+            alpha[j] += delta;
+            if diff > 0.0 {
+                if alpha[j] < 0.0 {
+                    alpha[j] = 0.0;
+                    alpha[i] = diff;
+                }
+            } else if alpha[i] < 0.0 {
+                alpha[i] = 0.0;
+                alpha[j] = -diff;
+            }
+            if diff > c[i] - c[j] {
+                if alpha[i] > c[i] {
+                    alpha[i] = c[i];
+                    alpha[j] = c[i] - diff;
+                }
+            } else if alpha[j] > c[j] {
+                alpha[j] = c[j];
+                alpha[i] = c[j] + diff;
+            }
+        } else {
+            // Same sign.
+            let mut quad = q.diag(i) + q.diag(j) - 2.0 * q_i[j];
+            if quad <= 0.0 {
+                quad = TAU;
+            }
+            let delta = (grad[i] - grad[j]) / quad;
+            let sum = alpha[i] + alpha[j];
+            alpha[i] -= delta;
+            alpha[j] += delta;
+            if sum > c[i] {
+                if alpha[i] > c[i] {
+                    alpha[i] = c[i];
+                    alpha[j] = sum - c[i];
+                }
+            } else if alpha[j] < 0.0 {
+                alpha[j] = 0.0;
+                alpha[i] = sum;
+            }
+            if sum > c[j] {
+                if alpha[j] > c[j] {
+                    alpha[j] = c[j];
+                    alpha[i] = sum - c[j];
+                }
+            } else if alpha[i] < 0.0 {
+                alpha[i] = 0.0;
+                alpha[j] = sum;
+            }
+        }
+
+        let delta_i = alpha[i] - old_ai;
+        let delta_j = alpha[j] - old_aj;
+        if delta_i == 0.0 && delta_j == 0.0 {
+            // Numerically stuck pair; the violating gap is below what the
+            // arithmetic can resolve.
+            break;
+        }
+        for t in 0..n {
+            grad[t] += q_i[t] * delta_i + q_j[t] * delta_j;
+        }
+    }
+
+    // rho (decision-function offset).
+    let mut upper = f64::INFINITY;
+    let mut lower = f64::NEG_INFINITY;
+    let mut sum_free = 0.0;
+    let mut count_free = 0usize;
+    for t in 0..n {
+        let yg = y[t] * grad[t];
+        if alpha[t] >= c[t] - f64::EPSILON {
+            if y[t] < 0.0 {
+                upper = upper.min(yg);
+            } else {
+                lower = lower.max(yg);
+            }
+        } else if alpha[t] <= f64::EPSILON {
+            if y[t] > 0.0 {
+                upper = upper.min(yg);
+            } else {
+                lower = lower.max(yg);
+            }
+        } else {
+            count_free += 1;
+            sum_free += yg;
+        }
+    }
+    let rho = if count_free > 0 {
+        sum_free / count_free as f64
+    } else if upper.is_finite() && lower.is_finite() {
+        (upper + lower) / 2.0
+    } else if upper.is_finite() {
+        upper
+    } else if lower.is_finite() {
+        lower
+    } else {
+        0.0
+    };
+
+    // Objective value: 0.5 * a'(G + p) = 0.5 * (a'Qa) + a'p + 0.5*a'p - 0.5*a'p
+    let objective = 0.5
+        * alpha
+            .iter()
+            .zip(grad.iter().zip(p.iter()))
+            .map(|(&a, (&g, &pp))| a * (g + pp))
+            .sum::<f64>();
+
+    Ok(SmoSolution { alpha, rho, objective, iterations })
+}
+
+/// Dense `Q` matrix backed by an explicit kernel evaluation closure.
+///
+/// Useful for tests and small problems; the SVC/SVR wrappers provide their own
+/// implementations that work directly from datasets.
+pub struct DenseQ {
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl DenseQ {
+    /// Builds the full matrix from `q(i, j)`.
+    pub fn from_fn<F: Fn(usize, usize) -> f64>(n: usize, q: F) -> Self {
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = q(i, j);
+            }
+        }
+        DenseQ { n, values }
+    }
+}
+
+impl QMatrix for DenseQ {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn row(&self, i: usize, out: &mut [f64]) {
+        out.copy_from_slice(&self.values[i * self.n..(i + 1) * self.n]);
+    }
+
+    fn diag(&self, i: usize) -> f64 {
+        self.values[i * self.n + i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+
+    /// Tiny hand-checkable SVC problem: two points at -1 and +1 on a line.
+    /// The optimal separating hyperplane is x = 0 with margin 1, which for the
+    /// linear kernel gives alpha_1 = alpha_2 = 0.5 (when C is large).
+    #[test]
+    fn two_point_classification_recovers_known_alphas() {
+        let xs = [vec![-1.0], vec![1.0]];
+        let ys = [-1.0, 1.0];
+        let kernel = Kernel::linear();
+        let q = DenseQ::from_fn(2, |i, j| ys[i] * ys[j] * kernel.eval(&xs[i], &xs[j]));
+        let problem = SmoProblem {
+            y: ys.to_vec(),
+            p: vec![-1.0; 2],
+            upper_bound: vec![100.0; 2],
+            initial_alpha: vec![0.0; 2],
+        };
+        let solution = solve(&q, &problem, &SmoParams::default()).unwrap();
+        assert!((solution.alpha[0] - 0.5).abs() < 1e-3, "{:?}", solution.alpha);
+        assert!((solution.alpha[1] - 0.5).abs() < 1e-3);
+        // Decision boundary exactly between the points => rho = 0.
+        assert!(solution.rho.abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraint_is_preserved() {
+        // Four points, alternating labels.
+        let xs = [vec![0.0], vec![0.4], vec![0.6], vec![1.0]];
+        let ys = [-1.0, -1.0, 1.0, 1.0];
+        let kernel = Kernel::rbf(1.0);
+        let q = DenseQ::from_fn(4, |i, j| ys[i] * ys[j] * kernel.eval(&xs[i], &xs[j]));
+        let problem = SmoProblem {
+            y: ys.to_vec(),
+            p: vec![-1.0; 4],
+            upper_bound: vec![10.0; 4],
+            initial_alpha: vec![0.0; 4],
+        };
+        let solution = solve(&q, &problem, &SmoParams::default()).unwrap();
+        let balance: f64 = solution.alpha.iter().zip(ys.iter()).map(|(a, y)| a * y).sum();
+        assert!(balance.abs() < 1e-9, "constraint violated: {balance}");
+        for (a, &c) in solution.alpha.iter().zip(problem.upper_bound.iter()) {
+            assert!(*a >= -1e-12 && *a <= c + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_problem_is_rejected() {
+        let q = DenseQ::from_fn(0, |_, _| 0.0);
+        let problem = SmoProblem {
+            y: vec![],
+            p: vec![],
+            upper_bound: vec![],
+            initial_alpha: vec![],
+        };
+        assert!(matches!(
+            solve(&q, &problem, &SmoParams::default()),
+            Err(SvmError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn inconsistent_lengths_are_rejected() {
+        let q = DenseQ::from_fn(2, |_, _| 1.0);
+        let problem = SmoProblem {
+            y: vec![1.0, -1.0],
+            p: vec![-1.0],
+            upper_bound: vec![1.0, 1.0],
+            initial_alpha: vec![0.0, 0.0],
+        };
+        assert!(solve(&q, &problem, &SmoParams::default()).is_err());
+    }
+
+    #[test]
+    fn bad_tolerance_is_rejected() {
+        let q = DenseQ::from_fn(2, |i, j| if i == j { 1.0 } else { 0.0 });
+        let problem = SmoProblem {
+            y: vec![1.0, -1.0],
+            p: vec![-1.0, -1.0],
+            upper_bound: vec![1.0, 1.0],
+            initial_alpha: vec![0.0, 0.0],
+        };
+        let params = SmoParams { tolerance: 0.0, ..SmoParams::default() };
+        assert!(solve(&q, &problem, &params).is_err());
+    }
+
+    #[test]
+    fn iteration_budget_is_enforced() {
+        // A moderately sized separable problem with a budget of one iteration
+        // cannot converge.
+        let n = 40;
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64]).collect();
+        let ys: Vec<f64> = (0..n).map(|i| if i < n / 2 { -1.0 } else { 1.0 }).collect();
+        let kernel = Kernel::rbf(5.0);
+        let q = DenseQ::from_fn(n, |i, j| ys[i] * ys[j] * kernel.eval(&xs[i], &xs[j]));
+        let problem = SmoProblem {
+            y: ys,
+            p: vec![-1.0; n],
+            upper_bound: vec![10.0; n],
+            initial_alpha: vec![0.0; n],
+        };
+        let params = SmoParams { max_iterations: 1, ..SmoParams::default() };
+        assert!(matches!(solve(&q, &problem, &params), Err(SvmError::NotConverged { .. })));
+    }
+
+    #[test]
+    fn objective_decreases_with_more_freedom() {
+        // With larger C the optimum can only get better (more feasible space).
+        let xs = [vec![0.0], vec![0.3], vec![0.7], vec![1.0]];
+        let ys = [-1.0, 1.0, -1.0, 1.0];
+        let kernel = Kernel::rbf(2.0);
+        let q = DenseQ::from_fn(4, |i, j| ys[i] * ys[j] * kernel.eval(&xs[i], &xs[j]));
+        let solve_with_c = |c: f64| {
+            let problem = SmoProblem {
+                y: ys.to_vec(),
+                p: vec![-1.0; 4],
+                upper_bound: vec![c; 4],
+                initial_alpha: vec![0.0; 4],
+            };
+            solve(&q, &problem, &SmoParams::default()).unwrap().objective
+        };
+        assert!(solve_with_c(10.0) <= solve_with_c(0.5) + 1e-9);
+    }
+}

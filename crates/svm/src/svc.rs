@@ -1,0 +1,450 @@
+//! Soft-margin support-vector classification (C-SVC).
+
+use serde::{Deserialize, Serialize};
+
+use crate::smo::{self, QMatrix, SmoParams, SmoProblem};
+use crate::{Dataset, Kernel, Result, SvmError};
+
+/// Hyper-parameters for [`Svc::train`].
+///
+/// # Example
+///
+/// ```
+/// use stc_svm::{Kernel, SvcParams};
+///
+/// let params = SvcParams::new()
+///     .with_c(10.0)
+///     .with_kernel(Kernel::rbf(0.5))
+///     .with_tolerance(1e-3);
+/// assert_eq!(params.c(), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SvcParams {
+    c: f64,
+    kernel: Kernel,
+    tolerance: f64,
+    max_iterations: usize,
+    positive_weight: f64,
+    negative_weight: f64,
+}
+
+impl SvcParams {
+    /// Default parameters: `C = 1`, RBF kernel with `gamma = 1`, LIBSVM
+    /// tolerance `1e-3`.
+    pub fn new() -> Self {
+        SvcParams {
+            c: 1.0,
+            kernel: Kernel::default(),
+            tolerance: 1e-3,
+            max_iterations: 200_000,
+            positive_weight: 1.0,
+            negative_weight: 1.0,
+        }
+    }
+
+    /// Sets the soft-margin penalty `C`.
+    pub fn with_c(mut self, c: f64) -> Self {
+        self.c = c;
+        self
+    }
+
+    /// Sets the kernel.
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the SMO stopping tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the SMO iteration budget.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets per-class weights, multiplying `C` for the positive/negative
+    /// class respectively.  Useful when one class is much rarer (for example
+    /// bad devices in a high-yield population).
+    pub fn with_class_weights(mut self, positive: f64, negative: f64) -> Self {
+        self.positive_weight = positive;
+        self.negative_weight = negative;
+        self
+    }
+
+    /// The soft-margin penalty.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// The configured kernel.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// The SMO stopping tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.c > 0.0 && self.c.is_finite()) {
+            return Err(SvmError::InvalidParameter { name: "C", value: self.c });
+        }
+        if !(self.positive_weight > 0.0) {
+            return Err(SvmError::InvalidParameter {
+                name: "positive_weight",
+                value: self.positive_weight,
+            });
+        }
+        if !(self.negative_weight > 0.0) {
+            return Err(SvmError::InvalidParameter {
+                name: "negative_weight",
+                value: self.negative_weight,
+            });
+        }
+        self.kernel.validate()
+    }
+}
+
+impl Default for SvcParams {
+    fn default() -> Self {
+        SvcParams::new()
+    }
+}
+
+/// `Q` matrix for classification: `Q[i][j] = y_i y_j K(x_i, x_j)`.
+struct SvcQ<'a> {
+    data: &'a Dataset,
+    kernel: Kernel,
+    diag: Vec<f64>,
+}
+
+impl<'a> SvcQ<'a> {
+    fn new(data: &'a Dataset, kernel: Kernel) -> Self {
+        let diag =
+            (0..data.len()).map(|i| kernel.eval(data.features(i), data.features(i))).collect();
+        SvcQ { data, kernel, diag }
+    }
+}
+
+impl QMatrix for SvcQ<'_> {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn row(&self, i: usize, out: &mut [f64]) {
+        let xi = self.data.features(i);
+        let yi = self.data.label(i);
+        for j in 0..self.data.len() {
+            out[j] = yi * self.data.label(j) * self.kernel.eval(xi, self.data.features(j));
+        }
+    }
+
+    fn diag(&self, i: usize) -> f64 {
+        self.diag[i]
+    }
+}
+
+/// A trained support-vector classifier.
+///
+/// The decision function is `f(x) = Σ_i a_i y_i K(x_i, x) - rho`; prediction
+/// is `sign(f(x))` with ties broken toward the positive class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Svc {
+    kernel: Kernel,
+    support_vectors: Vec<Vec<f64>>,
+    coefficients: Vec<f64>,
+    rho: f64,
+    dimension: usize,
+    bias_shift: f64,
+}
+
+impl Svc {
+    /// Trains a classifier on `data` (labels must be `+1`/`-1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the dataset is empty or single-class, when a
+    /// label is not `±1`, when hyper-parameters are invalid, or when the SMO
+    /// solver fails to converge.
+    pub fn train(data: &Dataset, params: &SvcParams) -> Result<Self> {
+        params.validate()?;
+        if data.is_empty() {
+            return Err(SvmError::EmptyDataset);
+        }
+        for s in data.iter() {
+            if s.label != 1.0 && s.label != -1.0 {
+                return Err(SvmError::InvalidLabel(s.label));
+            }
+        }
+        let positives = data.positive_count();
+        if positives == 0 || positives == data.len() {
+            return Err(SvmError::SingleClass);
+        }
+
+        let n = data.len();
+        let y = data.labels();
+        let upper_bound: Vec<f64> = y
+            .iter()
+            .map(|&label| {
+                if label > 0.0 {
+                    params.c * params.positive_weight
+                } else {
+                    params.c * params.negative_weight
+                }
+            })
+            .collect();
+        let problem = SmoProblem {
+            y: y.clone(),
+            p: vec![-1.0; n],
+            upper_bound,
+            initial_alpha: vec![0.0; n],
+        };
+        let q = SvcQ::new(data, params.kernel);
+        let smo_params = SmoParams {
+            tolerance: params.tolerance,
+            max_iterations: params.max_iterations,
+            ..SmoParams::default()
+        };
+        let solution = smo::solve(&q, &problem, &smo_params)?;
+
+        let mut support_vectors = Vec::new();
+        let mut coefficients = Vec::new();
+        for i in 0..n {
+            if solution.alpha[i] > 1e-12 {
+                support_vectors.push(data.features(i).to_vec());
+                coefficients.push(solution.alpha[i] * y[i]);
+            }
+        }
+        Ok(Svc {
+            kernel: params.kernel,
+            support_vectors,
+            coefficients,
+            rho: solution.rho,
+            dimension: data.dimension(),
+            bias_shift: 0.0,
+        })
+    }
+
+    /// Signed distance-like score of `x`; positive means the positive class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not have [`Svc::dimension`] entries.
+    pub fn decision_function(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dimension, "feature vector has wrong dimension");
+        let mut sum = 0.0;
+        for (sv, &coef) in self.support_vectors.iter().zip(self.coefficients.iter()) {
+            sum += coef * self.kernel.eval(sv, x);
+        }
+        sum - self.rho + self.bias_shift
+    }
+
+    /// Predicted class label (`+1.0` or `-1.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not have [`Svc::dimension`] entries.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.decision_function(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Fraction of samples in `data` whose predicted label matches the truth.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 1.0;
+        }
+        let correct = data
+            .iter()
+            .filter(|s| (self.predict(&s.features) - s.label).abs() < f64::EPSILON)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Returns a copy of this classifier whose decision threshold is shifted
+    /// by `delta` (`f'(x) = f(x) + delta`).
+    ///
+    /// The guard-banding scheme of the paper (Section 4.2) builds two such
+    /// perturbed models — one biased toward predicting *good*, one toward
+    /// *bad* — and places devices on which they disagree into the guard band.
+    pub fn with_bias_shift(&self, delta: f64) -> Svc {
+        let mut shifted = self.clone();
+        shifted.bias_shift += delta;
+        shifted
+    }
+
+    /// Number of support vectors retained by training.
+    pub fn support_vector_count(&self) -> usize {
+        self.support_vectors.len()
+    }
+
+    /// Expected input dimension.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Kernel the model was trained with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Offset `rho` of the decision function.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable(n: usize) -> Dataset {
+        let mut d = Dataset::new(2).unwrap();
+        for i in 0..n {
+            let x = i as f64 / n as f64;
+            d.push(vec![x, x + 0.5], 1.0).unwrap();
+            d.push(vec![x, x - 0.5], -1.0).unwrap();
+        }
+        d
+    }
+
+    /// XOR-like data that a linear kernel cannot separate but RBF can.
+    fn xor_data() -> Dataset {
+        let mut d = Dataset::new(2).unwrap();
+        let centers = [
+            ([0.0, 0.0], 1.0),
+            ([1.0, 1.0], 1.0),
+            ([0.0, 1.0], -1.0),
+            ([1.0, 0.0], -1.0),
+        ];
+        for (c, label) in centers {
+            for di in 0..5 {
+                for dj in 0..5 {
+                    let x = c[0] + 0.02 * di as f64;
+                    let y = c[1] + 0.02 * dj as f64;
+                    d.push(vec![x, y], label).unwrap();
+                }
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn separable_data_is_classified_perfectly() {
+        let data = linearly_separable(30);
+        let params = SvcParams::new().with_c(10.0).with_kernel(Kernel::linear());
+        let model = Svc::train(&data, &params).unwrap();
+        assert_eq!(model.accuracy(&data), 1.0);
+        assert_eq!(model.predict(&[0.5, 1.0]), 1.0);
+        assert_eq!(model.predict(&[0.5, 0.0]), -1.0);
+    }
+
+    #[test]
+    fn rbf_solves_xor() {
+        let data = xor_data();
+        let params = SvcParams::new().with_c(50.0).with_kernel(Kernel::rbf(4.0));
+        let model = Svc::train(&data, &params).unwrap();
+        assert!(model.accuracy(&data) > 0.98, "accuracy {}", model.accuracy(&data));
+        assert_eq!(model.predict(&[0.02, 0.02]), 1.0);
+        assert_eq!(model.predict(&[0.98, 0.05]), -1.0);
+    }
+
+    #[test]
+    fn training_rejects_bad_inputs() {
+        let empty = Dataset::new(2).unwrap();
+        let params = SvcParams::new();
+        assert!(matches!(Svc::train(&empty, &params), Err(SvmError::EmptyDataset)));
+
+        let mut single = Dataset::new(1).unwrap();
+        single.push(vec![1.0], 1.0).unwrap();
+        single.push(vec![2.0], 1.0).unwrap();
+        assert!(matches!(Svc::train(&single, &params), Err(SvmError::SingleClass)));
+
+        let mut bad_label = Dataset::new(1).unwrap();
+        bad_label.push(vec![1.0], 2.0).unwrap();
+        bad_label.push(vec![2.0], -1.0).unwrap();
+        assert!(matches!(Svc::train(&bad_label, &params), Err(SvmError::InvalidLabel(_))));
+
+        let data = linearly_separable(5);
+        assert!(Svc::train(&data, &SvcParams::new().with_c(-1.0)).is_err());
+        assert!(Svc::train(&data, &SvcParams::new().with_kernel(Kernel::rbf(0.0))).is_err());
+        assert!(Svc::train(&data, &SvcParams::new().with_class_weights(0.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn bias_shift_moves_the_boundary_monotonically() {
+        let data = linearly_separable(20);
+        let params = SvcParams::new().with_c(5.0).with_kernel(Kernel::linear());
+        let model = Svc::train(&data, &params).unwrap();
+        let x = [0.5, 0.45];
+        let base = model.decision_function(&x);
+        let up = model.with_bias_shift(0.3).decision_function(&x);
+        let down = model.with_bias_shift(-0.3).decision_function(&x);
+        assert!((up - base - 0.3).abs() < 1e-12);
+        assert!((base - down - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positively_shifted_model_never_predicts_bad_where_base_predicts_good() {
+        let data = xor_data();
+        let params = SvcParams::new().with_c(10.0).with_kernel(Kernel::rbf(2.0));
+        let model = Svc::train(&data, &params).unwrap();
+        let optimistic = model.with_bias_shift(0.2);
+        for s in data.iter() {
+            if model.predict(&s.features) > 0.0 {
+                assert!(optimistic.predict(&s.features) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn class_weights_bias_the_boundary_toward_the_weighted_class() {
+        // Imbalanced, overlapping data: 40 positive, 8 negative.
+        let mut d = Dataset::new(1).unwrap();
+        for i in 0..40 {
+            d.push(vec![0.4 + 0.01 * i as f64], 1.0).unwrap();
+        }
+        for i in 0..8 {
+            d.push(vec![0.35 - 0.01 * i as f64], -1.0).unwrap();
+        }
+        let kernel = Kernel::rbf(2.0);
+        let plain = Svc::train(&d, &SvcParams::new().with_c(1.0).with_kernel(kernel)).unwrap();
+        let weighted = Svc::train(
+            &d,
+            &SvcParams::new().with_c(1.0).with_kernel(kernel).with_class_weights(1.0, 10.0),
+        )
+        .unwrap();
+        // The negatively-weighted model should score the ambiguous midpoint
+        // lower (more likely negative) than the unweighted model.
+        let x = [0.37];
+        assert!(weighted.decision_function(&x) <= plain.decision_function(&x) + 1e-9);
+    }
+
+    #[test]
+    fn accuracy_of_empty_dataset_is_one() {
+        let data = linearly_separable(5);
+        let model =
+            Svc::train(&data, &SvcParams::new().with_kernel(Kernel::linear())).unwrap();
+        let empty = Dataset::new(2).unwrap();
+        assert_eq!(model.accuracy(&empty), 1.0);
+    }
+
+    #[test]
+    fn model_exposes_metadata() {
+        let data = linearly_separable(10);
+        let params = SvcParams::new().with_c(2.0).with_kernel(Kernel::linear());
+        let model = Svc::train(&data, &params).unwrap();
+        assert_eq!(model.dimension(), 2);
+        assert!(model.support_vector_count() > 0);
+        assert_eq!(model.kernel(), Kernel::linear());
+        assert!(model.rho().is_finite());
+    }
+}

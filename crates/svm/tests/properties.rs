@@ -1,0 +1,77 @@
+//! Property-based tests of the SVM building blocks.
+
+use proptest::prelude::*;
+use stc_svm::{Dataset, Kernel, ScaleMethod, Scaler, Svc, SvcParams};
+
+fn finite_vector(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, len)
+}
+
+proptest! {
+    /// Every kernel is symmetric in its arguments.
+    #[test]
+    fn kernels_are_symmetric(x in finite_vector(5), y in finite_vector(5), gamma in 0.01f64..5.0) {
+        for kernel in [Kernel::linear(), Kernel::rbf(gamma), Kernel::polynomial(gamma, 1.0, 2)] {
+            let forward = kernel.eval(&x, &y);
+            let backward = kernel.eval(&y, &x);
+            prop_assert!((forward - backward).abs() <= 1e-9 * forward.abs().max(1.0));
+        }
+    }
+
+    /// The RBF kernel is bounded in [0, 1] (it may underflow to exactly 0 for
+    /// very distant points) and equals 1 at zero distance.
+    #[test]
+    fn rbf_is_bounded(x in finite_vector(4), y in finite_vector(4), gamma in 0.01f64..2.0) {
+        let value = Kernel::rbf(gamma).eval(&x, &y);
+        prop_assert!(value >= 0.0 && value <= 1.0 + 1e-12);
+        let self_value = Kernel::rbf(gamma).eval(&x, &x);
+        prop_assert!((self_value - 1.0).abs() < 1e-12);
+    }
+
+    /// Min-max scaling maps every training sample into the unit hyper-cube and
+    /// the inverse transform recovers the original vector.
+    #[test]
+    fn minmax_scaling_round_trips(rows in prop::collection::vec(finite_vector(3), 2..40)) {
+        let labels = vec![1.0; rows.len()];
+        let data = Dataset::from_rows(&rows, &labels).unwrap();
+        let scaler = Scaler::fit(&data, ScaleMethod::MinMax).unwrap();
+        for row in &rows {
+            let scaled = scaler.transform_vector(row);
+            for &value in &scaled {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&value));
+            }
+            let back = scaler.inverse_transform_vector(&scaled);
+            for (a, b) in row.iter().zip(back.iter()) {
+                prop_assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0));
+            }
+        }
+    }
+
+    /// Range scaling maps the range bounds exactly to 0 and 1.
+    #[test]
+    fn range_scaling_maps_bounds(lo in -1e3f64..1e3, width in 0.1f64..1e3) {
+        let scaler = Scaler::from_ranges(&[(lo, lo + width)]).unwrap();
+        prop_assert!(scaler.transform_vector(&[lo])[0].abs() < 1e-12);
+        prop_assert!((scaler.transform_vector(&[lo + width])[0] - 1.0).abs() < 1e-12);
+    }
+
+    /// A linearly separable problem with a generous margin is always solved
+    /// perfectly by a linear-kernel SVC, wherever the threshold sits.
+    #[test]
+    fn separable_problems_are_learned(threshold in -0.5f64..0.5, count in 10usize..40) {
+        let mut data = Dataset::new(1).unwrap();
+        for i in 0..count {
+            let offset = 0.2 + (i as f64) / count as f64;
+            data.push(vec![threshold + offset], 1.0).unwrap();
+            data.push(vec![threshold - offset], -1.0).unwrap();
+        }
+        let model = Svc::train(
+            &data,
+            &SvcParams::new().with_c(100.0).with_kernel(Kernel::linear()),
+        )
+        .unwrap();
+        prop_assert_eq!(model.accuracy(&data), 1.0);
+        prop_assert_eq!(model.predict(&[threshold + 1.0]), 1.0);
+        prop_assert_eq!(model.predict(&[threshold - 1.0]), -1.0);
+    }
+}

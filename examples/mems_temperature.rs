@@ -1,0 +1,49 @@
+//! Predicts the hot and cold temperature-test outcomes of the MEMS
+//! accelerometer from its room-temperature measurements (the paper's second
+//! case study), eliminating the expensive thermal insertions.
+//!
+//! ```text
+//! cargo run --release --example mems_temperature
+//! ```
+
+use spec_test_compaction::adapters::AccelerometerDevice;
+use spec_test_compaction::core::{
+    generate_train_test, Compactor, GuardBandConfig, MonteCarloConfig,
+};
+use spec_test_compaction::mems::TestTemperature;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = AccelerometerDevice::paper_setup();
+    let config = MonteCarloConfig::new(800)
+        .with_seed(2005)
+        .with_threads(8)
+        .with_calibration_quantiles(0.075, 0.925);
+    eprintln!("simulating 800 training + 400 test accelerometer instances ...");
+    let (train, test) = generate_train_test(&device, &config, 400)?;
+    println!(
+        "training yield {:.1}%, test yield {:.1}% over all 12 temperature tests\n",
+        train.yield_fraction() * 100.0,
+        test.yield_fraction() * 100.0
+    );
+
+    let compactor = Compactor::new(train, test)?;
+    let guard_band = GuardBandConfig::paper_default();
+    let cost_model = AccelerometerDevice::cost_model();
+
+    let cold = AccelerometerDevice::temperature_group(TestTemperature::Cold);
+    let hot = AccelerometerDevice::temperature_group(TestTemperature::Hot);
+    let both: Vec<usize> = cold.iter().chain(hot.iter()).copied().collect();
+
+    for (label, group) in [("cold (-40C)", &cold), ("hot (+80C)", &hot), ("both", &both)] {
+        let breakdown = compactor.eliminate_group(group, &guard_band)?;
+        let kept: Vec<usize> = (0..12).filter(|c| !group.contains(c)).collect();
+        println!(
+            "eliminate {label:<12}: defect escape {:.1}%, yield loss {:.1}%, guard band {:.1}%, cost saved {:.0}%",
+            breakdown.defect_escape() * 100.0,
+            breakdown.yield_loss() * 100.0,
+            breakdown.guard_band_fraction() * 100.0,
+            cost_model.cost_reduction(&kept)? * 100.0
+        );
+    }
+    Ok(())
+}

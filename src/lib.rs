@@ -1,0 +1,51 @@
+//! # spec-test-compaction
+//!
+//! A complete reproduction of *"Specification Test Compaction for Analog
+//! Circuits and MEMS"* (Biswas, Li, Blanton, Pileggi — DATE 2005) in Rust.
+//!
+//! The paper eliminates redundant specification tests of analog and MEMS
+//! devices using ε-SVM classification, with guard-banded decision boundaries
+//! to keep yield loss and defect escape below a user-chosen tolerance.  This
+//! workspace implements the methodology and every substrate it needs:
+//!
+//! | Crate | Role |
+//! |-------|------|
+//! | [`core`] (`stc-core`) | compaction methodology: Monte-Carlo data generation, greedy elimination, guard banding, grid/lookup tester models, cost model, ad-hoc baseline |
+//! | [`svm`] (`stc-svm`) | SMO-trained support-vector classification/regression |
+//! | [`circuit`] (`stc-circuit`) | MNA analog circuit simulator + two-stage CMOS op-amp testbenches (Spectre substitute) |
+//! | [`mems`] (`stc-mems`) | lumped MEMS accelerometer behavioural model with temperature effects (NODAS substitute) |
+//! | this crate | [`adapters`] wiring the devices into the methodology, runnable examples |
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use spec_test_compaction::adapters::OpAmpDevice;
+//! use spec_test_compaction::core::{
+//!     generate_train_test, CompactionConfig, Compactor, MonteCarloConfig,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Simulate a small op-amp population and compact its 11-test suite.
+//! let device = OpAmpDevice::paper_setup();
+//! let config = MonteCarloConfig::new(500).with_seed(7).with_threads(4);
+//! let (train, test) = generate_train_test(&device, &config, 200)?;
+//! let compactor = Compactor::new(train, test)?;
+//! let result = compactor.compact(&CompactionConfig::paper_default().with_tolerance(0.01))?;
+//! println!("kept {:?}, eliminated {:?}", result.kept, result.eliminated);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The experiment harness reproducing every table and figure of the paper
+//! lives in the `stc-bench` crate (`cargo run -p stc-bench --bin table1`,
+//! `figure5`, …); EXPERIMENTS.md records paper-versus-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapters;
+
+pub use stc_circuit as circuit;
+pub use stc_core as core;
+pub use stc_mems as mems;
+pub use stc_svm as svm;

@@ -1,0 +1,53 @@
+//! Integration test of the accelerometer case study: temperature tests are
+//! predictable from room-temperature measurements with small error, which is
+//! the headline Table 3 result of the paper.
+
+use spec_test_compaction::adapters::AccelerometerDevice;
+use spec_test_compaction::core::{
+    generate_train_test, Compactor, GuardBandConfig, MonteCarloConfig,
+};
+use spec_test_compaction::mems::TestTemperature;
+
+#[test]
+fn temperature_insertions_are_predictable_from_room_temperature() {
+    let device = AccelerometerDevice::paper_setup();
+    let config = MonteCarloConfig::new(500)
+        .with_seed(505)
+        .with_threads(4)
+        .with_calibration_quantiles(0.075, 0.925);
+    let (train, test) = generate_train_test(&device, &config, 300).expect("MEMS MC succeeds");
+    assert_eq!(train.specs().len(), 12);
+    let training_yield = train.yield_fraction();
+    assert!(training_yield > 0.5 && training_yield < 0.95, "yield {training_yield}");
+
+    let compactor = Compactor::new(train, test).unwrap();
+    let guard_band = GuardBandConfig::paper_default();
+    let cold = AccelerometerDevice::temperature_group(TestTemperature::Cold);
+    let hot = AccelerometerDevice::temperature_group(TestTemperature::Hot);
+    let both: Vec<usize> = cold.iter().chain(hot.iter()).copied().collect();
+
+    let cold_breakdown = compactor.eliminate_group(&cold, &guard_band).unwrap();
+    let both_breakdown = compactor.eliminate_group(&both, &guard_band).unwrap();
+
+    // The paper reports sub-1 % errors; at reduced scale we only require the
+    // qualitative result: the temperature outcomes are highly predictable.
+    assert!(
+        cold_breakdown.prediction_error() < 0.05,
+        "cold-test prediction should be accurate: {cold_breakdown:?}"
+    );
+    assert!(
+        both_breakdown.prediction_error() < 0.08,
+        "both-insertion prediction should stay accurate: {both_breakdown:?}"
+    );
+    // Removing more tests cannot make the prediction problem easier.
+    assert!(
+        both_breakdown.prediction_error() + both_breakdown.guard_band_fraction()
+            >= cold_breakdown.prediction_error() - 0.02
+    );
+
+    // And the cost argument of the paper: dropping both insertions saves more
+    // than half of the test cost.
+    let cost_model = AccelerometerDevice::cost_model();
+    let kept: Vec<usize> = (0..12).filter(|c| !both.contains(c)).collect();
+    assert!(cost_model.cost_reduction(&kept).unwrap() > 0.5);
+}

@@ -1,0 +1,52 @@
+//! Integration test of the op-amp case study at reduced scale: the
+//! transistor-level simulator, the adapter and the compaction flow working
+//! together.
+
+use spec_test_compaction::adapters::OpAmpDevice;
+use spec_test_compaction::core::{
+    generate_train_test, Compactor, DeviceUnderTest, GuardBandConfig, MonteCarloConfig,
+};
+
+#[test]
+fn opamp_population_supports_compaction_of_related_specs() {
+    let device = OpAmpDevice::paper_setup();
+    let config = MonteCarloConfig::new(150)
+        .with_seed(404)
+        .with_threads(4)
+        .with_calibration_quantiles(0.02, 0.98);
+    let (train, test) = generate_train_test(&device, &config, 80).expect("op-amp MC succeeds");
+
+    assert_eq!(train.specs().len(), 11);
+    assert_eq!(device.spec_names().len(), 11);
+    let training_yield = train.yield_fraction();
+    assert!(
+        training_yield > 0.4 && training_yield < 0.95,
+        "calibrated yield should be moderate: {training_yield}"
+    );
+
+    // The small-signal step-response specs (rise time, settling, overshoot)
+    // are strongly tied to bandwidth/unity-gain frequency, so predicting the
+    // overall outcome without the rise-time test must be possible with small
+    // error even from a modest population.
+    let compactor = Compactor::new(train, test).unwrap();
+    let breakdown = compactor
+        .eliminate_group(&[4], &GuardBandConfig::paper_default())
+        .expect("model trains");
+    assert!(
+        breakdown.prediction_error() < 0.10,
+        "dropping the rise-time test should be nearly free: {breakdown:?}"
+    );
+}
+
+#[test]
+fn opamp_measurements_are_reproducible_for_a_fixed_seed() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let device = OpAmpDevice::paper_setup();
+    let a = device.simulate_instance(&mut StdRng::seed_from_u64(7)).unwrap();
+    let b = device.simulate_instance(&mut StdRng::seed_from_u64(7)).unwrap();
+    let c = device.simulate_instance(&mut StdRng::seed_from_u64(8)).unwrap();
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+    assert_eq!(a.len(), 11);
+}

@@ -1,0 +1,128 @@
+//! End-to-end integration test of the compaction pipeline on a synthetic
+//! device: Monte-Carlo generation → greedy compaction → tester deployment →
+//! cost accounting.
+
+use spec_test_compaction::core::{
+    baseline, generate_train_test, CompactionConfig, Compactor, DeviceLabel, EliminationOrder,
+    GuardBandConfig, GuardBandedClassifier, MonteCarloConfig, Prediction, SyntheticDevice,
+    TestCostModel, TesterProgram,
+};
+
+fn population() -> (spec_test_compaction::core::MeasurementSet, spec_test_compaction::core::MeasurementSet)
+{
+    let device = SyntheticDevice::new(7, 1.8, 0.9);
+    generate_train_test(&device, &MonteCarloConfig::new(600).with_seed(99), 300)
+        .expect("synthetic generation succeeds")
+}
+
+#[test]
+fn full_pipeline_compacts_and_deploys() {
+    let (train, test) = population();
+    let compactor = Compactor::new(train.clone(), test.clone()).unwrap();
+    let config = CompactionConfig::paper_default().with_tolerance(0.03);
+    let result = compactor.compact(&config).unwrap();
+
+    // The correlated synthetic device always admits some compaction.
+    assert!(!result.eliminated.is_empty());
+    assert!(!result.kept.is_empty());
+    assert!(result.final_breakdown.prediction_error() <= 0.03 + 1e-9);
+
+    // Deploy the final model as a tester program (SVM and lookup table) and
+    // verify the deployed behaviour matches the model it came from.
+    let classifier =
+        GuardBandedClassifier::train(&train, &result.kept, &config.guard_band).unwrap();
+    let svm_program = TesterProgram::with_svm(train.specs().clone(), classifier.clone());
+    let direct = classifier.evaluate(&test);
+    let deployed = svm_program.evaluate(&test);
+    assert_eq!(direct.defect_escape_count, deployed.defect_escape_count);
+    assert_eq!(direct.yield_loss_count, deployed.yield_loss_count);
+
+    if result.kept.len() <= 5 {
+        let table_program =
+            TesterProgram::with_lookup_table(train.specs().clone(), &classifier, 12).unwrap();
+        let table_eval = table_program.evaluate(&test);
+        assert!((table_eval.prediction_error() - deployed.prediction_error()).abs() < 0.05);
+    }
+
+    // Cost accounting is consistent with the number of eliminated tests.
+    let cost = TestCostModel::uniform(train.specs().len());
+    let reduction = cost.cost_reduction(&result.kept).unwrap();
+    assert!(
+        (reduction - result.eliminated.len() as f64 / train.specs().len() as f64).abs() < 1e-9
+    );
+}
+
+#[test]
+fn statistical_compaction_beats_adhoc_on_defect_escape() {
+    let (train, test) = population();
+    let compactor = Compactor::new(train, test.clone()).unwrap();
+    // Drop two correlated specs.
+    let dropped = vec![5usize, 6usize];
+    let statistical =
+        compactor.eliminate_group(&dropped, &GuardBandConfig::paper_default()).unwrap();
+    let adhoc = baseline::evaluate_adhoc(&test, &dropped).unwrap();
+    assert!(
+        statistical.defect_escape() <= adhoc.breakdown.defect_escape() + 1e-9,
+        "statistical {:.3} vs adhoc {:.3}",
+        statistical.defect_escape(),
+        adhoc.breakdown.defect_escape()
+    );
+}
+
+#[test]
+fn complete_test_set_is_the_error_free_reference() {
+    let (_, test) = population();
+    let reference = baseline::evaluate_complete_test_set(&test);
+    assert_eq!(reference.yield_loss_count, 0);
+    assert_eq!(reference.defect_escape_count, 0);
+    assert_eq!(reference.total, test.len());
+}
+
+#[test]
+fn random_and_heuristic_orders_respect_the_tolerance() {
+    let (train, test) = population();
+    let compactor = Compactor::new(train, test).unwrap();
+    for order in [
+        EliminationOrder::ByClassificationPower,
+        EliminationOrder::ByCorrelationClustering,
+        EliminationOrder::Random { seed: 11 },
+    ] {
+        let config = CompactionConfig::paper_default().with_tolerance(0.05).with_order(order);
+        let result = compactor.compact(&config).unwrap();
+        assert!(result.final_breakdown.prediction_error() <= 0.05 + 1e-9);
+        assert!(!result.kept.is_empty());
+    }
+}
+
+#[test]
+fn guard_band_devices_are_never_counted_as_errors() {
+    let (train, test) = population();
+    let classifier = GuardBandedClassifier::train(
+        &train,
+        &[0, 1, 2, 3, 4],
+        &GuardBandConfig::paper_default().with_guard_band(0.2),
+    )
+    .unwrap();
+    let breakdown = classifier.evaluate(&test);
+    assert_eq!(
+        breakdown.total,
+        breakdown.true_good
+            + breakdown.true_bad
+            + breakdown.yield_loss_count
+            + breakdown.defect_escape_count
+            + breakdown.guard_band_count
+    );
+    // Spot-check the three-way classification directly.
+    for i in 0..test.len().min(50) {
+        let prediction = classifier.classify_instance(&test, i);
+        let truth = test.label(i);
+        match prediction {
+            Prediction::GuardBand => {}
+            Prediction::Good | Prediction::Bad => {
+                // Confident predictions are either right or counted in the
+                // breakdown as yield loss / defect escape; nothing else.
+                let _ = truth == DeviceLabel::Good;
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! End-to-end benchmark of `CompactionPipeline::run` on the synthetic
+//! device, for both bundled classifier backends — the baseline for future
+//! performance work on the pipeline hot path.
+//!
+//! The `svm-4-threads` row measures speculative candidate evaluation.  On
+//! this small synthetic workload the speculation *loses* (acceptances
+//! discard most of the batch and thread spawn dominates the ~ms trainings);
+//! it pays off when training is expensive and rejections dominate.  Keeping
+//! the row in the baseline makes that trade-off visible to future perf work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stc_core::classifier::GridBackend;
+use stc_core::pipeline::CompactionPipeline;
+use stc_core::{CompactionConfig, MonteCarloConfig, SyntheticDevice};
+use stc_svm::SvmBackend;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    let device = SyntheticDevice::new(6, 1.8, 0.9);
+    let pipeline = |threads: usize| {
+        CompactionPipeline::for_device(&device)
+            .monte_carlo(MonteCarloConfig::new(300).with_seed(7))
+            .test_instances(150)
+            .compaction(
+                CompactionConfig::paper_default().with_tolerance(0.03).with_threads(threads),
+            )
+    };
+
+    group.bench_with_input(BenchmarkId::new("run_end_to_end", "grid"), &(), |b, ()| {
+        b.iter(|| pipeline(1).classifier(GridBackend::default()).run().expect("pipeline runs"));
+    });
+
+    group.bench_with_input(BenchmarkId::new("run_end_to_end", "svm"), &(), |b, ()| {
+        b.iter(|| {
+            pipeline(1).classifier(SvmBackend::paper_default()).run().expect("pipeline runs")
+        });
+    });
+
+    group.bench_with_input(BenchmarkId::new("run_end_to_end", "svm-4-threads"), &(), |b, ()| {
+        b.iter(|| {
+            pipeline(4).classifier(SvmBackend::paper_default()).run().expect("pipeline runs")
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -8,7 +8,13 @@ use stc_core::{
     ErrorBreakdown, GuardBandConfig, MeasurementSet, Prediction,
 };
 use stc_mems::TestTemperature;
-use stc_svm::{Kernel, Svr, SvrParams};
+use stc_svm::{Kernel, SvmBackend, Svr, SvrParams};
+
+/// The classifier backend the paper's tables are produced with: the ε-SVM,
+/// configured from the guard-band settings of each experiment.
+fn svm(guard_band: &GuardBandConfig) -> SvmBackend {
+    SvmBackend::from_guard_band(guard_band)
+}
 
 /// Indices of the eleven op-amp specifications in measurement order
 /// (see `OpAmpMeasurements::names`).
@@ -83,7 +89,7 @@ pub fn figure5(
 ) -> (Vec<CompactionStep>, String) {
     let compactor = Compactor::new(train.clone(), test.clone()).expect("populations are valid");
     let steps = compactor
-        .elimination_sweep(&opamp_functional_order(), guard_band)
+        .elimination_sweep_with(&svm(guard_band), &opamp_functional_order(), guard_band)
         .expect("elimination sweep failed");
     let header = vec![
         "Eliminated test (cumulative)".to_string(),
@@ -127,7 +133,12 @@ pub fn figure6(
         .iter()
         .map(|&size| {
             compactor
-                .eliminate_single(opamp_spec::BANDWIDTH_3DB, size, guard_band)
+                .eliminate_single_with(
+                    &svm(guard_band),
+                    opamp_spec::BANDWIDTH_3DB,
+                    size,
+                    guard_band,
+                )
                 .expect("single-spec elimination failed")
         })
         .collect();
@@ -204,7 +215,7 @@ pub fn table3(
     let mut rows = Vec::new();
     for (label, group) in &cases {
         let breakdown = compactor
-            .eliminate_group(group, guard_band)
+            .eliminate_group_with(&svm(guard_band), group, guard_band)
             .expect("temperature-group elimination failed");
         let kept: Vec<usize> = (0..12).filter(|c| !group.contains(c)).collect();
         let reduction = cost_model.cost_reduction(&kept).expect("kept set is valid");
@@ -242,19 +253,22 @@ pub fn ablation_classification_vs_regression(
     guard_band: &GuardBandConfig,
 ) -> (f64, f64, String) {
     let compactor = Compactor::new(train.clone(), test.clone()).expect("populations are valid");
-    let kept: Vec<usize> =
-        (0..train.specs().len()).filter(|&c| c != eliminated).collect();
+    let kept: Vec<usize> = (0..train.specs().len()).filter(|&c| c != eliminated).collect();
 
     // Classification path (the paper's method).
-    let (_, classification) =
-        compactor.evaluate_kept_set(&kept, guard_band).expect("classification model trains");
+    let (_, classification) = compactor
+        .evaluate_kept_set_with(&svm(guard_band), &kept, guard_band)
+        .expect("classification model trains");
 
     // Regression path: fit the eliminated specification from the kept ones,
     // then apply the original range to the predicted value.
     let mut regression_data = stc_svm::Dataset::new(kept.len()).expect("non-empty kept set");
     for i in 0..train.len() {
         regression_data
-            .push(train.features(i, &kept), train.specs().spec(eliminated).normalize(train.row(i)[eliminated]))
+            .push(
+                train.features(i, &kept),
+                train.specs().spec(eliminated).normalize(train.row(i)[eliminated]),
+            )
             .expect("finite features");
     }
     let svr = Svr::train(
@@ -265,15 +279,11 @@ pub fn ablation_classification_vs_regression(
     let mut regression = ErrorBreakdown::default();
     for i in 0..test.len() {
         let truth = test.label(i);
-        let kept_pass =
-            kept.iter().all(|&c| test.specs().spec(c).passes(test.row(i)[c]));
+        let kept_pass = kept.iter().all(|&c| test.specs().spec(c).passes(test.row(i)[c]));
         let predicted_normalised = svr.predict(&test.features(i, &kept));
         let predicted_pass = (0.0..=1.0).contains(&predicted_normalised);
-        let prediction = if kept_pass && predicted_pass {
-            Prediction::Good
-        } else {
-            Prediction::Bad
-        };
+        let prediction =
+            if kept_pass && predicted_pass { Prediction::Good } else { Prediction::Bad };
         regression.record(truth, prediction);
     }
 
@@ -302,8 +312,7 @@ pub fn ablation_guardband(
     widths: &[f64],
 ) -> String {
     let compactor = Compactor::new(train.clone(), test.clone()).expect("populations are valid");
-    let kept: Vec<usize> =
-        (0..train.specs().len()).filter(|c| !eliminated.contains(c)).collect();
+    let kept: Vec<usize> = (0..train.specs().len()).filter(|c| !eliminated.contains(c)).collect();
     let header = vec![
         "Guard band".to_string(),
         "Yield loss".to_string(),
@@ -314,8 +323,9 @@ pub fn ablation_guardband(
         .iter()
         .map(|&width| {
             let config = GuardBandConfig::paper_default().with_guard_band(width);
-            let (_, breakdown) =
-                compactor.evaluate_kept_set(&kept, &config).expect("guard-band model trains");
+            let (_, breakdown) = compactor
+                .evaluate_kept_set_with(&svm(&config), &kept, &config)
+                .expect("guard-band model trains");
             vec![
                 percent(width),
                 percent(breakdown.yield_loss()),
@@ -362,7 +372,8 @@ pub fn ablation_ordering(
                 .with_tolerance(tolerance)
                 .with_order(order)
                 .with_guard_band(*guard_band);
-            let result = compactor.compact(&config).expect("compaction run failed");
+            let result =
+                compactor.compact_with(&svm(guard_band), &config).expect("compaction run failed");
             vec![
                 label.to_string(),
                 format!("{} of {}", result.eliminated.len(), train.specs().len()),
@@ -393,8 +404,7 @@ pub fn ablation_grid(
     resolutions: &[usize],
     guard_band: &GuardBandConfig,
 ) -> String {
-    let kept: Vec<usize> =
-        (0..train.specs().len()).filter(|c| !eliminated.contains(c)).collect();
+    let kept: Vec<usize> = (0..train.specs().len()).filter(|c| !eliminated.contains(c)).collect();
     let header = vec![
         "Grid cells/dim".to_string(),
         "Training instances".to_string(),
@@ -404,7 +414,7 @@ pub fn ablation_grid(
     let mut rows = Vec::new();
     // Reference: no compression.
     let reference = Compactor::new(train.clone(), test.clone())
-        .and_then(|c| c.evaluate_kept_set(&kept, guard_band).map(|(_, b)| b))
+        .and_then(|c| c.evaluate_kept_set_with(&svm(guard_band), &kept, guard_band).map(|(_, b)| b))
         .expect("reference model trains");
     rows.push(vec![
         "none".to_string(),
@@ -417,8 +427,9 @@ pub fn ablation_grid(
             gridmodel::compress_training_data(train, resolution).expect("compression succeeds");
         let compactor =
             Compactor::new(compressed.clone(), test.clone()).expect("populations are valid");
-        let (_, breakdown) =
-            compactor.evaluate_kept_set(&kept, guard_band).expect("compressed model trains");
+        let (_, breakdown) = compactor
+            .evaluate_kept_set_with(&svm(guard_band), &kept, guard_band)
+            .expect("compressed model trains");
         rows.push(vec![
             resolution.to_string(),
             compressed.len().to_string(),
@@ -446,13 +457,15 @@ pub fn ablation_adhoc(
 ) -> String {
     let compactor = Compactor::new(train.clone(), test.clone()).expect("populations are valid");
     let statistical = compactor
-        .eliminate_group(dropped, guard_band)
+        .eliminate_group_with(&svm(guard_band), dropped, guard_band)
         .expect("statistical model trains");
     let adhoc = baseline::evaluate_adhoc(test, dropped).expect("ad-hoc evaluation succeeds");
-    let names: Vec<&str> =
-        dropped.iter().map(|&c| train.specs().spec(c).name()).collect();
+    let names: Vec<&str> = dropped.iter().map(|&c| train.specs().spec(c).name()).collect();
     let mut out = String::new();
-    out.push_str(&format!("Baseline: dropping {:?} without vs with a statistical model\n\n", names));
+    out.push_str(&format!(
+        "Baseline: dropping {:?} without vs with a statistical model\n\n",
+        names
+    ));
     out.push_str(&render_breakdown("  ad-hoc (no model)  ", &adhoc.breakdown));
     out.push('\n');
     out.push_str(&render_breakdown("  statistical (paper)", &statistical));
@@ -519,8 +532,6 @@ mod tests {
         assert!(class_error >= 0.0 && reg_error >= 0.0);
         assert!(ablation_guardband(&train, &test, &[1], &[0.02, 0.05]).contains("Guard band"));
         assert!(ablation_adhoc(&train, &test, &[1], &guard_band).contains("ad-hoc"));
-        assert!(
-            ablation_grid(&train, &test, &[1], &[8], &guard_band).contains("Grid cells/dim")
-        );
+        assert!(ablation_grid(&train, &test, &[1], &[8], &guard_band).contains("Grid cells/dim"));
     }
 }

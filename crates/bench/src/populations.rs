@@ -4,7 +4,7 @@
 //! (thousands of transistor-level simulations), so the harness builds it once
 //! per process and shares it behind a lock.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use spec_test_compaction::adapters::{AccelerometerDevice, OpAmpDevice};
 use stc_core::{generate_train_test, MeasurementSet, MonteCarloConfig};
@@ -19,10 +19,12 @@ const OPAMP_QUANTILES: (f64, f64) = (0.02, 0.98);
 /// so the per-spec tails must be much wider than 1/12th of the target).
 const MEMS_QUANTILES: (f64, f64) = (0.075, 0.925);
 
-static OPAMP_CACHE: Mutex<Option<((usize, usize, u64), (MeasurementSet, MeasurementSet))>> =
-    Mutex::new(None);
-static MEMS_CACHE: Mutex<Option<((usize, usize, u64), (MeasurementSet, MeasurementSet))>> =
-    Mutex::new(None);
+/// Cache key: (train instances, test instances, seed).
+type PopulationKey = (usize, usize, u64);
+type PopulationCache = Mutex<Option<(PopulationKey, (MeasurementSet, MeasurementSet))>>;
+
+static OPAMP_CACHE: PopulationCache = Mutex::new(None);
+static MEMS_CACHE: PopulationCache = Mutex::new(None);
 
 /// Builds (or returns the cached) op-amp training/test population.
 ///
@@ -37,7 +39,7 @@ pub fn opamp_population(
     threads: usize,
 ) -> (MeasurementSet, MeasurementSet) {
     let key = (train_instances, test_instances, seed);
-    let mut cache = OPAMP_CACHE.lock();
+    let mut cache = OPAMP_CACHE.lock().expect("population cache poisoned");
     if let Some((cached_key, population)) = cache.as_ref() {
         if *cached_key == key {
             return population.clone();
@@ -67,7 +69,7 @@ pub fn mems_population(
     threads: usize,
 ) -> (MeasurementSet, MeasurementSet) {
     let key = (train_instances, test_instances, seed);
-    let mut cache = MEMS_CACHE.lock();
+    let mut cache = MEMS_CACHE.lock().expect("population cache poisoned");
     if let Some((cached_key, population)) = cache.as_ref() {
         if *cached_key == key {
             return population.clone();

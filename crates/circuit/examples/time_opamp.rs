@@ -1,8 +1,8 @@
-use std::time::Instant;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use stc_circuit::devices::opamp::{OpAmp, OpAmpParams};
 use stc_circuit::variation::VariationModel;
-use rand::SeedableRng;
-use rand::rngs::StdRng;
+use std::time::Instant;
 
 fn main() {
     let t0 = Instant::now();
@@ -15,7 +15,15 @@ fn main() {
     let n = 20;
     for _ in 0..n {
         let params = model.perturb_opamp(&OpAmpParams::nominal(), &mut rng);
-        if OpAmp::new(params).measure().is_err() { failures += 1; }
+        if OpAmp::new(params).measure().is_err() {
+            failures += 1;
+        }
     }
-    println!("{} instances in {:?} ({:?}/instance), {} failures", n, t0.elapsed(), t0.elapsed()/n, failures);
+    println!(
+        "{} instances in {:?} ({:?}/instance), {} failures",
+        n,
+        t0.elapsed(),
+        t0.elapsed() / n,
+        failures
+    );
 }

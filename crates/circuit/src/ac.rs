@@ -142,14 +142,10 @@ mod tests {
         c.capacitor("C1", vout, Circuit::ground(), 1e-6).unwrap();
         let op = dc_operating_point(&c).unwrap();
         // f0 = 1/(2 pi sqrt(LC)) ≈ 5.03 kHz; Q = sqrt(L/C)/R ≈ 3.16.
-        let sweep =
-            ac_analysis(&c, &op, &log_frequency_sweep(100.0, 100_000.0, 201)).unwrap();
+        let sweep = ac_analysis(&c, &op, &log_frequency_sweep(100.0, 100_000.0, 201)).unwrap();
         let mag = sweep.magnitude(vout);
-        let (peak_index, peak) = mag
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
+        let (peak_index, peak) =
+            mag.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
         let f_peak = sweep.frequencies()[peak_index];
         assert!((f_peak / 5_033.0 - 1.0).abs() < 0.1, "peak at {f_peak}");
         assert!(*peak > 2.0 && *peak < 4.0, "Q-limited peak {peak}");

@@ -71,9 +71,8 @@ pub(crate) fn newton_solve(
         for row in 0..node_rows {
             max_delta = max_delta.max((x_new[row] - x[row]).abs());
         }
-        let converged = (0..node_rows).all(|row| {
-            (x_new[row] - x[row]).abs() <= ABSTOL + RELTOL * x_new[row].abs()
-        });
+        let converged = (0..node_rows)
+            .all(|row| (x_new[row] - x[row]).abs() <= ABSTOL + RELTOL * x_new[row].abs());
         if max_delta > VOLTAGE_STEP_LIMIT {
             let scale = VOLTAGE_STEP_LIMIT / max_delta;
             for row in 0..x.len() {
@@ -168,10 +167,8 @@ pub fn dc_operating_point_from(
     // 3. Source stepping: ramp all independent sources from 10 % to 100 %.
     let mut x = x0;
     for step in 1..=10 {
-        let options = AssemblyOptions {
-            source_scale: step as f64 / 10.0,
-            ..AssemblyOptions::default()
-        };
+        let options =
+            AssemblyOptions { source_scale: step as f64 / 10.0, ..AssemblyOptions::default() };
         x = newton_solve(circuit, &layout, &x, None, &options)?;
     }
     Ok(DcSolution::new(layout, x))

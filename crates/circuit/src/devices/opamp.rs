@@ -206,9 +206,7 @@ impl OpAmpMeasurements {
 
     /// Units of the eleven specifications, matching Table 1 of the paper.
     pub fn units() -> &'static [&'static str] {
-        &[
-            "V/V", "Hz", "MHz", "V/us", "us", "%", "us", "uA", "V/V", "V/V", "uA",
-        ]
+        &["V/V", "Hz", "MHz", "V/us", "us", "%", "us", "uA", "V/V", "V/V", "uA"]
     }
 }
 
@@ -258,14 +256,32 @@ impl OpAmp {
 
         // Bias chain: Iref from VDD into the diode-connected M8.
         circuit.current_source("IBIAS", vdd, nbias, SourceWaveform::dc(p.bias_current))?;
-        circuit.mosfet("M8", nbias, nbias, vss, MosfetPolarity::Nmos, p.nmos, p.w_tail, p.l_tail)?;
+        circuit.mosfet(
+            "M8",
+            nbias,
+            nbias,
+            vss,
+            MosfetPolarity::Nmos,
+            p.nmos,
+            p.w_tail,
+            p.l_tail,
+        )?;
 
         // First stage: NMOS differential pair with PMOS mirror load.
         circuit.mosfet("M1", n1, inn, ntail, MosfetPolarity::Nmos, p.nmos, p.w_diff, p.l_diff)?;
         circuit.mosfet("M2", n2, inp, ntail, MosfetPolarity::Nmos, p.nmos, p.w_diff, p.l_diff)?;
         circuit.mosfet("M3", n1, n1, vdd, MosfetPolarity::Pmos, p.pmos, p.w_load, p.l_load)?;
         circuit.mosfet("M4", n2, n1, vdd, MosfetPolarity::Pmos, p.pmos, p.w_load, p.l_load)?;
-        circuit.mosfet("M5", ntail, nbias, vss, MosfetPolarity::Nmos, p.nmos, p.w_tail, p.l_tail)?;
+        circuit.mosfet(
+            "M5",
+            ntail,
+            nbias,
+            vss,
+            MosfetPolarity::Nmos,
+            p.nmos,
+            p.w_tail,
+            p.l_tail,
+        )?;
 
         // Second stage: PMOS common source with NMOS current-sink load.
         circuit.mosfet("M6", out, n2, vdd, MosfetPolarity::Pmos, p.pmos, p.w_driver, p.l_driver)?;
@@ -322,9 +338,7 @@ impl OpAmp {
             // inserting it between the ideal supply and the core supply node is
             // not possible after the fact, so instead add the AC magnitude to
             // the existing VDD source.
-            let index = circuit
-                .find_element("VDD")
-                .expect("core always instantiates VDD");
+            let index = circuit.find_element("VDD").expect("core always instantiates VDD");
             if let Some(crate::elements::Element::VoltageSource { ac_magnitude, .. }) =
                 circuit_elements_mut(&mut circuit).get_mut(index)
             {
@@ -413,9 +427,8 @@ impl OpAmp {
     /// Quiescent current drawn from the positive supply (µA).
     fn quiescent_current(&self, circuit: &Circuit, op: &DcSolution) -> Result<f64> {
         let vdd_index = circuit.find_element("VDD").expect("core always instantiates VDD");
-        let current = op
-            .branch_current(vdd_index)
-            .expect("voltage sources always carry a branch current");
+        let current =
+            op.branch_current(vdd_index).expect("voltage sources always carry a branch current");
         // The branch current flows from the + terminal through the source, so
         // a sourcing supply sees a negative branch current.
         Ok(current.abs() * 1e6)
@@ -433,9 +446,8 @@ impl OpAmp {
         circuit.voltage_source("VFB", nodes.out, nodes.inn, SourceWaveform::dc(0.0))?;
         let ammeter = circuit.voltage_source("VSHORT", nodes.out, gnd, SourceWaveform::dc(0.0))?;
         let op = dc_operating_point(&circuit)?;
-        let current = op
-            .branch_current(ammeter)
-            .expect("voltage sources always carry a branch current");
+        let current =
+            op.branch_current(ammeter).expect("voltage sources always carry a branch current");
         Ok(current.abs() * 1e6)
     }
 }
@@ -520,10 +532,7 @@ mod tests {
             params.set_geometry_field(name, value * 2.0);
         }
         assert_eq!(params.w_diff, 2.0 * OpAmpParams::nominal().w_diff);
-        assert_eq!(
-            params.load_capacitance,
-            2.0 * OpAmpParams::nominal().load_capacitance
-        );
+        assert_eq!(params.load_capacitance, 2.0 * OpAmpParams::nominal().load_capacitance);
     }
 
     #[test]

@@ -179,8 +179,9 @@ impl Element {
             Element::Resistor { a, b, .. }
             | Element::Capacitor { a, b, .. }
             | Element::Inductor { a, b, .. } => vec![a, b],
-            Element::VoltageSource { pos, neg, .. }
-            | Element::CurrentSource { pos, neg, .. } => vec![pos, neg],
+            Element::VoltageSource { pos, neg, .. } | Element::CurrentSource { pos, neg, .. } => {
+                vec![pos, neg]
+            }
             Element::Vcvs { out_pos, out_neg, in_pos, in_neg, .. }
             | Element::Vccs { out_pos, out_neg, in_pos, in_neg, .. } => {
                 vec![out_pos, out_neg, in_pos, in_neg]
@@ -209,7 +210,8 @@ mod tests {
             waveform: SourceWaveform::dc(1.0),
             ac_magnitude: 0.0,
         };
-        let r = Element::Resistor { name: "r1".into(), a: NodeId(1), b: NodeId(0), resistance: 1.0 };
+        let r =
+            Element::Resistor { name: "r1".into(), a: NodeId(1), b: NodeId(0), resistance: 1.0 };
         assert!(v.needs_branch_current());
         assert!(!r.needs_branch_current());
         assert_eq!(v.name(), "v1");

@@ -120,25 +120,11 @@ pub fn linearize(
         MosfetPolarity::Nmos => {
             if vd >= vs {
                 let (id, gm, gds) = nmos_equations(vg - vs, vd - vs, vth, beta, lambda);
-                MosfetOperatingPoint {
-                    ids: id,
-                    d_vg: gm,
-                    d_vd: gds,
-                    d_vs: -(gm + gds),
-                    gm,
-                    gds,
-                }
+                MosfetOperatingPoint { ids: id, d_vg: gm, d_vd: gds, d_vs: -(gm + gds), gm, gds }
             } else {
                 // Source and drain exchange roles; channel current reverses.
                 let (id, gm, gds) = nmos_equations(vg - vd, vs - vd, vth, beta, lambda);
-                MosfetOperatingPoint {
-                    ids: -id,
-                    d_vg: -gm,
-                    d_vd: gm + gds,
-                    d_vs: -gds,
-                    gm,
-                    gds,
-                }
+                MosfetOperatingPoint { ids: -id, d_vg: -gm, d_vd: gm + gds, d_vs: -gds, gm, gds }
             }
         }
         MosfetPolarity::Pmos => {
@@ -147,24 +133,10 @@ pub fn linearize(
             // i.e. ids (drain->source) is negative in normal operation.
             if vs >= vd {
                 let (id, gm, gds) = nmos_equations(vs - vg, vs - vd, vth, beta, lambda);
-                MosfetOperatingPoint {
-                    ids: -id,
-                    d_vg: gm,
-                    d_vd: gds,
-                    d_vs: -(gm + gds),
-                    gm,
-                    gds,
-                }
+                MosfetOperatingPoint { ids: -id, d_vg: gm, d_vd: gds, d_vs: -(gm + gds), gm, gds }
             } else {
                 let (id, gm, gds) = nmos_equations(vd - vg, vd - vs, vth, beta, lambda);
-                MosfetOperatingPoint {
-                    ids: id,
-                    d_vg: -gm,
-                    d_vd: gm + gds,
-                    d_vs: -gds,
-                    gm,
-                    gds,
-                }
+                MosfetOperatingPoint { ids: id, d_vg: -gm, d_vd: gm + gds, d_vs: -gds, gm, gds }
             }
         }
     }

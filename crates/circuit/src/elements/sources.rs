@@ -141,8 +141,7 @@ impl SourceWaveform {
                 if t < *delay {
                     *offset
                 } else {
-                    offset
-                        + amplitude * (std::f64::consts::TAU * frequency * (t - delay)).sin()
+                    offset + amplitude * (std::f64::consts::TAU * frequency * (t - delay)).sin()
                 }
             }
             SourceWaveform::Pwl { points } => {

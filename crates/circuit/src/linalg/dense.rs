@@ -70,7 +70,7 @@ impl Matrix<Complex> {
     /// Adds `value` to entry `(row, col)` — the MNA "stamp" primitive.
     pub fn add(&mut self, row: usize, col: usize, value: Complex) {
         let entry = &mut self.values[row * self.n + col];
-        *entry = *entry + value;
+        *entry += value;
     }
 }
 
@@ -173,7 +173,7 @@ pub fn solve_complex(
             }
             for c in k..n {
                 let v = a[(k, c)];
-                a[(r, c)] = a[(r, c)] - factor * v;
+                a[(r, c)] -= factor * v;
             }
             b[r] = b[r] - factor * b[k];
         }
@@ -182,7 +182,7 @@ pub fn solve_complex(
     for k in (0..n).rev() {
         let mut sum = b[k];
         for c in (k + 1)..n {
-            sum = sum - a[(k, c)] * x[c];
+            sum -= a[(k, c)] * x[c];
         }
         x[k] = sum / a[(k, k)];
     }
@@ -223,10 +223,7 @@ mod tests {
         a[(0, 1)] = 2.0;
         a[(1, 0)] = 2.0;
         a[(1, 1)] = 4.0;
-        assert!(matches!(
-            solve_real(a, vec![1.0, 2.0]),
-            Err(CircuitError::SingularMatrix { .. })
-        ));
+        assert!(matches!(solve_real(a, vec![1.0, 2.0]), Err(CircuitError::SingularMatrix { .. })));
     }
 
     #[test]
@@ -274,14 +271,14 @@ mod tests {
             for c in 0..n {
                 a[(r, c)] = Complex::new((r + c) as f64 * 0.1, (r as f64 - c as f64) * 0.2);
             }
-            a[(r, r)] = a[(r, r)] + Complex::real(4.0);
+            a[(r, r)] += Complex::real(4.0);
         }
         let x_true: Vec<Complex> =
             (0..n).map(|i| Complex::new(i as f64, -(i as f64) / 2.0)).collect();
         let mut b = vec![Complex::zero(); n];
         for r in 0..n {
             for c in 0..n {
-                b[r] = b[r] + a[(r, c)] * x_true[c];
+                b[r] += a[(r, c)] * x_true[c];
             }
         }
         let x = solve_complex(a, b).unwrap();

@@ -109,14 +109,16 @@ pub fn quality_factor(sweep: &AcSweep, node: NodeId) -> Result<f64> {
     let mut f_lo = None;
     for i in (1..=peak).rev() {
         if magnitudes[i - 1] <= half_power && magnitudes[i] >= half_power {
-            f_lo = interpolate(freqs[i - 1], freqs[i], magnitudes[i - 1], magnitudes[i], half_power);
+            f_lo =
+                interpolate(freqs[i - 1], freqs[i], magnitudes[i - 1], magnitudes[i], half_power);
             break;
         }
     }
     let mut f_hi = None;
     for i in peak..magnitudes.len() - 1 {
         if magnitudes[i] >= half_power && magnitudes[i + 1] <= half_power {
-            f_hi = interpolate(freqs[i], freqs[i + 1], magnitudes[i], magnitudes[i + 1], half_power);
+            f_hi =
+                interpolate(freqs[i], freqs[i + 1], magnitudes[i], magnitudes[i + 1], half_power);
             break;
         }
     }
@@ -146,7 +148,13 @@ fn interpolate(f0: f64, f1: f64, m0: f64, m1: f64, target: f64) -> Option<f64> {
 fn crossing_frequency(frequencies: &[f64], values: &[f64], target: f64) -> Option<f64> {
     for i in 1..values.len() {
         if values[i - 1] >= target && values[i] < target {
-            return interpolate(frequencies[i - 1], frequencies[i], values[i - 1], values[i], target);
+            return interpolate(
+                frequencies[i - 1],
+                frequencies[i],
+                values[i - 1],
+                values[i],
+                target,
+            );
         }
     }
     None
@@ -179,8 +187,7 @@ mod tests {
     fn single_pole_gain_bandwidth_and_unity_crossing() {
         let (c, vout) = single_pole_amplifier();
         let op = dc_operating_point(&c).unwrap();
-        let sweep =
-            ac_analysis(&c, &op, &log_frequency_sweep(1.0, 100e6, 401)).unwrap();
+        let sweep = ac_analysis(&c, &op, &log_frequency_sweep(1.0, 100e6, 401)).unwrap();
         let gain = dc_gain(&sweep, vout);
         assert!((gain - 1000.0).abs() / 1000.0 < 0.01, "gain {gain}");
         let bw = bandwidth_3db(&sweep, vout).unwrap();
@@ -203,8 +210,7 @@ mod tests {
         c.inductor("L1", mid, vout, 1e-3).unwrap();
         c.capacitor("C1", vout, Circuit::ground(), 1e-6).unwrap();
         let op = dc_operating_point(&c).unwrap();
-        let sweep =
-            ac_analysis(&c, &op, &log_frequency_sweep(100.0, 100_000.0, 801)).unwrap();
+        let sweep = ac_analysis(&c, &op, &log_frequency_sweep(100.0, 100_000.0, 801)).unwrap();
         let f_peak = peak_frequency(&sweep, vout);
         assert!((f_peak / 5_033.0 - 1.0).abs() < 0.05, "peak {f_peak}");
         let q = quality_factor(&sweep, vout).unwrap();

@@ -172,8 +172,7 @@ pub fn assemble_real(
                     let dynamic = dynamic.expect("transient assembly requires dynamic state");
                     let ra = layout.node_row(*a);
                     let rb = layout.node_row(*b);
-                    let v_prev =
-                        layout.voltage(&dynamic.x, *a) - layout.voltage(&dynamic.x, *b);
+                    let v_prev = layout.voltage(&dynamic.x, *a) - layout.voltage(&dynamic.x, *b);
                     let i_prev = dynamic.capacitor_currents[index];
                     let (geq, irhs) = match method {
                         IntegrationMethod::BackwardEuler => {
@@ -206,8 +205,7 @@ pub fn assemble_real(
                         // DC: v_a - v_b = 0 (ideal short); nothing else to add.
                     }
                     Some((_, h, method)) => {
-                        let dynamic =
-                            dynamic.expect("transient assembly requires dynamic state");
+                        let dynamic = dynamic.expect("transient assembly requires dynamic state");
                         let br_row = br.expect("inductor always has a branch row");
                         let i_prev = dynamic.x[br_row];
                         match method {
@@ -220,8 +218,8 @@ pub fn assemble_real(
                             IntegrationMethod::Trapezoidal => {
                                 // v + v_prev = (2L/h)(i - i_prev)
                                 let leq = 2.0 * inductance / h;
-                                let v_prev = layout.voltage(&dynamic.x, *a)
-                                    - layout.voltage(&dynamic.x, *b);
+                                let v_prev =
+                                    layout.voltage(&dynamic.x, *a) - layout.voltage(&dynamic.x, *b);
                                 stamps.add_a(br, br, -leq);
                                 stamps.add_b(br, -leq * i_prev + v_prev);
                                 // Move the +v_prev term to the RHS with a sign

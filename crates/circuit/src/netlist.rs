@@ -2,9 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::elements::{
-    DiodeModel, Element, MosfetModel, MosfetPolarity, SourceWaveform,
-};
+use crate::elements::{DiodeModel, Element, MosfetModel, MosfetPolarity, SourceWaveform};
 use crate::{CircuitError, Result};
 
 /// Identifier of a circuit node.  Node `0` is always ground.

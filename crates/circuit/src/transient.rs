@@ -105,10 +105,7 @@ impl TransientResult {
 /// # Ok(())
 /// # }
 /// ```
-pub fn transient_analysis(
-    circuit: &Circuit,
-    params: &TransientParams,
-) -> Result<TransientResult> {
+pub fn transient_analysis(circuit: &Circuit, params: &TransientParams) -> Result<TransientResult> {
     transient_analysis_from(circuit, params, None)
 }
 
@@ -134,9 +131,7 @@ pub fn transient_analysis_from(
     let layout = MnaLayout::new(circuit);
     let op;
     let initial_x: &[f64] = match initial {
-        Some(solution) if solution.layout().size() == layout.size() => {
-            solution.solution_vector()
-        }
+        Some(solution) if solution.layout().size() == layout.size() => solution.solution_vector(),
         _ => {
             op = dc_operating_point(circuit)?;
             op.solution_vector()
@@ -144,10 +139,8 @@ pub fn transient_analysis_from(
     };
 
     let element_count = circuit.elements().len();
-    let mut state = DynamicState {
-        x: initial_x.to_vec(),
-        capacitor_currents: vec![0.0; element_count],
-    };
+    let mut state =
+        DynamicState { x: initial_x.to_vec(), capacitor_currents: vec![0.0; element_count] };
     let mut times = vec![0.0];
     let mut solutions = vec![state.x.clone()];
 
@@ -157,36 +150,28 @@ pub fn transient_analysis_from(
         let h = params.time_step;
         let t_new = time + h;
         let method = if first_step { IntegrationMethod::BackwardEuler } else { params.method };
-        let x_new = step(circuit, &layout, &state, t_new, h, method)
-            .or_else(|_| {
-                // Retry with the more robust combination: backward Euler and
-                // two half-steps.
-                let half = h / 2.0;
-                let x_mid = step(
-                    circuit,
-                    &layout,
-                    &state,
-                    time + half,
-                    half,
-                    IntegrationMethod::BackwardEuler,
-                )?;
-                let mid_state = advance_state(
-                    circuit,
-                    &layout,
-                    &state,
-                    x_mid,
-                    half,
-                    IntegrationMethod::BackwardEuler,
-                );
-                step(
-                    circuit,
-                    &layout,
-                    &mid_state,
-                    t_new,
-                    half,
-                    IntegrationMethod::BackwardEuler,
-                )
-            })?;
+        let x_new = step(circuit, &layout, &state, t_new, h, method).or_else(|_| {
+            // Retry with the more robust combination: backward Euler and
+            // two half-steps.
+            let half = h / 2.0;
+            let x_mid = step(
+                circuit,
+                &layout,
+                &state,
+                time + half,
+                half,
+                IntegrationMethod::BackwardEuler,
+            )?;
+            let mid_state = advance_state(
+                circuit,
+                &layout,
+                &state,
+                x_mid,
+                half,
+                IntegrationMethod::BackwardEuler,
+            );
+            step(circuit, &layout, &mid_state, t_new, half, IntegrationMethod::BackwardEuler)
+        })?;
         state = advance_state(circuit, &layout, &state, x_new, h, method);
         times.push(t_new);
         solutions.push(state.x.clone());
@@ -205,11 +190,8 @@ fn step(
     h: f64,
     method: IntegrationMethod,
 ) -> Result<Vec<f64>> {
-    let options = AssemblyOptions {
-        gmin: 1e-12,
-        source_scale: 1.0,
-        time_step: Some((t_new, h, method)),
-    };
+    let options =
+        AssemblyOptions { gmin: 1e-12, source_scale: 1.0, time_step: Some((t_new, h, method)) };
     newton_solve(circuit, layout, &state.x, Some(state), &options)
 }
 
@@ -283,10 +265,7 @@ mod tests {
         let zeta = 10.0 / 2.0 * (1e-6f64 / 1e-3).sqrt();
         let expected = (-std::f64::consts::PI * zeta / (1.0 - zeta * zeta).sqrt()).exp();
         let measured = wave.overshoot();
-        assert!(
-            (measured - expected).abs() < 0.08,
-            "overshoot {measured} vs analytic {expected}"
-        );
+        assert!((measured - expected).abs() < 0.08, "overshoot {measured} vs analytic {expected}");
     }
 
     #[test]
@@ -304,11 +283,9 @@ mod tests {
             c
         };
         let trap = transient_analysis(&build(), &TransientParams::new(2e-3, 2e-6)).unwrap();
-        let be = transient_analysis(
-            &build(),
-            &TransientParams::new(2e-3, 2e-6).with_backward_euler(),
-        )
-        .unwrap();
+        let be =
+            transient_analysis(&build(), &TransientParams::new(2e-3, 2e-6).with_backward_euler())
+                .unwrap();
         let vout = build().find_node("vout").unwrap();
         assert!(trap.waveform(vout).overshoot() > be.waveform(vout).overshoot());
     }

@@ -109,8 +109,11 @@ impl Waveform {
         let rising = self.final_value() >= self.initial_value();
         for i in 1..self.len() {
             let (v0, v1) = (self.values[i - 1], self.values[i]);
-            let crossed =
-                if rising { v0 < threshold && v1 >= threshold } else { v0 > threshold && v1 <= threshold };
+            let crossed = if rising {
+                v0 < threshold && v1 >= threshold
+            } else {
+                v0 > threshold && v1 <= threshold
+            };
             if crossed {
                 let t0 = self.times[i - 1];
                 let t1 = self.times[i];
@@ -220,8 +223,7 @@ mod tests {
         let values = times
             .iter()
             .map(|&t| {
-                1.0 - (-zeta * wn * t).exp()
-                    * ((wd * t).cos() + (zeta / root) * (wd * t).sin())
+                1.0 - (-zeta * wn * t).exp() * ((wd * t).cos() + (zeta / root) * (wd * t).sin())
             })
             .collect();
         Waveform::new(times, values)

@@ -3,8 +3,7 @@
 
 use proptest::prelude::*;
 use stc_circuit::{
-    ac_analysis, dc_operating_point, transient_analysis, Circuit, SourceWaveform,
-    TransientParams,
+    ac_analysis, dc_operating_point, transient_analysis, Circuit, SourceWaveform, TransientParams,
 };
 
 proptest! {

@@ -48,8 +48,7 @@ pub fn evaluate_adhoc(data: &MeasurementSet, dropped: &[usize]) -> Result<AdHocR
     let mut breakdown = ErrorBreakdown::default();
     for i in 0..data.len() {
         let truth = data.label(i);
-        let kept_pass =
-            kept.iter().all(|&c| data.specs().spec(c).passes(data.row(i)[c]));
+        let kept_pass = kept.iter().all(|&c| data.specs().spec(c).passes(data.row(i)[c]));
         let prediction = if kept_pass { Prediction::Good } else { Prediction::Bad };
         breakdown.record(truth, prediction);
     }

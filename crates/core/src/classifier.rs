@@ -1,0 +1,391 @@
+//! Pluggable pass/fail classifier backends — the seam of the compaction
+//! pipeline.
+//!
+//! The paper trains an ε-SVM to predict the overall pass/fail outcome from a
+//! subset of the specification measurements, but nothing in the methodology
+//! depends on the model family.  This module extracts that dependency into a
+//! [`Classifier`]/[`ClassifierFactory`] trait pair: a factory trains on a
+//! [`TrainingView`] (a measurement set restricted to the kept columns, with
+//! the acceptability ranges tightened or widened for guard-band labelling)
+//! and returns a decision function over normalised feature vectors.
+//!
+//! Two backends prove the seam:
+//!
+//! * [`GridBackend`] (here) — the paper's Section 4.3 grid model turned into
+//!   a standalone classifier: training instances are binned on a sparse grid
+//!   over the normalised measurement space and a device is classified by the
+//!   vote of its cell (falling back to the nearest occupied cell),
+//! * `SvmBackend` (in `stc-svm`) — the SMO-trained ε-SVM of the paper.
+//!
+//! Additional backends only need to implement the two traits.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::dataset::{DeviceLabel, MeasurementSet};
+use crate::{CompactionError, Result};
+
+/// Normalised-space band the grid models cover: a little more than the
+/// acceptance box so devices slightly outside still land in a cell.
+pub(crate) const GRID_LOWER: f64 = -0.25;
+pub(crate) const GRID_UPPER: f64 = 1.25;
+
+/// Bins one normalised value onto the `[GRID_LOWER, GRID_UPPER]` grid,
+/// clamping outliers into the outermost cells.  Shared by the grid backend
+/// and the training-data compression of [`crate::gridmodel`] so training and
+/// inference always agree on cell boundaries.
+pub(crate) fn grid_cell(normalised: f64, cells_per_dim: usize) -> u16 {
+    let position = (normalised - GRID_LOWER) / (GRID_UPPER - GRID_LOWER);
+    ((position * cells_per_dim as f64) as isize).clamp(0, cells_per_dim as isize - 1) as u16
+}
+
+/// A borrowed view of a training population restricted to a set of *kept*
+/// specification columns, with pass/fail labels computed after tightening
+/// (`label_margin > 0`) or widening (`label_margin < 0`) every acceptability
+/// range by that fraction of its width.
+///
+/// This is what classifier backends train on: features are the kept
+/// measurements normalised to their acceptability ranges (paper Section 4.3),
+/// the target is the overall pass/fail outcome of the *complete*
+/// specification set under the margin.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingView<'a> {
+    data: &'a MeasurementSet,
+    kept: &'a [usize],
+    label_margin: f64,
+}
+
+impl<'a> TrainingView<'a> {
+    /// Creates a view, validating the kept columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::EmptyTestSet`] when `kept` is empty and
+    /// [`CompactionError::UnknownSpecification`] for an out-of-range column.
+    pub fn new(data: &'a MeasurementSet, kept: &'a [usize], label_margin: f64) -> Result<Self> {
+        if kept.is_empty() {
+            return Err(CompactionError::EmptyTestSet);
+        }
+        if let Some(&bad) = kept.iter().find(|&&c| c >= data.specs().len()) {
+            return Err(CompactionError::UnknownSpecification {
+                index: bad,
+                count: data.specs().len(),
+            });
+        }
+        Ok(TrainingView { data, kept, label_margin })
+    }
+
+    /// The underlying measurement set.
+    pub fn measurements(&self) -> &'a MeasurementSet {
+        self.data
+    }
+
+    /// The kept specification columns, in feature order.
+    pub fn kept(&self) -> &'a [usize] {
+        self.kept
+    }
+
+    /// The labelling margin (fraction of each range width).
+    pub fn label_margin(&self) -> f64 {
+        self.label_margin
+    }
+
+    /// Number of training instances.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the view holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of features (kept columns).
+    pub fn dimension(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// Normalised feature vector of instance `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn features(&self, i: usize) -> Vec<f64> {
+        self.data.features(i, self.kept)
+    }
+
+    /// Margin-adjusted pass/fail label of instance `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn label(&self, i: usize) -> DeviceLabel {
+        self.data.label_with_margin(i, self.label_margin)
+    }
+
+    /// All feature vectors, one per instance.
+    pub fn feature_rows(&self) -> Vec<Vec<f64>> {
+        (0..self.len()).map(|i| self.features(i)).collect()
+    }
+
+    /// All labels in the SVM-style `+1` / `-1` encoding.
+    pub fn class_labels(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.label(i).to_class()).collect()
+    }
+}
+
+/// A trained pass/fail decision function over normalised kept-column feature
+/// vectors.
+pub trait Classifier: fmt::Debug + Send + Sync {
+    /// Signed decision value: positive predicts the device passes the full
+    /// specification set, negative that it fails.  The magnitude is a
+    /// backend-specific confidence and is only compared against zero by the
+    /// methodology.
+    fn decision(&self, features: &[f64]) -> f64;
+
+    /// Whether the device is predicted to pass.
+    fn predict_good(&self, features: &[f64]) -> bool {
+        self.decision(features) > 0.0
+    }
+}
+
+/// Trains [`Classifier`]s from labelled measurement views.
+///
+/// Factories are shared across worker threads by the compaction loop, so
+/// implementations must be `Send + Sync`.
+pub trait ClassifierFactory: fmt::Debug + Send + Sync {
+    /// Short backend name used in reports (for example `"svm"` or `"grid"`).
+    fn name(&self) -> &str;
+
+    /// Trains one classifier on a training view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::Classifier`] when the model cannot be
+    /// trained (the compaction loop treats this as "the candidate test cannot
+    /// be eliminated" rather than aborting) and data errors for malformed
+    /// views.
+    fn train(&self, view: &TrainingView<'_>) -> Result<Arc<dyn Classifier>>;
+}
+
+impl<F: ClassifierFactory + ?Sized> ClassifierFactory for &F {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn train(&self, view: &TrainingView<'_>) -> Result<Arc<dyn Classifier>> {
+        (**self).train(view)
+    }
+}
+
+/// The grid/lookup classifier backend (paper Sections 3.3 and 4.3).
+///
+/// Training instances are binned on a sparse grid over the normalised
+/// measurement space; each cell accumulates good/bad votes.  A device is
+/// classified by the net vote of its own cell, or — when the cell is empty or
+/// tied — by the nearest occupied cell with a decisive vote.  Training is a
+/// single pass over the data, which makes this backend far cheaper than the
+/// SVM at a modest accuracy cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridBackend {
+    cells_per_dim: usize,
+}
+
+impl GridBackend {
+    /// A backend with the given grid resolution per feature dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::InvalidConfig`] when `cells_per_dim < 2`.
+    pub fn with_resolution(cells_per_dim: usize) -> Result<Self> {
+        if cells_per_dim < 2 {
+            return Err(CompactionError::InvalidConfig {
+                parameter: "cells_per_dim",
+                value: cells_per_dim as f64,
+            });
+        }
+        Ok(GridBackend { cells_per_dim })
+    }
+
+    /// The grid resolution per feature dimension.
+    pub fn cells_per_dim(&self) -> usize {
+        self.cells_per_dim
+    }
+
+    fn cell_of(&self, features: &[f64]) -> Vec<u16> {
+        features.iter().map(|&value| grid_cell(value, self.cells_per_dim)).collect()
+    }
+}
+
+impl Default for GridBackend {
+    /// A 12-cells-per-dimension grid, a good balance for the population sizes
+    /// the paper uses.
+    fn default() -> Self {
+        GridBackend { cells_per_dim: 12 }
+    }
+}
+
+impl ClassifierFactory for GridBackend {
+    fn name(&self) -> &str {
+        "grid"
+    }
+
+    fn train(&self, view: &TrainingView<'_>) -> Result<Arc<dyn Classifier>> {
+        if view.is_empty() {
+            return Err(CompactionError::InsufficientData {
+                reason: "grid backend needs at least one training instance".to_string(),
+            });
+        }
+        let mut votes: HashMap<Vec<u16>, i64> = HashMap::new();
+        let mut net = 0i64;
+        for i in 0..view.len() {
+            let vote = match view.label(i) {
+                DeviceLabel::Good => 1,
+                DeviceLabel::Bad => -1,
+            };
+            *votes.entry(self.cell_of(&view.features(i))).or_insert(0) += vote;
+            net += vote;
+        }
+        // Deterministic order for nearest-cell tie breaking.
+        let mut cells: Vec<(Vec<u16>, i64)> =
+            votes.into_iter().filter(|(_, vote)| *vote != 0).collect();
+        cells.sort_unstable();
+        Ok(Arc::new(GridClassifier {
+            cells_per_dim: self.cells_per_dim,
+            dimension: view.dimension(),
+            cells,
+            majority: if net >= 0 { 1.0 } else { -1.0 },
+        }))
+    }
+}
+
+/// Classifier trained by [`GridBackend`].
+#[derive(Debug, Clone)]
+struct GridClassifier {
+    cells_per_dim: usize,
+    dimension: usize,
+    /// Occupied cells with a decisive net vote, sorted by cell key.
+    cells: Vec<(Vec<u16>, i64)>,
+    /// Fallback when no cell is decisive (single-class training data).
+    majority: f64,
+}
+
+impl Classifier for GridClassifier {
+    fn decision(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.dimension, "feature vector length mismatch");
+        let key: Vec<u16> =
+            features.iter().map(|&value| grid_cell(value, self.cells_per_dim)).collect();
+        if let Ok(index) = self.cells.binary_search_by(|(cell, _)| cell.cmp(&key)) {
+            return self.cells[index].1 as f64;
+        }
+        // Nearest decisive cell, scaled down with distance so far-away
+        // fallbacks carry less confidence than direct hits.
+        let mut best: Option<(u64, i64)> = None;
+        for (cell, vote) in &self.cells {
+            let distance: u64 = cell
+                .iter()
+                .zip(key.iter())
+                .map(|(&a, &b)| {
+                    let d = a as i64 - b as i64;
+                    (d * d) as u64
+                })
+                .sum();
+            if best.map(|(best_distance, _)| distance < best_distance).unwrap_or(true) {
+                best = Some((distance, *vote));
+            }
+        }
+        match best {
+            Some((distance, vote)) => vote as f64 / (1.0 + distance as f64),
+            None => self.majority,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Specification, SpecificationSet};
+
+    fn band_set(dimension: usize) -> SpecificationSet {
+        let specs = (0..dimension)
+            .map(|i| Specification::new(&format!("s{i}"), "-", 0.0, -1.0, 1.0).unwrap())
+            .collect();
+        SpecificationSet::new(specs).unwrap()
+    }
+
+    fn linear_population() -> MeasurementSet {
+        // Spec 1 mirrors spec 0; devices fail when either is above 1.
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let x = -1.5 + 3.0 * (i as f64) / 199.0;
+                vec![x, x * 0.9]
+            })
+            .collect();
+        MeasurementSet::new(band_set(2), rows).unwrap()
+    }
+
+    #[test]
+    fn view_validates_columns() {
+        let data = linear_population();
+        assert!(TrainingView::new(&data, &[], 0.0).is_err());
+        assert!(TrainingView::new(&data, &[7], 0.0).is_err());
+        let view = TrainingView::new(&data, &[1], 0.05).unwrap();
+        assert_eq!(view.dimension(), 1);
+        assert_eq!(view.len(), 200);
+        assert_eq!(view.feature_rows().len(), 200);
+        assert_eq!(view.class_labels().len(), 200);
+        assert_eq!(view.kept(), &[1]);
+        assert!(!view.is_empty());
+        assert_eq!(view.label_margin(), 0.05);
+    }
+
+    #[test]
+    fn margin_shifts_view_labels() {
+        let data = linear_population();
+        let plain = TrainingView::new(&data, &[0], 0.0).unwrap();
+        let strict = TrainingView::new(&data, &[0], 0.2).unwrap();
+        let plain_good = plain.class_labels().iter().filter(|&&l| l > 0.0).count();
+        let strict_good = strict.class_labels().iter().filter(|&&l| l > 0.0).count();
+        assert!(strict_good < plain_good, "{strict_good} vs {plain_good}");
+    }
+
+    #[test]
+    fn grid_backend_learns_a_linear_boundary() {
+        let data = linear_population();
+        let view = TrainingView::new(&data, &[0], 0.0).unwrap();
+        let model = GridBackend::default().train(&view).unwrap();
+        // Normalised feature: 0.5 is the centre of the acceptability range.
+        assert!(model.predict_good(&[0.5]));
+        assert!(!model.predict_good(&[1.4]));
+        assert!(!model.predict_good(&[-0.4]));
+    }
+
+    #[test]
+    fn grid_backend_falls_back_to_nearest_cell() {
+        let data = linear_population();
+        let view = TrainingView::new(&data, &[0, 1], 0.0).unwrap();
+        let model = GridBackend::default().train(&view).unwrap();
+        // Far outside the training support: classified via the nearest cell.
+        assert!(!model.predict_good(&[9.0, 9.0]));
+        assert!(model.predict_good(&[0.5, 0.55]));
+    }
+
+    #[test]
+    fn single_class_data_uses_the_majority_vote() {
+        let rows = vec![vec![0.0, 0.0]; 30];
+        let data = MeasurementSet::new(band_set(2), rows).unwrap();
+        let view = TrainingView::new(&data, &[0], 0.0).unwrap();
+        let model = GridBackend::default().train(&view).unwrap();
+        assert!(model.predict_good(&[0.5]));
+        assert!(model.predict_good(&[42.0]));
+    }
+
+    #[test]
+    fn resolution_is_validated() {
+        assert!(GridBackend::with_resolution(1).is_err());
+        let backend = GridBackend::with_resolution(8).unwrap();
+        assert_eq!(backend.cells_per_dim(), 8);
+        assert_eq!(backend.name(), "grid");
+    }
+}

@@ -125,8 +125,7 @@ mod tests {
     /// the hot and cold insertions carry a large thermal-soak overhead.
     fn accelerometer_costs() -> TestCostModel {
         let per_test = vec![1.0; 12];
-        let insertion_of_test =
-            vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]; // cold, room, hot
+        let insertion_of_test = vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]; // cold, room, hot
         let insertion_cost = vec![12.0, 1.0, 10.0];
         TestCostModel::new(per_test, insertion_of_test, insertion_cost).unwrap()
     }

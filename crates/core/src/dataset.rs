@@ -174,35 +174,20 @@ impl MeasurementSet {
         }
     }
 
-    /// Builds the SVM training dataset for a given set of *kept* specification
-    /// columns: features are the kept measurements normalised to their
-    /// acceptability ranges, the target is the overall pass/fail label
-    /// computed with `label_margin` applied to every range.
+    /// Builds a borrowed training view over the kept columns with a labelling
+    /// margin — the input classifier backends train on (see
+    /// [`crate::classifier::TrainingView`]).
     ///
     /// # Errors
     ///
     /// Returns [`CompactionError::EmptyTestSet`] when `kept` is empty and
     /// [`CompactionError::UnknownSpecification`] for an out-of-range column.
-    pub fn to_svm_dataset(&self, kept: &[usize], label_margin: f64) -> Result<stc_svm::Dataset> {
-        if kept.is_empty() {
-            return Err(CompactionError::EmptyTestSet);
-        }
-        if let Some(&bad) = kept.iter().find(|&&c| c >= self.specs.len()) {
-            return Err(CompactionError::UnknownSpecification {
-                index: bad,
-                count: self.specs.len(),
-            });
-        }
-        let mut dataset = stc_svm::Dataset::new(kept.len())?;
-        for i in 0..self.len() {
-            let features: Vec<f64> = kept
-                .iter()
-                .map(|&c| self.specs.spec(c).normalize(self.rows[i][c]))
-                .collect();
-            let label = self.label_with_margin(i, label_margin).to_class();
-            dataset.push(features, label)?;
-        }
-        Ok(dataset)
+    pub fn training_view<'a>(
+        &'a self,
+        kept: &'a [usize],
+        label_margin: f64,
+    ) -> Result<crate::classifier::TrainingView<'a>> {
+        crate::classifier::TrainingView::new(self, kept, label_margin)
     }
 
     /// Normalised kept-column feature vector of instance `i` (the tester-side
@@ -233,10 +218,10 @@ mod tests {
         MeasurementSet::new(
             two_spec_set(),
             vec![
-                vec![0.5, 5.0],   // good
-                vec![0.9, 9.0],   // good
-                vec![1.5, 5.0],   // bad (a out of range)
-                vec![0.5, 12.0],  // bad (b out of range)
+                vec![0.5, 5.0],  // good
+                vec![0.9, 9.0],  // good
+                vec![1.5, 5.0],  // bad (a out of range)
+                vec![0.5, 12.0], // bad (b out of range)
             ],
         )
         .unwrap()
@@ -289,26 +274,28 @@ mod tests {
     }
 
     #[test]
-    fn svm_dataset_uses_normalised_kept_columns() {
+    fn training_view_uses_normalised_kept_columns() {
         let set = sample_set();
-        let data = set.to_svm_dataset(&[1], 0.0).unwrap();
-        assert_eq!(data.dimension(), 1);
-        assert_eq!(data.len(), 4);
+        let kept = [1usize];
+        let view = set.training_view(&kept, 0.0).unwrap();
+        assert_eq!(view.dimension(), 1);
+        assert_eq!(view.len(), 4);
         // Column b of instance 0 is 5.0 in range [0, 10] -> 0.5.
-        assert_eq!(data.features(0), &[0.5]);
+        assert_eq!(view.features(0), &[0.5]);
         // Labels reflect the *overall* pass/fail, not just the kept column:
         // instance 2 passes spec b but fails spec a, so its label is bad.
-        assert_eq!(data.label(2), -1.0);
-        assert!(set.to_svm_dataset(&[], 0.0).is_err());
-        assert!(set.to_svm_dataset(&[9], 0.0).is_err());
+        assert_eq!(view.label(2), DeviceLabel::Bad);
+        assert!(set.training_view(&[], 0.0).is_err());
+        assert!(set.training_view(&[9], 0.0).is_err());
     }
 
     #[test]
-    fn features_match_svm_dataset_rows() {
+    fn features_match_training_view_rows() {
         let set = sample_set();
-        let data = set.to_svm_dataset(&[0, 1], 0.0).unwrap();
+        let kept = [0usize, 1];
+        let view = set.training_view(&kept, 0.0).unwrap();
         for i in 0..set.len() {
-            assert_eq!(set.features(i, &[0, 1]), data.features(i));
+            assert_eq!(set.features(i, &[0, 1]), view.features(i));
         }
     }
 

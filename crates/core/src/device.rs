@@ -150,8 +150,7 @@ mod tests {
     fn sample_correlation(device: &SyntheticDevice, rng: &mut StdRng) -> f64 {
         let rows: Vec<Vec<f64>> =
             (0..2000).map(|_| device.simulate_instance(rng).unwrap()).collect();
-        let mean =
-            |col: usize| rows.iter().map(|r| r[col]).sum::<f64>() / rows.len() as f64;
+        let mean = |col: usize| rows.iter().map(|r| r[col]).sum::<f64>() / rows.len() as f64;
         let (m0, m1) = (mean(0), mean(1));
         let cov: f64 =
             rows.iter().map(|r| (r[0] - m0) * (r[1] - m1)).sum::<f64>() / rows.len() as f64;

@@ -3,8 +3,6 @@
 use std::error::Error;
 use std::fmt;
 
-use stc_svm::SvmError;
-
 /// Errors produced by data generation, model building or compaction.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -58,8 +56,15 @@ pub enum CompactionError {
         /// The configured limit.
         limit: u128,
     },
-    /// An underlying SVM error.
-    Svm(SvmError),
+    /// A classifier backend could not train a model.  The compaction loop
+    /// treats this as "the candidate test cannot be eliminated" rather than
+    /// aborting the run.
+    Classifier {
+        /// Name of the backend that failed (for example `"svm"`).
+        backend: String,
+        /// Human-readable reason.
+        message: String,
+    },
 }
 
 impl fmt::Display for CompactionError {
@@ -89,25 +94,14 @@ impl fmt::Display for CompactionError {
             CompactionError::LookupTableTooLarge { cells, limit } => {
                 write!(f, "lookup table would need {cells} cells (limit {limit})")
             }
-            CompactionError::Svm(err) => write!(f, "svm error: {err}"),
+            CompactionError::Classifier { backend, message } => {
+                write!(f, "{backend} backend failed to train: {message}")
+            }
         }
     }
 }
 
-impl Error for CompactionError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            CompactionError::Svm(err) => Some(err),
-            _ => None,
-        }
-    }
-}
-
-impl From<SvmError> for CompactionError {
-    fn from(err: SvmError) -> Self {
-        CompactionError::Svm(err)
-    }
-}
+impl Error for CompactionError {}
 
 #[cfg(test)]
 mod tests {
@@ -117,20 +111,17 @@ mod tests {
     fn display_is_informative() {
         let e = CompactionError::DimensionMismatch { expected: 11, found: 10 };
         assert!(e.to_string().contains("11"));
-        let e = CompactionError::Svm(SvmError::EmptyDataset);
+        let e = CompactionError::Classifier {
+            backend: "svm".to_string(),
+            message: "single class".to_string(),
+        };
         assert!(e.to_string().contains("svm"));
-        assert!(Error::source(&e).is_some());
+        assert!(e.to_string().contains("single class"));
     }
 
     #[test]
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CompactionError>();
-    }
-
-    #[test]
-    fn svm_errors_convert() {
-        let e: CompactionError = SvmError::SingleClass.into();
-        assert!(matches!(e, CompactionError::Svm(SvmError::SingleClass)));
     }
 }

@@ -50,18 +50,15 @@ pub fn compress_training_data(
         bad: usize,
     }
 
-    // Cells cover the normalised band [-0.25, 1.25] around the acceptance
-    // box; anything further out is clamped into the outermost cells so gross
-    // outliers do not explode the key space.
-    let (grid_lower, grid_upper) = (-0.25, 1.25);
+    // Cells cover the shared normalised grid band around the acceptance box
+    // (see `classifier::grid_cell`); anything further out is clamped into the
+    // outermost cells so gross outliers do not explode the key space.
     let mut cells: HashMap<Vec<u16>, Cell> = HashMap::new();
     for i in 0..data.len() {
         let key: Vec<u16> = (0..dims)
             .map(|c| {
                 let normalised = specs.spec(c).normalize(data.row(i)[c]);
-                let position = (normalised - grid_lower) / (grid_upper - grid_lower);
-                ((position * cells_per_dim as f64) as isize)
-                    .clamp(0, cells_per_dim as isize - 1) as u16
+                crate::classifier::grid_cell(normalised, cells_per_dim)
             })
             .collect();
         let cell = cells.entry(key).or_default();
@@ -137,9 +134,9 @@ impl LookupTableTester {
             });
         }
         // Cover a bit more than the acceptability box so devices slightly
-        // outside still hit a cell.
-        let lower = -0.25;
-        let upper = 1.25;
+        // outside still hit a cell (the shared grid band of `classifier`).
+        let lower = crate::classifier::GRID_LOWER;
+        let upper = crate::classifier::GRID_UPPER;
         let mut attributes = Vec::with_capacity(cells as usize);
         let mut index = vec![0usize; kept.len()];
         loop {
@@ -152,13 +149,7 @@ impl LookupTableTester {
             let mut dim = 0;
             loop {
                 if dim == kept.len() {
-                    return Ok(LookupTableTester {
-                        kept,
-                        cells_per_dim,
-                        lower,
-                        upper,
-                        attributes,
-                    });
+                    return Ok(LookupTableTester { kept, cells_per_dim, lower, upper, attributes });
                 }
                 index[dim] += 1;
                 if index[dim] < cells_per_dim {
@@ -228,6 +219,16 @@ mod tests {
     use crate::guardband::GuardBandConfig;
     use crate::montecarlo::{generate_train_test, MonteCarloConfig};
 
+    fn train_pair(train: &MeasurementSet, kept: &[usize]) -> GuardBandedClassifier {
+        GuardBandedClassifier::train_with(
+            &crate::classifier::GridBackend::default(),
+            train,
+            kept,
+            &GuardBandConfig::paper_default(),
+        )
+        .unwrap()
+    }
+
     fn population() -> (MeasurementSet, MeasurementSet) {
         let device = SyntheticDevice::new(3, 1.5, 0.85);
         generate_train_test(&device, &MonteCarloConfig::new(400).with_seed(77), 200).unwrap()
@@ -248,9 +249,8 @@ mod tests {
     fn compressed_data_still_trains_an_accurate_model() {
         let (train, test) = population();
         let compressed = compress_training_data(&train, 10).unwrap();
-        let config = GuardBandConfig::paper_default();
-        let full = GuardBandedClassifier::train(&train, &[0, 1], &config).unwrap();
-        let compact = GuardBandedClassifier::train(&compressed, &[0, 1], &config).unwrap();
+        let full = train_pair(&train, &[0, 1]);
+        let compact = train_pair(&compressed, &[0, 1]);
         let full_error = full.evaluate(&test).prediction_error();
         let compact_error = compact.evaluate(&test).prediction_error();
         assert!(
@@ -270,9 +270,7 @@ mod tests {
     #[test]
     fn lookup_table_matches_the_exact_classifier_closely() {
         let (train, test) = population();
-        let classifier =
-            GuardBandedClassifier::train(&train, &[0, 1], &GuardBandConfig::paper_default())
-                .unwrap();
+        let classifier = train_pair(&train, &[0, 1]);
         let table = LookupTableTester::build(&classifier, 48).unwrap();
         assert_eq!(table.cell_count(), 48 * 48);
         assert_eq!(table.kept(), &[0, 1]);
@@ -283,9 +281,7 @@ mod tests {
     #[test]
     fn finer_tables_agree_at_least_as_well() {
         let (train, test) = population();
-        let classifier =
-            GuardBandedClassifier::train(&train, &[0, 1], &GuardBandConfig::paper_default())
-                .unwrap();
+        let classifier = train_pair(&train, &[0, 1]);
         let coarse = LookupTableTester::build(&classifier, 8).unwrap();
         let fine = LookupTableTester::build(&classifier, 64).unwrap();
         assert!(
@@ -297,9 +293,7 @@ mod tests {
     #[test]
     fn oversized_tables_are_rejected() {
         let (train, _) = population();
-        let classifier =
-            GuardBandedClassifier::train(&train, &[0, 1, 2], &GuardBandConfig::paper_default())
-                .unwrap();
+        let classifier = train_pair(&train, &[0, 1, 2]);
         assert!(matches!(
             LookupTableTester::build(&classifier, 2000),
             Err(CompactionError::LookupTableTooLarge { .. })

@@ -1,19 +1,25 @@
 //! Guard-banded pass/fail prediction (paper Section 4.2).
 //!
-//! Two ε-SVM classifiers are trained on the same features but with the
+//! Two classifiers are trained on the same features but with the
 //! acceptability ranges perturbed in opposite directions: the *strict* model
 //! is trained on labels computed with every range tightened by the guard-band
 //! fraction, the *loose* model with every range widened by the same amount.
 //! A device on which the two models agree is classified with high confidence;
 //! a disagreement places the device in the guard-band region, where it can be
 //! retested or binned according to the application's quality needs.
+//!
+//! The model family is pluggable: any [`ClassifierFactory`] — the ε-SVM of
+//! `stc-svm`, the built-in [`GridBackend`](crate::classifier::GridBackend),
+//! or a custom backend — can train the strict/loose pair.
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::classifier::{Classifier, ClassifierFactory, TrainingView};
 use crate::dataset::MeasurementSet;
 use crate::metrics::ErrorBreakdown;
 use crate::{CompactionError, Result};
-use stc_svm::{Kernel, Svc, SvcParams};
 
 /// Three-way outcome of a guard-banded prediction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -32,9 +38,10 @@ pub struct GuardBandConfig {
     /// Guard-band half-width as a fraction of each acceptability range
     /// (the paper uses 5 % for the op-amp and the accelerometer).
     pub guard_band_fraction: f64,
-    /// Soft-margin penalty of the underlying SVMs.
+    /// Soft-margin penalty adopted by SVM-based backends
+    /// (see `stc_svm::SvmBackend::from_guard_band`).
     pub svm_c: f64,
-    /// RBF kernel width of the underlying SVMs.
+    /// RBF kernel width adopted by SVM-based backends.
     pub svm_gamma: f64,
     /// If `true`, a device whose *kept* measurements violate their own
     /// acceptability ranges is classified bad regardless of the model (the
@@ -59,7 +66,7 @@ impl GuardBandConfig {
         self
     }
 
-    /// Sets the SVM hyper-parameters.
+    /// Sets the SVM hyper-parameters used by SVM-based backends.
     pub fn with_svm(mut self, c: f64, gamma: f64) -> Self {
         self.svm_c = c;
         self.svm_gamma = gamma;
@@ -90,10 +97,6 @@ impl GuardBandConfig {
         }
         Ok(())
     }
-
-    fn svc_params(&self) -> SvcParams {
-        SvcParams::new().with_c(self.svm_c).with_kernel(Kernel::rbf(self.svm_gamma))
-    }
 }
 
 impl Default for GuardBandConfig {
@@ -102,26 +105,28 @@ impl Default for GuardBandConfig {
     }
 }
 
-/// A pair of SVM models predicting overall pass/fail from a subset of the
+/// A pair of classifiers predicting overall pass/fail from a subset of the
 /// specification measurements, with a guard band between them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GuardBandedClassifier {
     kept: Vec<usize>,
-    strict: Svc,
-    loose: Svc,
+    strict: Arc<dyn Classifier>,
+    loose: Arc<dyn Classifier>,
     config: GuardBandConfig,
+    backend: String,
 }
 
 impl GuardBandedClassifier {
-    /// Trains the strict/loose model pair on a training [`MeasurementSet`],
+    /// Trains the strict/loose model pair with an explicit classifier backend,
     /// using only the measurement columns in `kept` as features.
     ///
     /// # Errors
     ///
     /// Returns configuration errors, data errors (for example when the
-    /// training population is single-class after guard-banding) and SVM
+    /// training population is single-class after guard-banding) and backend
     /// training failures.
-    pub fn train(
+    pub fn train_with(
+        backend: &dyn ClassifierFactory,
         training: &MeasurementSet,
         kept: &[usize],
         config: &GuardBandConfig,
@@ -132,12 +137,37 @@ impl GuardBandedClassifier {
                 reason: format!("{} training instances is too few", training.len()),
             });
         }
-        let strict_data = training.to_svm_dataset(kept, config.guard_band_fraction)?;
-        let loose_data = training.to_svm_dataset(kept, -config.guard_band_fraction)?;
-        let params = config.svc_params();
-        let strict = Svc::train(&strict_data, &params)?;
-        let loose = Svc::train(&loose_data, &params)?;
-        Ok(GuardBandedClassifier { kept: kept.to_vec(), strict, loose, config: *config })
+        let strict_view = TrainingView::new(training, kept, config.guard_band_fraction)?;
+        let loose_view = TrainingView::new(training, kept, -config.guard_band_fraction)?;
+        let strict = backend.train(&strict_view)?;
+        let loose = backend.train(&loose_view)?;
+        Ok(GuardBandedClassifier {
+            kept: kept.to_vec(),
+            strict,
+            loose,
+            config: *config,
+            backend: backend.name().to_string(),
+        })
+    }
+
+    /// Trains the model pair with the built-in grid backend.
+    #[deprecated(
+        since = "0.2.0",
+        note = "trains the grid backend, not the pre-0.2 ε-SVM — results differ; use \
+                `train_with` with an explicit `ClassifierFactory` \
+                (e.g. `stc_svm::SvmBackend::from_guard_band(config)` for the paper's ε-SVM)"
+    )]
+    pub fn train(
+        training: &MeasurementSet,
+        kept: &[usize],
+        config: &GuardBandConfig,
+    ) -> Result<Self> {
+        GuardBandedClassifier::train_with(
+            &crate::classifier::GridBackend::default(),
+            training,
+            kept,
+            config,
+        )
     }
 
     /// The measurement columns (specification indices) this classifier needs.
@@ -150,6 +180,11 @@ impl GuardBandedClassifier {
         &self.config
     }
 
+    /// Name of the backend that trained the model pair.
+    pub fn backend(&self) -> &str {
+        &self.backend
+    }
+
     /// Classifies instance `i` of a measurement set.
     ///
     /// # Panics
@@ -157,10 +192,8 @@ impl GuardBandedClassifier {
     /// Panics if the measurement set does not contain the kept columns.
     pub fn classify_instance(&self, data: &MeasurementSet, i: usize) -> Prediction {
         if self.config.enforce_kept_ranges {
-            let fails_kept = self
-                .kept
-                .iter()
-                .any(|&c| !data.specs().spec(c).passes(data.row(i)[c]));
+            let fails_kept =
+                self.kept.iter().any(|&c| !data.specs().spec(c).passes(data.row(i)[c]));
             if fails_kept {
                 return Prediction::Bad;
             }
@@ -175,8 +208,8 @@ impl GuardBandedClassifier {
     ///
     /// Panics if the vector length does not match the number of kept columns.
     pub fn classify_features(&self, features: &[f64]) -> Prediction {
-        let strict_good = self.strict.predict(features) > 0.0;
-        let loose_good = self.loose.predict(features) > 0.0;
+        let strict_good = self.strict.predict_good(features);
+        let loose_good = self.loose.predict_good(features);
         match (strict_good, loose_good) {
             (true, true) => Prediction::Good,
             (false, false) => Prediction::Bad,
@@ -200,9 +233,14 @@ impl GuardBandedClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::classifier::GridBackend;
     use crate::device::SyntheticDevice;
     use crate::montecarlo::{generate_train_test, MonteCarloConfig};
     use crate::spec::{Specification, SpecificationSet};
+
+    fn grid() -> GridBackend {
+        GridBackend::default()
+    }
 
     fn correlated_population() -> (MeasurementSet, MeasurementSet) {
         let device = SyntheticDevice::new(4, 1.5, 0.8);
@@ -210,42 +248,36 @@ mod tests {
     }
 
     #[test]
-    fn dropping_a_highly_correlated_spec_keeps_error_low() {
+    fn grid_backend_trains_the_pair() {
         let (train, test) = correlated_population();
-        // Keep specs 0..3, drop spec 3 (highly correlated with spec 2).
-        let classifier =
-            GuardBandedClassifier::train(&train, &[0, 1, 2], &GuardBandConfig::paper_default())
-                .unwrap();
-        let breakdown = classifier.evaluate(&test);
-        assert!(breakdown.prediction_error() < 0.08, "error {:?}", breakdown);
-        assert!(breakdown.guard_band_fraction() < 0.5);
-        assert_eq!(breakdown.total, test.len());
-    }
-
-    #[test]
-    fn keeping_everything_gives_nearly_perfect_prediction() {
-        let (train, test) = correlated_population();
-        let classifier = GuardBandedClassifier::train(
+        let classifier = GuardBandedClassifier::train_with(
+            &grid(),
             &train,
-            &[0, 1, 2, 3],
+            &[0, 1, 2],
             &GuardBandConfig::paper_default(),
         )
         .unwrap();
+        assert_eq!(classifier.backend(), "grid");
+        assert_eq!(classifier.kept(), &[0, 1, 2]);
         let breakdown = classifier.evaluate(&test);
-        assert!(breakdown.prediction_error() < 0.03, "error {:?}", breakdown);
+        assert_eq!(breakdown.total, test.len());
+        // The grid model is coarser than the SVM but must stay usable.
+        assert!(breakdown.prediction_error() < 0.2, "error {:?}", breakdown);
     }
 
     #[test]
     fn wider_guard_band_captures_more_devices() {
         let (train, test) = correlated_population();
-        let narrow = GuardBandedClassifier::train(
+        let narrow = GuardBandedClassifier::train_with(
+            &grid(),
             &train,
             &[0, 1, 2],
             &GuardBandConfig::paper_default().with_guard_band(0.02),
         )
         .unwrap()
         .evaluate(&test);
-        let wide = GuardBandedClassifier::train(
+        let wide = GuardBandedClassifier::train_with(
+            &grid(),
             &train,
             &[0, 1, 2],
             &GuardBandConfig::paper_default().with_guard_band(0.15),
@@ -253,9 +285,19 @@ mod tests {
         .unwrap()
         .evaluate(&test);
         assert!(wide.guard_band_count >= narrow.guard_band_count);
-        // Devices in the band are not counted as misclassified, so the error
-        // of the wide band cannot exceed the narrow one by much.
-        assert!(wide.prediction_error() <= narrow.prediction_error() + 0.02);
+    }
+
+    #[test]
+    fn deprecated_shim_matches_the_grid_backend() {
+        let (train, test) = correlated_population();
+        let config = GuardBandConfig::paper_default();
+        #[allow(deprecated)]
+        let shim = GuardBandedClassifier::train(&train, &[0, 1], &config).unwrap();
+        let explicit =
+            GuardBandedClassifier::train_with(&grid(), &train, &[0, 1], &config).unwrap();
+        for i in 0..test.len() {
+            assert_eq!(shim.classify_instance(&test, i), explicit.classify_instance(&test, i));
+        }
     }
 
     #[test]
@@ -273,10 +315,15 @@ mod tests {
             })
             .collect();
         let train = MeasurementSet::new(specs.clone(), rows).unwrap();
-        let classifier =
-            GuardBandedClassifier::train(&train, &[0], &GuardBandConfig::paper_default()).unwrap();
-        // A device that obviously fails the kept spec is bad even if the SVM
-        // were to say otherwise.
+        let classifier = GuardBandedClassifier::train_with(
+            &grid(),
+            &train,
+            &[0],
+            &GuardBandConfig::paper_default(),
+        )
+        .unwrap();
+        // A device that obviously fails the kept spec is bad even if the
+        // model were to say otherwise.
         let probe = MeasurementSet::new(specs, vec![vec![5.0, 0.0]]).unwrap();
         assert_eq!(classifier.classify_instance(&probe, 0), Prediction::Bad);
     }
@@ -285,22 +332,26 @@ mod tests {
     fn invalid_configs_are_rejected() {
         let (train, _) = correlated_population();
         let bad_band = GuardBandConfig::paper_default().with_guard_band(0.9);
-        assert!(GuardBandedClassifier::train(&train, &[0], &bad_band).is_err());
+        assert!(GuardBandedClassifier::train_with(&grid(), &train, &[0], &bad_band).is_err());
         let bad_c = GuardBandConfig::paper_default().with_svm(0.0, 1.0);
-        assert!(GuardBandedClassifier::train(&train, &[0], &bad_c).is_err());
+        assert!(GuardBandedClassifier::train_with(&grid(), &train, &[0], &bad_c).is_err());
         let bad_gamma = GuardBandConfig::paper_default().with_svm(1.0, -1.0);
-        assert!(GuardBandedClassifier::train(&train, &[0], &bad_gamma).is_err());
+        assert!(GuardBandedClassifier::train_with(&grid(), &train, &[0], &bad_gamma).is_err());
     }
 
     #[test]
     fn tiny_training_sets_are_rejected() {
-        let specs = SpecificationSet::new(vec![
-            Specification::new("a", "-", 0.0, -1.0, 1.0).unwrap(),
-        ])
-        .unwrap();
+        let specs =
+            SpecificationSet::new(vec![Specification::new("a", "-", 0.0, -1.0, 1.0).unwrap()])
+                .unwrap();
         let train = MeasurementSet::new(specs, vec![vec![0.0]; 5]).unwrap();
         assert!(matches!(
-            GuardBandedClassifier::train(&train, &[0], &GuardBandConfig::paper_default()),
+            GuardBandedClassifier::train_with(
+                &grid(),
+                &train,
+                &[0],
+                &GuardBandConfig::paper_default()
+            ),
             Err(CompactionError::InsufficientData { .. })
         ));
     }

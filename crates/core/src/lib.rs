@@ -7,47 +7,50 @@
 //! Testing a non-digital component against all of its datasheet
 //! specifications is expensive; this crate removes *redundant* specification
 //! tests while keeping yield loss and defect escape below a user-defined
-//! tolerance:
+//! tolerance.  The whole flow is exposed as one staged builder,
+//! [`CompactionPipeline`]:
 //!
-//! 1. [`montecarlo`] generates training data by simulating process-perturbed
-//!    device instances (Figure 1 of the paper) through any
-//!    [`DeviceUnderTest`] implementation,
-//! 2. [`Compactor::compact`] runs the greedy elimination loop (Figure 2),
-//!    training an ε-SVM classifier per candidate that predicts overall
-//!    pass/fail from the remaining measurements,
-//! 3. [`GuardBandedClassifier`] implements the guard-banding of Section 4.2:
-//!    two models trained on tightened/widened acceptability ranges bracket
-//!    the decision boundary, and devices on which they disagree fall into a
-//!    guard-band region for retest,
-//! 4. [`gridmodel`] provides the grid-based training-data compression of
-//!    Section 4.3 and the lookup-table tester model of Section 3.3, and
-//!    [`TesterProgram`] packages either representation for deployment,
-//! 5. [`baseline`] quantifies the ad-hoc compaction the paper argues against,
-//!    and [`TestCostModel`] turns kept sets into test-cost savings.
+//! 1. the **monte_carlo** stage simulates process-perturbed device instances
+//!    (Figure 1 of the paper) through any [`DeviceUnderTest`] implementation,
+//! 2. the **compaction** stage runs the greedy elimination loop (Figure 2),
+//!    training a classifier per candidate that predicts overall pass/fail
+//!    from the remaining measurements,
+//! 3. the **guard_band** stage brackets the decision boundary with a
+//!    strict/loose model pair (Section 4.2); devices on which they disagree
+//!    are routed to retest,
+//! 4. the **classifier** stage picks the model family: the ε-SVM backend of
+//!    `stc-svm` (the paper's choice) or the built-in
+//!    [`GridBackend`](classifier::GridBackend) — any
+//!    [`classifier::ClassifierFactory`] plugs in,
+//! 5. the **cost_model** stage turns the kept set into test-cost savings, and
+//!    [`TesterProgram`] packages the result for deployment (Section 3.3).
 //!
-//! The crate is device-agnostic: the op-amp of `stc-circuit` and the MEMS
-//! accelerometer of `stc-mems` plug in through the [`DeviceUnderTest`] trait
-//! (adapters live in the top-level `spec-test-compaction` crate).
-//!
-//! ## Example
+//! ## Quick start
 //!
 //! ```
-//! use stc_core::{
-//!     generate_train_test, CompactionConfig, Compactor, MonteCarloConfig, SyntheticDevice,
-//! };
+//! use stc_core::pipeline::CompactionPipeline;
+//! use stc_core::{CompactionConfig, MonteCarloConfig, SyntheticDevice};
+//! use stc_svm::SvmBackend;
 //!
 //! # fn main() -> Result<(), stc_core::CompactionError> {
 //! // A synthetic device with strongly correlated specifications: some of its
 //! // tests are redundant by construction.
 //! let device = SyntheticDevice::new(4, 1.8, 0.9);
-//! let (train, test) =
-//!     generate_train_test(&device, &MonteCarloConfig::new(300).with_seed(1), 150)?;
-//! let compactor = Compactor::new(train, test)?;
-//! let result = compactor.compact(&CompactionConfig::paper_default().with_tolerance(0.05))?;
-//! assert!(result.kept.len() + result.eliminated.len() == 4);
+//! let report = CompactionPipeline::for_device(&device)
+//!     .monte_carlo(MonteCarloConfig::new(300).with_seed(1))
+//!     .compaction(CompactionConfig::paper_default().with_tolerance(0.05))
+//!     .classifier(SvmBackend::paper_default())
+//!     .run()?;
+//! assert_eq!(report.kept().len() + report.eliminated().len(), 4);
+//! println!("{}", report.summary());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The lower-level building blocks ([`Compactor`], [`GuardBandedClassifier`],
+//! [`montecarlo`], [`gridmodel`], [`baseline`], [`TestCostModel`]) remain
+//! public for custom flows; the pre-0.2 entry points that hard-wired the SVM
+//! into the loop survive as deprecated shims over the classifier seam.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,10 +67,13 @@ mod spec;
 mod tester;
 
 pub mod baseline;
+pub mod classifier;
 pub mod gridmodel;
 pub mod montecarlo;
+pub mod pipeline;
 pub mod report;
 
+pub use classifier::{Classifier, ClassifierFactory, GridBackend, TrainingView};
 pub use compaction::{CompactionConfig, CompactionResult, CompactionStep, Compactor};
 pub use costmodel::TestCostModel;
 pub use dataset::{DeviceLabel, MeasurementSet};
@@ -76,10 +82,10 @@ pub use error::CompactionError;
 pub use guardband::{GuardBandConfig, GuardBandedClassifier, Prediction};
 pub use metrics::ErrorBreakdown;
 pub use montecarlo::{
-    generate_measurement_set, generate_train_test, run_monte_carlo, MonteCarloConfig,
-    MonteCarloRun,
+    generate_measurement_set, generate_train_test, run_monte_carlo, MonteCarloConfig, MonteCarloRun,
 };
 pub use ordering::EliminationOrder;
+pub use pipeline::{CompactionPipeline, CostSummary, GuardBandStats, PipelineReport};
 pub use spec::{Specification, SpecificationSet};
 pub use tester::{TesterModel, TesterProgram};
 

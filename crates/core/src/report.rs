@@ -111,7 +111,7 @@ pub fn format_value(value: f64) -> String {
         return "0".to_string();
     }
     let magnitude = value.abs();
-    if magnitude >= 1e6 || magnitude < 1e-3 {
+    if !(1e-3..1e6).contains(&magnitude) {
         format!("{value:.2e}")
     } else if (value - value.round()).abs() < 1e-9 && magnitude < 1e6 {
         format!("{}", value.round() as i64)

@@ -176,10 +176,7 @@ impl SpecificationSet {
     /// Panics if the vector length does not match the set size.
     pub fn passes_with_margin(&self, measurements: &[f64], delta: f64) -> bool {
         assert_eq!(measurements.len(), self.len(), "measurement vector length mismatch");
-        self.specs
-            .iter()
-            .zip(measurements.iter())
-            .all(|(s, &v)| s.passes_with_margin(v, delta))
+        self.specs.iter().zip(measurements.iter()).all(|(s, &v)| s.passes_with_margin(v, delta))
     }
 
     /// Normalises a full measurement vector (each value mapped so its range
@@ -190,11 +187,7 @@ impl SpecificationSet {
     /// Panics if the vector length does not match the set size.
     pub fn normalize(&self, measurements: &[f64]) -> Vec<f64> {
         assert_eq!(measurements.len(), self.len(), "measurement vector length mismatch");
-        self.specs
-            .iter()
-            .zip(measurements.iter())
-            .map(|(s, &v)| s.normalize(v))
-            .collect()
+        self.specs.iter().zip(measurements.iter()).map(|(s, &v)| s.normalize(v)).collect()
     }
 
     /// Acceptability ranges as `(lower, upper)` pairs.
@@ -252,7 +245,13 @@ impl SpecificationSet {
                 // Degenerate column (constant measurement): widen artificially.
                 upper = lower + lower.abs().max(1e-12);
             }
-            specs.push(Specification::new(names[column], units[column], nominals[column], lower, upper)?);
+            specs.push(Specification::new(
+                names[column],
+                units[column],
+                nominals[column],
+                lower,
+                upper,
+            )?);
         }
         SpecificationSet::new(specs)
     }

@@ -12,11 +12,15 @@ use crate::{CompactionError, Result};
 
 /// How the acceptance region of the compacted test set is represented on the
 /// tester.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum TesterModel {
-    /// Ship the full SVM model pair to the tester (needs more tester compute).
-    Svm(GuardBandedClassifier),
+    /// Apply the complete specification suite directly — no statistical
+    /// model is needed when no test was eliminated.
+    CompleteSuite,
+    /// Ship the trained guard-banded model pair to the tester (needs more
+    /// tester compute).
+    Exact(GuardBandedClassifier),
     /// Ship a grid lookup table derived from the model (cheap on the tester,
     /// slightly approximate).
     LookupTable(LookupTableTester),
@@ -24,7 +28,7 @@ pub enum TesterModel {
 
 /// A complete tester program: which specifications to measure and how to turn
 /// the measurements into an accept/reject/retest decision.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TesterProgram {
     specs: SpecificationSet,
     kept: Vec<usize>,
@@ -32,10 +36,29 @@ pub struct TesterProgram {
 }
 
 impl TesterProgram {
-    /// Builds a tester program that ships the SVM model itself.
-    pub fn with_svm(specs: SpecificationSet, classifier: GuardBandedClassifier) -> Self {
+    /// Builds the trivial program that applies the complete specification
+    /// suite: every test is kept and the accept/reject decision is the
+    /// range check itself.
+    pub fn complete(specs: SpecificationSet) -> Self {
+        let kept = (0..specs.len()).collect();
+        TesterProgram { specs, kept, model: TesterModel::CompleteSuite }
+    }
+
+    /// Builds a tester program that ships the trained model pair itself
+    /// (whatever classifier backend produced it).
+    pub fn with_model(specs: SpecificationSet, classifier: GuardBandedClassifier) -> Self {
         let kept = classifier.kept().to_vec();
-        TesterProgram { specs, kept, model: TesterModel::Svm(classifier) }
+        TesterProgram { specs, kept, model: TesterModel::Exact(classifier) }
+    }
+
+    /// Builds a tester program that ships the model pair itself.
+    #[deprecated(
+        since = "0.2.0",
+        note = "renamed to `with_model`: the model pair is no \
+                                          longer necessarily an SVM"
+    )]
+    pub fn with_svm(specs: SpecificationSet, classifier: GuardBandedClassifier) -> Self {
+        TesterProgram::with_model(specs, classifier)
     }
 
     /// Builds a tester program that ships a lookup table with the given grid
@@ -55,6 +78,11 @@ impl TesterProgram {
             kept: classifier.kept().to_vec(),
             model: TesterModel::LookupTable(table),
         })
+    }
+
+    /// The complete specification table the program was built against.
+    pub fn specs(&self) -> &SpecificationSet {
+        &self.specs
     }
 
     /// The specifications that must still be measured on the tester.
@@ -100,7 +128,9 @@ impl TesterProgram {
             .map(|(&column, &value)| self.specs.spec(column).normalize(value))
             .collect();
         Ok(match &self.model {
-            TesterModel::Svm(classifier) => classifier.classify_features(&features),
+            // Every kept range (i.e. every specification) passed above.
+            TesterModel::CompleteSuite => Prediction::Good,
+            TesterModel::Exact(classifier) => classifier.classify_features(&features),
             TesterModel::LookupTable(table) => table.classify_features(&features),
         })
     }
@@ -111,8 +141,7 @@ impl TesterProgram {
     pub fn evaluate(&self, data: &MeasurementSet) -> ErrorBreakdown {
         let mut breakdown = ErrorBreakdown::default();
         for i in 0..data.len() {
-            let kept_measurements: Vec<f64> =
-                self.kept.iter().map(|&c| data.row(i)[c]).collect();
+            let kept_measurements: Vec<f64> = self.kept.iter().map(|&c| data.row(i)[c]).collect();
             let prediction = self
                 .classify(&kept_measurements)
                 .expect("kept measurements are consistent by construction");
@@ -133,18 +162,23 @@ mod tests {
         let device = SyntheticDevice::new(3, 1.5, 0.85);
         let (train, test) =
             generate_train_test(&device, &MonteCarloConfig::new(400).with_seed(55), 200).unwrap();
-        let classifier =
-            GuardBandedClassifier::train(&train, &[0, 1], &GuardBandConfig::paper_default())
-                .unwrap();
+        let classifier = GuardBandedClassifier::train_with(
+            &crate::classifier::GridBackend::default(),
+            &train,
+            &[0, 1],
+            &GuardBandConfig::paper_default(),
+        )
+        .unwrap();
         (train, test, classifier)
     }
 
     #[test]
-    fn svm_program_matches_direct_classifier_evaluation() {
+    fn exact_program_matches_direct_classifier_evaluation() {
         let (train, test, classifier) = setup();
-        let program = TesterProgram::with_svm(train.specs().clone(), classifier.clone());
+        let program = TesterProgram::with_model(train.specs().clone(), classifier.clone());
         assert_eq!(program.kept(), &[0, 1]);
         assert_eq!(program.kept_names(), vec!["spec0", "spec1"]);
+        assert!(matches!(program.model(), TesterModel::Exact(_)));
         let direct = classifier.evaluate(&test);
         let deployed = program.evaluate(&test);
         assert_eq!(direct.yield_loss_count, deployed.yield_loss_count);
@@ -152,26 +186,39 @@ mod tests {
     }
 
     #[test]
-    fn lookup_table_program_is_close_to_the_svm_program() {
+    fn lookup_table_program_is_close_to_the_exact_program() {
         let (train, test, classifier) = setup();
-        let svm_program = TesterProgram::with_svm(train.specs().clone(), classifier.clone());
+        let exact_program = TesterProgram::with_model(train.specs().clone(), classifier.clone());
         let table_program =
             TesterProgram::with_lookup_table(train.specs().clone(), &classifier, 64).unwrap();
         assert!(matches!(table_program.model(), TesterModel::LookupTable(_)));
-        let svm_eval = svm_program.evaluate(&test);
+        let exact_eval = exact_program.evaluate(&test);
         let table_eval = table_program.evaluate(&test);
         assert!(
-            (svm_eval.prediction_error() - table_eval.prediction_error()).abs() < 0.03,
-            "svm {:?} table {:?}",
-            svm_eval,
+            (exact_eval.prediction_error() - table_eval.prediction_error()).abs() < 0.03,
+            "exact {:?} table {:?}",
+            exact_eval,
             table_eval
         );
     }
 
     #[test]
+    fn deprecated_with_svm_shim_builds_the_same_program() {
+        let (train, test, classifier) = setup();
+        #[allow(deprecated)]
+        let shim = TesterProgram::with_svm(train.specs().clone(), classifier.clone());
+        let current = TesterProgram::with_model(train.specs().clone(), classifier);
+        let shim_eval = shim.evaluate(&test);
+        let current_eval = current.evaluate(&test);
+        assert_eq!(shim_eval.yield_loss_count, current_eval.yield_loss_count);
+        assert_eq!(shim_eval.defect_escape_count, current_eval.defect_escape_count);
+        assert_eq!(shim_eval.guard_band_count, current_eval.guard_band_count);
+    }
+
+    #[test]
     fn classify_rejects_wrong_measurement_count_and_bad_kept_values() {
         let (train, _, classifier) = setup();
-        let program = TesterProgram::with_svm(train.specs().clone(), classifier);
+        let program = TesterProgram::with_model(train.specs().clone(), classifier);
         assert!(program.classify(&[0.0]).is_err());
         // A kept measurement far outside its range is rejected outright.
         assert_eq!(program.classify(&[99.0, 0.0]).unwrap(), Prediction::Bad);

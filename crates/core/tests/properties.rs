@@ -1,9 +1,7 @@
 //! Property-based tests of the compaction invariants.
 
 use proptest::prelude::*;
-use stc_core::{
-    baseline, DeviceLabel, MeasurementSet, Specification, SpecificationSet,
-};
+use stc_core::{baseline, DeviceLabel, MeasurementSet, Specification, SpecificationSet};
 
 fn spec_set(dimension: usize) -> SpecificationSet {
     let specs = (0..dimension)

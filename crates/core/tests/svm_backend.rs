@@ -1,0 +1,176 @@
+//! Integration tests of the compaction methodology with the ε-SVM backend —
+//! the model family of the paper.  These live here (rather than in the unit
+//! tests) because `stc-svm` is a dev-dependency: the backend implements the
+//! `ClassifierFactory` trait of the already-built `stc-core` rlib.
+
+use stc_core::{
+    generate_train_test, CompactionConfig, Compactor, GuardBandConfig, GuardBandedClassifier,
+    MonteCarloConfig, SyntheticDevice,
+};
+use stc_svm::SvmBackend;
+
+fn svm() -> SvmBackend {
+    SvmBackend::paper_default()
+}
+
+/// Five specs where consecutive specs are strongly correlated: several of
+/// them are redundant by construction.
+fn redundant_population() -> Compactor {
+    let device = SyntheticDevice::new(5, 1.8, 0.92);
+    let (train, test) =
+        generate_train_test(&device, &MonteCarloConfig::new(500).with_seed(31), 300).unwrap();
+    Compactor::new(train, test).unwrap()
+}
+
+/// Independent specs: nothing should be removable at a tight tolerance.
+fn independent_population() -> Compactor {
+    let device = SyntheticDevice::new(4, 1.5, 0.0);
+    let (train, test) =
+        generate_train_test(&device, &MonteCarloConfig::new(500).with_seed(32), 300).unwrap();
+    Compactor::new(train, test).unwrap()
+}
+
+#[test]
+fn redundant_specs_are_eliminated_with_controlled_error() {
+    let compactor = redundant_population();
+    let config = CompactionConfig::paper_default().with_tolerance(0.03);
+    let result = compactor.compact_with(&svm(), &config).unwrap();
+    assert!(
+        !result.eliminated.is_empty(),
+        "highly correlated specs should allow compaction: {result:?}"
+    );
+    assert!(result.final_breakdown.prediction_error() <= 0.03 + 1e-9);
+    assert!(!result.kept.is_empty());
+    assert_eq!(result.kept.len() + result.eliminated.len(), 5);
+    assert!(result.compaction_ratio() > 0.0);
+    // Every examined candidate logs one step; the loop stops early only when
+    // a single test remains.
+    assert!(result.steps.len() >= result.eliminated.len());
+    assert!(result.steps.len() <= 5);
+}
+
+#[test]
+fn independent_specs_resist_compaction_at_tight_tolerance() {
+    let compactor = independent_population();
+    let config = CompactionConfig::paper_default().with_tolerance(0.005);
+    let result = compactor.compact_with(&svm(), &config).unwrap();
+    // With fully independent specs, dropping any of them forfeits real
+    // information; at a 0.5 % tolerance almost nothing should go.
+    assert!(result.eliminated.len() <= 1, "eliminated {:?}", result.eliminated);
+}
+
+#[test]
+fn loose_tolerance_eliminates_more_than_tight_tolerance() {
+    let compactor = redundant_population();
+    let tight = compactor
+        .compact_with(&svm(), &CompactionConfig::paper_default().with_tolerance(0.01))
+        .unwrap();
+    let loose = compactor
+        .compact_with(&svm(), &CompactionConfig::paper_default().with_tolerance(0.2))
+        .unwrap();
+    assert!(loose.eliminated.len() >= tight.eliminated.len());
+    // The loop never removes every test.
+    assert!(!loose.kept.is_empty());
+}
+
+#[test]
+fn parallel_svm_evaluation_matches_sequential() {
+    let compactor = redundant_population();
+    let sequential = compactor
+        .compact_with(&svm(), &CompactionConfig::paper_default().with_tolerance(0.05))
+        .unwrap();
+    let parallel = compactor
+        .compact_with(
+            &svm(),
+            &CompactionConfig::paper_default().with_tolerance(0.05).with_threads(4),
+        )
+        .unwrap();
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn eliminate_single_error_shrinks_with_more_training_data() {
+    let compactor = redundant_population();
+    let guard_band = GuardBandConfig::paper_default();
+    let small = compactor.eliminate_single_with(&svm(), 4, 60, &guard_band).unwrap();
+    let large = compactor.eliminate_single_with(&svm(), 4, 500, &guard_band).unwrap();
+    assert!(
+        large.prediction_error() <= small.prediction_error() + 0.02,
+        "more data should not hurt: small {small:?} large {large:?}"
+    );
+}
+
+#[test]
+fn dropping_a_highly_correlated_spec_keeps_error_low() {
+    let device = SyntheticDevice::new(4, 1.5, 0.8);
+    let (train, test) =
+        generate_train_test(&device, &MonteCarloConfig::new(400).with_seed(21), 200).unwrap();
+    // Keep specs 0..3, drop spec 3 (highly correlated with spec 2).
+    let classifier = GuardBandedClassifier::train_with(
+        &svm(),
+        &train,
+        &[0, 1, 2],
+        &GuardBandConfig::paper_default(),
+    )
+    .unwrap();
+    let breakdown = classifier.evaluate(&test);
+    assert!(breakdown.prediction_error() < 0.08, "error {breakdown:?}");
+    assert!(breakdown.guard_band_fraction() < 0.5);
+    assert_eq!(breakdown.total, test.len());
+    assert_eq!(classifier.backend(), "svm");
+
+    // Keeping everything gives nearly perfect prediction.
+    let full = GuardBandedClassifier::train_with(
+        &svm(),
+        &train,
+        &[0, 1, 2, 3],
+        &GuardBandConfig::paper_default(),
+    )
+    .unwrap();
+    assert!(full.evaluate(&test).prediction_error() < 0.03);
+}
+
+#[test]
+fn wider_guard_band_captures_more_devices() {
+    let device = SyntheticDevice::new(4, 1.5, 0.8);
+    let (train, test) =
+        generate_train_test(&device, &MonteCarloConfig::new(400).with_seed(21), 200).unwrap();
+    let narrow = GuardBandedClassifier::train_with(
+        &svm(),
+        &train,
+        &[0, 1, 2],
+        &GuardBandConfig::paper_default().with_guard_band(0.02),
+    )
+    .unwrap()
+    .evaluate(&test);
+    let wide = GuardBandedClassifier::train_with(
+        &svm(),
+        &train,
+        &[0, 1, 2],
+        &GuardBandConfig::paper_default().with_guard_band(0.15),
+    )
+    .unwrap()
+    .evaluate(&test);
+    assert!(wide.guard_band_count >= narrow.guard_band_count);
+    // Devices in the band are not counted as misclassified, so the error of
+    // the wide band cannot exceed the narrow one by much.
+    assert!(wide.prediction_error() <= narrow.prediction_error() + 0.02);
+}
+
+#[test]
+fn single_class_population_compacts_to_the_complete_suite() {
+    // Every instance passes (very wide limits): the SVM cannot train on a
+    // single class, so every candidate is kept and the pipeline still
+    // succeeds, shipping the trivial complete-suite program.
+    use stc_core::{CompactionPipeline, TesterModel};
+    let device = SyntheticDevice::new(3, 50.0, 0.5);
+    let report = CompactionPipeline::for_device(&device)
+        .monte_carlo(MonteCarloConfig::new(150).with_seed(5))
+        .classifier(svm())
+        .run()
+        .unwrap();
+    assert!(report.eliminated().is_empty());
+    assert!(matches!(report.tester.model(), TesterModel::CompleteSuite));
+    assert_eq!(report.final_breakdown().prediction_error(), 0.0);
+    assert_eq!(report.guard_band.retest_count, 0);
+}

@@ -208,11 +208,7 @@ mod tests {
         // still recognisably the same part (the shifts stay within 20 %) —
         // this correlation is what makes the temperature tests predictable
         // from the room-temperature measurements.
-        for (h, (r, c)) in hot
-            .to_vec()
-            .iter()
-            .zip(room.to_vec().iter().zip(cold.to_vec().iter()))
-        {
+        for (h, (r, c)) in hot.to_vec().iter().zip(room.to_vec().iter().zip(cold.to_vec().iter())) {
             assert_ne!(h, r);
             assert_ne!(c, r);
             assert!((h / r - 1.0).abs() < 0.2, "hot shift too large: {h} vs {r}");

@@ -198,7 +198,9 @@ mod tests {
         for (name, value) in fields {
             g.set_varying_field(name, value * 1.5);
         }
-        assert!((g.plate_length / AccelerometerGeometry::nominal().plate_length - 1.5).abs() < 1e-12);
+        assert!(
+            (g.plate_length / AccelerometerGeometry::nominal().plate_length - 1.5).abs() < 1e-12
+        );
     }
 
     #[test]

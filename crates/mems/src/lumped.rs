@@ -117,8 +117,7 @@ pub fn derive_lumped_model(
     // --- Damping: Couette film under the plate plus squeeze film in the
     //     comb gaps, scaled by the fitted film constant. --------------------
     let viscosity = material.gas_viscosity_at(delta_t);
-    let couette = viscosity * geometry.plate_length * geometry.plate_width
-        / geometry.substrate_gap;
+    let couette = viscosity * geometry.plate_length * geometry.plate_width / geometry.substrate_gap;
     let squeeze = viscosity
         * geometry.finger_count as f64
         * geometry.finger_overlap
@@ -133,8 +132,7 @@ pub fn derive_lumped_model(
     //     finger; the gap dilates with the substrate expansion. -------------
     let gap = geometry.finger_gap * (1.0 + material.substrate_expansion * delta_t);
     let overlap_area = geometry.finger_overlap * geometry.thickness * geometry.flexure_angle.cos();
-    let sense_capacitance =
-        2.0 * geometry.finger_count as f64 * EPSILON_0 * overlap_area / gap;
+    let sense_capacitance = 2.0 * geometry.finger_count as f64 * EPSILON_0 * overlap_area / gap;
     let capacitance_gradient = sense_capacitance / gap;
 
     Ok(LumpedModel { mass, stiffness, damping, sense_capacitance, capacitance_gradient })
@@ -166,8 +164,7 @@ mod tests {
     fn longer_beams_soften_the_suspension() {
         let mut soft_geometry = AccelerometerGeometry::nominal();
         soft_geometry.beam_length *= 1.2;
-        let soft =
-            derive_lumped_model(&soft_geometry, &Material::polysilicon(), 0.0).unwrap();
+        let soft = derive_lumped_model(&soft_geometry, &Material::polysilicon(), 0.0).unwrap();
         assert!(soft.stiffness < nominal().stiffness);
         assert!(soft.natural_frequency() < nominal().natural_frequency());
     }
@@ -193,8 +190,7 @@ mod tests {
     fn angular_misalignment_reduces_stiffness_and_capacitance() {
         let mut tilted_geometry = AccelerometerGeometry::nominal();
         tilted_geometry.flexure_angle = 0.2;
-        let tilted =
-            derive_lumped_model(&tilted_geometry, &Material::polysilicon(), 0.0).unwrap();
+        let tilted = derive_lumped_model(&tilted_geometry, &Material::polysilicon(), 0.0).unwrap();
         assert!(tilted.stiffness < nominal().stiffness);
         assert!(tilted.sense_capacitance < nominal().sense_capacitance);
     }

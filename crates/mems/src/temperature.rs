@@ -78,6 +78,8 @@ mod tests {
             assert!(!t.label().is_empty());
             assert!(t.relative_test_cost() >= 1.0);
         }
-        assert!(TestTemperature::Cold.relative_test_cost() > TestTemperature::Room.relative_test_cost());
+        assert!(
+            TestTemperature::Cold.relative_test_cost() > TestTemperature::Room.relative_test_cost()
+        );
     }
 }

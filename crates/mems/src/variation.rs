@@ -30,8 +30,7 @@ impl MemsVariation {
     pub fn perturb<R: Rng>(&self, nominal: &Accelerometer, rng: &mut R) -> Accelerometer {
         let mut geometry = *nominal.geometry();
         for (name, value) in nominal.geometry().varying_fields() {
-            let factor =
-                rng.gen_range(1.0 - self.dimension_spread..=1.0 + self.dimension_spread);
+            let factor = rng.gen_range(1.0 - self.dimension_spread..=1.0 + self.dimension_spread);
             geometry.set_varying_field(name, value * factor);
         }
         geometry.flexure_angle = nominal.geometry().flexure_angle
@@ -82,10 +81,7 @@ mod tests {
         let nominal = Accelerometer::nominal();
         let mut rng = StdRng::seed_from_u64(9);
         let devices = variation.sample(&nominal, 200, &mut rng);
-        let ok = devices
-            .iter()
-            .filter(|d| d.measure(TestTemperature::Room).is_ok())
-            .count();
+        let ok = devices.iter().filter(|d| d.measure(TestTemperature::Room).is_ok()).count();
         assert_eq!(ok, 200, "every mildly perturbed device should still evaluate");
     }
 

@@ -1,0 +1,179 @@
+//! The ε-SVM classifier backend for the compaction pipeline.
+//!
+//! `stc-core` defines the [`ClassifierFactory`]/[`Classifier`] seam; this
+//! module plugs the SMO-trained [`Svc`] into it, making the paper's model
+//! family one backend among several (the grid model of
+//! `stc_core::classifier::GridBackend` is another).
+
+use std::sync::Arc;
+
+use stc_core::classifier::{Classifier, ClassifierFactory, TrainingView};
+use stc_core::{CompactionError, GuardBandConfig};
+
+use crate::{Dataset, Kernel, Svc, SvcParams, SvmError};
+
+impl From<SvmError> for CompactionError {
+    fn from(error: SvmError) -> Self {
+        CompactionError::Classifier { backend: "svm".to_string(), message: error.to_string() }
+    }
+}
+
+/// The SMO-trained ε-SVM backend (the classifier family of the paper).
+///
+/// # Example
+///
+/// ```
+/// use stc_core::pipeline::CompactionPipeline;
+/// use stc_core::{MonteCarloConfig, SyntheticDevice};
+/// use stc_svm::SvmBackend;
+///
+/// # fn main() -> Result<(), stc_core::CompactionError> {
+/// let device = SyntheticDevice::new(4, 1.8, 0.9);
+/// let report = CompactionPipeline::for_device(&device)
+///     .monte_carlo(MonteCarloConfig::new(300).with_seed(7))
+///     .classifier(SvmBackend::paper_default())
+///     .run()?;
+/// assert_eq!(report.backend, "svm");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvmBackend {
+    params: SvcParams,
+}
+
+impl SvmBackend {
+    /// A backend with explicit SVC hyper-parameters.
+    pub fn new(params: SvcParams) -> Self {
+        SvmBackend { params }
+    }
+
+    /// The paper's settings: `C = 10`, RBF kernel with `gamma = 1`.
+    pub fn paper_default() -> Self {
+        SvmBackend::new(SvcParams::new().with_c(10.0).with_kernel(Kernel::rbf(1.0)))
+    }
+
+    /// A backend with the SVM hyper-parameters a guard-band configuration
+    /// carries (`svm_c`, `svm_gamma`), matching the behaviour of the old
+    /// hard-wired elimination loop.
+    pub fn from_guard_band(config: &GuardBandConfig) -> Self {
+        SvmBackend::new(
+            SvcParams::new().with_c(config.svm_c).with_kernel(Kernel::rbf(config.svm_gamma)),
+        )
+    }
+
+    /// The SVC hyper-parameters this backend trains with.
+    pub fn params(&self) -> &SvcParams {
+        &self.params
+    }
+}
+
+impl Default for SvmBackend {
+    fn default() -> Self {
+        SvmBackend::paper_default()
+    }
+}
+
+impl ClassifierFactory for SvmBackend {
+    fn name(&self) -> &str {
+        "svm"
+    }
+
+    fn train(&self, view: &TrainingView<'_>) -> stc_core::Result<Arc<dyn Classifier>> {
+        let dataset = dataset_from_view(view)?;
+        let model = Svc::train(&dataset, &self.params)?;
+        Ok(Arc::new(SvmClassifier { model }))
+    }
+}
+
+/// Classifier wrapping a trained [`Svc`].
+#[derive(Debug, Clone)]
+struct SvmClassifier {
+    model: Svc,
+}
+
+impl Classifier for SvmClassifier {
+    fn decision(&self, features: &[f64]) -> f64 {
+        self.model.decision_function(features)
+    }
+}
+
+/// Builds an SVM [`Dataset`] from a training view: normalised kept-column
+/// features with margin-adjusted `+1`/`-1` labels (the successor of the old
+/// `MeasurementSet::to_svm_dataset`).
+///
+/// # Errors
+///
+/// Propagates dataset-construction errors (converted to
+/// [`CompactionError::Classifier`]).
+pub fn dataset_from_view(view: &TrainingView<'_>) -> stc_core::Result<Dataset> {
+    let mut dataset = Dataset::new(view.dimension())?;
+    for i in 0..view.len() {
+        dataset.push(view.features(i), view.label(i).to_class())?;
+    }
+    Ok(dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stc_core::{MeasurementSet, Specification, SpecificationSet};
+
+    fn population() -> MeasurementSet {
+        let specs = SpecificationSet::new(vec![
+            Specification::new("a", "-", 0.0, -1.0, 1.0).unwrap(),
+            Specification::new("b", "-", 0.0, -1.0, 1.0).unwrap(),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|i| {
+                let x = -1.5 + 3.0 * (i as f64) / 119.0;
+                vec![x, 0.9 * x]
+            })
+            .collect();
+        MeasurementSet::new(specs, rows).unwrap()
+    }
+
+    #[test]
+    fn svm_backend_learns_the_boundary() {
+        let data = population();
+        let view = TrainingView::new(&data, &[0], 0.0).unwrap();
+        let model = SvmBackend::paper_default().train(&view).unwrap();
+        assert!(model.predict_good(&[0.5]));
+        assert!(!model.predict_good(&[1.3]));
+        assert!(!model.predict_good(&[-0.3]));
+    }
+
+    #[test]
+    fn dataset_conversion_matches_the_view() {
+        let data = population();
+        let view = TrainingView::new(&data, &[1], 0.05).unwrap();
+        let dataset = dataset_from_view(&view).unwrap();
+        assert_eq!(dataset.len(), view.len());
+        assert_eq!(dataset.dimension(), 1);
+        for i in 0..view.len() {
+            assert_eq!(dataset.features(i), view.features(i));
+            assert_eq!(dataset.label(i), view.label(i).to_class());
+        }
+    }
+
+    #[test]
+    fn single_class_views_fail_with_a_classifier_error() {
+        let specs =
+            SpecificationSet::new(vec![Specification::new("a", "-", 0.0, -1.0, 1.0).unwrap()])
+                .unwrap();
+        let rows = vec![vec![0.0]; 40];
+        let data = MeasurementSet::new(specs, rows).unwrap();
+        let view = TrainingView::new(&data, &[0], 0.0).unwrap();
+        let error = SvmBackend::paper_default().train(&view).unwrap_err();
+        assert!(matches!(error, CompactionError::Classifier { .. }));
+    }
+
+    #[test]
+    fn guard_band_parameters_are_adopted() {
+        let config = GuardBandConfig::paper_default().with_svm(5.0, 0.5);
+        let backend = SvmBackend::from_guard_band(&config);
+        assert_eq!(backend.params().c(), 5.0);
+        assert_eq!(backend.name(), "svm");
+    }
+}

@@ -104,14 +104,9 @@ mod tests {
     fn grid_search_finds_accurate_parameters() {
         let data = ring_data();
         let mut rng = StdRng::seed_from_u64(42);
-        let result = grid_search_svc(
-            &data,
-            &GridSearchSpace::coarse(),
-            &SvcParams::new(),
-            4,
-            &mut rng,
-        )
-        .unwrap();
+        let result =
+            grid_search_svc(&data, &GridSearchSpace::coarse(), &SvcParams::new(), 4, &mut rng)
+                .unwrap();
         assert!(result.accuracy > 0.9, "best accuracy {}", result.accuracy);
     }
 

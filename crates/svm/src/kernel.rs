@@ -176,7 +176,7 @@ mod tests {
     fn sigmoid_is_bounded() {
         let k = Kernel::sigmoid(0.5, 0.0);
         let v = k.eval(&[10.0, 10.0], &[10.0, 10.0]);
-        assert!(v <= 1.0 && v >= -1.0);
+        assert!((-1.0..=1.0).contains(&v));
     }
 
     #[test]

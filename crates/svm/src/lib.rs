@@ -9,6 +9,9 @@
 //! measurements.  This crate provides the equivalent functionality built from
 //! scratch:
 //!
+//! * [`SvmBackend`] — the crate's [`stc_core::classifier::ClassifierFactory`]
+//!   implementation, plugging the SVM into the `stc-core` compaction
+//!   pipeline,
 //! * [`Svc`] — soft-margin C-SVM classification trained with a
 //!   LIBSVM-style SMO solver ([`smo`]),
 //! * [`Svr`] — ε-support-vector regression, used only for the
@@ -49,10 +52,12 @@ mod scaler;
 mod svc;
 mod svr;
 
+pub mod backend;
 pub mod cross_validation;
 pub mod grid_search;
 pub mod smo;
 
+pub use backend::SvmBackend;
 pub use dataset::{Dataset, Sample};
 pub use error::SvmError;
 pub use kernel::Kernel;

@@ -135,10 +135,7 @@ pub fn solve<Q: QMatrix>(q: &Q, problem: &SmoProblem, params: &SmoParams) -> Res
         return Err(SvmError::InvalidParameter { name: "problem size", value: n as f64 });
     }
     if params.tolerance <= 0.0 {
-        return Err(SvmError::InvalidParameter {
-            name: "tolerance",
-            value: params.tolerance,
-        });
+        return Err(SvmError::InvalidParameter { name: "tolerance", value: params.tolerance });
     }
 
     let y = &problem.y;
@@ -149,11 +146,11 @@ pub fn solve<Q: QMatrix>(q: &Q, problem: &SmoProblem, params: &SmoParams) -> Res
 
     // Gradient of the objective: G_t = sum_s Q[t][s] alpha_s + p_t.
     let mut grad: Vec<f64> = p.clone();
-    for s in 0..n {
-        if alpha[s] != 0.0 {
+    for (s, &alpha_s) in alpha.iter().enumerate().take(n) {
+        if alpha_s != 0.0 {
             let row = cache.get(q, s).to_vec();
             for t in 0..n {
-                grad[t] += row[t] * alpha[s];
+                grad[t] += row[t] * alpha_s;
             }
         }
     }
@@ -404,16 +401,9 @@ mod tests {
     #[test]
     fn empty_problem_is_rejected() {
         let q = DenseQ::from_fn(0, |_, _| 0.0);
-        let problem = SmoProblem {
-            y: vec![],
-            p: vec![],
-            upper_bound: vec![],
-            initial_alpha: vec![],
-        };
-        assert!(matches!(
-            solve(&q, &problem, &SmoParams::default()),
-            Err(SvmError::EmptyDataset)
-        ));
+        let problem =
+            SmoProblem { y: vec![], p: vec![], upper_bound: vec![], initial_alpha: vec![] };
+        assert!(matches!(solve(&q, &problem, &SmoParams::default()), Err(SvmError::EmptyDataset)));
     }
 
     #[test]

@@ -139,8 +139,8 @@ impl QMatrix for SvcQ<'_> {
     fn row(&self, i: usize, out: &mut [f64]) {
         let xi = self.data.features(i);
         let yi = self.data.label(i);
-        for j in 0..self.data.len() {
-            out[j] = yi * self.data.label(j) * self.kernel.eval(xi, self.data.features(j));
+        for (j, cell) in out.iter_mut().enumerate().take(self.data.len()) {
+            *cell = yi * self.data.label(j) * self.kernel.eval(xi, self.data.features(j));
         }
     }
 
@@ -198,12 +198,8 @@ impl Svc {
                 }
             })
             .collect();
-        let problem = SmoProblem {
-            y: y.clone(),
-            p: vec![-1.0; n],
-            upper_bound,
-            initial_alpha: vec![0.0; n],
-        };
+        let problem =
+            SmoProblem { y: y.clone(), p: vec![-1.0; n], upper_bound, initial_alpha: vec![0.0; n] };
         let q = SvcQ::new(data, params.kernel);
         let smo_params = SmoParams {
             tolerance: params.tolerance,
@@ -214,10 +210,10 @@ impl Svc {
 
         let mut support_vectors = Vec::new();
         let mut coefficients = Vec::new();
-        for i in 0..n {
-            if solution.alpha[i] > 1e-12 {
+        for (i, (&alpha, &label)) in solution.alpha.iter().zip(y.iter()).enumerate() {
+            if alpha > 1e-12 {
                 support_vectors.push(data.features(i).to_vec());
-                coefficients.push(solution.alpha[i] * y[i]);
+                coefficients.push(alpha * label);
             }
         }
         Ok(Svc {
@@ -319,12 +315,8 @@ mod tests {
     /// XOR-like data that a linear kernel cannot separate but RBF can.
     fn xor_data() -> Dataset {
         let mut d = Dataset::new(2).unwrap();
-        let centers = [
-            ([0.0, 0.0], 1.0),
-            ([1.0, 1.0], 1.0),
-            ([0.0, 1.0], -1.0),
-            ([1.0, 0.0], -1.0),
-        ];
+        let centers =
+            [([0.0, 0.0], 1.0), ([1.0, 1.0], 1.0), ([0.0, 1.0], -1.0), ([1.0, 0.0], -1.0)];
         for (c, label) in centers {
             for di in 0..5 {
                 for dj in 0..5 {
@@ -431,8 +423,7 @@ mod tests {
     #[test]
     fn accuracy_of_empty_dataset_is_one() {
         let data = linearly_separable(5);
-        let model =
-            Svc::train(&data, &SvcParams::new().with_kernel(Kernel::linear())).unwrap();
+        let model = Svc::train(&data, &SvcParams::new().with_kernel(Kernel::linear())).unwrap();
         let empty = Dataset::new(2).unwrap();
         assert_eq!(model.accuracy(&empty), 1.0);
     }

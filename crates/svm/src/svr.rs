@@ -150,9 +150,8 @@ impl QMatrix for SvrQ<'_> {
     fn row(&self, i: usize, out: &mut [f64]) {
         let xi = self.data.features(self.base(i));
         let si = self.sign(i);
-        for t in 0..self.len() {
-            out[t] =
-                si * self.sign(t) * self.kernel.eval(xi, self.data.features(self.base(t)));
+        for (t, cell) in out.iter_mut().enumerate().take(self.len()) {
+            *cell = si * self.sign(t) * self.kernel.eval(xi, self.data.features(self.base(t)));
         }
     }
 
@@ -327,20 +326,14 @@ mod tests {
         assert!(Svr::train(&data, &SvrParams::new().with_c(0.0)).is_err());
         assert!(Svr::train(&data, &SvrParams::new().with_epsilon(-1.0)).is_err());
         let empty = Dataset::new(1).unwrap();
-        assert!(matches!(
-            Svr::train(&empty, &SvrParams::new()),
-            Err(SvmError::EmptyDataset)
-        ));
+        assert!(matches!(Svr::train(&empty, &SvrParams::new()), Err(SvmError::EmptyDataset)));
     }
 
     #[test]
     fn rmse_of_empty_dataset_is_zero() {
         let data = linear_data();
-        let model = Svr::train(
-            &data,
-            &SvrParams::new().with_c(10.0).with_kernel(Kernel::linear()),
-        )
-        .unwrap();
+        let model = Svr::train(&data, &SvrParams::new().with_c(10.0).with_kernel(Kernel::linear()))
+            .unwrap();
         assert_eq!(model.rmse(&Dataset::new(1).unwrap()), 0.0);
     }
 }

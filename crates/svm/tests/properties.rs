@@ -23,7 +23,7 @@ proptest! {
     #[test]
     fn rbf_is_bounded(x in finite_vector(4), y in finite_vector(4), gamma in 0.01f64..2.0) {
         let value = Kernel::rbf(gamma).eval(&x, &y);
-        prop_assert!(value >= 0.0 && value <= 1.0 + 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&value));
         let self_value = Kernel::rbf(gamma).eval(&x, &x);
         prop_assert!((self_value - 1.0).abs() < 1e-12);
     }

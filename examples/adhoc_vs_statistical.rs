@@ -5,16 +5,14 @@
 //! cargo run --example adhoc_vs_statistical
 //! ```
 
-use spec_test_compaction::core::baseline;
-use spec_test_compaction::core::{
-    generate_train_test, Compactor, GuardBandConfig, MonteCarloConfig, SyntheticDevice,
-};
+use spec_test_compaction::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = SyntheticDevice::new(8, 1.8, 0.85);
     let (train, test) =
         generate_train_test(&device, &MonteCarloConfig::new(800).with_seed(17), 400)?;
     let compactor = Compactor::new(train.clone(), test.clone())?;
+    let svm = SvmBackend::paper_default();
     let guard_band = GuardBandConfig::paper_default();
 
     println!("dropped tests | ad-hoc defect escape | statistical defect escape (+ guard band)");
@@ -22,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for dropped_count in 1..=4usize {
         let dropped: Vec<usize> = (8 - dropped_count..8).collect();
         let adhoc = baseline::evaluate_adhoc(&test, &dropped)?;
-        let statistical = compactor.eliminate_group(&dropped, &guard_band)?;
+        let statistical = compactor.eliminate_group_with(&svm, &dropped, &guard_band)?;
         println!(
             "      {dropped_count}       |        {:>5.2}%        |        {:>5.2}%  ({:>4.1}% in band)",
             adhoc.breakdown.defect_escape() * 100.0,

@@ -6,15 +6,14 @@
 //! cargo run --example guardband_tuning
 //! ```
 
-use spec_test_compaction::core::{
-    generate_train_test, Compactor, GuardBandConfig, MonteCarloConfig, SyntheticDevice,
-};
+use spec_test_compaction::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = SyntheticDevice::new(8, 1.8, 0.85);
     let (train, test) =
         generate_train_test(&device, &MonteCarloConfig::new(800).with_seed(7), 400)?;
     let compactor = Compactor::new(train, test)?;
+    let svm = SvmBackend::paper_default();
     // Drop the two most redundant specifications and study the band width.
     let kept: Vec<usize> = (0..8).filter(|&c| c != 6 && c != 7).collect();
 
@@ -22,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("-----------+------------+---------------+----------------");
     for width in [0.0, 0.01, 0.02, 0.05, 0.10, 0.15] {
         let config = GuardBandConfig::paper_default().with_guard_band(width);
-        let (_, breakdown) = compactor.evaluate_kept_set(&kept, &config)?;
+        let (_, breakdown) = compactor.evaluate_kept_set_with(&svm, &kept, &config)?;
         println!(
             "   {:>5.1}%  |   {:>5.2}%   |    {:>5.2}%     |     {:>5.1}%",
             width * 100.0,

@@ -8,34 +8,34 @@
 //! Use `--release`: every instance is a transistor-level simulation (DC, AC
 //! and transient analyses for all eleven specifications).
 
-use spec_test_compaction::adapters::OpAmpDevice;
 use spec_test_compaction::core::report::render_specification_table;
-use spec_test_compaction::core::{
-    generate_train_test, CompactionConfig, Compactor, MonteCarloConfig, TestCostModel,
-};
+use spec_test_compaction::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = OpAmpDevice::paper_setup();
-    let config = MonteCarloConfig::new(600)
-        .with_seed(2005)
-        .with_threads(8)
-        .with_calibration_quantiles(0.02, 0.98);
     eprintln!("simulating 600 training + 300 test op-amp instances ...");
-    let (train, test) = generate_train_test(&device, &config, 300)?;
+    let report = device
+        .paper_pipeline()
+        .monte_carlo(
+            MonteCarloConfig::new(600)
+                .with_seed(2005)
+                .with_threads(8)
+                .with_calibration_quantiles(0.02, 0.98),
+        )
+        .test_instances(300)
+        .compaction(CompactionConfig::paper_default().with_tolerance(0.01).with_threads(4))
+        .run()?;
 
     println!("calibrated acceptability ranges:\n");
-    println!("{}", render_specification_table(train.specs()));
+    println!("{}", render_specification_table(report.tester.specs()));
     println!(
         "training yield {:.1}%, test yield {:.1}%\n",
-        train.yield_fraction() * 100.0,
-        test.yield_fraction() * 100.0
+        report.train_yield * 100.0,
+        report.test_yield * 100.0
     );
 
-    let compactor = Compactor::new(train.clone(), test)?;
-    let result = compactor.compact(&CompactionConfig::paper_default().with_tolerance(0.01))?;
-
-    println!("compaction at 1% tolerance:");
-    for step in &result.steps {
+    println!("compaction at 1% tolerance [{} backend]:", report.backend);
+    for step in &report.compaction.steps {
         println!(
             "  {:<22} {}  (yield loss {:.2}%, defect escape {:.2}%)",
             step.spec_name,
@@ -45,12 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!(
-        "\n{} of {} tests eliminated; remaining tests: {:?}",
-        result.eliminated.len(),
-        train.specs().len(),
-        result.kept.iter().map(|&i| train.specs().spec(i).name()).collect::<Vec<_>>()
+        "\n{} of 11 tests eliminated; remaining tests: {:?}",
+        report.eliminated().len(),
+        report.tester.kept_names()
     );
-    let cost = TestCostModel::uniform(train.specs().len());
-    println!("test-cost reduction: {:.0}%", cost.cost_reduction(&result.kept)? * 100.0);
+    println!("test-cost reduction: {:.0}%", report.cost.reduction * 100.0);
     Ok(())
 }

@@ -6,46 +6,45 @@
 //!
 //! The synthetic device has six strongly correlated specifications, so several
 //! of its tests are redundant by construction — exactly the situation the
-//! paper's methodology exploits.
+//! paper's methodology exploits.  The whole flow is one staged pipeline.
 
-use spec_test_compaction::core::{
-    generate_train_test, CompactionConfig, Compactor, MonteCarloConfig, SyntheticDevice,
-    TestCostModel,
-};
+use spec_test_compaction::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Monte-Carlo "simulation" of 600 training and 300 test instances.
     let device = SyntheticDevice::new(6, 1.8, 0.9);
-    let config = MonteCarloConfig::new(600).with_seed(42);
-    let (train, test) = generate_train_test(&device, &config, 300)?;
+
+    // Monte-Carlo simulation → greedy compaction at a 2 % error tolerance →
+    // guard banding → tester program → cost accounting, in one run.
+    let report = CompactionPipeline::for_device(&device)
+        .monte_carlo(MonteCarloConfig::new(600).with_seed(42))
+        .test_instances(300)
+        .compaction(CompactionConfig::paper_default().with_tolerance(0.02))
+        .classifier(SvmBackend::paper_default())
+        .run()?;
+
     println!(
         "population: {} training / {} test instances, training yield {:.1}%",
-        train.len(),
-        test.len(),
-        train.yield_fraction() * 100.0
+        report.train_instances,
+        report.test_instances,
+        report.train_yield * 100.0
     );
 
-    // 2. Greedy compaction with a 2 % prediction-error tolerance.
-    let compactor = Compactor::new(train.clone(), test)?;
-    let result = compactor.compact(&CompactionConfig::paper_default().with_tolerance(0.02))?;
-
-    println!("\neliminated tests ({} of {}):", result.eliminated.len(), train.specs().len());
-    for &index in &result.eliminated {
-        println!("  - {}", train.specs().spec(index).name());
+    let names = device.spec_names();
+    println!("\neliminated tests ({} of {}):", report.eliminated().len(), names.len());
+    for &index in report.eliminated() {
+        println!("  - {}", names[index]);
     }
     println!("kept tests:");
-    for &index in &result.kept {
-        println!("  - {}", train.specs().spec(index).name());
+    for &index in report.kept() {
+        println!("  - {}", names[index]);
     }
     println!(
         "\nfinal prediction error: yield loss {:.2}%, defect escape {:.2}%, guard band {:.2}%",
-        result.final_breakdown.yield_loss() * 100.0,
-        result.final_breakdown.defect_escape() * 100.0,
-        result.final_breakdown.guard_band_fraction() * 100.0
+        report.final_breakdown().yield_loss() * 100.0,
+        report.final_breakdown().defect_escape() * 100.0,
+        report.final_breakdown().guard_band_fraction() * 100.0
     );
-
-    // 3. What the compaction is worth with a uniform per-test cost.
-    let cost = TestCostModel::uniform(train.specs().len());
-    println!("test-cost reduction: {:.0}%", cost.cost_reduction(&result.kept)? * 100.0);
+    println!("test-cost reduction: {:.0}%", report.cost.reduction * 100.0);
+    println!("\n{}", report.summary());
     Ok(())
 }

@@ -10,31 +10,44 @@
 //!
 //! | Crate | Role |
 //! |-------|------|
-//! | [`core`] (`stc-core`) | compaction methodology: Monte-Carlo data generation, greedy elimination, guard banding, grid/lookup tester models, cost model, ad-hoc baseline |
-//! | [`svm`] (`stc-svm`) | SMO-trained support-vector classification/regression |
+//! | [`core`] (`stc-core`) | the [`CompactionPipeline`](prelude::CompactionPipeline): Monte-Carlo data generation, greedy elimination, guard banding, pluggable classifier backends, grid/lookup tester models, cost model, ad-hoc baseline |
+//! | [`svm`] (`stc-svm`) | SMO-trained support-vector classification/regression and the [`SvmBackend`](prelude::SvmBackend) classifier |
 //! | [`circuit`] (`stc-circuit`) | MNA analog circuit simulator + two-stage CMOS op-amp testbenches (Spectre substitute) |
 //! | [`mems`] (`stc-mems`) | lumped MEMS accelerometer behavioural model with temperature effects (NODAS substitute) |
-//! | this crate | [`adapters`] wiring the devices into the methodology, runnable examples |
+//! | this crate | [`adapters`] wiring the devices into the methodology, the [`prelude`], runnable examples |
 //!
 //! ## Quick start
 //!
+//! The whole flow — simulate a process-perturbed population, greedily
+//! eliminate redundant tests under an error tolerance, guard-band the
+//! decision boundary, emit a deployable tester program with its cost savings
+//! — is one staged builder:
+//!
 //! ```no_run
-//! use spec_test_compaction::adapters::OpAmpDevice;
-//! use spec_test_compaction::core::{
-//!     generate_train_test, CompactionConfig, Compactor, MonteCarloConfig,
-//! };
+//! use spec_test_compaction::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Simulate a small op-amp population and compact its 11-test suite.
+//! // Compact the 11-test suite of the paper's two-stage op-amp.
 //! let device = OpAmpDevice::paper_setup();
-//! let config = MonteCarloConfig::new(500).with_seed(7).with_threads(4);
-//! let (train, test) = generate_train_test(&device, &config, 200)?;
-//! let compactor = Compactor::new(train, test)?;
-//! let result = compactor.compact(&CompactionConfig::paper_default().with_tolerance(0.01))?;
-//! println!("kept {:?}, eliminated {:?}", result.kept, result.eliminated);
+//! let report = CompactionPipeline::for_device(&device)
+//!     .monte_carlo(MonteCarloConfig::new(500).with_seed(7).with_threads(4))
+//!     .test_instances(200)
+//!     .compaction(CompactionConfig::paper_default().with_tolerance(0.01))
+//!     .guard_band(GuardBandConfig::paper_default())
+//!     .classifier(SvmBackend::paper_default())
+//!     .run()?;
+//! println!("{}", report.summary());
+//! println!("kept {:?}, eliminated {:?}", report.kept(), report.eliminated());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The classifier stage is pluggable: swap `SvmBackend` for the cheaper
+//! [`GridBackend`](prelude::GridBackend) (or any custom
+//! [`ClassifierFactory`](prelude::ClassifierFactory)) without touching the
+//! rest of the flow.  The pre-0.2 free-function call chain
+//! (`generate_train_test` → `Compactor::compact` → …) still compiles; the
+//! classifier-specific entry points are deprecated shims over the new seam.
 //!
 //! The experiment harness reproducing every table and figure of the paper
 //! lives in the `stc-bench` crate (`cargo run -p stc-bench --bin table1`,
@@ -44,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod adapters;
+pub mod prelude;
 
 pub use stc_circuit as circuit;
 pub use stc_core as core;

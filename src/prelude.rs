@@ -1,0 +1,25 @@
+//! One-stop imports for the compaction flow.
+//!
+//! ```
+//! use spec_test_compaction::prelude::*;
+//! ```
+//!
+//! brings in the [`CompactionPipeline`] builder, both bundled classifier
+//! backends ([`SvmBackend`], [`GridBackend`]), the device adapters and every
+//! configuration type the pipeline stages take.
+
+pub use crate::adapters::{opamp_specs_from_nominal, AccelerometerDevice, OpAmpDevice};
+
+pub use stc_core::classifier::{Classifier, ClassifierFactory, GridBackend, TrainingView};
+pub use stc_core::pipeline::{CompactionPipeline, CostSummary, GuardBandStats, PipelineReport};
+pub use stc_core::{
+    baseline, generate_measurement_set, generate_train_test, gridmodel, run_monte_carlo,
+    CompactionConfig, CompactionError, CompactionResult, CompactionStep, Compactor, DeviceLabel,
+    DeviceUnderTest, EliminationOrder, ErrorBreakdown, GuardBandConfig, GuardBandedClassifier,
+    MeasurementSet, MonteCarloConfig, Prediction, Specification, SpecificationSet, SyntheticDevice,
+    TestCostModel, TesterModel, TesterProgram,
+};
+
+pub use stc_svm::SvmBackend;
+
+pub use stc_mems::TestTemperature;

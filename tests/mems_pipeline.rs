@@ -1,12 +1,9 @@
 //! Integration test of the accelerometer case study: temperature tests are
 //! predictable from room-temperature measurements with small error, which is
-//! the headline Table 3 result of the paper.
+//! the headline Table 3 result of the paper — driven through the staged
+//! pipeline with both classifier backends.
 
-use spec_test_compaction::adapters::AccelerometerDevice;
-use spec_test_compaction::core::{
-    generate_train_test, Compactor, GuardBandConfig, MonteCarloConfig,
-};
-use spec_test_compaction::mems::TestTemperature;
+use spec_test_compaction::prelude::*;
 
 #[test]
 fn temperature_insertions_are_predictable_from_room_temperature() {
@@ -21,13 +18,14 @@ fn temperature_insertions_are_predictable_from_room_temperature() {
     assert!(training_yield > 0.5 && training_yield < 0.95, "yield {training_yield}");
 
     let compactor = Compactor::new(train, test).unwrap();
+    let svm = SvmBackend::paper_default();
     let guard_band = GuardBandConfig::paper_default();
     let cold = AccelerometerDevice::temperature_group(TestTemperature::Cold);
     let hot = AccelerometerDevice::temperature_group(TestTemperature::Hot);
     let both: Vec<usize> = cold.iter().chain(hot.iter()).copied().collect();
 
-    let cold_breakdown = compactor.eliminate_group(&cold, &guard_band).unwrap();
-    let both_breakdown = compactor.eliminate_group(&both, &guard_band).unwrap();
+    let cold_breakdown = compactor.eliminate_group_with(&svm, &cold, &guard_band).unwrap();
+    let both_breakdown = compactor.eliminate_group_with(&svm, &both, &guard_band).unwrap();
 
     // The paper reports sub-1 % errors; at reduced scale we only require the
     // qualitative result: the temperature outcomes are highly predictable.
@@ -50,4 +48,42 @@ fn temperature_insertions_are_predictable_from_room_temperature() {
     let cost_model = AccelerometerDevice::cost_model();
     let kept: Vec<usize> = (0..12).filter(|c| !both.contains(c)).collect();
     assert!(cost_model.cost_reduction(&kept).unwrap() > 0.5);
+}
+
+#[test]
+fn mems_pipeline_runs_with_both_backends() {
+    let device = AccelerometerDevice::paper_setup();
+    // Examine only the cold insertion to keep the run fast; the thermal
+    // tests are the redundant ones in this case study.
+    let cold = AccelerometerDevice::temperature_group(TestTemperature::Cold);
+    for (backend, expect_name) in [
+        (Box::new(SvmBackend::paper_default()) as Box<dyn ClassifierFactory>, "svm"),
+        (Box::new(GridBackend::default()) as Box<dyn ClassifierFactory>, "grid"),
+    ] {
+        let report = CompactionPipeline::for_device(&device)
+            .monte_carlo(
+                MonteCarloConfig::new(200)
+                    .with_seed(505)
+                    .with_threads(4)
+                    .with_calibration_quantiles(0.075, 0.925),
+            )
+            .test_instances(100)
+            .compaction(
+                CompactionConfig::paper_default()
+                    .with_tolerance(0.08)
+                    .with_order(EliminationOrder::Functional(cold.clone()))
+                    .with_threads(2),
+            )
+            .cost_model(AccelerometerDevice::cost_model())
+            .classifier_arc(std::sync::Arc::from(backend))
+            .run()
+            .expect("MEMS pipeline runs");
+        assert_eq!(report.backend, expect_name);
+        assert_eq!(report.device, "MEMS lateral comb accelerometer");
+        assert_eq!(report.kept().len() + report.eliminated().len(), 12);
+        // Eliminated thermal tests translate into insertion-cost savings.
+        if report.eliminated().len() == 4 {
+            assert!(report.cost.reduction > 0.3, "reduction {}", report.cost.reduction);
+        }
+    }
 }

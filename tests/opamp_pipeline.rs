@@ -1,11 +1,8 @@
 //! Integration test of the op-amp case study at reduced scale: the
-//! transistor-level simulator, the adapter and the compaction flow working
-//! together.
+//! transistor-level simulator, the adapter and the staged compaction
+//! pipeline working together, with both classifier backends.
 
-use spec_test_compaction::adapters::OpAmpDevice;
-use spec_test_compaction::core::{
-    generate_train_test, Compactor, DeviceUnderTest, GuardBandConfig, MonteCarloConfig,
-};
+use spec_test_compaction::prelude::*;
 
 #[test]
 fn opamp_population_supports_compaction_of_related_specs() {
@@ -30,12 +27,50 @@ fn opamp_population_supports_compaction_of_related_specs() {
     // error even from a modest population.
     let compactor = Compactor::new(train, test).unwrap();
     let breakdown = compactor
-        .eliminate_group(&[4], &GuardBandConfig::paper_default())
+        .eliminate_group_with(&SvmBackend::paper_default(), &[4], &GuardBandConfig::paper_default())
         .expect("model trains");
     assert!(
         breakdown.prediction_error() < 0.10,
         "dropping the rise-time test should be nearly free: {breakdown:?}"
     );
+}
+
+#[test]
+fn opamp_pipeline_runs_with_both_backends() {
+    let device = OpAmpDevice::paper_setup();
+    // Examine only the three step-response specs to keep the run fast: they
+    // are the paper's most redundant tests.
+    let order = EliminationOrder::Functional(vec![4, 6, 5]);
+    for (backend, expect_name) in [
+        (Box::new(SvmBackend::paper_default()) as Box<dyn ClassifierFactory>, "svm"),
+        (Box::new(GridBackend::default()) as Box<dyn ClassifierFactory>, "grid"),
+    ] {
+        let report = CompactionPipeline::for_device(&device)
+            .monte_carlo(
+                MonteCarloConfig::new(100)
+                    .with_seed(404)
+                    .with_threads(4)
+                    .with_calibration_quantiles(0.02, 0.98),
+            )
+            .test_instances(60)
+            .compaction(
+                CompactionConfig::paper_default()
+                    .with_tolerance(0.10)
+                    .with_order(order.clone())
+                    .with_threads(2),
+            )
+            .classifier_arc(std::sync::Arc::from(backend))
+            .run()
+            .expect("op-amp pipeline runs");
+        assert_eq!(report.backend, expect_name);
+        assert_eq!(report.kept().len() + report.eliminated().len(), 11);
+        assert!(!report.kept().is_empty());
+        assert_eq!(report.device, "two-stage CMOS operational amplifier");
+        assert!(
+            report.final_breakdown().prediction_error() <= 0.10 + 1e-9
+                || report.eliminated().is_empty()
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,108 @@
+//! Property tests of the `CompactionPipeline` API contract:
+//!
+//! * a pipeline run with a fixed seed is deterministic (and independent of
+//!   the candidate-evaluation thread count),
+//! * both bundled classifier backends satisfy the `Classifier` trait
+//!   contract — `kept ∪ eliminated` partitions the full test set and the
+//!   final prediction error respects the tolerance,
+//! * the deprecated pre-0.2 entry points produce results identical to the
+//!   pipeline configured with the same backend.
+
+use proptest::prelude::*;
+use spec_test_compaction::prelude::*;
+
+fn report(
+    seed: u64,
+    dimension: usize,
+    tolerance: f64,
+    threads: usize,
+    backend: Backend,
+) -> PipelineReport {
+    let device = SyntheticDevice::new(dimension, 1.8, 0.9);
+    let pipeline = CompactionPipeline::for_device(&device)
+        .monte_carlo(MonteCarloConfig::new(200).with_seed(seed))
+        .test_instances(100)
+        .compaction(
+            CompactionConfig::paper_default().with_tolerance(tolerance).with_threads(threads),
+        );
+    let pipeline = match backend {
+        Backend::Grid => pipeline.classifier(GridBackend::default()),
+        Backend::Svm => pipeline.classifier(SvmBackend::paper_default()),
+    };
+    pipeline.run().expect("pipeline runs on the synthetic device")
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Backend {
+    Grid,
+    Svm,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Two runs with identical configuration produce identical reports, and
+    /// the candidate-evaluation thread count never changes the outcome.
+    #[test]
+    fn pipeline_is_deterministic(seed in 0u64..1000, dimension in 3usize..7) {
+        let first = report(seed, dimension, 0.05, 1, Backend::Grid);
+        let second = report(seed, dimension, 0.05, 1, Backend::Grid);
+        prop_assert_eq!(&first.compaction, &second.compaction);
+        prop_assert_eq!(first.train_yield, second.train_yield);
+        prop_assert_eq!(first.cost.reduction, second.cost.reduction);
+
+        let threaded = report(seed, dimension, 0.05, 4, Backend::Grid);
+        prop_assert_eq!(&first.compaction, &threaded.compaction);
+    }
+
+    /// Both backends uphold the compaction contract: the kept and eliminated
+    /// sets partition the specification set, at least one test survives, and
+    /// the final error respects the tolerance.
+    #[test]
+    fn backends_satisfy_the_classifier_contract(seed in 0u64..1000, dimension in 3usize..6) {
+        for backend in [Backend::Grid, Backend::Svm] {
+            let tolerance = 0.05;
+            let run = report(seed, dimension, tolerance, 1, backend);
+            let mut all: Vec<usize> =
+                run.kept().iter().chain(run.eliminated().iter()).copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..dimension).collect::<Vec<_>>());
+            prop_assert!(!run.kept().is_empty());
+            prop_assert!(
+                run.final_breakdown().prediction_error() <= tolerance + 1e-9,
+                "{:?} backend exceeded the tolerance: {:?}",
+                backend,
+                run.final_breakdown()
+            );
+            // The tester program always covers exactly the kept set.
+            prop_assert_eq!(run.tester.kept(), run.kept());
+        }
+    }
+
+    /// The deprecated entry points are thin shims over the pipeline: driving
+    /// the old call chain by hand gives byte-for-byte the same result as the
+    /// pipeline configured with the same (grid) backend.
+    #[test]
+    fn deprecated_shims_match_the_pipeline(seed in 0u64..1000, dimension in 3usize..6) {
+        let device = SyntheticDevice::new(dimension, 1.8, 0.9);
+        let monte_carlo = MonteCarloConfig::new(200).with_seed(seed);
+        let config = CompactionConfig::paper_default().with_tolerance(0.05);
+
+        // Old-style call chain (deprecated entry points, grid default).
+        let (train, test) = generate_train_test(&device, &monte_carlo, 100).unwrap();
+        let compactor = Compactor::new(train, test).unwrap();
+        #[allow(deprecated)]
+        let old = compactor.compact(&config).unwrap();
+
+        // New-style pipeline with the same backend.
+        let new = CompactionPipeline::for_device(&device)
+            .monte_carlo(monte_carlo)
+            .test_instances(100)
+            .compaction(config)
+            .classifier(GridBackend::default())
+            .run()
+            .unwrap();
+
+        prop_assert_eq!(&old, &new.compaction);
+    }
+}

@@ -1,65 +1,96 @@
 //! End-to-end integration test of the compaction pipeline on a synthetic
-//! device: Monte-Carlo generation → greedy compaction → tester deployment →
-//! cost accounting.
+//! device: Monte-Carlo generation → greedy compaction → guard banding →
+//! tester deployment → cost accounting, through the staged
+//! `CompactionPipeline` builder with both classifier backends.
 
-use spec_test_compaction::core::{
-    baseline, generate_train_test, CompactionConfig, Compactor, DeviceLabel, EliminationOrder,
-    GuardBandConfig, GuardBandedClassifier, MonteCarloConfig, Prediction, SyntheticDevice,
-    TestCostModel, TesterProgram,
-};
+use spec_test_compaction::prelude::*;
 
-fn population() -> (spec_test_compaction::core::MeasurementSet, spec_test_compaction::core::MeasurementSet)
-{
-    let device = SyntheticDevice::new(7, 1.8, 0.9);
-    generate_train_test(&device, &MonteCarloConfig::new(600).with_seed(99), 300)
-        .expect("synthetic generation succeeds")
+fn device() -> SyntheticDevice {
+    SyntheticDevice::new(7, 1.8, 0.9)
+}
+
+fn pipeline(device: &SyntheticDevice) -> CompactionPipeline<'_> {
+    CompactionPipeline::for_device(device)
+        .monte_carlo(MonteCarloConfig::new(600).with_seed(99))
+        .test_instances(300)
+        .compaction(CompactionConfig::paper_default().with_tolerance(0.03))
+        .guard_band(GuardBandConfig::paper_default())
 }
 
 #[test]
-fn full_pipeline_compacts_and_deploys() {
-    let (train, test) = population();
-    let compactor = Compactor::new(train.clone(), test.clone()).unwrap();
-    let config = CompactionConfig::paper_default().with_tolerance(0.03);
-    let result = compactor.compact(&config).unwrap();
+fn svm_pipeline_compacts_and_deploys() {
+    let device = device();
+    let report = pipeline(&device).classifier(SvmBackend::paper_default()).run().unwrap();
 
+    assert_eq!(report.backend, "svm");
     // The correlated synthetic device always admits some compaction.
-    assert!(!result.eliminated.is_empty());
-    assert!(!result.kept.is_empty());
-    assert!(result.final_breakdown.prediction_error() <= 0.03 + 1e-9);
+    assert!(!report.eliminated().is_empty());
+    assert!(!report.kept().is_empty());
+    assert!(report.final_breakdown().prediction_error() <= 0.03 + 1e-9);
 
-    // Deploy the final model as a tester program (SVM and lookup table) and
-    // verify the deployed behaviour matches the model it came from.
-    let classifier =
-        GuardBandedClassifier::train(&train, &result.kept, &config.guard_band).unwrap();
-    let svm_program = TesterProgram::with_svm(train.specs().clone(), classifier.clone());
-    let direct = classifier.evaluate(&test);
-    let deployed = svm_program.evaluate(&test);
-    assert_eq!(direct.defect_escape_count, deployed.defect_escape_count);
-    assert_eq!(direct.yield_loss_count, deployed.yield_loss_count);
+    // The bundled tester program deploys the exact model pair; its behaviour
+    // on the held-out population matches the final breakdown of the loop.
+    assert!(matches!(report.tester.model(), TesterModel::Exact(_)));
+    assert_eq!(report.tester.kept(), report.kept());
 
-    if result.kept.len() <= 5 {
-        let table_program =
-            TesterProgram::with_lookup_table(train.specs().clone(), &classifier, 12).unwrap();
-        let table_eval = table_program.evaluate(&test);
-        assert!((table_eval.prediction_error() - deployed.prediction_error()).abs() < 0.05);
+    // Cost accounting is consistent with the number of eliminated tests
+    // under the default uniform model.
+    let expected = report.eliminated().len() as f64 / 7.0;
+    assert!((report.cost.reduction - expected).abs() < 1e-9);
+
+    // The guard-band statistics mirror the final breakdown.
+    assert_eq!(report.guard_band.retest_count, report.final_breakdown().guard_band_count);
+    assert!(report.guard_band.retest_fraction < 0.5);
+}
+
+#[test]
+fn grid_pipeline_compacts_and_deploys() {
+    let device = device();
+    let report = pipeline(&device).classifier(GridBackend::default()).run().unwrap();
+    assert_eq!(report.backend, "grid");
+    assert_eq!(report.kept().len() + report.eliminated().len(), 7);
+    assert!(!report.kept().is_empty());
+    // The tolerance gate applies to any backend.
+    assert!(report.final_breakdown().prediction_error() <= 0.03 + 1e-9);
+}
+
+#[test]
+fn lookup_table_deployment_stays_close_to_the_exact_model() {
+    let device = device();
+    let exact = pipeline(&device).classifier(SvmBackend::paper_default()).run().unwrap();
+    // The exact program deploys the very model pair the loop evaluated.
+    assert_eq!(exact.deployed.prediction_error(), exact.final_breakdown().prediction_error());
+    if exact.kept().len() <= 5 {
+        let table = pipeline(&device)
+            .classifier(SvmBackend::paper_default())
+            .lookup_table(12)
+            .run()
+            .unwrap();
+        assert!(matches!(table.tester.model(), TesterModel::LookupTable(_)));
+        // The deployed table program was evaluated on the held-out data; its
+        // error may differ from the exact pair only by the discretisation.
+        let direct = exact.deployed.prediction_error();
+        let via_table = table.deployed.prediction_error();
+        assert!((direct - via_table).abs() < 0.05, "exact {direct} table {via_table}");
     }
-
-    // Cost accounting is consistent with the number of eliminated tests.
-    let cost = TestCostModel::uniform(train.specs().len());
-    let reduction = cost.cost_reduction(&result.kept).unwrap();
-    assert!(
-        (reduction - result.eliminated.len() as f64 / train.specs().len() as f64).abs() < 1e-9
-    );
 }
 
 #[test]
 fn statistical_compaction_beats_adhoc_on_defect_escape() {
-    let (train, test) = population();
+    let device = device();
+    let (train, test) =
+        generate_train_test(&device, &MonteCarloConfig::new(600).with_seed(99), 300)
+            .expect("synthetic generation succeeds");
     let compactor = Compactor::new(train, test.clone()).unwrap();
     // Drop two correlated specs.
     let dropped = vec![5usize, 6usize];
-    let statistical =
-        compactor.eliminate_group(&dropped, &GuardBandConfig::paper_default()).unwrap();
+    let statistical = compactor
+        .eliminate_group_with(
+            &SvmBackend::paper_default(),
+            &dropped,
+            &GuardBandConfig::paper_default(),
+        )
+        .unwrap();
     let adhoc = baseline::evaluate_adhoc(&test, &dropped).unwrap();
     assert!(
         statistical.defect_escape() <= adhoc.breakdown.defect_escape() + 1e-9,
@@ -71,7 +102,9 @@ fn statistical_compaction_beats_adhoc_on_defect_escape() {
 
 #[test]
 fn complete_test_set_is_the_error_free_reference() {
-    let (_, test) = population();
+    let device = device();
+    let (_, test) = generate_train_test(&device, &MonteCarloConfig::new(600).with_seed(99), 300)
+        .expect("synthetic generation succeeds");
     let reference = baseline::evaluate_complete_test_set(&test);
     assert_eq!(reference.yield_loss_count, 0);
     assert_eq!(reference.defect_escape_count, 0);
@@ -80,24 +113,30 @@ fn complete_test_set_is_the_error_free_reference() {
 
 #[test]
 fn random_and_heuristic_orders_respect_the_tolerance() {
-    let (train, test) = population();
-    let compactor = Compactor::new(train, test).unwrap();
+    let device = device();
     for order in [
         EliminationOrder::ByClassificationPower,
         EliminationOrder::ByCorrelationClustering,
         EliminationOrder::Random { seed: 11 },
     ] {
-        let config = CompactionConfig::paper_default().with_tolerance(0.05).with_order(order);
-        let result = compactor.compact(&config).unwrap();
-        assert!(result.final_breakdown.prediction_error() <= 0.05 + 1e-9);
-        assert!(!result.kept.is_empty());
+        let report = pipeline(&device)
+            .compaction(CompactionConfig::paper_default().with_tolerance(0.05).with_order(order))
+            .classifier(SvmBackend::paper_default())
+            .run()
+            .unwrap();
+        assert!(report.final_breakdown().prediction_error() <= 0.05 + 1e-9);
+        assert!(!report.kept().is_empty());
     }
 }
 
 #[test]
 fn guard_band_devices_are_never_counted_as_errors() {
-    let (train, test) = population();
-    let classifier = GuardBandedClassifier::train(
+    let device = device();
+    let (train, test) =
+        generate_train_test(&device, &MonteCarloConfig::new(600).with_seed(99), 300)
+            .expect("synthetic generation succeeds");
+    let classifier = GuardBandedClassifier::train_with(
+        &SvmBackend::paper_default(),
         &train,
         &[0, 1, 2, 3, 4],
         &GuardBandConfig::paper_default().with_guard_band(0.2),

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `black_box`) over
+//! a simple wall-clock harness: each benchmark is warmed up, then timed for a
+//! fixed number of samples, and the mean/min/max per-iteration times are
+//! printed.  There are no plots, baselines or statistics — swap the
+//! `vendor/criterion` path dependency for the real crate to get them back.
+//!
+//! `--bench` / `--test` CLI arguments passed by `cargo bench` are accepted
+//! and ignored; running with `--test` (as `cargo test --benches` does) runs
+//! every benchmark exactly once.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmark
+/// bodies.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|arg| arg == "--test");
+        Criterion { sample_size: 20, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup { criterion: self, name, sample_size: None }
+    }
+}
+
+/// Identifier combining a function name and an input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples.max(1));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |bencher| routine(bencher));
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |bencher| routine(bencher, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size.unwrap_or(self.criterion.sample_size)
+        };
+        let mut bencher = Bencher { samples, test_mode: self.criterion.test_mode, stats: None };
+        routine(&mut bencher);
+        match bencher.stats {
+            Some(stats) => println!(
+                "{}/{id}: mean {:>12?}  (min {:?}, max {:?}, {samples} samples)",
+                self.name, stats.mean, stats.min, stats.max
+            ),
+            None => println!("{}/{id}: ok", self.name),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration timing.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        if self.test_mode {
+            black_box(routine());
+            self.stats = None;
+            return;
+        }
+        // Warm-up, and an estimate of how many iterations fit in one sample.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed() / per_sample;
+            total += elapsed;
+            min = min.min(elapsed);
+            max = max.max(elapsed);
+        }
+        self.stats = Some(Stats { mean: total / self.samples as u32, min, max });
+    }
+}
+
+/// Bundles benchmark functions into a single callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the real `serde` crate (see `vendor/serde_derive`).
+//!
+//! Exposes `Serialize`/`Deserialize` in both the trait and derive-macro
+//! namespaces so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged.  The traits are
+//! empty markers and the derives expand to nothing; replace the `vendor/`
+//! path dependencies with crates.io entries to restore real serialisation.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,119 @@
+//! Benchmark of `PipelineBatch` against independent sequential
+//! `CompactionPipeline::run` calls over the same eight op-amp populations.
+//!
+//! Monte-Carlo generation (transistor-level simulation) dominates the
+//! end-to-end flow, which is exactly the seam the batch layer exploits:
+//!
+//! * `sequential-8` — the pre-batch baseline: eight pipelines run one after
+//!   another, each paying full population generation and the greedy loop.
+//! * `batch-8-workers` — the same eight pipelines through
+//!   `PipelineBatch::run` with eight work-stealing workers and a *fresh*
+//!   population cache per iteration: both sides pay generation, so the
+//!   delta is the worker pool (parity on a single-core host, ~min(8, cores)×
+//!   where cores exist).
+//! * `batch-8-workers-warm` — one population cache shared across iterations:
+//!   generation is paid once and every later run reuses the `Arc`-shared
+//!   columnar populations, leaving only the (model-cached) greedy loop.
+//!   This row beats `sequential-8` on any hardware.
+//!
+//! `STC_SCALE` scales the population sizes as in the other benches.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spec_test_compaction::adapters::OpAmpDevice;
+use stc_core::batch::{PipelineBatch, PopulationCache};
+use stc_core::pipeline::CompactionPipeline;
+use stc_core::{CompactionConfig, MonteCarloConfig, SyntheticDevice};
+use stc_svm::SvmBackend;
+
+const DEVICES: usize = 8;
+
+fn train_instances() -> usize {
+    stc_bench::scaled(40, 10)
+}
+
+fn config() -> CompactionConfig {
+    CompactionConfig::paper_default().with_tolerance(0.05)
+}
+
+fn monte_carlo(index: usize) -> MonteCarloConfig {
+    MonteCarloConfig::new(train_instances())
+        .with_seed(7 + index as u64)
+        .with_calibration_quantiles(0.02, 0.98)
+}
+
+fn opamp_batch<'d>(
+    device: &'d OpAmpDevice,
+    cache: Option<Arc<PopulationCache>>,
+) -> PipelineBatch<'d> {
+    let mut batch = PipelineBatch::new()
+        .monte_carlo(monte_carlo(0))
+        .test_instances(train_instances() / 2)
+        .compaction(config())
+        .classifier(SvmBackend::paper_default())
+        .batch_threads(DEVICES);
+    if let Some(cache) = cache {
+        batch = batch.with_population_cache(cache);
+    }
+    for index in 0..DEVICES {
+        batch = batch.device_seeded(device, 7 + index as u64);
+    }
+    batch
+}
+
+fn bench_pipeline_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_batch");
+    group.sample_size(3);
+
+    let device = OpAmpDevice::paper_setup();
+
+    group.bench_with_input(BenchmarkId::new("run", "sequential-8"), &(), |b, ()| {
+        b.iter(|| {
+            (0..DEVICES)
+                .map(|index| {
+                    CompactionPipeline::for_device(&device)
+                        .monte_carlo(monte_carlo(index))
+                        .test_instances(train_instances() / 2)
+                        .compaction(config())
+                        .classifier(SvmBackend::paper_default())
+                        .run()
+                        .expect("pipeline runs")
+                })
+                .collect::<Vec<_>>()
+        });
+    });
+
+    group.bench_with_input(BenchmarkId::new("run", "batch-8-workers"), &(), |b, ()| {
+        b.iter(|| opamp_batch(&device, None).run().expect("batch runs"));
+    });
+
+    let warm = Arc::new(PopulationCache::new());
+    group.bench_with_input(BenchmarkId::new("run", "batch-8-workers-warm"), &(), |b, ()| {
+        b.iter(|| opamp_batch(&device, Some(Arc::clone(&warm))).run().expect("batch runs"));
+    });
+
+    // A cheap-generation control: on the synthetic device the greedy loop
+    // dominates instead, so this row isolates worker-pool overhead.
+    let synthetic: Vec<SyntheticDevice> =
+        (0..DEVICES).map(|i| SyntheticDevice::new(4 + i % 3, 1.8, 0.9)).collect();
+    group.bench_with_input(BenchmarkId::new("run", "synthetic-batch-8"), &(), |b, ()| {
+        b.iter(|| {
+            let mut batch = PipelineBatch::new()
+                .monte_carlo(MonteCarloConfig::new(250).with_seed(7))
+                .test_instances(125)
+                .compaction(CompactionConfig::paper_default().with_tolerance(0.03))
+                .classifier(SvmBackend::paper_default())
+                .batch_threads(DEVICES);
+            for device in &synthetic {
+                batch = batch.device(device);
+            }
+            batch.run().expect("batch runs")
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_batch);
+criterion_main!(benches);

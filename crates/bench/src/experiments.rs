@@ -267,7 +267,7 @@ pub fn ablation_classification_vs_regression(
         regression_data
             .push(
                 train.features(i, &kept),
-                train.specs().spec(eliminated).normalize(train.row(i)[eliminated]),
+                train.specs().spec(eliminated).normalize(train.value(i, eliminated)),
             )
             .expect("finite features");
     }
@@ -279,7 +279,7 @@ pub fn ablation_classification_vs_regression(
     let mut regression = ErrorBreakdown::default();
     for i in 0..test.len() {
         let truth = test.label(i);
-        let kept_pass = kept.iter().all(|&c| test.specs().spec(c).passes(test.row(i)[c]));
+        let kept_pass = kept.iter().all(|&c| test.specs().spec(c).passes(test.value(i, c)));
         let predicted_normalised = svr.predict(&test.features(i, &kept));
         let predicted_pass = (0.0..=1.0).contains(&predicted_normalised);
         let prediction =

@@ -98,7 +98,7 @@ mod tests {
         assert_eq!(train.specs().len(), 11);
         // Second call with the same key returns the cached population.
         let (train2, _) = opamp_population(40, 20, 11, 4);
-        assert_eq!(train.rows()[0], train2.rows()[0]);
+        assert_eq!(train.row_values(0), train2.row_values(0));
     }
 
     #[test]

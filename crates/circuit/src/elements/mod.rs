@@ -1,7 +1,7 @@
 //! Circuit element definitions.
 //!
-//! Elements are a closed set modelled as the [`Element`] enum; the MNA
-//! assembler in [`crate::mna`] pattern-matches over it.  Device equations for
+//! Elements are a closed set modelled as the [`Element`] enum; the crate's
+//! (private) MNA assembler pattern-matches over it.  Device equations for
 //! the nonlinear elements live in [`diode`] and [`mosfet`].
 
 pub mod diode;

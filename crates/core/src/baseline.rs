@@ -45,13 +45,14 @@ pub fn evaluate_adhoc(data: &MeasurementSet, dropped: &[usize]) -> Result<AdHocR
     if kept.is_empty() {
         return Err(CompactionError::EmptyTestSet);
     }
-    let mut breakdown = ErrorBreakdown::default();
-    for i in 0..data.len() {
-        let truth = data.label(i);
-        let kept_pass = kept.iter().all(|&c| data.specs().spec(c).passes(data.row(i)[c]));
-        let prediction = if kept_pass { Prediction::Good } else { Prediction::Bad };
-        breakdown.record(truth, prediction);
-    }
+    let breakdown = crate::metrics::evaluate_population(data, |data, i| {
+        let kept_pass = kept.iter().all(|&c| data.specs().spec(c).passes(data.value(i, c)));
+        if kept_pass {
+            Prediction::Good
+        } else {
+            Prediction::Bad
+        }
+    });
     Ok(AdHocResult { kept, dropped: dropped.to_vec(), breakdown })
 }
 
@@ -73,16 +74,10 @@ pub fn compare_with_statistical(
 /// reference point with zero yield loss and zero defect escape (the starting
 /// point of the compaction loop, "no initial escape or yield loss").
 pub fn evaluate_complete_test_set(data: &MeasurementSet) -> ErrorBreakdown {
-    let mut breakdown = ErrorBreakdown::default();
-    for i in 0..data.len() {
-        let truth = data.label(i);
-        let prediction = match truth {
-            DeviceLabel::Good => Prediction::Good,
-            DeviceLabel::Bad => Prediction::Bad,
-        };
-        breakdown.record(truth, prediction);
-    }
-    breakdown
+    crate::metrics::evaluate_population(data, |data, i| match data.label(i) {
+        DeviceLabel::Good => Prediction::Good,
+        DeviceLabel::Bad => Prediction::Bad,
+    })
 }
 
 #[cfg(test)]

@@ -124,14 +124,45 @@ impl<'a> TrainingView<'a> {
         self.data.label_with_margin(i, self.label_margin)
     }
 
+    /// The raw (unnormalised) measurement column backing feature `j` —
+    /// zero-copy into the shared population allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= dimension()`.
+    pub fn raw_column(&self, j: usize) -> &'a [f64] {
+        self.data.matrix().column(self.kept[j])
+    }
+
+    /// The normalised values of feature `j` for every instance, produced in
+    /// one sequential pass over the backing column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= dimension()`.
+    pub fn normalized_column(&self, j: usize) -> Vec<f64> {
+        let spec = self.data.specs().spec(self.kept[j]);
+        self.raw_column(j).iter().map(|&value| spec.normalize(value)).collect()
+    }
+
+    /// All normalised feature columns, one `Vec` per kept specification.
+    pub fn feature_columns(&self) -> Vec<Vec<f64>> {
+        (0..self.dimension()).map(|j| self.normalized_column(j)).collect()
+    }
+
     /// All feature vectors, one per instance.
     pub fn feature_rows(&self) -> Vec<Vec<f64>> {
         (0..self.len()).map(|i| self.features(i)).collect()
     }
 
+    /// Margin-adjusted labels of every instance (one columnar pass).
+    pub fn labels(&self) -> Vec<DeviceLabel> {
+        self.data.labels_with_margin(self.label_margin)
+    }
+
     /// All labels in the SVM-style `+1` / `-1` encoding.
     pub fn class_labels(&self) -> Vec<f64> {
-        (0..self.len()).map(|i| self.label(i).to_class()).collect()
+        self.labels().into_iter().map(DeviceLabel::to_class).collect()
     }
 }
 
@@ -212,10 +243,6 @@ impl GridBackend {
     pub fn cells_per_dim(&self) -> usize {
         self.cells_per_dim
     }
-
-    fn cell_of(&self, features: &[f64]) -> Vec<u16> {
-        features.iter().map(|&value| grid_cell(value, self.cells_per_dim)).collect()
-    }
 }
 
 impl Default for GridBackend {
@@ -237,14 +264,26 @@ impl ClassifierFactory for GridBackend {
                 reason: "grid backend needs at least one training instance".to_string(),
             });
         }
+        // One columnar pass: labels and grid cells are both derived from the
+        // shared column storage without materialising per-instance rows.
+        let labels = view.labels();
+        let cell_columns: Vec<Vec<u16>> = (0..view.dimension())
+            .map(|j| {
+                view.normalized_column(j)
+                    .into_iter()
+                    .map(|value| grid_cell(value, self.cells_per_dim))
+                    .collect()
+            })
+            .collect();
         let mut votes: HashMap<Vec<u16>, i64> = HashMap::new();
         let mut net = 0i64;
-        for i in 0..view.len() {
-            let vote = match view.label(i) {
+        for (i, label) in labels.into_iter().enumerate() {
+            let vote = match label {
                 DeviceLabel::Good => 1,
                 DeviceLabel::Bad => -1,
             };
-            *votes.entry(self.cell_of(&view.features(i))).or_insert(0) += vote;
+            let key: Vec<u16> = cell_columns.iter().map(|column| column[i]).collect();
+            *votes.entry(key).or_insert(0) += vote;
             net += vote;
         }
         // Deterministic order for nearest-cell tie breaking.
@@ -338,6 +377,25 @@ mod tests {
         assert_eq!(view.kept(), &[1]);
         assert!(!view.is_empty());
         assert_eq!(view.label_margin(), 0.05);
+    }
+
+    #[test]
+    fn columnar_accessors_match_the_row_major_view() {
+        let data = linear_population();
+        let view = TrainingView::new(&data, &[1, 0], 0.05).unwrap();
+        let columns = view.feature_columns();
+        let rows = view.feature_rows();
+        assert_eq!(columns.len(), 2);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, column) in columns.iter().enumerate() {
+                assert_eq!(row[j], column[i], "instance {i} feature {j}");
+            }
+        }
+        assert_eq!(view.raw_column(0), data.column(1));
+        let labels = view.labels();
+        for (i, &label) in labels.iter().enumerate() {
+            assert_eq!(label, view.label(i));
+        }
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! The greedy specification-test compaction loop (paper Figure 2).
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
 use serde::{Deserialize, Serialize};
 
 use crate::classifier::ClassifierFactory;
@@ -102,8 +106,35 @@ pub struct CompactionStep {
     pub breakdown: ErrorBreakdown,
 }
 
+/// Hit/miss counters of the trained-model cache the greedy loop keeps per
+/// run (see [`Compactor::compact_with`]).
+///
+/// Every successfully trained canonicalised kept set is trained at most once
+/// per run; re-requesting the same kept set — most prominently the
+/// final-model training after the loop, whose kept set was already evaluated
+/// when the last elimination was accepted, and re-examined duplicates in a
+/// `Functional` order — is a hit.  The counters are diagnostics: they depend
+/// on the speculative-evaluation thread count (discarded speculative
+/// trainings still count as misses) even though the compaction outcome does
+/// not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelCacheStats {
+    /// Kept-set requests served from the cache (trained model and test-set
+    /// breakdown reused).
+    pub hits: usize,
+    /// Kept-set requests not served from the cache: the model was trained
+    /// from scratch, or training failed (failed trainings are never cached,
+    /// so an untrainable kept set counts a miss on every request).
+    pub misses: usize,
+}
+
 /// Result of a compaction run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares the compaction outcome (kept/eliminated sets, steps and
+/// final breakdown) and deliberately ignores [`CompactionResult::cache`]: the
+/// cache counters vary with the speculative thread count while the outcome is
+/// guaranteed not to.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CompactionResult {
     /// Indices of the specifications that must still be tested, in original
     /// order.
@@ -114,6 +145,17 @@ pub struct CompactionResult {
     pub steps: Vec<CompactionStep>,
     /// Error breakdown of the final compacted test set on the test data.
     pub final_breakdown: ErrorBreakdown,
+    /// Trained-model cache diagnostics of this run.
+    pub cache: ModelCacheStats,
+}
+
+impl PartialEq for CompactionResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.kept == other.kept
+            && self.eliminated == other.eliminated
+            && self.steps == other.steps
+            && self.final_breakdown == other.final_breakdown
+    }
 }
 
 impl CompactionResult {
@@ -124,6 +166,58 @@ impl CompactionResult {
             0.0
         } else {
             self.eliminated.len() as f64 / total as f64
+        }
+    }
+}
+
+/// A cached trained model together with its held-out error breakdown.
+type CachedModel = Arc<(GuardBandedClassifier, ErrorBreakdown)>;
+
+/// Per-run cache of guard-banded models keyed by canonicalised kept set.
+///
+/// Training is deterministic for a fixed kept set, training population and
+/// guard-band configuration (all fixed within one run), so reusing a cached
+/// model is byte-identical to retraining it — the cache changes wall-clock
+/// time, never results.
+///
+/// Memory: at most one model pair per examined candidate is retained for
+/// the duration of the run — bounded by the specification count, which is
+/// small (≤ a dozen for the paper's devices; kilobytes per SVM pair).  The
+/// guaranteed reuse is the final deploy-stage model; `Functional` orders
+/// listing a candidate twice reuse its first (rejected) evaluation as well.
+#[derive(Debug, Default)]
+struct ModelCache {
+    models: Mutex<HashMap<Vec<usize>, CachedModel>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ModelCache {
+    /// Canonical cache key: the kept set in ascending order.
+    fn key(kept: &[usize]) -> Vec<usize> {
+        let mut key = kept.to_vec();
+        key.sort_unstable();
+        key
+    }
+
+    fn lookup(&self, kept: &[usize]) -> Option<CachedModel> {
+        let found =
+            self.models.lock().expect("model cache poisoned").get(&Self::key(kept)).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, kept: &[usize], entry: CachedModel) {
+        self.models.lock().expect("model cache poisoned").insert(Self::key(kept), entry);
+    }
+
+    fn stats(&self) -> ModelCacheStats {
+        ModelCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -198,6 +292,24 @@ impl Compactor {
         Ok((classifier, breakdown))
     }
 
+    /// [`Compactor::evaluate_kept_set_with`] through a per-run model cache:
+    /// a kept set already trained in this run is returned without retraining.
+    fn evaluate_kept_set_cached(
+        &self,
+        backend: &dyn ClassifierFactory,
+        kept: &[usize],
+        guard_band: &GuardBandConfig,
+        cache: &ModelCache,
+    ) -> Result<CachedModel> {
+        if let Some(entry) = cache.lookup(kept) {
+            return Ok(entry);
+        }
+        let (classifier, breakdown) = self.evaluate_kept_set_with(backend, kept, guard_band)?;
+        let entry = Arc::new((classifier, breakdown));
+        cache.insert(kept, Arc::clone(&entry));
+        Ok(entry)
+    }
+
     /// Trains and evaluates a kept set with the built-in grid backend.
     #[deprecated(
         since = "0.2.0",
@@ -255,6 +367,9 @@ impl Compactor {
             return Err(CompactionError::UnknownSpecification { index: bad, count: spec_count });
         }
         let threads = config.threads.max(1);
+        // One model cache per run: the training data and guard band are fixed,
+        // so a canonicalised kept set fully identifies a trained model.
+        let cache = ModelCache::default();
 
         let mut eliminated: Vec<usize> = Vec::new();
         let mut steps = Vec::new();
@@ -280,7 +395,7 @@ impl Compactor {
             }
 
             let verdicts =
-                self.evaluate_candidates(backend, &order, &batch, &eliminated, config)?;
+                self.evaluate_candidates(backend, &order, &batch, &eliminated, config, &cache)?;
 
             // Commit verdicts in examination order; an acceptance invalidates
             // the later speculative evaluations, which are simply discarded.
@@ -326,25 +441,19 @@ impl Compactor {
         let (final_breakdown, final_model) = if eliminated.is_empty() {
             // Nothing was removed: the complete test set has no prediction
             // error by construction, and deployment needs no model.
-            let mut breakdown = ErrorBreakdown::default();
-            for i in 0..self.testing.len() {
-                let truth = self.testing.label(i);
-                breakdown.record(
-                    truth,
-                    match truth {
-                        crate::DeviceLabel::Good => crate::Prediction::Good,
-                        crate::DeviceLabel::Bad => crate::Prediction::Bad,
-                    },
-                );
-            }
-            (breakdown, None)
+            (crate::baseline::evaluate_complete_test_set(&self.testing), None)
         } else {
-            let (model, breakdown) =
-                self.evaluate_kept_set_with(backend, &kept, &config.guard_band)?;
-            (breakdown, Some(model))
+            // The final kept set was already trained when its elimination was
+            // accepted, so this is a guaranteed cache hit: the loop's last
+            // accepted model doubles as the deployed model.
+            let entry =
+                self.evaluate_kept_set_cached(backend, &kept, &config.guard_band, &cache)?;
+            (entry.1, Some(entry.0.clone()))
         };
 
-        Ok((CompactionResult { kept, eliminated, steps, final_breakdown }, final_model))
+        let result =
+            CompactionResult { kept, eliminated, steps, final_breakdown, cache: cache.stats() };
+        Ok((result, final_model))
     }
 
     /// Runs the greedy compaction loop with the built-in grid backend.
@@ -364,7 +473,8 @@ impl Compactor {
         self.compact_with(&crate::classifier::GridBackend::default(), config)
     }
 
-    /// Evaluates the batch of candidates, in parallel when asked for.
+    /// Evaluates the batch of candidates, in parallel when asked for, reusing
+    /// cached models for kept sets this run has already trained.
     fn evaluate_candidates(
         &self,
         backend: &dyn ClassifierFactory,
@@ -372,6 +482,7 @@ impl Compactor {
         batch: &[usize],
         eliminated: &[usize],
         config: &CompactionConfig,
+        cache: &ModelCache,
     ) -> Result<Vec<CandidateVerdict>> {
         let spec_count = self.training.specs().len();
         let evaluate_one = |order_index: usize| -> Result<CandidateVerdict> {
@@ -382,8 +493,8 @@ impl Compactor {
                 // Never eliminate the last remaining test.
                 return Ok(CandidateVerdict::LastTest);
             }
-            match self.evaluate_kept_set_with(backend, &kept, &config.guard_band) {
-                Ok((_, breakdown)) => Ok(CandidateVerdict::Scored(breakdown)),
+            match self.evaluate_kept_set_cached(backend, &kept, &config.guard_band, cache) {
+                Ok(entry) => Ok(CandidateVerdict::Scored(entry.1)),
                 Err(CompactionError::Classifier { .. })
                 | Err(CompactionError::InsufficientData { .. }) => {
                     Ok(CandidateVerdict::Untrainable)
@@ -587,6 +698,33 @@ mod tests {
         assert_eq!(result.kept.len() + result.eliminated.len(), 5);
         assert!(result.steps.len() >= result.eliminated.len());
         assert!(result.steps.len() <= 5);
+    }
+
+    #[test]
+    fn model_cache_reuses_the_final_kept_set() {
+        let compactor = redundant_population();
+        let config = CompactionConfig::paper_default().with_tolerance(0.05);
+        let result = compactor.compact_with(&grid(), &config).unwrap();
+        assert!(!result.eliminated.is_empty(), "population is redundant by construction");
+        // The final model retrains the kept set of the last accepted
+        // elimination — always a cache hit.
+        assert!(result.cache.hits >= 1, "cache stats {:?}", result.cache);
+        // Every examined candidate (and nothing else) was a miss in the
+        // sequential loop: distinct kept set per examination.
+        assert_eq!(result.cache.misses, result.steps.len());
+    }
+
+    #[test]
+    fn cached_loop_matches_across_thread_counts_with_differing_stats() {
+        let compactor = redundant_population();
+        let config = CompactionConfig::paper_default().with_tolerance(0.3);
+        let sequential = compactor.compact_with(&grid(), &config).unwrap();
+        let parallel = compactor.compact_with(&grid(), &config.clone().with_threads(4)).unwrap();
+        // Outcome identical (equality ignores the cache diagnostics) …
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.final_breakdown, parallel.final_breakdown);
+        // … while the speculative loop may train (and discard) more models.
+        assert!(parallel.cache.misses >= sequential.cache.misses);
     }
 
     #[test]

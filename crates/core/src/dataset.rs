@@ -1,4 +1,13 @@
 //! Measurement datasets: the training/test data of the compaction flow.
+//!
+//! Since 0.3 the storage is column-major and `Arc`-shared: a
+//! [`MeasurementMatrix`] holds one allocation per population, and every
+//! derived set — train/test splits, truncations, training views — is a cheap
+//! view (column subset + row range) over that allocation instead of a copy.
+//! The greedy elimination loop re-slices the same population once per
+//! candidate kept set, so this is the hot data structure of the whole flow.
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -23,7 +32,22 @@ impl DeviceLabel {
         }
     }
 
-    /// Decodes the SVM class encoding.
+    /// Decodes a signed class value or decision value.
+    ///
+    /// Only the sign matters: strictly positive decodes to
+    /// [`DeviceLabel::Good`], everything else — including exactly `0.0` — to
+    /// [`DeviceLabel::Bad`].  Classifier decision functions output continuous
+    /// values, and a device *on* the decision boundary has no evidence of
+    /// passing, so the tie breaks to the conservative side (rejecting a good
+    /// device costs yield; shipping a bad one costs a defect escape).
+    ///
+    /// ```
+    /// use stc_core::DeviceLabel;
+    /// assert_eq!(DeviceLabel::from_class(1.0), DeviceLabel::Good);
+    /// assert_eq!(DeviceLabel::from_class(-1.0), DeviceLabel::Bad);
+    /// // The boundary itself is Bad, by choice:
+    /// assert_eq!(DeviceLabel::from_class(0.0), DeviceLabel::Bad);
+    /// ```
     pub fn from_class(class: f64) -> Self {
         if class > 0.0 {
             DeviceLabel::Good
@@ -33,32 +57,248 @@ impl DeviceLabel {
     }
 }
 
+/// Column-major, `Arc`-shared measurement storage.
+///
+/// One allocation holds the whole population (`column count × allocation
+/// rows` values, one contiguous run per column); a matrix value is a *view*
+/// into that allocation — a row range over all columns.  Cloning a matrix or
+/// taking a sub-view ([`MeasurementMatrix::rows_view`]) never copies
+/// measurement data, so train/test splits and truncations share storage with
+/// the population they came from.
+///
+/// ```
+/// use stc_core::MeasurementMatrix;
+///
+/// # fn main() -> Result<(), stc_core::CompactionError> {
+/// let matrix = MeasurementMatrix::from_rows(
+///     vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]],
+///     2,
+/// )?;
+/// assert_eq!(matrix.row_count(), 3);
+/// assert_eq!(matrix.column(1), &[10.0, 20.0, 30.0]);
+///
+/// // A zero-copy view of the last two rows: same allocation, no clone of
+/// // the measurement data.
+/// let tail = matrix.rows_view(1, 2);
+/// assert_eq!(tail.column(0), &[2.0, 3.0]);
+/// assert!(tail.shares_allocation_with(&matrix));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// **Serialisation caveat:** the derived serde impls describe the *full*
+/// allocation plus the view fields.  When the vendored serde stand-ins are
+/// swapped for the real crate, replace them with a custom impl that
+/// serialises `to_rows()` (a view would otherwise drag its whole parent
+/// allocation along, and deserialisation must re-validate the view bounds).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasurementMatrix {
+    /// Column-major values of the *full* allocation: column `c` occupies
+    /// `values[c * alloc_rows .. (c + 1) * alloc_rows]`.
+    values: Arc<[f64]>,
+    /// Rows in the allocation (the stride between columns).
+    alloc_rows: usize,
+    columns: usize,
+    /// First allocation row this view exposes.
+    row_start: usize,
+    /// Number of rows this view exposes.
+    row_count: usize,
+}
+
+impl MeasurementMatrix {
+    /// Builds a matrix from row-major data (one `Vec` per device instance).
+    ///
+    /// `columns` disambiguates the empty population (no rows still has a
+    /// column count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::DimensionMismatch`] if any row does not
+    /// have `columns` values.
+    pub fn from_rows(rows: Vec<Vec<f64>>, columns: usize) -> Result<Self> {
+        if let Some(bad) = rows.iter().find(|r| r.len() != columns) {
+            return Err(CompactionError::DimensionMismatch { expected: columns, found: bad.len() });
+        }
+        let row_count = rows.len();
+        let mut values = vec![0.0; columns * row_count];
+        for (i, row) in rows.iter().enumerate() {
+            for (c, &value) in row.iter().enumerate() {
+                values[c * row_count + i] = value;
+            }
+        }
+        Ok(MeasurementMatrix {
+            values: values.into(),
+            alloc_rows: row_count,
+            columns,
+            row_start: 0,
+            row_count,
+        })
+    }
+
+    /// Builds a matrix directly from its columns (no transpose needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::EmptyTestSet`] for zero columns and
+    /// [`CompactionError::DimensionMismatch`] for ragged column lengths.
+    pub fn from_columns(columns: Vec<Vec<f64>>) -> Result<Self> {
+        if columns.is_empty() {
+            return Err(CompactionError::EmptyTestSet);
+        }
+        let row_count = columns[0].len();
+        if let Some(bad) = columns.iter().find(|c| c.len() != row_count) {
+            return Err(CompactionError::DimensionMismatch {
+                expected: row_count,
+                found: bad.len(),
+            });
+        }
+        let column_count = columns.len();
+        let mut values = Vec::with_capacity(column_count * row_count);
+        for column in &columns {
+            values.extend_from_slice(column);
+        }
+        Ok(MeasurementMatrix {
+            values: values.into(),
+            alloc_rows: row_count,
+            columns: column_count,
+            row_start: 0,
+            row_count,
+        })
+    }
+
+    /// Number of device instances (rows) this view exposes.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Number of measurement columns.
+    pub fn column_count(&self) -> usize {
+        self.columns
+    }
+
+    /// Whether the view holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.row_count == 0
+    }
+
+    /// The contiguous values of column `c` (restricted to this view's rows)
+    /// — zero-copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn column(&self, c: usize) -> &[f64] {
+        assert!(c < self.columns, "column {c} out of range ({} columns)", self.columns);
+        let start = c * self.alloc_rows + self.row_start;
+        &self.values[start..start + self.row_count]
+    }
+
+    /// Value of row `r`, column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn value(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.row_count, "row {r} out of range ({} rows)", self.row_count);
+        assert!(c < self.columns, "column {c} out of range ({} columns)", self.columns);
+        self.values[c * self.alloc_rows + self.row_start + r]
+    }
+
+    /// Gathers row `r` into an owned vector (column-major storage has no
+    /// contiguous rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_values(&self, r: usize) -> Vec<f64> {
+        (0..self.columns).map(|c| self.value(r, c)).collect()
+    }
+
+    /// Materialises the view as row-major data (the pre-0.3 representation).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        (0..self.row_count).map(|r| self.row_values(r)).collect()
+    }
+
+    /// A zero-copy view of `count` rows starting at `start`: the result
+    /// shares this matrix's allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + count` exceeds the view's row count.
+    pub fn rows_view(&self, start: usize, count: usize) -> MeasurementMatrix {
+        assert!(
+            start + count <= self.row_count,
+            "row range {start}..{} out of bounds ({} rows)",
+            start + count,
+            self.row_count
+        );
+        MeasurementMatrix {
+            values: Arc::clone(&self.values),
+            alloc_rows: self.alloc_rows,
+            columns: self.columns,
+            row_start: self.row_start + start,
+            row_count: count,
+        }
+    }
+
+    /// Whether two matrices are views over the same allocation (diagnostic
+    /// for the zero-copy contract; equality compares *values*, not storage).
+    pub fn shares_allocation_with(&self, other: &MeasurementMatrix) -> bool {
+        Arc::ptr_eq(&self.values, &other.values)
+    }
+}
+
+impl PartialEq for MeasurementMatrix {
+    /// Semantic equality: same shape and the same values, regardless of
+    /// whether the two matrices share an allocation or where their views
+    /// start.
+    fn eq(&self, other: &Self) -> bool {
+        self.row_count == other.row_count
+            && self.columns == other.columns
+            && (0..self.columns).all(|c| self.column(c) == other.column(c))
+    }
+}
+
 /// A set of measured device instances: one row of specification measurements
 /// per instance, together with the specification set that defines pass/fail.
 ///
 /// This is the "training data" produced by the Figure 1 flow and consumed by
-/// the Figure 2 compaction loop.
+/// the Figure 2 compaction loop.  Backed by a [`MeasurementMatrix`], so
+/// cloning, [`MeasurementSet::split_at`] and [`MeasurementSet::truncated`]
+/// are zero-copy views over the shared population allocation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MeasurementSet {
     specs: SpecificationSet,
-    rows: Vec<Vec<f64>>,
+    matrix: MeasurementMatrix,
 }
 
 impl MeasurementSet {
-    /// Creates a measurement set, validating row dimensions.
+    /// Creates a measurement set from row-major data, validating row
+    /// dimensions.
     ///
     /// # Errors
     ///
     /// Returns [`CompactionError::DimensionMismatch`] if any row does not have
     /// one value per specification.
     pub fn new(specs: SpecificationSet, rows: Vec<Vec<f64>>) -> Result<Self> {
-        if let Some(bad) = rows.iter().find(|r| r.len() != specs.len()) {
+        let matrix = MeasurementMatrix::from_rows(rows, specs.len())?;
+        Ok(MeasurementSet { specs, matrix })
+    }
+
+    /// Creates a measurement set over an existing (possibly shared) matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::DimensionMismatch`] if the matrix does not
+    /// have one column per specification.
+    pub fn from_matrix(specs: SpecificationSet, matrix: MeasurementMatrix) -> Result<Self> {
+        if matrix.column_count() != specs.len() {
             return Err(CompactionError::DimensionMismatch {
                 expected: specs.len(),
-                found: bad.len(),
+                found: matrix.column_count(),
             });
         }
-        Ok(MeasurementSet { specs, rows })
+        Ok(MeasurementSet { specs, matrix })
     }
 
     /// The specification set describing the columns.
@@ -66,28 +306,55 @@ impl MeasurementSet {
         &self.specs
     }
 
+    /// The underlying column-major measurement storage.
+    pub fn matrix(&self) -> &MeasurementMatrix {
+        &self.matrix
+    }
+
     /// Number of device instances.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.matrix.row_count()
     }
 
     /// Whether the set holds no instances.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.matrix.is_empty()
     }
 
-    /// The raw measurement rows.
-    pub fn rows(&self) -> &[Vec<f64>] {
-        &self.rows
+    /// All measurements of specification `column`, one value per instance —
+    /// zero-copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` is out of bounds.
+    pub fn column(&self, column: usize) -> &[f64] {
+        self.matrix.column(column)
     }
 
-    /// Measurement row of instance `i`.
+    /// Measurement of instance `i` for specification `column`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn value(&self, i: usize, column: usize) -> f64 {
+        self.matrix.value(i, column)
+    }
+
+    /// Measurement row of instance `i`, gathered into an owned vector
+    /// (replaces the pre-0.3 `row()` borrow, which column-major storage
+    /// cannot provide).
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of bounds.
-    pub fn row(&self, i: usize) -> &[f64] {
-        &self.rows[i]
+    pub fn row_values(&self, i: usize) -> Vec<f64> {
+        self.matrix.row_values(i)
+    }
+
+    /// Materialises all instances as row-major data (replaces the pre-0.3
+    /// `rows()` borrow).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        self.matrix.to_rows()
     }
 
     /// Pass/fail label of instance `i` against the full specification set.
@@ -96,11 +363,7 @@ impl MeasurementSet {
     ///
     /// Panics if `i` is out of bounds.
     pub fn label(&self, i: usize) -> DeviceLabel {
-        if self.specs.passes(&self.rows[i]) {
-            DeviceLabel::Good
-        } else {
-            DeviceLabel::Bad
-        }
+        self.label_with_margin(i, 0.0)
     }
 
     /// Pass/fail label of instance `i` with all ranges tightened/widened by a
@@ -110,16 +373,34 @@ impl MeasurementSet {
     ///
     /// Panics if `i` is out of bounds.
     pub fn label_with_margin(&self, i: usize, delta: f64) -> DeviceLabel {
-        if self.specs.passes_with_margin(&self.rows[i], delta) {
-            DeviceLabel::Good
-        } else {
-            DeviceLabel::Bad
+        for (c, spec) in self.specs.iter().enumerate() {
+            if !spec.passes_with_margin(self.matrix.value(i, c), delta) {
+                return DeviceLabel::Bad;
+            }
         }
+        DeviceLabel::Good
     }
 
     /// Labels of every instance.
     pub fn labels(&self) -> Vec<DeviceLabel> {
-        (0..self.len()).map(|i| self.label(i)).collect()
+        self.labels_with_margin(0.0)
+    }
+
+    /// Margin-adjusted labels of every instance, computed in one sequential
+    /// pass per column (the batch counterpart of
+    /// [`MeasurementSet::label_with_margin`]).
+    pub fn labels_with_margin(&self, delta: f64) -> Vec<DeviceLabel> {
+        let mut good = vec![true; self.len()];
+        for (c, spec) in self.specs.iter().enumerate() {
+            for (flag, &value) in good.iter_mut().zip(self.matrix.column(c)) {
+                if *flag && !spec.passes_with_margin(value, delta) {
+                    *flag = false;
+                }
+            }
+        }
+        good.into_iter()
+            .map(|flag| if flag { DeviceLabel::Good } else { DeviceLabel::Bad })
+            .collect()
     }
 
     /// Overall yield: fraction of instances that pass every specification.
@@ -127,7 +408,7 @@ impl MeasurementSet {
         if self.is_empty() {
             return 1.0;
         }
-        let good = (0..self.len()).filter(|&i| self.label(i) == DeviceLabel::Good).count();
+        let good = self.labels().iter().filter(|&&l| l == DeviceLabel::Good).count();
         good as f64 / self.len() as f64
     }
 
@@ -147,31 +428,32 @@ impl MeasurementSet {
             return Ok(1.0);
         }
         let spec = self.specs.spec(column);
-        let pass = self.rows.iter().filter(|r| spec.passes(r[column])).count();
+        let pass = self.matrix.column(column).iter().filter(|&&v| spec.passes(v)).count();
         Ok(pass as f64 / self.len() as f64)
     }
 
     /// Splits the instances into two measurement sets at `index`
-    /// (first `index` rows, remaining rows).
+    /// (first `index` rows, remaining rows).  Both halves are zero-copy views
+    /// sharing this set's allocation.
     ///
     /// # Panics
     ///
     /// Panics if `index > len()`.
     pub fn split_at(&self, index: usize) -> (MeasurementSet, MeasurementSet) {
-        let (first, second) = self.rows.split_at(index);
         (
-            MeasurementSet { specs: self.specs.clone(), rows: first.to_vec() },
-            MeasurementSet { specs: self.specs.clone(), rows: second.to_vec() },
+            MeasurementSet { specs: self.specs.clone(), matrix: self.matrix.rows_view(0, index) },
+            MeasurementSet {
+                specs: self.specs.clone(),
+                matrix: self.matrix.rows_view(index, self.len() - index),
+            },
         )
     }
 
-    /// Returns a measurement set containing the first `count` instances
-    /// (or all of them when `count >= len()`).
+    /// Returns a measurement set viewing the first `count` instances
+    /// (or all of them when `count >= len()`), sharing this set's allocation.
     pub fn truncated(&self, count: usize) -> MeasurementSet {
-        MeasurementSet {
-            specs: self.specs.clone(),
-            rows: self.rows.iter().take(count).cloned().collect(),
-        }
+        let count = count.min(self.len());
+        MeasurementSet { specs: self.specs.clone(), matrix: self.matrix.rows_view(0, count) }
     }
 
     /// Builds a borrowed training view over the kept columns with a labelling
@@ -197,7 +479,7 @@ impl MeasurementSet {
     ///
     /// Panics if `i` or any column index is out of bounds.
     pub fn features(&self, i: usize, kept: &[usize]) -> Vec<f64> {
-        kept.iter().map(|&c| self.specs.spec(c).normalize(self.rows[i][c])).collect()
+        kept.iter().map(|&c| self.specs.spec(c).normalize(self.matrix.value(i, c))).collect()
     }
 }
 
@@ -234,6 +516,55 @@ mod tests {
     }
 
     #[test]
+    fn matrix_round_trips_rows_and_columns() {
+        let rows = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        let matrix = MeasurementMatrix::from_rows(rows.clone(), 2).unwrap();
+        assert_eq!(matrix.row_count(), 3);
+        assert_eq!(matrix.column_count(), 2);
+        assert_eq!(matrix.column(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(matrix.column(1), &[10.0, 20.0, 30.0]);
+        assert_eq!(matrix.value(1, 1), 20.0);
+        assert_eq!(matrix.row_values(2), vec![3.0, 30.0]);
+        assert_eq!(matrix.to_rows(), rows);
+        let from_columns =
+            MeasurementMatrix::from_columns(vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]])
+                .unwrap();
+        assert_eq!(matrix, from_columns);
+        assert!(!matrix.shares_allocation_with(&from_columns));
+    }
+
+    #[test]
+    fn matrix_construction_validates_shapes() {
+        assert!(MeasurementMatrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]], 1).is_err());
+        assert!(MeasurementMatrix::from_columns(vec![]).is_err());
+        assert!(MeasurementMatrix::from_columns(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        let empty = MeasurementMatrix::from_rows(vec![], 3).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.column_count(), 3);
+        assert_eq!(empty.column(2), &[] as &[f64]);
+    }
+
+    #[test]
+    fn rows_view_is_zero_copy_and_composes() {
+        let matrix = MeasurementMatrix::from_rows(
+            (0..10).map(|i| vec![i as f64, 100.0 + i as f64]).collect(),
+            2,
+        )
+        .unwrap();
+        let middle = matrix.rows_view(2, 6);
+        assert!(middle.shares_allocation_with(&matrix));
+        assert_eq!(middle.column(0), &[2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        // A view of a view stays anchored to the original allocation.
+        let inner = middle.rows_view(1, 2);
+        assert!(inner.shares_allocation_with(&matrix));
+        assert_eq!(inner.column(1), &[103.0, 104.0]);
+        assert_eq!(inner.row_values(0), vec![3.0, 103.0]);
+        // Equality is semantic: a view equals its materialised copy.
+        let copy = MeasurementMatrix::from_rows(inner.to_rows(), 2).unwrap();
+        assert_eq!(inner, copy);
+    }
+
+    #[test]
     fn labels_and_yield() {
         let set = sample_set();
         assert_eq!(set.label(0), DeviceLabel::Good);
@@ -242,6 +573,31 @@ mod tests {
         assert_eq!(set.labels().len(), 4);
         assert_eq!(DeviceLabel::Good.to_class(), 1.0);
         assert_eq!(DeviceLabel::from_class(-2.0), DeviceLabel::Bad);
+    }
+
+    #[test]
+    fn from_class_boundary_is_bad() {
+        // `to_class` only ever produces +1/-1, but `from_class` also decodes
+        // raw decision values: the boundary itself must break to Bad.
+        assert_eq!(DeviceLabel::from_class(0.0), DeviceLabel::Bad);
+        assert_eq!(DeviceLabel::from_class(-0.0), DeviceLabel::Bad);
+        assert_eq!(DeviceLabel::from_class(f64::MIN_POSITIVE), DeviceLabel::Good);
+        assert_eq!(DeviceLabel::from_class(f64::NAN), DeviceLabel::Bad);
+        // Round trip of the two canonical encodings.
+        for label in [DeviceLabel::Good, DeviceLabel::Bad] {
+            assert_eq!(DeviceLabel::from_class(label.to_class()), label);
+        }
+    }
+
+    #[test]
+    fn batch_labels_match_per_instance_labels() {
+        let set = sample_set();
+        for delta in [0.0, 0.15, -0.15] {
+            let batch = set.labels_with_margin(delta);
+            for (i, &label) in batch.iter().enumerate() {
+                assert_eq!(label, set.label_with_margin(i, delta), "delta {delta} row {i}");
+            }
+        }
     }
 
     #[test]
@@ -264,13 +620,27 @@ mod tests {
     }
 
     #[test]
-    fn split_and_truncate() {
+    fn split_and_truncate_share_the_allocation() {
         let set = sample_set();
         let (a, b) = set.split_at(1);
         assert_eq!(a.len(), 1);
         assert_eq!(b.len(), 3);
-        assert_eq!(set.truncated(2).len(), 2);
+        assert!(a.matrix().shares_allocation_with(set.matrix()));
+        assert!(b.matrix().shares_allocation_with(set.matrix()));
+        assert_eq!(b.value(0, 0), set.value(1, 0));
+        let head = set.truncated(2);
+        assert_eq!(head.len(), 2);
+        assert!(head.matrix().shares_allocation_with(set.matrix()));
         assert_eq!(set.truncated(99).len(), 4);
+    }
+
+    #[test]
+    fn from_matrix_validates_column_count() {
+        let matrix = MeasurementMatrix::from_rows(vec![vec![1.0]], 1).unwrap();
+        assert!(MeasurementSet::from_matrix(two_spec_set(), matrix).is_err());
+        let matrix = MeasurementMatrix::from_rows(vec![vec![0.5, 5.0]], 2).unwrap();
+        let set = MeasurementSet::from_matrix(two_spec_set(), matrix).unwrap();
+        assert_eq!(set.label(0), DeviceLabel::Good);
     }
 
     #[test]

@@ -45,6 +45,31 @@ pub trait DeviceUnderTest: Sync {
     fn specification_set(&self) -> Option<SpecificationSet> {
         None
     }
+
+    /// A stable identity string for this device *model*, used to key cached
+    /// Monte-Carlo populations (see [`crate::batch::PopulationCache`]): two
+    /// devices with equal fingerprints are assumed to simulate identically
+    /// for equal seeds.
+    ///
+    /// The default covers the observable identity — name, specification
+    /// names, explicit ranges.  Implementations whose simulation depends on
+    /// parameters *not* visible through those accessors (process-variation
+    /// settings, internal correlations, nominal sizings) should override
+    /// this to include them; a `format!("{:?}", self)` of a `Debug` struct
+    /// capturing every parameter is usually enough.
+    fn fingerprint(&self) -> String {
+        use std::fmt::Write;
+        let mut out = self.name().to_string();
+        for name in self.spec_names() {
+            let _ = write!(out, "|{name}");
+        }
+        if let Some(specs) = self.specification_set() {
+            for spec in specs.iter() {
+                let _ = write!(out, "|{:x}:{:x}", spec.lower().to_bits(), spec.upper().to_bits());
+            }
+        }
+        out
+    }
 }
 
 /// A trivial synthetic device useful for tests and examples: `dimension`
@@ -114,6 +139,13 @@ impl DeviceUnderTest for SyntheticDevice {
             })
             .collect();
         Some(SpecificationSet::new(specs).expect("synthetic set is non-empty"))
+    }
+
+    /// The correlation does not show up in the name or the ranges, so the
+    /// default fingerprint cannot distinguish two synthetic devices that
+    /// differ only in it.
+    fn fingerprint(&self) -> String {
+        format!("{self:?}")
     }
 }
 

@@ -65,6 +65,14 @@ pub enum CompactionError {
         /// Human-readable reason.
         message: String,
     },
+    /// Two batch entries share a label.  Labels key the population cache, so
+    /// a collision would silently reuse one entry's population for the other.
+    DuplicateBatchLabel {
+        /// The colliding label.
+        label: String,
+    },
+    /// A pipeline batch was run without any device entries.
+    EmptyBatch,
 }
 
 impl fmt::Display for CompactionError {
@@ -96,6 +104,12 @@ impl fmt::Display for CompactionError {
             }
             CompactionError::Classifier { backend, message } => {
                 write!(f, "{backend} backend failed to train: {message}")
+            }
+            CompactionError::DuplicateBatchLabel { label } => {
+                write!(f, "batch entry label {label:?} is used more than once")
+            }
+            CompactionError::EmptyBatch => {
+                write!(f, "pipeline batch has no device entries")
             }
         }
     }

@@ -53,17 +53,24 @@ pub fn compress_training_data(
     // Cells cover the shared normalised grid band around the acceptance box
     // (see `classifier::grid_cell`); anything further out is clamped into the
     // outermost cells so gross outliers do not explode the key space.
+    // Cell keys and labels both come from one sequential pass per column of
+    // the shared columnar storage.
+    let cell_columns: Vec<Vec<u16>> = (0..dims)
+        .map(|c| {
+            let spec = specs.spec(c);
+            data.column(c)
+                .iter()
+                .map(|&value| crate::classifier::grid_cell(spec.normalize(value), cells_per_dim))
+                .collect()
+        })
+        .collect();
+    let labels = data.labels();
     let mut cells: HashMap<Vec<u16>, Cell> = HashMap::new();
-    for i in 0..data.len() {
-        let key: Vec<u16> = (0..dims)
-            .map(|c| {
-                let normalised = specs.spec(c).normalize(data.row(i)[c]);
-                crate::classifier::grid_cell(normalised, cells_per_dim)
-            })
-            .collect();
+    for (i, &label) in labels.iter().enumerate() {
+        let key: Vec<u16> = cell_columns.iter().map(|column| column[i]).collect();
         let cell = cells.entry(key).or_default();
         cell.rows.push(i);
-        match data.label(i) {
+        match label {
             DeviceLabel::Good => cell.good += 1,
             DeviceLabel::Bad => cell.bad += 1,
         }
@@ -74,15 +81,15 @@ pub fn compress_training_data(
         if cell.good > 0 && cell.bad > 0 {
             // Boundary cell: keep every instance.
             for &i in &cell.rows {
-                compressed.push(data.row(i).to_vec());
+                compressed.push(data.row_values(i));
             }
         } else {
             // Homogeneous cell: merge to the centroid (which preserves the
             // label because the cell is single-class).
             let mut centroid = vec![0.0; dims];
             for &i in &cell.rows {
-                for (c, value) in data.row(i).iter().enumerate() {
-                    centroid[c] += value / cell.rows.len() as f64;
+                for (c, slot) in centroid.iter_mut().enumerate() {
+                    *slot += data.value(i, c) / cell.rows.len() as f64;
                 }
             }
             compressed.push(centroid);

@@ -193,7 +193,7 @@ impl GuardBandedClassifier {
     pub fn classify_instance(&self, data: &MeasurementSet, i: usize) -> Prediction {
         if self.config.enforce_kept_ranges {
             let fails_kept =
-                self.kept.iter().any(|&c| !data.specs().spec(c).passes(data.row(i)[c]));
+                self.kept.iter().any(|&c| !data.specs().spec(c).passes(data.value(i, c)));
             if fails_kept {
                 return Prediction::Bad;
             }
@@ -220,13 +220,7 @@ impl GuardBandedClassifier {
     /// Evaluates the classifier on a labelled population, producing the
     /// yield-loss / defect-escape / guard-band breakdown.
     pub fn evaluate(&self, data: &MeasurementSet) -> ErrorBreakdown {
-        let mut breakdown = ErrorBreakdown::default();
-        for i in 0..data.len() {
-            let truth = data.label(i);
-            let prediction = self.classify_instance(data, i);
-            breakdown.record(truth, prediction);
-        }
-        breakdown
+        crate::metrics::evaluate_population(data, |data, i| self.classify_instance(data, i))
     }
 }
 

@@ -20,7 +20,7 @@
 //!    are routed to retest,
 //! 4. the **classifier** stage picks the model family: the ε-SVM backend of
 //!    `stc-svm` (the paper's choice) or the built-in
-//!    [`GridBackend`](classifier::GridBackend) — any
+//!    [`GridBackend`] — any
 //!    [`classifier::ClassifierFactory`] plugs in,
 //! 5. the **cost_model** stage turns the kept set into test-cost savings, and
 //!    [`TesterProgram`] packages the result for deployment (Section 3.3).
@@ -67,16 +67,20 @@ mod spec;
 mod tester;
 
 pub mod baseline;
+pub mod batch;
 pub mod classifier;
 pub mod gridmodel;
 pub mod montecarlo;
 pub mod pipeline;
 pub mod report;
 
+pub use batch::{BatchAggregate, BatchReport, BatchRun, PipelineBatch, PopulationCache};
 pub use classifier::{Classifier, ClassifierFactory, GridBackend, TrainingView};
-pub use compaction::{CompactionConfig, CompactionResult, CompactionStep, Compactor};
+pub use compaction::{
+    CompactionConfig, CompactionResult, CompactionStep, Compactor, ModelCacheStats,
+};
 pub use costmodel::TestCostModel;
-pub use dataset::{DeviceLabel, MeasurementSet};
+pub use dataset::{DeviceLabel, MeasurementMatrix, MeasurementSet};
 pub use device::{DeviceUnderTest, SyntheticDevice};
 pub use error::CompactionError;
 pub use guardband::{GuardBandConfig, GuardBandedClassifier, Prediction};

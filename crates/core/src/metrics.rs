@@ -2,8 +2,30 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::dataset::DeviceLabel;
+use crate::dataset::{DeviceLabel, MeasurementSet};
 use crate::guardband::Prediction;
+
+/// Evaluates a classification rule on a labelled population: `classify` is
+/// called once per instance and its prediction is scored against the ground
+/// truth of the full specification set.
+///
+/// This is the single scoring loop shared by
+/// [`GuardBandedClassifier::evaluate`](crate::GuardBandedClassifier::evaluate),
+/// [`TesterProgram::evaluate`](crate::TesterProgram::evaluate), the ad-hoc
+/// baseline and the compaction loop's complete-suite reference (they used to
+/// carry near-identical copies of it).  Ground-truth labels are computed in
+/// one columnar pass over the population.
+pub fn evaluate_population<F>(data: &MeasurementSet, mut classify: F) -> ErrorBreakdown
+where
+    F: FnMut(&MeasurementSet, usize) -> Prediction,
+{
+    let truths = data.labels();
+    let mut breakdown = ErrorBreakdown::default();
+    for (i, &truth) in truths.iter().enumerate() {
+        breakdown.record(truth, classify(data, i));
+    }
+    breakdown
+}
 
 /// Breakdown of the prediction error of a compacted test set evaluated on a
 /// labelled population (paper Section 5.1: "yield loss is defined as the
@@ -115,6 +137,28 @@ mod tests {
         assert_eq!(breakdown.defect_escape(), 0.0);
         assert_eq!(breakdown.prediction_error(), 0.0);
         assert_eq!(breakdown.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn evaluate_population_scores_against_ground_truth() {
+        use crate::spec::{Specification, SpecificationSet};
+        let specs =
+            SpecificationSet::new(vec![Specification::new("a", "-", 0.0, -1.0, 1.0).unwrap()])
+                .unwrap();
+        let data =
+            MeasurementSet::new(specs, vec![vec![0.0], vec![2.0], vec![0.5], vec![-3.0]]).unwrap();
+        // Predict good for everything: the two bad devices become escapes.
+        let breakdown = evaluate_population(&data, |_, _| Prediction::Good);
+        assert_eq!(breakdown.total, 4);
+        assert_eq!(breakdown.true_good, 2);
+        assert_eq!(breakdown.defect_escape_count, 2);
+        // A perfect oracle has no error.
+        let oracle = evaluate_population(&data, |data, i| match data.label(i) {
+            DeviceLabel::Good => Prediction::Good,
+            DeviceLabel::Bad => Prediction::Bad,
+        });
+        assert_eq!(oracle.prediction_error(), 0.0);
+        assert_eq!(oracle.accuracy(), 1.0);
     }
 
     #[test]

@@ -276,7 +276,7 @@ mod tests {
         assert_eq!(train.len(), 100);
         assert_eq!(test.len(), 60);
         assert_eq!(train.specs(), test.specs());
-        assert_ne!(train.row(0), test.row(0));
+        assert_ne!(train.row_values(0), test.row_values(0));
     }
 
     /// A device whose simulation fails half the time.

@@ -58,11 +58,12 @@ impl EliminationOrder {
                 let mut agreement: Vec<(usize, f64)> = Vec::with_capacity(spec_count);
                 for column in 0..spec_count {
                     let spec = training.specs().spec(column);
-                    let agree = (0..training.len())
-                        .filter(|&i| {
-                            let spec_pass = spec.passes(training.row(i)[column]);
-                            let overall_pass = labels[i] == crate::DeviceLabel::Good;
-                            spec_pass == overall_pass
+                    let agree = training
+                        .column(column)
+                        .iter()
+                        .zip(labels.iter())
+                        .filter(|(&value, &label)| {
+                            spec.passes(value) == (label == crate::DeviceLabel::Good)
                         })
                         .count();
                     agreement.push((column, agree as f64 / training.len().max(1) as f64));
@@ -95,20 +96,22 @@ impl EliminationOrder {
     }
 }
 
-/// Pearson correlation between two measurement columns.
+/// Pearson correlation between two measurement columns (one zero-copy
+/// contiguous slice per column).
 fn correlation(data: &MeasurementSet, a: usize, b: usize) -> f64 {
     let n = data.len() as f64;
     if n < 2.0 {
         return 0.0;
     }
-    let mean = |column: usize| data.rows().iter().map(|r| r[column]).sum::<f64>() / n;
-    let (ma, mb) = (mean(a), mean(b));
+    let (col_a, col_b) = (data.column(a), data.column(b));
+    let mean = |column: &[f64]| column.iter().sum::<f64>() / n;
+    let (ma, mb) = (mean(col_a), mean(col_b));
     let mut cov = 0.0;
     let mut var_a = 0.0;
     let mut var_b = 0.0;
-    for row in data.rows() {
-        let da = row[a] - ma;
-        let db = row[b] - mb;
+    for (&va, &vb) in col_a.iter().zip(col_b.iter()) {
+        let da = va - ma;
+        let db = vb - mb;
         cov += da * db;
         var_a += da * da;
         var_b += db * db;

@@ -35,6 +35,7 @@ use serde::{Deserialize, Serialize};
 use crate::classifier::{ClassifierFactory, GridBackend};
 use crate::compaction::{CompactionConfig, CompactionResult, Compactor};
 use crate::costmodel::TestCostModel;
+use crate::dataset::MeasurementSet;
 use crate::device::DeviceUnderTest;
 use crate::guardband::GuardBandConfig;
 use crate::metrics::ErrorBreakdown;
@@ -149,6 +150,13 @@ impl<'d> CompactionPipeline<'d> {
         self
     }
 
+    /// The held-out population size the pipeline will simulate (the explicit
+    /// [`CompactionPipeline::test_instances`] or the default of half the
+    /// training population).
+    pub(crate) fn resolved_test_instances(&self) -> usize {
+        self.test_instances.unwrap_or_else(|| (self.monte_carlo.instances / 2).max(1))
+    }
+
     /// Runs every stage and bundles the outcome.
     ///
     /// # Errors
@@ -156,10 +164,28 @@ impl<'d> CompactionPipeline<'d> {
     /// Propagates simulation, configuration and training errors from the
     /// individual stages.
     pub fn run(&self) -> Result<PipelineReport> {
-        let test_instances =
-            self.test_instances.unwrap_or_else(|| (self.monte_carlo.instances / 2).max(1));
-        let (train, test) = generate_train_test(self.device, &self.monte_carlo, test_instances)?;
+        let (train, test) =
+            generate_train_test(self.device, &self.monte_carlo, self.resolved_test_instances())?;
+        self.run_with_population(train, test)
+    }
 
+    /// Runs the compaction/guard-band/deployment/cost stages on an existing
+    /// training and held-out population, skipping Monte-Carlo generation.
+    ///
+    /// This is how [`crate::batch::PipelineBatch`] reuses cached populations
+    /// across runs, and how measured (non-simulated) production data enters
+    /// the pipeline.  Measurement sets are cheap to pass by value: they are
+    /// zero-copy views over `Arc`-shared columnar storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and training errors; the populations must be
+    /// non-empty and share a specification set.
+    pub fn run_with_population(
+        &self,
+        train: MeasurementSet,
+        test: MeasurementSet,
+    ) -> Result<PipelineReport> {
         let mut config = self.compaction.clone();
         if let Some(guard_band) = self.guard_band {
             config.guard_band = guard_band;

@@ -139,15 +139,11 @@ impl TesterProgram {
     /// every measurement) and reports the error breakdown — the end-to-end
     /// check that deployment behaves like the model it was derived from.
     pub fn evaluate(&self, data: &MeasurementSet) -> ErrorBreakdown {
-        let mut breakdown = ErrorBreakdown::default();
-        for i in 0..data.len() {
-            let kept_measurements: Vec<f64> = self.kept.iter().map(|&c| data.row(i)[c]).collect();
-            let prediction = self
-                .classify(&kept_measurements)
-                .expect("kept measurements are consistent by construction");
-            breakdown.record(data.label(i), prediction);
-        }
-        breakdown
+        crate::metrics::evaluate_population(data, |data, i| {
+            let kept_measurements: Vec<f64> = self.kept.iter().map(|&c| data.value(i, c)).collect();
+            self.classify(&kept_measurements)
+                .expect("kept measurements are consistent by construction")
+        })
     }
 }
 

@@ -1,13 +1,30 @@
-//! Property-based tests of the compaction invariants.
+//! Property-based tests of the compaction invariants, including the 0.3
+//! columnar-storage contract: every measurement accessor and every model
+//! trained over a zero-copy view must behave exactly like the pre-0.3
+//! row-major path.
 
 use proptest::prelude::*;
-use stc_core::{baseline, DeviceLabel, MeasurementSet, Specification, SpecificationSet};
+use stc_core::classifier::GridBackend;
+use stc_core::{
+    baseline, CompactionConfig, Compactor, DeviceLabel, GuardBandConfig, MeasurementSet,
+    Specification, SpecificationSet,
+};
 
 fn spec_set(dimension: usize) -> SpecificationSet {
     let specs = (0..dimension)
         .map(|i| Specification::new(&format!("s{i}"), "-", 0.0, -1.0, 1.0).unwrap())
         .collect();
     SpecificationSet::new(specs).unwrap()
+}
+
+/// The pre-0.3 row-major label computation, kept here as the reference the
+/// columnar path must reproduce bit-for-bit.
+fn row_major_label(specs: &SpecificationSet, row: &[f64]) -> DeviceLabel {
+    if specs.passes(row) {
+        DeviceLabel::Good
+    } else {
+        DeviceLabel::Bad
+    }
 }
 
 proptest! {
@@ -72,6 +89,83 @@ proptest! {
         let overall = data.yield_fraction();
         for column in 0..3 {
             prop_assert!(overall <= data.per_spec_yield(column).unwrap() + 1e-12);
+        }
+    }
+
+    /// The columnar storage is an exact stand-in for the seed's row-major
+    /// representation: round-tripping through `to_rows` is lossless, every
+    /// accessor agrees with the original rows, and labels match a row-major
+    /// reference computation.
+    #[test]
+    fn columnar_storage_is_behaviour_identical_to_row_major(
+        rows in prop::collection::vec(prop::collection::vec(-2.0f64..2.0, 3), 1..50),
+    ) {
+        let specs = spec_set(3);
+        let data = MeasurementSet::new(specs.clone(), rows.clone()).unwrap();
+        prop_assert_eq!(data.to_rows(), rows.clone());
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(data.row_values(i), row.clone());
+            for (c, &value) in row.iter().enumerate() {
+                prop_assert_eq!(data.value(i, c), value);
+                prop_assert_eq!(data.column(c)[i], value);
+            }
+            prop_assert_eq!(data.label(i), row_major_label(&specs, row));
+        }
+        let batch = data.labels();
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(batch[i], row_major_label(&specs, row));
+        }
+    }
+
+    /// Zero-copy views (split/truncate) are behaviour-identical to the
+    /// materialised row-major subsets the seed produced: same labels, same
+    /// features and the same `ErrorBreakdown` from a model trained on them.
+    #[test]
+    fn views_equal_materialised_subsets(
+        rows in prop::collection::vec(prop::collection::vec(-2.0f64..2.0, 3), 12..60),
+        split in 10usize..12,
+    ) {
+        let specs = spec_set(3);
+        let data = MeasurementSet::new(specs.clone(), rows.clone()).unwrap();
+        let (train_view, test_view) = data.split_at(split);
+        // The views share the parent's allocation …
+        prop_assert!(train_view.matrix().shares_allocation_with(data.matrix()));
+        // … and equal independently materialised row-major sets.
+        let train_copy =
+            MeasurementSet::new(specs.clone(), rows[..split].to_vec()).unwrap();
+        let test_copy = MeasurementSet::new(specs.clone(), rows[split..].to_vec()).unwrap();
+        prop_assert_eq!(&train_view, &train_copy);
+        prop_assert_eq!(&test_view, &test_copy);
+        prop_assert_eq!(train_view.labels(), train_copy.labels());
+        prop_assert_eq!(data.truncated(split), train_copy.clone());
+        for i in 0..test_view.len() {
+            prop_assert_eq!(test_view.features(i, &[0, 2]), test_copy.features(i, &[0, 2]));
+        }
+
+        // A model trained/evaluated over the views produces the same error
+        // breakdown (and the same kept/eliminated sets) as over the copies.
+        if !test_view.is_empty() {
+            let config = CompactionConfig::paper_default().with_tolerance(0.2);
+            let viewed = Compactor::new(train_view, test_view).unwrap();
+            let copied = Compactor::new(train_copy, test_copy).unwrap();
+            let backend = GridBackend::default();
+            let from_view = viewed.compact_with(&backend, &config);
+            let from_copy = copied.compact_with(&backend, &config);
+            match (from_view, from_copy) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(&a.kept, &b.kept);
+                    prop_assert_eq!(&a.eliminated, &b.eliminated);
+                    prop_assert_eq!(a.final_breakdown, b.final_breakdown);
+                }
+                (a, b) => prop_assert_eq!(a.is_err(), b.is_err()),
+            }
+            let guard_band = GuardBandConfig::paper_default();
+            let view_eval = viewed.evaluate_kept_set_with(&backend, &[0, 1], &guard_band);
+            let copy_eval = copied.evaluate_kept_set_with(&backend, &[0, 1], &guard_band);
+            match (view_eval, copy_eval) {
+                (Ok((_, a)), Ok((_, b))) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert_eq!(a.is_err(), b.is_err()),
+            }
         }
     }
 }

@@ -102,16 +102,20 @@ impl Classifier for SvmClassifier {
 /// features with margin-adjusted `+1`/`-1` labels (the successor of the old
 /// `MeasurementSet::to_svm_dataset`).
 ///
+/// Since 0.3 this consumes the view's *columns*: each kept measurement
+/// column is a zero-copy slice of the shared population allocation,
+/// normalised in one sequential pass, and the labels come from one columnar
+/// pass over the full specification set — no per-instance row gathering.
+///
 /// # Errors
 ///
 /// Propagates dataset-construction errors (converted to
 /// [`CompactionError::Classifier`]).
 pub fn dataset_from_view(view: &TrainingView<'_>) -> stc_core::Result<Dataset> {
-    let mut dataset = Dataset::new(view.dimension())?;
-    for i in 0..view.len() {
-        dataset.push(view.features(i), view.label(i).to_class())?;
-    }
-    Ok(dataset)
+    let columns = view.feature_columns();
+    let column_refs: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+    let labels = view.class_labels();
+    Ok(Dataset::from_columns(&column_refs, &labels)?)
 }
 
 #[cfg(test)]

@@ -78,6 +78,39 @@ impl Dataset {
         Ok(data)
     }
 
+    /// Creates a dataset from feature *columns* (one slice per feature, each
+    /// of length `labels.len()`) — the natural entry point for column-major
+    /// measurement storage, avoiding a caller-side transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvmError::EmptyDimension`] for zero columns,
+    /// [`SvmError::DimensionMismatch`] for a column whose length disagrees
+    /// with `labels` and [`SvmError::NonFiniteFeature`] for NaN/infinite
+    /// values (checked column-sequentially before assembly).
+    pub fn from_columns(columns: &[&[f64]], labels: &[f64]) -> Result<Self> {
+        if columns.is_empty() {
+            return Err(SvmError::EmptyDimension);
+        }
+        let count = labels.len();
+        for (feature, column) in columns.iter().enumerate() {
+            if column.len() != count {
+                return Err(SvmError::DimensionMismatch { expected: count, found: column.len() });
+            }
+            // `index` is the *feature* index, matching `push`'s convention.
+            if let Some(&value) = column.iter().find(|v| !v.is_finite()) {
+                return Err(SvmError::NonFiniteFeature { index: feature, value });
+            }
+        }
+        if let Some(&label) = labels.iter().find(|l| !l.is_finite()) {
+            return Err(SvmError::NonFiniteFeature { index: usize::MAX, value: label });
+        }
+        let samples = (0..count)
+            .map(|i| Sample::new(columns.iter().map(|column| column[i]).collect(), labels[i]))
+            .collect();
+        Ok(Dataset { dimension: columns.len(), samples })
+    }
+
     /// Appends a sample.
     ///
     /// # Errors
@@ -288,6 +321,20 @@ mod tests {
         assert_eq!(projected.features(0), &[3.0, 1.0]);
         assert!(d.select_columns(&[]).is_err());
         assert!(d.select_columns(&[5]).is_err());
+    }
+
+    #[test]
+    fn from_columns_matches_from_rows() {
+        let rows = vec![vec![0.0, 1.0], vec![2.0, 3.0], vec![4.0, 5.0]];
+        let labels = vec![1.0, -1.0, 1.0];
+        let by_rows = Dataset::from_rows(&rows, &labels).unwrap();
+        let by_columns =
+            Dataset::from_columns(&[&[0.0, 2.0, 4.0], &[1.0, 3.0, 5.0]], &labels).unwrap();
+        assert_eq!(by_rows, by_columns);
+        assert!(Dataset::from_columns(&[], &labels).is_err());
+        assert!(Dataset::from_columns(&[&[0.0, 1.0]], &labels).is_err());
+        assert!(Dataset::from_columns(&[&[0.0, f64::NAN, 1.0]], &labels).is_err());
+        assert!(Dataset::from_columns(&[&[0.0, 1.0, 2.0]], &[1.0, f64::INFINITY, 1.0]).is_err());
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Batched compaction across a device family: one pipeline configuration,
+//! many devices, one report.
+//!
+//! ```text
+//! cargo run --release --example batch_compaction
+//! ```
+//!
+//! Sweeps four synthetic device variants (increasingly tight acceptance
+//! limits) through the same ε-SVM compaction flow with a work-stealing
+//! worker pool, then prints the per-device outcomes and the batch aggregate.
+//! Running the batch twice demonstrates the shared Monte-Carlo population
+//! cache: the second run reuses every simulated population.
+
+use spec_test_compaction::prelude::*;
+
+fn main() -> Result<(), CompactionError> {
+    let variants: Vec<(String, SyntheticDevice)> = [1.2, 1.5, 1.8, 2.1]
+        .iter()
+        .map(|&limit| (format!("limit ±{limit}σ"), SyntheticDevice::new(6, limit, 0.9)))
+        .collect();
+
+    let mut batch = PipelineBatch::new()
+        .monte_carlo(MonteCarloConfig::new(400).with_seed(2005))
+        .test_instances(200)
+        .compaction(CompactionConfig::paper_default().with_tolerance(0.05))
+        .classifier(SvmBackend::paper_default())
+        .batch_threads(4);
+    for (label, device) in &variants {
+        batch = batch.device_labelled(label.clone(), device);
+    }
+
+    let report = batch.run()?;
+    for run in &report.runs {
+        println!("{:<14} {}", run.label, run.report.summary());
+    }
+    println!("\n{}", report.summary());
+    println!(
+        "population cache: {} hits / {} misses",
+        report.population_cache_hits, report.population_cache_misses
+    );
+
+    // Same batch again: every population comes from the shared cache now.
+    let again = batch.run()?;
+    println!(
+        "second run:       {} hits / {} misses",
+        again.population_cache_hits, again.population_cache_misses
+    );
+    Ok(())
+}

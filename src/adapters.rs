@@ -98,6 +98,12 @@ impl DeviceUnderTest for OpAmpDevice {
     fn specification_set(&self) -> Option<SpecificationSet> {
         self.ranges.clone()
     }
+
+    /// Nominal sizing and process-variation settings drive the simulation
+    /// but are invisible to the default fingerprint.
+    fn fingerprint(&self) -> String {
+        format!("{self:?}")
+    }
 }
 
 /// The MEMS accelerometer case study (paper Section 5.2): four specifications
@@ -211,6 +217,12 @@ impl DeviceUnderTest for AccelerometerDevice {
 
     fn specification_set(&self) -> Option<SpecificationSet> {
         self.ranges.clone()
+    }
+
+    /// Nominal design and variation settings drive the simulation but are
+    /// invisible to the default fingerprint.
+    fn fingerprint(&self) -> String {
+        format!("{self:?}")
     }
 }
 

@@ -49,6 +49,13 @@
 //! (`generate_train_test` → `Compactor::compact` → …) still compiles; the
 //! classifier-specific entry points are deprecated shims over the new seam.
 //!
+//! To sweep one configuration across a whole device family, wrap the same
+//! stages in a [`PipelineBatch`](prelude::PipelineBatch): devices run on a
+//! work-stealing worker pool, simulated populations are cached and
+//! `Arc`-shared (storage is column-major and zero-copy as of 0.3), and the
+//! [`BatchReport`](prelude::BatchReport) aggregates the per-device outcomes
+//! (see the `batch_compaction` example).
+//!
 //! The experiment harness reproducing every table and figure of the paper
 //! lives in the `stc-bench` crate (`cargo run -p stc-bench --bin table1`,
 //! `figure5`, …); EXPERIMENTS.md records paper-versus-measured results.

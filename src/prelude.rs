@@ -14,10 +14,11 @@ pub use stc_core::classifier::{Classifier, ClassifierFactory, GridBackend, Train
 pub use stc_core::pipeline::{CompactionPipeline, CostSummary, GuardBandStats, PipelineReport};
 pub use stc_core::{
     baseline, generate_measurement_set, generate_train_test, gridmodel, run_monte_carlo,
-    CompactionConfig, CompactionError, CompactionResult, CompactionStep, Compactor, DeviceLabel,
-    DeviceUnderTest, EliminationOrder, ErrorBreakdown, GuardBandConfig, GuardBandedClassifier,
-    MeasurementSet, MonteCarloConfig, Prediction, Specification, SpecificationSet, SyntheticDevice,
-    TestCostModel, TesterModel, TesterProgram,
+    BatchAggregate, BatchReport, BatchRun, CompactionConfig, CompactionError, CompactionResult,
+    CompactionStep, Compactor, DeviceLabel, DeviceUnderTest, EliminationOrder, ErrorBreakdown,
+    GuardBandConfig, GuardBandedClassifier, MeasurementMatrix, MeasurementSet, ModelCacheStats,
+    MonteCarloConfig, PipelineBatch, PopulationCache, Prediction, Specification, SpecificationSet,
+    SyntheticDevice, TestCostModel, TesterModel, TesterProgram,
 };
 
 pub use stc_svm::SvmBackend;

@@ -70,6 +70,17 @@ fn opamp_pipeline_runs_with_both_backends() {
             report.final_breakdown().prediction_error() <= 0.10 + 1e-9
                 || report.eliminated().is_empty()
         );
+        // Whenever the loop eliminates at least one test, the final deployed
+        // model is a guaranteed hit of the per-run model cache (the last
+        // accepted candidate already trained that kept set).
+        if !report.eliminated().is_empty() {
+            assert!(
+                report.compaction.cache.hits >= 1,
+                "{expect_name}: cache stats {:?}",
+                report.compaction.cache
+            );
+        }
+        assert!(report.compaction.cache.misses >= report.compaction.steps.len());
     }
 }
 

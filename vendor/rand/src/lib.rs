@@ -1,7 +1,7 @@
 //! Offline stand-in for the `rand` crate (0.8 API surface).
 //!
 //! The build environment has no network access, so this vendored crate
-//! provides the subset of `rand` the workspace uses: a seedable [`StdRng`]
+//! provides the subset of `rand` the workspace uses: a seedable [`StdRng`](rngs::StdRng)
 //! (xoshiro256** seeded through SplitMix64), the [`Rng`] extension methods
 //! `gen` / `gen_range`, and [`seq::SliceRandom::shuffle`].  Sequences are
 //! deterministic for a given seed, which is all the Monte-Carlo driver

@@ -1,0 +1,92 @@
+//! Benchmark of warm-started versus cold-started greedy elimination on the
+//! op-amp case study — the hot path the 0.4 warm-start machinery targets.
+//!
+//! The greedy loop retrains an ε-SVM pair per examined candidate over the
+//! same population; consecutive candidate kept sets differ by one
+//! measurement column, so each training can start from the committed parent
+//! kept set's projected dual solution instead of zero.  The benchmark runs
+//! the identical compaction twice per configuration:
+//!
+//! * `cold` — `CompactionConfig::with_warm_start(false)`, the pre-0.4
+//!   behaviour: every candidate trains from zero,
+//! * `warm` — the 0.4 default: candidates warm-start from the parent model.
+//!
+//! Before timing, the harness asserts the tentpole contract on this
+//! workload: the two runs produce **byte-identical kept and eliminated
+//! sets** and the warm run performs **fewer total SMO iterations**; the
+//! totals are printed so the saving is visible alongside the wall-clock
+//! numbers.  `STC_SCALE` scales the population sizes as in the other
+//! benches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spec_test_compaction::adapters::OpAmpDevice;
+use stc_core::{
+    generate_train_test, CompactionConfig, CompactionResult, Compactor, MonteCarloConfig,
+};
+use stc_svm::SvmBackend;
+
+fn compactor() -> Compactor {
+    let device = OpAmpDevice::paper_setup();
+    let train_instances = stc_bench::scaled(150, 60);
+    let monte_carlo = MonteCarloConfig::new(train_instances)
+        .with_seed(404)
+        .with_threads(stc_bench::threads())
+        .with_calibration_quantiles(0.02, 0.98);
+    let (train, test) =
+        generate_train_test(&device, &monte_carlo, train_instances / 2).expect("op-amp MC runs");
+    Compactor::new(train, test).expect("populations are valid")
+}
+
+fn run(compactor: &Compactor, tolerance: f64, warm_start: bool) -> CompactionResult {
+    let config =
+        CompactionConfig::paper_default().with_tolerance(tolerance).with_warm_start(warm_start);
+    compactor.compact_with(&SvmBackend::paper_default(), &config).expect("compaction runs")
+}
+
+fn bench_warm_start(c: &mut Criterion) {
+    let compactor = compactor();
+
+    let mut group = c.benchmark_group("warm_start");
+    group.sample_size(10);
+    for tolerance in [0.05, 0.10] {
+        let warm = run(&compactor, tolerance, true);
+        let cold = run(&compactor, tolerance, false);
+        // The tentpole contract on the benchmark workload itself: identical
+        // kept/eliminated sets, strictly fewer solver iterations.  (Per-step
+        // breakdown counts are not asserted — warm and cold runs converge to
+        // KKT-equivalent models whose decisions may differ on a device
+        // sitting within the solver tolerance of a boundary.)
+        assert_eq!(warm.kept, cold.kept, "kept sets diverged at tolerance {tolerance}");
+        assert_eq!(warm.eliminated, cold.eliminated);
+        assert!(
+            warm.warm_start.total_iterations() < cold.warm_start.total_iterations(),
+            "warm start must save SMO iterations: warm {:?} vs cold {:?}",
+            warm.warm_start,
+            cold.warm_start
+        );
+        println!(
+            "warm_start/tolerance-{tolerance}: kept {:?}, total SMO iterations \
+             warm {} vs cold {} ({} warm-started of {} trainings)",
+            warm.kept,
+            warm.warm_start.total_iterations(),
+            cold.warm_start.total_iterations(),
+            warm.warm_start.warm_trainings,
+            warm.warm_start.warm_trainings + warm.warm_start.cold_trainings,
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("greedy-elimination-cold", tolerance),
+            &tolerance,
+            |b, &tolerance| b.iter(|| run(&compactor, tolerance, false)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy-elimination-warm", tolerance),
+            &tolerance,
+            |b, &tolerance| b.iter(|| run(&compactor, tolerance, true)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_warm_start);
+criterion_main!(benches);

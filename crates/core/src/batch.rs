@@ -478,6 +478,9 @@ pub struct BatchAggregate {
     pub model_cache_hits: usize,
     /// Greedy-loop model-cache misses summed over all runs.
     pub model_cache_misses: usize,
+    /// Greedy-loop warm-start diagnostics summed over all runs (trainings
+    /// and solver iterations, split warm versus cold).
+    pub warm_start: crate::WarmStartStats,
 }
 
 impl BatchAggregate {
@@ -492,6 +495,7 @@ impl BatchAggregate {
             deployed: ErrorBreakdown::default(),
             model_cache_hits: 0,
             model_cache_misses: 0,
+            warm_start: crate::WarmStartStats::default(),
         };
         for run in runs {
             let report = &run.report;
@@ -502,6 +506,7 @@ impl BatchAggregate {
             aggregate.deployed.merge(&report.deployed);
             aggregate.model_cache_hits += report.compaction.cache.hits;
             aggregate.model_cache_misses += report.compaction.cache.misses;
+            aggregate.warm_start.merge(&report.compaction.warm_start);
         }
         if devices > 0 {
             aggregate.mean_compaction_ratio /= devices as f64;

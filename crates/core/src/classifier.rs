@@ -179,6 +179,55 @@ pub trait Classifier: fmt::Debug + Send + Sync {
     fn predict_good(&self, features: &[f64]) -> bool {
         self.decision(features) > 0.0
     }
+
+    /// Type-erased view of the concrete model, letting a factory recognise
+    /// (and warm-start from) models it trained itself.  Backends that do not
+    /// support warm starts keep the default `None`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Iterations the backend's iterative solver spent training this model,
+    /// or `None` for backends without an iterative solver (for example the
+    /// single-pass [`GridBackend`]).  Feeds the
+    /// [`WarmStartStats`](crate::WarmStartStats) diagnostics of the
+    /// compaction loop.
+    fn solver_iterations(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Warm-start hint handed to [`ClassifierFactory::train_warm`]: a model this
+/// factory previously trained on the *same training population* over an
+/// overlapping kept set.
+///
+/// In the greedy compaction loop the hint is the model of the parent kept
+/// set (the candidate's kept set plus the candidate column itself), so the
+/// two training problems differ by exactly one feature column while the
+/// instances — and therefore their pass/fail labels, which depend only on
+/// the full specification set — are identical.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmStartContext<'a> {
+    model: &'a dyn Classifier,
+    kept: &'a [usize],
+}
+
+impl<'a> WarmStartContext<'a> {
+    /// Wraps a previously trained model and the kept columns it was trained
+    /// on.
+    pub fn new(model: &'a dyn Classifier, kept: &'a [usize]) -> Self {
+        WarmStartContext { model, kept }
+    }
+
+    /// The previously trained model.
+    pub fn model(&self) -> &'a dyn Classifier {
+        self.model
+    }
+
+    /// The kept specification columns the model was trained on.
+    pub fn kept(&self) -> &'a [usize] {
+        self.kept
+    }
 }
 
 /// Trains [`Classifier`]s from labelled measurement views.
@@ -198,6 +247,26 @@ pub trait ClassifierFactory: fmt::Debug + Send + Sync {
     /// be eliminated" rather than aborting) and data errors for malformed
     /// views.
     fn train(&self, view: &TrainingView<'_>) -> Result<Arc<dyn Classifier>>;
+
+    /// [`ClassifierFactory::train`] with an optional warm-start hint.
+    ///
+    /// The hint is strictly an accelerator: implementations must return a
+    /// model meeting the same convergence guarantees as a cold
+    /// [`ClassifierFactory::train`], and must fall back to a cold start when
+    /// the hint is unusable (wrong concrete type, different population, …).
+    /// The default ignores the hint.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClassifierFactory::train`].
+    fn train_warm(
+        &self,
+        view: &TrainingView<'_>,
+        warm: Option<&WarmStartContext<'_>>,
+    ) -> Result<Arc<dyn Classifier>> {
+        let _ = warm;
+        self.train(view)
+    }
 }
 
 impl<F: ClassifierFactory + ?Sized> ClassifierFactory for &F {
@@ -207,6 +276,14 @@ impl<F: ClassifierFactory + ?Sized> ClassifierFactory for &F {
 
     fn train(&self, view: &TrainingView<'_>) -> Result<Arc<dyn Classifier>> {
         (**self).train(view)
+    }
+
+    fn train_warm(
+        &self,
+        view: &TrainingView<'_>,
+        warm: Option<&WarmStartContext<'_>>,
+    ) -> Result<Arc<dyn Classifier>> {
+        (**self).train_warm(view, warm)
     }
 }
 

@@ -30,11 +30,21 @@ pub struct CompactionConfig {
     /// (1 = sequential).  The result is identical for any thread count; see
     /// [`Compactor::compact_with`].
     pub threads: usize,
+    /// Whether candidate trainings may warm-start from the cached model of
+    /// the current committed kept set (the candidate's parent, differing by
+    /// exactly one column).  Warm-started models converge to the same KKT
+    /// tolerance as cold ones and the run is byte-identical for any thread
+    /// count; against a *cold* run, kept/eliminated sets match in practice
+    /// (pinned by the test suite), though individual breakdown counts may
+    /// differ by devices sitting within the solver tolerance of a decision
+    /// boundary.  Disable to measure the cold-start baseline.
+    pub warm_start: bool,
 }
 
 impl CompactionConfig {
     /// The paper's defaults: 1 % error tolerance, 5 % guard band,
-    /// classification-power ordering, sequential evaluation.
+    /// classification-power ordering, sequential evaluation, warm starts
+    /// enabled.
     pub fn paper_default() -> Self {
         CompactionConfig {
             error_tolerance: 0.01,
@@ -42,6 +52,7 @@ impl CompactionConfig {
             guard_band: GuardBandConfig::paper_default(),
             max_eliminated: None,
             threads: 1,
+            warm_start: true,
         }
     }
 
@@ -72,6 +83,13 @@ impl CompactionConfig {
     /// Sets the number of worker threads used to evaluate candidates.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables warm-started candidate training (enabled by
+    /// default; see [`CompactionConfig::warm_start`] for the guarantees).
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
         self
     }
 
@@ -128,12 +146,54 @@ pub struct ModelCacheStats {
     pub misses: usize,
 }
 
+/// Warm-start diagnostics of the greedy loop (see
+/// [`CompactionConfig::with_warm_start`]).
+///
+/// Every successful candidate training is counted once: as *warm* when the
+/// loop offered the backend the cached parent-kept-set model to start from,
+/// as *cold* otherwise (first batch of a run, warm starts disabled, or no
+/// parent model cached yet).  The iteration counters accumulate the
+/// backend's reported solver iterations ([`Classifier::solver_iterations`](
+/// crate::classifier::Classifier::solver_iterations)); backends without an
+/// iterative solver — for example the grid backend — contribute zero.
+///
+/// Like [`ModelCacheStats`], these are diagnostics: speculative evaluation
+/// makes them depend on the thread count even though the compaction outcome
+/// does not, and [`CompactionResult`] equality ignores them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarmStartStats {
+    /// Successful trainings that were offered a warm-start hint.
+    pub warm_trainings: usize,
+    /// Successful trainings performed from a cold start.
+    pub cold_trainings: usize,
+    /// Solver iterations summed over the warm trainings.
+    pub warm_iterations: usize,
+    /// Solver iterations summed over the cold trainings.
+    pub cold_iterations: usize,
+}
+
+impl WarmStartStats {
+    /// Solver iterations summed over every training of the run.
+    pub fn total_iterations(&self) -> usize {
+        self.warm_iterations + self.cold_iterations
+    }
+
+    /// Adds another run's counters into this one (used by batch reports).
+    pub fn merge(&mut self, other: &WarmStartStats) {
+        self.warm_trainings += other.warm_trainings;
+        self.cold_trainings += other.cold_trainings;
+        self.warm_iterations += other.warm_iterations;
+        self.cold_iterations += other.cold_iterations;
+    }
+}
+
 /// Result of a compaction run.
 ///
 /// Equality compares the compaction outcome (kept/eliminated sets, steps and
-/// final breakdown) and deliberately ignores [`CompactionResult::cache`]: the
-/// cache counters vary with the speculative thread count while the outcome is
-/// guaranteed not to.
+/// final breakdown) and deliberately ignores the [`CompactionResult::cache`]
+/// and [`CompactionResult::warm_start`] diagnostics: those counters vary
+/// with the speculative thread count (and with warm starts being on or off)
+/// while the outcome is guaranteed not to.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CompactionResult {
     /// Indices of the specifications that must still be tested, in original
@@ -147,6 +207,9 @@ pub struct CompactionResult {
     pub final_breakdown: ErrorBreakdown,
     /// Trained-model cache diagnostics of this run.
     pub cache: ModelCacheStats,
+    /// Warm-start diagnostics of this run (trainings and solver iterations,
+    /// split warm versus cold).
+    pub warm_start: WarmStartStats,
 }
 
 impl PartialEq for CompactionResult {
@@ -210,6 +273,13 @@ impl ModelCache {
         found
     }
 
+    /// [`ModelCache::lookup`] without touching the hit/miss counters — used
+    /// to fetch warm-start sources, which are an accelerator rather than a
+    /// kept-set request and must not distort the cache diagnostics.
+    fn peek(&self, kept: &[usize]) -> Option<CachedModel> {
+        self.models.lock().expect("model cache poisoned").get(&Self::key(kept)).cloned()
+    }
+
     fn insert(&self, kept: &[usize], entry: CachedModel) {
         self.models.lock().expect("model cache poisoned").insert(Self::key(kept), entry);
     }
@@ -218,6 +288,38 @@ impl ModelCache {
         ModelCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Thread-safe accumulator behind [`WarmStartStats`].
+#[derive(Debug, Default)]
+struct WarmStartTracker {
+    warm_trainings: AtomicUsize,
+    cold_trainings: AtomicUsize,
+    warm_iterations: AtomicUsize,
+    cold_iterations: AtomicUsize,
+}
+
+impl WarmStartTracker {
+    /// Records one successful training: whether a warm-start hint was
+    /// offered, and the solver iterations the trained pair reports.
+    fn record(&self, warmed: bool, iterations: Option<usize>) {
+        let (trainings, iteration_sum) = if warmed {
+            (&self.warm_trainings, &self.warm_iterations)
+        } else {
+            (&self.cold_trainings, &self.cold_iterations)
+        };
+        trainings.fetch_add(1, Ordering::Relaxed);
+        iteration_sum.fetch_add(iterations.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> WarmStartStats {
+        WarmStartStats {
+            warm_trainings: self.warm_trainings.load(Ordering::Relaxed),
+            cold_trainings: self.cold_trainings.load(Ordering::Relaxed),
+            warm_iterations: self.warm_iterations.load(Ordering::Relaxed),
+            cold_iterations: self.cold_iterations.load(Ordering::Relaxed),
         }
     }
 }
@@ -293,18 +395,30 @@ impl Compactor {
     }
 
     /// [`Compactor::evaluate_kept_set_with`] through a per-run model cache:
-    /// a kept set already trained in this run is returned without retraining.
+    /// a kept set already trained in this run is returned without
+    /// retraining.  A cache miss trains the pair, warm-started from `warm`
+    /// when given, and records the training in `tracker`.
     fn evaluate_kept_set_cached(
         &self,
         backend: &dyn ClassifierFactory,
         kept: &[usize],
         guard_band: &GuardBandConfig,
         cache: &ModelCache,
+        warm: Option<&GuardBandedClassifier>,
+        tracker: &WarmStartTracker,
     ) -> Result<CachedModel> {
         if let Some(entry) = cache.lookup(kept) {
             return Ok(entry);
         }
-        let (classifier, breakdown) = self.evaluate_kept_set_with(backend, kept, guard_band)?;
+        let classifier = GuardBandedClassifier::train_with_warm(
+            backend,
+            &self.training,
+            kept,
+            guard_band,
+            warm,
+        )?;
+        let breakdown = classifier.evaluate(&self.testing);
+        tracker.record(warm.is_some(), classifier.solver_iterations());
         let entry = Arc::new((classifier, breakdown));
         cache.insert(kept, Arc::clone(&entry));
         Ok(entry)
@@ -370,6 +484,7 @@ impl Compactor {
         // One model cache per run: the training data and guard band are fixed,
         // so a canonicalised kept set fully identifies a trained model.
         let cache = ModelCache::default();
+        let tracker = WarmStartTracker::default();
 
         let mut eliminated: Vec<usize> = Vec::new();
         let mut steps = Vec::new();
@@ -394,8 +509,15 @@ impl Compactor {
                 break;
             }
 
-            let verdicts =
-                self.evaluate_candidates(backend, &order, &batch, &eliminated, config, &cache)?;
+            let verdicts = self.evaluate_candidates(
+                backend,
+                &order,
+                &batch,
+                &eliminated,
+                config,
+                &cache,
+                &tracker,
+            )?;
 
             // Commit verdicts in examination order; an acceptance invalidates
             // the later speculative evaluations, which are simply discarded.
@@ -446,13 +568,25 @@ impl Compactor {
             // The final kept set was already trained when its elimination was
             // accepted, so this is a guaranteed cache hit: the loop's last
             // accepted model doubles as the deployed model.
-            let entry =
-                self.evaluate_kept_set_cached(backend, &kept, &config.guard_band, &cache)?;
+            let entry = self.evaluate_kept_set_cached(
+                backend,
+                &kept,
+                &config.guard_band,
+                &cache,
+                None,
+                &tracker,
+            )?;
             (entry.1, Some(entry.0.clone()))
         };
 
-        let result =
-            CompactionResult { kept, eliminated, steps, final_breakdown, cache: cache.stats() };
+        let result = CompactionResult {
+            kept,
+            eliminated,
+            steps,
+            final_breakdown,
+            cache: cache.stats(),
+            warm_start: tracker.stats(),
+        };
         Ok((result, final_model))
     }
 
@@ -475,6 +609,15 @@ impl Compactor {
 
     /// Evaluates the batch of candidates, in parallel when asked for, reusing
     /// cached models for kept sets this run has already trained.
+    ///
+    /// When warm starts are enabled, every candidate training is seeded with
+    /// the cached model of the batch's shared *parent* kept set (the current
+    /// committed kept set, i.e. the candidate's kept set plus the candidate
+    /// itself — the maximal-overlap set this run can have trained).  The
+    /// parent depends only on the committed eliminations, never on
+    /// speculative evaluation order, so the warm-start source — and with it
+    /// the trained models — is identical for any thread count.
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_candidates(
         &self,
         backend: &dyn ClassifierFactory,
@@ -483,8 +626,16 @@ impl Compactor {
         eliminated: &[usize],
         config: &CompactionConfig,
         cache: &ModelCache,
+        tracker: &WarmStartTracker,
     ) -> Result<Vec<CandidateVerdict>> {
         let spec_count = self.training.specs().len();
+        let warm_entry = if config.warm_start {
+            let parent: Vec<usize> = (0..spec_count).filter(|c| !eliminated.contains(c)).collect();
+            cache.peek(&parent)
+        } else {
+            None
+        };
+        let warm = warm_entry.as_ref().map(|entry| &entry.0);
         let evaluate_one = |order_index: usize| -> Result<CandidateVerdict> {
             let candidate = order[order_index];
             let kept: Vec<usize> =
@@ -493,7 +644,14 @@ impl Compactor {
                 // Never eliminate the last remaining test.
                 return Ok(CandidateVerdict::LastTest);
             }
-            match self.evaluate_kept_set_cached(backend, &kept, &config.guard_band, cache) {
+            match self.evaluate_kept_set_cached(
+                backend,
+                &kept,
+                &config.guard_band,
+                cache,
+                warm,
+                tracker,
+            ) {
                 Ok(entry) => Ok(CandidateVerdict::Scored(entry.1)),
                 Err(CompactionError::Classifier { .. })
                 | Err(CompactionError::InsufficientData { .. }) => {
@@ -725,6 +883,27 @@ mod tests {
         assert_eq!(sequential.final_breakdown, parallel.final_breakdown);
         // … while the speculative loop may train (and discard) more models.
         assert!(parallel.cache.misses >= sequential.cache.misses);
+    }
+
+    #[test]
+    fn warm_start_toggle_does_not_change_grid_results() {
+        let compactor = redundant_population();
+        let config = CompactionConfig::paper_default().with_tolerance(0.05);
+        let warm = compactor.compact_with(&grid(), &config).unwrap();
+        let cold = compactor.compact_with(&grid(), &config.clone().with_warm_start(false)).unwrap();
+        assert_eq!(warm, cold);
+        // The grid backend has no iterative solver: iteration counters stay
+        // zero, but the loop still records which trainings were offered a
+        // warm-start hint (everything after the first acceptance).
+        assert_eq!(warm.warm_start.total_iterations(), 0);
+        assert!(!warm.eliminated.is_empty());
+        assert!(warm.warm_start.warm_trainings >= 1, "stats {:?}", warm.warm_start);
+        assert_eq!(cold.warm_start.warm_trainings, 0);
+        assert!(cold.warm_start.cold_trainings >= cold.steps.len());
+        assert_eq!(
+            warm.warm_start.warm_trainings + warm.warm_start.cold_trainings,
+            cold.warm_start.warm_trainings + cold.warm_start.cold_trainings,
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use crate::classifier::{Classifier, ClassifierFactory, TrainingView};
+use crate::classifier::{Classifier, ClassifierFactory, TrainingView, WarmStartContext};
 use crate::dataset::MeasurementSet;
 use crate::metrics::ErrorBreakdown;
 use crate::{CompactionError, Result};
@@ -131,6 +131,29 @@ impl GuardBandedClassifier {
         kept: &[usize],
         config: &GuardBandConfig,
     ) -> Result<Self> {
+        GuardBandedClassifier::train_with_warm(backend, training, kept, config, None)
+    }
+
+    /// [`GuardBandedClassifier::train_with`] with an optional warm start
+    /// from a pair previously trained on the *same training population* over
+    /// an overlapping kept set: the parent's strict model seeds the strict
+    /// training, its loose model the loose training (the two sides use
+    /// different labelling margins, so they must never cross).
+    ///
+    /// Warm starts are an accelerator only — backends fall back to cold
+    /// training when they cannot use the hint, and a warm-trained pair meets
+    /// the same convergence guarantees as a cold one.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GuardBandedClassifier::train_with`].
+    pub fn train_with_warm(
+        backend: &dyn ClassifierFactory,
+        training: &MeasurementSet,
+        kept: &[usize],
+        config: &GuardBandConfig,
+        warm: Option<&GuardBandedClassifier>,
+    ) -> Result<Self> {
         config.validate()?;
         if training.len() < 10 {
             return Err(CompactionError::InsufficientData {
@@ -139,8 +162,17 @@ impl GuardBandedClassifier {
         }
         let strict_view = TrainingView::new(training, kept, config.guard_band_fraction)?;
         let loose_view = TrainingView::new(training, kept, -config.guard_band_fraction)?;
-        let strict = backend.train(&strict_view)?;
-        let loose = backend.train(&loose_view)?;
+        let (strict, loose) = match warm {
+            Some(parent) => {
+                let strict_hint = WarmStartContext::new(parent.strict.as_ref(), &parent.kept);
+                let loose_hint = WarmStartContext::new(parent.loose.as_ref(), &parent.kept);
+                (
+                    backend.train_warm(&strict_view, Some(&strict_hint))?,
+                    backend.train_warm(&loose_view, Some(&loose_hint))?,
+                )
+            }
+            None => (backend.train(&strict_view)?, backend.train(&loose_view)?),
+        };
         Ok(GuardBandedClassifier {
             kept: kept.to_vec(),
             strict,
@@ -183,6 +215,15 @@ impl GuardBandedClassifier {
     /// Name of the backend that trained the model pair.
     pub fn backend(&self) -> &str {
         &self.backend
+    }
+
+    /// Solver iterations spent training the strict/loose pair, summed, or
+    /// `None` when the backend reports none (no iterative solver).
+    pub fn solver_iterations(&self) -> Option<usize> {
+        match (self.strict.solver_iterations(), self.loose.solver_iterations()) {
+            (None, None) => None,
+            (strict, loose) => Some(strict.unwrap_or(0) + loose.unwrap_or(0)),
+        }
     }
 
     /// Classifies instance `i` of a measurement set.

@@ -75,9 +75,9 @@ pub mod pipeline;
 pub mod report;
 
 pub use batch::{BatchAggregate, BatchReport, BatchRun, PipelineBatch, PopulationCache};
-pub use classifier::{Classifier, ClassifierFactory, GridBackend, TrainingView};
+pub use classifier::{Classifier, ClassifierFactory, GridBackend, TrainingView, WarmStartContext};
 pub use compaction::{
-    CompactionConfig, CompactionResult, CompactionStep, Compactor, ModelCacheStats,
+    CompactionConfig, CompactionResult, CompactionStep, Compactor, ModelCacheStats, WarmStartStats,
 };
 pub use costmodel::TestCostModel;
 pub use dataset::{DeviceLabel, MeasurementMatrix, MeasurementSet};

@@ -316,6 +316,13 @@ impl PipelineReport {
         self.compaction.compaction_ratio()
     }
 
+    /// Warm-start diagnostics of the greedy loop: trainings and solver
+    /// iterations, split warm versus cold (see
+    /// [`crate::CompactionConfig::with_warm_start`]).
+    pub fn warm_start(&self) -> &crate::WarmStartStats {
+        &self.compaction.warm_start
+    }
+
     /// Error breakdown of the final compacted test set on the held-out data.
     pub fn final_breakdown(&self) -> &ErrorBreakdown {
         &self.compaction.final_breakdown

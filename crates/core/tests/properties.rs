@@ -6,9 +6,10 @@
 use proptest::prelude::*;
 use stc_core::classifier::GridBackend;
 use stc_core::{
-    baseline, CompactionConfig, Compactor, DeviceLabel, GuardBandConfig, MeasurementSet,
-    Specification, SpecificationSet,
+    baseline, generate_train_test, CompactionConfig, Compactor, DeviceLabel, GuardBandConfig,
+    MeasurementSet, MonteCarloConfig, Specification, SpecificationSet, SyntheticDevice,
 };
+use stc_svm::SvmBackend;
 
 fn spec_set(dimension: usize) -> SpecificationSet {
     let specs = (0..dimension)
@@ -115,6 +116,53 @@ proptest! {
         for (i, row) in rows.iter().enumerate() {
             prop_assert_eq!(batch[i], row_major_label(&specs, row));
         }
+    }
+
+    /// Warm-started greedy elimination keeps the cold-start compaction
+    /// outcome (kept and eliminated sets) for arbitrary populations and
+    /// tolerances, and is *exactly* invariant under the speculative thread
+    /// count: the warm-start source is always the committed parent kept
+    /// set's model, which no speculative evaluation can perturb, so every
+    /// thread count trains byte-identical models.  (Warm and cold solver
+    /// trajectories may converge to KKT-equivalent models whose decisions
+    /// differ on devices within the stopping tolerance of a boundary —
+    /// `ErrorBreakdown` identity against cold starts is pinned on the
+    /// curated seeds in `svm_backend.rs`.  The cold kept/eliminated
+    /// comparison below is safe to run over random populations because the
+    /// vendored proptest draws its cases deterministically from the test
+    /// name: the sweep is the same every run, so it cannot flake in CI.
+    /// When swapping in the real proptest crate, pin this property to a
+    /// fixed seed.)
+    #[test]
+    fn warm_started_compaction_keeps_the_cold_outcome_and_is_thread_invariant(
+        seed in 0u64..10_000,
+        correlation in 0.5f64..0.95,
+        tolerance in 0.01f64..0.2,
+        threads in 2usize..5,
+    ) {
+        let device = SyntheticDevice::new(4, 1.6, correlation);
+        let (train, test) =
+            generate_train_test(&device, &MonteCarloConfig::new(160).with_seed(seed), 80).unwrap();
+        let compactor = Compactor::new(train, test).unwrap();
+        let backend = SvmBackend::paper_default();
+        let base = CompactionConfig::paper_default().with_tolerance(tolerance);
+        let warm_sequential = compactor.compact_with(&backend, &base).unwrap();
+        let warm_threaded = compactor
+            .compact_with(&backend, &base.clone().with_threads(threads))
+            .unwrap();
+        // Exact invariance across thread counts: kept/eliminated sets, every
+        // per-step breakdown and the final breakdown.
+        prop_assert_eq!(&warm_sequential, &warm_threaded);
+        prop_assert_eq!(&warm_sequential.final_breakdown, &warm_threaded.final_breakdown);
+        for (a, b) in warm_sequential.steps.iter().zip(warm_threaded.steps.iter()) {
+            prop_assert_eq!(&a.breakdown, &b.breakdown);
+        }
+        // The compaction outcome matches the cold start.
+        let cold = compactor
+            .compact_with(&backend, &base.with_warm_start(false))
+            .unwrap();
+        prop_assert_eq!(&warm_sequential.kept, &cold.kept);
+        prop_assert_eq!(&warm_sequential.eliminated, &cold.eliminated);
     }
 
     /// Zero-copy views (split/truncate) are behaviour-identical to the

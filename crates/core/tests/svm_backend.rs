@@ -88,6 +88,105 @@ fn parallel_svm_evaluation_matches_sequential() {
     assert_eq!(sequential, parallel);
 }
 
+/// The tentpole contract of the warm-started greedy loop: warm starts change
+/// solver trajectories, never the compaction outcome.  Kept and eliminated
+/// sets, every per-step `ErrorBreakdown` and the final breakdown must be
+/// byte-identical to a cold-start run, across seeds and thread counts.
+#[test]
+fn warm_started_compaction_equals_cold_start_across_seeds_and_threads() {
+    for seed in [7u64, 31, 32, 99, 2005] {
+        let device = SyntheticDevice::new(5, 1.8, 0.92);
+        let (train, test) =
+            generate_train_test(&device, &MonteCarloConfig::new(400).with_seed(seed), 200).unwrap();
+        let compactor = Compactor::new(train, test).unwrap();
+        let base = CompactionConfig::paper_default().with_tolerance(0.05);
+        let cold_sequential =
+            compactor.compact_with(&svm(), &base.clone().with_warm_start(false)).unwrap();
+        for threads in [1usize, 2, 4] {
+            let warm = compactor.compact_with(&svm(), &base.clone().with_threads(threads)).unwrap();
+            assert_eq!(warm, cold_sequential, "seed {seed} threads {threads}");
+            assert_eq!(
+                warm.final_breakdown, cold_sequential.final_breakdown,
+                "seed {seed} threads {threads}"
+            );
+            for (warm_step, cold_step) in warm.steps.iter().zip(cold_sequential.steps.iter()) {
+                assert_eq!(warm_step.breakdown, cold_step.breakdown, "seed {seed}");
+            }
+        }
+    }
+}
+
+/// Warm starts must save solver work on populations where the greedy loop
+/// actually eliminates (every training after the first acceptance starts
+/// from the overlapping parent kept set's model).
+#[test]
+fn warm_started_compaction_spends_fewer_solver_iterations() {
+    for seed in [7u64, 31, 32, 99, 2005] {
+        let device = SyntheticDevice::new(5, 1.8, 0.92);
+        let (train, test) =
+            generate_train_test(&device, &MonteCarloConfig::new(400).with_seed(seed), 200).unwrap();
+        let compactor = Compactor::new(train, test).unwrap();
+        let base = CompactionConfig::paper_default().with_tolerance(0.05);
+        let warm = compactor.compact_with(&svm(), &base).unwrap();
+        let cold = compactor.compact_with(&svm(), &base.clone().with_warm_start(false)).unwrap();
+        assert!(!warm.eliminated.is_empty(), "seed {seed}: population is redundant");
+        assert!(warm.warm_start.warm_trainings >= 1, "seed {seed}: {:?}", warm.warm_start);
+        assert_eq!(cold.warm_start.warm_trainings, 0);
+        assert!(
+            warm.warm_start.total_iterations() <= cold.warm_start.total_iterations(),
+            "seed {seed}: warm {:?} vs cold {:?}",
+            warm.warm_start,
+            cold.warm_start
+        );
+    }
+}
+
+/// The SVM backend surfaces per-training solver iterations through the
+/// guard-banded pair; the grid backend has none to report.
+#[test]
+fn solver_iterations_surface_through_the_guard_banded_pair() {
+    let compactor = redundant_population();
+    let guard_band = GuardBandConfig::paper_default();
+    let kept = [0usize, 1, 2, 3];
+    let (classifier, _) = compactor.evaluate_kept_set_with(&svm(), &kept, &guard_band).unwrap();
+    assert!(classifier.solver_iterations().expect("svm reports iterations") > 0);
+
+    let (grid_classifier, _) = compactor
+        .evaluate_kept_set_with(&stc_core::GridBackend::default(), &kept, &guard_band)
+        .unwrap();
+    assert_eq!(grid_classifier.solver_iterations(), None);
+}
+
+/// Warm-starting the pair training directly (outside the loop) from a parent
+/// kept set reproduces the cold decisions on the held-out population.
+#[test]
+fn warm_pair_training_matches_cold_pair_training() {
+    let compactor = redundant_population();
+    let guard_band = GuardBandConfig::paper_default();
+    let parent_kept = [0usize, 1, 2, 3, 4];
+    let parent =
+        GuardBandedClassifier::train_with(&svm(), compactor.training(), &parent_kept, &guard_band)
+            .unwrap();
+    let kept = [0usize, 1, 2, 3];
+    let cold = GuardBandedClassifier::train_with(&svm(), compactor.training(), &kept, &guard_band)
+        .unwrap();
+    let warm = GuardBandedClassifier::train_with_warm(
+        &svm(),
+        compactor.training(),
+        &kept,
+        &guard_band,
+        Some(&parent),
+    )
+    .unwrap();
+    assert_eq!(warm.evaluate(compactor.testing()), cold.evaluate(compactor.testing()));
+    assert!(
+        warm.solver_iterations().unwrap() <= cold.solver_iterations().unwrap(),
+        "warm {:?} cold {:?}",
+        warm.solver_iterations(),
+        cold.solver_iterations()
+    );
+}
+
 #[test]
 fn eliminate_single_error_shrinks_with_more_training_data() {
     let compactor = redundant_population();

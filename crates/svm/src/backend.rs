@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use stc_core::classifier::{Classifier, ClassifierFactory, TrainingView};
+use stc_core::classifier::{Classifier, ClassifierFactory, TrainingView, WarmStartContext};
 use stc_core::{CompactionError, GuardBandConfig};
 
 use crate::{Dataset, Kernel, Svc, SvcParams, SvmError};
@@ -80,8 +80,29 @@ impl ClassifierFactory for SvmBackend {
     }
 
     fn train(&self, view: &TrainingView<'_>) -> stc_core::Result<Arc<dyn Classifier>> {
+        self.train_warm(view, None)
+    }
+
+    /// Trains the ε-SVM, warm-starting the SMO solver from the hinted
+    /// model's support-vector alphas when the hint is a model this backend
+    /// trained over the same training population (see [`Svc::train_warm`]).
+    /// Any other hint — a foreign backend's model, a population mismatch,
+    /// or a kept set sharing no column with this view's (a start from a
+    /// fully disjoint feature space carries no useful geometry) — silently
+    /// falls back to a cold start; the returned model always meets the
+    /// cold-start KKT tolerance.
+    fn train_warm(
+        &self,
+        view: &TrainingView<'_>,
+        warm: Option<&WarmStartContext<'_>>,
+    ) -> stc_core::Result<Arc<dyn Classifier>> {
         let dataset = dataset_from_view(view)?;
-        let model = Svc::train(&dataset, &self.params)?;
+        let warm_model = warm
+            .filter(|context| context.kept().iter().any(|column| view.kept().contains(column)))
+            .and_then(|context| context.model().as_any())
+            .and_then(|any| any.downcast_ref::<SvmClassifier>())
+            .map(|classifier| &classifier.model);
+        let model = Svc::train_warm(&dataset, &self.params, warm_model)?;
         Ok(Arc::new(SvmClassifier { model }))
     }
 }
@@ -95,6 +116,14 @@ struct SvmClassifier {
 impl Classifier for SvmClassifier {
     fn decision(&self, features: &[f64]) -> f64 {
         self.model.decision_function(features)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn solver_iterations(&self) -> Option<usize> {
+        Some(self.model.iterations())
     }
 }
 
@@ -179,5 +208,55 @@ mod tests {
         let backend = SvmBackend::from_guard_band(&config);
         assert_eq!(backend.params().c(), 5.0);
         assert_eq!(backend.name(), "svm");
+    }
+
+    #[test]
+    fn classifier_reports_solver_iterations_and_supports_downcast() {
+        let data = population();
+        let view = TrainingView::new(&data, &[0], 0.0).unwrap();
+        let model = SvmBackend::paper_default().train(&view).unwrap();
+        assert!(model.solver_iterations().expect("svm reports iterations") > 0);
+        assert!(model.as_any().is_some());
+    }
+
+    /// Warm-starting from the parent kept set's model (the compaction loop's
+    /// pattern) trains fewer iterations and keeps the decisions of a cold
+    /// start on this population.
+    #[test]
+    fn warm_start_from_the_parent_kept_set_saves_iterations() {
+        let data = population();
+        let backend = SvmBackend::paper_default();
+        let parent_kept = [0usize, 1];
+        let parent_view = TrainingView::new(&data, &parent_kept, 0.0).unwrap();
+        let parent = backend.train(&parent_view).unwrap();
+
+        let child_view = TrainingView::new(&data, &[0], 0.0).unwrap();
+        let cold = backend.train(&child_view).unwrap();
+        let hint = WarmStartContext::new(parent.as_ref(), &parent_kept);
+        let warm = backend.train_warm(&child_view, Some(&hint)).unwrap();
+        assert!(
+            warm.solver_iterations().unwrap() <= cold.solver_iterations().unwrap(),
+            "warm {:?} vs cold {:?}",
+            warm.solver_iterations(),
+            cold.solver_iterations()
+        );
+        for x in [-0.4, 0.2, 0.5, 0.8, 1.3] {
+            assert_eq!(warm.predict_good(&[x]), cold.predict_good(&[x]), "x = {x}");
+        }
+    }
+
+    /// A foreign backend's model as the warm hint must be ignored, not
+    /// panicked on or misused.
+    #[test]
+    fn foreign_warm_hints_fall_back_to_cold_training() {
+        use stc_core::classifier::GridBackend;
+        let data = population();
+        let view = TrainingView::new(&data, &[0], 0.0).unwrap();
+        let grid_model = GridBackend::default().train(&view).unwrap();
+        let hint = WarmStartContext::new(grid_model.as_ref(), &[0]);
+        let backend = SvmBackend::paper_default();
+        let cold = backend.train(&view).unwrap();
+        let warm = backend.train_warm(&view, Some(&hint)).unwrap();
+        assert_eq!(warm.solver_iterations(), cold.solver_iterations());
     }
 }

@@ -158,9 +158,19 @@ pub struct Svc {
     kernel: Kernel,
     support_vectors: Vec<Vec<f64>>,
     coefficients: Vec<f64>,
+    /// Training-instance index of each support vector, enabling warm starts
+    /// of related problems over the same training population.  Defaulted on
+    /// deserialization so 0.3-era models still load (they simply cannot seed
+    /// warm starts).
+    #[serde(default)]
+    support_indices: Vec<usize>,
     rho: f64,
     dimension: usize,
     bias_shift: f64,
+    /// SMO iterations spent training this model (0 for deserialized 0.3-era
+    /// models).
+    #[serde(default)]
+    iterations: usize,
 }
 
 impl Svc {
@@ -172,6 +182,26 @@ impl Svc {
     /// label is not `±1`, when hyper-parameters are invalid, or when the SMO
     /// solver fails to converge.
     pub fn train(data: &Dataset, params: &SvcParams) -> Result<Self> {
+        Svc::train_warm(data, params, None)
+    }
+
+    /// [`Svc::train`] with an optional warm start from a model trained on
+    /// the *same training instances* (typically over an overlapping feature
+    /// subset, as in the greedy test-compaction loop where consecutive
+    /// candidate kept sets differ by one measurement column).
+    ///
+    /// The warm model's support-vector alphas are mapped by training-instance
+    /// index onto this problem, clipped to the feasible box, the equality
+    /// constraint is repaired, and SMO solves from that point.  Warm starts
+    /// only change the solver trajectory: the returned model satisfies
+    /// exactly the same KKT stopping tolerance as a cold start.  A warm
+    /// model that does not match the dataset (more instances than `data`
+    /// has) is ignored and training falls back to a cold start.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Svc::train`].
+    pub fn train_warm(data: &Dataset, params: &SvcParams, warm: Option<&Svc>) -> Result<Self> {
         params.validate()?;
         if data.is_empty() {
             return Err(SvmError::EmptyDataset);
@@ -198,8 +228,11 @@ impl Svc {
                 }
             })
             .collect();
-        let problem =
-            SmoProblem { y: y.clone(), p: vec![-1.0; n], upper_bound, initial_alpha: vec![0.0; n] };
+        let initial_alpha = match warm {
+            Some(model) => model.project_alphas(&y, &upper_bound),
+            None => vec![0.0; n],
+        };
+        let problem = SmoProblem { y: y.clone(), p: vec![-1.0; n], upper_bound, initial_alpha };
         let q = SvcQ::new(data, params.kernel);
         let smo_params = SmoParams {
             tolerance: params.tolerance,
@@ -210,20 +243,50 @@ impl Svc {
 
         let mut support_vectors = Vec::new();
         let mut coefficients = Vec::new();
+        let mut support_indices = Vec::new();
         for (i, (&alpha, &label)) in solution.alpha.iter().zip(y.iter()).enumerate() {
             if alpha > 1e-12 {
                 support_vectors.push(data.features(i).to_vec());
                 coefficients.push(alpha * label);
+                support_indices.push(i);
             }
         }
         Ok(Svc {
             kernel: params.kernel,
             support_vectors,
             coefficients,
+            support_indices,
             rho: solution.rho,
             dimension: data.dimension(),
             bias_shift: 0.0,
+            iterations: solution.iterations,
         })
+    }
+
+    /// Projects this model's dual variables onto a related problem over the
+    /// same training instances: alphas land on the instance that produced
+    /// them, are clipped to the new box, and the equality constraint is
+    /// repaired.  Returns the zero vector (a plain cold start) when the
+    /// model does not line up with the new problem.
+    fn project_alphas(&self, y: &[f64], upper_bound: &[f64]) -> Vec<f64> {
+        let n = y.len();
+        let mut alpha = vec![0.0; n];
+        for (&index, &coefficient) in self.support_indices.iter().zip(self.coefficients.iter()) {
+            if index >= n {
+                // Trained on a different (larger) population: cold start.
+                return vec![0.0; n];
+            }
+            // `coefficient` is `alpha_i * y_i`, so its sign is the training
+            // label; skip instances whose label changed (defensive — labels
+            // are independent of the kept feature columns in the compaction
+            // flow, so this should not trigger there).
+            if y[index] * coefficient <= 0.0 {
+                continue;
+            }
+            alpha[index] = coefficient.abs().min(upper_bound[index]);
+        }
+        smo::repair_equality_constraint(&mut alpha, y);
+        alpha
     }
 
     /// Signed distance-like score of `x`; positive means the positive class.
@@ -295,6 +358,18 @@ impl Svc {
     /// Offset `rho` of the decision function.
     pub fn rho(&self) -> f64 {
         self.rho
+    }
+
+    /// SMO iterations the solver spent training this model (a warm start
+    /// typically needs a small fraction of the cold-start count).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Training-instance indices of the support vectors, aligned with the
+    /// coefficient order.
+    pub fn support_indices(&self) -> &[usize] {
+        &self.support_indices
     }
 }
 
@@ -435,7 +510,65 @@ mod tests {
         let model = Svc::train(&data, &params).unwrap();
         assert_eq!(model.dimension(), 2);
         assert!(model.support_vector_count() > 0);
+        assert_eq!(model.support_indices().len(), model.support_vector_count());
+        assert!(model.support_indices().iter().all(|&i| i < data.len()));
         assert_eq!(model.kernel(), Kernel::linear());
         assert!(model.rho().is_finite());
+        assert!(model.iterations() > 0);
+    }
+
+    /// Warm-starting from a model of the *same* problem converges without
+    /// iterating and reproduces the model.
+    #[test]
+    fn warm_start_from_itself_is_free() {
+        let data = xor_data();
+        let params = SvcParams::new().with_c(10.0).with_kernel(Kernel::rbf(2.0));
+        let cold = Svc::train(&data, &params).unwrap();
+        let warm = Svc::train_warm(&data, &params, Some(&cold)).unwrap();
+        assert!(
+            warm.iterations() <= cold.iterations() / 4,
+            "warm {} vs cold {}",
+            warm.iterations(),
+            cold.iterations()
+        );
+        for sample in data.iter() {
+            assert_eq!(warm.predict(&sample.features), cold.predict(&sample.features));
+        }
+    }
+
+    /// Warm-starting across an overlapping feature subset (the compaction
+    /// loop's case: same instances, one column dropped) converges to the
+    /// same decisions as the cold start of the smaller problem.
+    #[test]
+    fn warm_start_across_a_dropped_column_matches_cold_training() {
+        let data = xor_data();
+        // The one-column projection of the XOR data: labels stay mixed, and
+        // the instances line up index-for-index with the 2-D parent.
+        let narrow = data.select_columns(&[0]).unwrap();
+        let params = SvcParams::new().with_c(10.0).with_kernel(Kernel::rbf(2.0));
+        let parent = Svc::train(&data, &params).unwrap();
+        let cold = Svc::train(&narrow, &params).unwrap();
+        let warm = Svc::train_warm(&narrow, &params, Some(&parent)).unwrap();
+        assert_eq!(warm.dimension(), 1);
+        // Both satisfy the same KKT tolerance; on this well-separated data
+        // their decisions agree everywhere.
+        for sample in narrow.iter() {
+            assert_eq!(warm.predict(&sample.features), cold.predict(&sample.features));
+        }
+    }
+
+    /// A warm model from an unrelated (larger) population is ignored rather
+    /// than corrupting the start.
+    #[test]
+    fn mismatched_warm_models_fall_back_to_cold_training() {
+        let big = linearly_separable(40);
+        let small = linearly_separable(6);
+        let params = SvcParams::new().with_c(5.0).with_kernel(Kernel::linear());
+        let parent = Svc::train(&big, &params).unwrap();
+        assert!(parent.support_indices().iter().any(|&i| i >= small.len()));
+        let cold = Svc::train(&small, &params).unwrap();
+        let warm = Svc::train_warm(&small, &params, Some(&parent)).unwrap();
+        assert_eq!(warm.iterations(), cold.iterations());
+        assert_eq!(warm, cold);
     }
 }

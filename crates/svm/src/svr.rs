@@ -169,8 +169,18 @@ pub struct Svr {
     kernel: Kernel,
     support_vectors: Vec<Vec<f64>>,
     coefficients: Vec<f64>,
+    /// Training-instance index of each support vector, enabling warm starts
+    /// of related problems over the same training population.  Defaulted on
+    /// deserialization so 0.3-era models still load (they simply cannot seed
+    /// warm starts).
+    #[serde(default)]
+    support_indices: Vec<usize>,
     bias: f64,
     dimension: usize,
+    /// SMO iterations spent training this model (0 for deserialized 0.3-era
+    /// models).
+    #[serde(default)]
+    iterations: usize,
 }
 
 impl Svr {
@@ -181,6 +191,24 @@ impl Svr {
     /// Returns an error when the dataset is empty, the hyper-parameters are
     /// invalid, or the SMO solver fails to converge.
     pub fn train(data: &Dataset, params: &SvrParams) -> Result<Self> {
+        Svr::train_warm(data, params, None)
+    }
+
+    /// [`Svr::train`] with an optional warm start from a regressor trained
+    /// on the *same training instances* (typically over an overlapping
+    /// feature subset).
+    ///
+    /// The warm model's `beta_i = alpha_i - alpha*_i` coefficients are split
+    /// back into the expanded `(alpha, alpha*)` pair on the instance that
+    /// produced them, clipped to the feasible box, the equality constraint
+    /// is repaired, and SMO solves from that point.  The returned model
+    /// satisfies exactly the same KKT stopping tolerance as a cold start; a
+    /// warm model that does not line up with `data` is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Svr::train`].
+    pub fn train_warm(data: &Dataset, params: &SvrParams, warm: Option<&Svr>) -> Result<Self> {
         params.validate()?;
         if data.is_empty() {
             return Err(SvmError::EmptyDataset);
@@ -194,12 +222,12 @@ impl Svr {
             p[i + l] = params.epsilon + target;
             y[i + l] = -1.0;
         }
-        let problem = SmoProblem {
-            y,
-            p,
-            upper_bound: vec![params.c; 2 * l],
-            initial_alpha: vec![0.0; 2 * l],
+        let upper_bound = vec![params.c; 2 * l];
+        let initial_alpha = match warm {
+            Some(model) => model.project_alphas(l, &y, &upper_bound),
+            None => vec![0.0; 2 * l],
         };
+        let problem = SmoProblem { y, p, upper_bound, initial_alpha };
         let q = SvrQ::new(data, params.kernel);
         let smo_params = SmoParams {
             tolerance: params.tolerance,
@@ -210,20 +238,47 @@ impl Svr {
 
         let mut support_vectors = Vec::new();
         let mut coefficients = Vec::new();
+        let mut support_indices = Vec::new();
         for i in 0..l {
             let beta = solution.alpha[i] - solution.alpha[i + l];
             if beta.abs() > 1e-12 {
                 support_vectors.push(data.features(i).to_vec());
                 coefficients.push(beta);
+                support_indices.push(i);
             }
         }
         Ok(Svr {
             kernel: params.kernel,
             support_vectors,
             coefficients,
+            support_indices,
             bias: -solution.rho,
             dimension: data.dimension(),
+            iterations: solution.iterations,
         })
+    }
+
+    /// Projects this model's `beta` coefficients onto the expanded
+    /// `2l`-variable dual of a related problem over the same `l` training
+    /// instances (`alpha_i = max(beta_i, 0)`, `alpha*_i = max(-beta_i, 0)`,
+    /// which holds at any optimum by complementarity), clips to the box and
+    /// repairs the equality constraint.  Returns the zero vector when the
+    /// model does not line up with the new problem.
+    fn project_alphas(&self, l: usize, y: &[f64], upper_bound: &[f64]) -> Vec<f64> {
+        let mut alpha = vec![0.0; 2 * l];
+        for (&index, &beta) in self.support_indices.iter().zip(self.coefficients.iter()) {
+            if index >= l {
+                // Trained on a different (larger) population: cold start.
+                return vec![0.0; 2 * l];
+            }
+            if beta >= 0.0 {
+                alpha[index] = beta.min(upper_bound[index]);
+            } else {
+                alpha[index + l] = (-beta).min(upper_bound[index + l]);
+            }
+        }
+        smo::repair_equality_constraint(&mut alpha, y);
+        alpha
     }
 
     /// Predicted target value for `x`.
@@ -263,6 +318,17 @@ impl Svr {
     /// Expected input dimension.
     pub fn dimension(&self) -> usize {
         self.dimension
+    }
+
+    /// SMO iterations the solver spent training this model.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Training-instance indices of the support vectors, aligned with the
+    /// coefficient order.
+    pub fn support_indices(&self) -> &[usize] {
+        &self.support_indices
     }
 }
 
@@ -327,6 +393,26 @@ mod tests {
         assert!(Svr::train(&data, &SvrParams::new().with_epsilon(-1.0)).is_err());
         let empty = Dataset::new(1).unwrap();
         assert!(matches!(Svr::train(&empty, &SvrParams::new()), Err(SvmError::EmptyDataset)));
+    }
+
+    /// Warm-starting from a regressor of the same problem converges in a
+    /// small fraction of the cold iterations with matching predictions.
+    #[test]
+    fn warm_start_from_itself_is_nearly_free() {
+        let data = linear_data();
+        let params = SvrParams::new().with_c(10.0).with_epsilon(0.05).with_kernel(Kernel::rbf(3.0));
+        let cold = Svr::train(&data, &params).unwrap();
+        assert!(cold.iterations() > 0);
+        let warm = Svr::train_warm(&data, &params, Some(&cold)).unwrap();
+        assert!(
+            warm.iterations() <= cold.iterations() / 4,
+            "warm {} vs cold {}",
+            warm.iterations(),
+            cold.iterations()
+        );
+        for sample in data.iter() {
+            assert!((warm.predict(&sample.features) - cold.predict(&sample.features)).abs() < 0.05);
+        }
     }
 
     #[test]

@@ -74,4 +74,60 @@ proptest! {
         prop_assert_eq!(model.predict(&[threshold + 1.0]), 1.0);
         prop_assert_eq!(model.predict(&[threshold - 1.0]), -1.0);
     }
+
+    /// Warm-starting from the cold model of the *same* problem never costs
+    /// more solver iterations than the cold start did, for arbitrary
+    /// two-cluster geometries and box sizes: the projected optimum already
+    /// satisfies the stopping test (up to support-vector truncation noise).
+    #[test]
+    fn warm_restarts_never_cost_more_iterations(
+        separation in 0.05f64..1.0,
+        spread in 0.01f64..0.5,
+        c in 0.5f64..50.0,
+        count in 8usize..30,
+    ) {
+        let mut data = Dataset::new(1).unwrap();
+        for i in 0..count {
+            let jitter = spread * (i as f64 / count as f64);
+            data.push(vec![separation + jitter], 1.0).unwrap();
+            data.push(vec![-separation - jitter], -1.0).unwrap();
+        }
+        let params = SvcParams::new().with_c(c).with_kernel(Kernel::rbf(1.0));
+        let cold = Svc::train(&data, &params).unwrap();
+        let warm = Svc::train_warm(&data, &params, Some(&cold)).unwrap();
+        prop_assert!(
+            warm.iterations() <= cold.iterations(),
+            "warm {} vs cold {}", warm.iterations(), cold.iterations()
+        );
+        for sample in data.iter() {
+            prop_assert_eq!(warm.predict(&sample.features), cold.predict(&sample.features));
+        }
+    }
+
+    /// Warm-starting across a dropped feature column — the compaction loop's
+    /// access pattern — always converges to decisions that agree with the
+    /// cold-started model wherever the cold model is confident.
+    #[test]
+    fn warm_starts_across_dropped_columns_agree_with_cold_training(
+        slope in 0.2f64..2.0,
+        count in 12usize..40,
+    ) {
+        let mut data = Dataset::new(2).unwrap();
+        for i in 0..count {
+            let x = i as f64 / count as f64;
+            data.push(vec![x, slope * x + 0.4], 1.0).unwrap();
+            data.push(vec![x, slope * x - 0.4], -1.0).unwrap();
+        }
+        let params = SvcParams::new().with_c(10.0).with_kernel(Kernel::rbf(1.0));
+        let parent = Svc::train(&data, &params).unwrap();
+        let narrow = data.select_columns(&[1]).unwrap();
+        let cold = Svc::train(&narrow, &params).unwrap();
+        let warm = Svc::train_warm(&narrow, &params, Some(&parent)).unwrap();
+        for sample in narrow.iter() {
+            let confidence = cold.decision_function(&sample.features);
+            if confidence.abs() > 0.05 {
+                prop_assert_eq!(warm.predict(&sample.features), cold.predict(&sample.features));
+            }
+        }
+    }
 }

@@ -10,7 +10,9 @@
 
 pub use crate::adapters::{opamp_specs_from_nominal, AccelerometerDevice, OpAmpDevice};
 
-pub use stc_core::classifier::{Classifier, ClassifierFactory, GridBackend, TrainingView};
+pub use stc_core::classifier::{
+    Classifier, ClassifierFactory, GridBackend, TrainingView, WarmStartContext,
+};
 pub use stc_core::pipeline::{CompactionPipeline, CostSummary, GuardBandStats, PipelineReport};
 pub use stc_core::{
     baseline, generate_measurement_set, generate_train_test, gridmodel, run_monte_carlo,
@@ -18,7 +20,7 @@ pub use stc_core::{
     CompactionStep, Compactor, DeviceLabel, DeviceUnderTest, EliminationOrder, ErrorBreakdown,
     GuardBandConfig, GuardBandedClassifier, MeasurementMatrix, MeasurementSet, ModelCacheStats,
     MonteCarloConfig, PipelineBatch, PopulationCache, Prediction, Specification, SpecificationSet,
-    SyntheticDevice, TestCostModel, TesterModel, TesterProgram,
+    SyntheticDevice, TestCostModel, TesterModel, TesterProgram, WarmStartStats,
 };
 
 pub use stc_svm::SvmBackend;

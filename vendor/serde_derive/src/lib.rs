@@ -10,14 +10,18 @@
 
 use proc_macro::TokenStream;
 
-/// No-op `Serialize` derive.
-#[proc_macro_derive(Serialize)]
+/// No-op `Serialize` derive.  Accepts (and ignores) `#[serde(...)]` field
+/// attributes so annotated types keep compiling; the real derive honours
+/// them.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// No-op `Deserialize` derive.
-#[proc_macro_derive(Deserialize)]
+/// No-op `Deserialize` derive.  Accepts (and ignores) `#[serde(...)]` field
+/// attributes so annotated types keep compiling; the real derive honours
+/// them.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }

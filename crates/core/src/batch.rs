@@ -52,6 +52,7 @@ use crate::metrics::ErrorBreakdown;
 use crate::montecarlo::{generate_train_test, MonteCarloConfig};
 use crate::pipeline::{CompactionPipeline, PipelineReport};
 use crate::report::percent;
+use crate::search::{GreedyBackward, SearchStrategy};
 use crate::Result;
 
 /// Cache key for one generated population: the batch entry label, a device
@@ -174,6 +175,7 @@ pub struct PipelineBatch<'d> {
     guard_band: Option<GuardBandConfig>,
     cost_model: Option<TestCostModel>,
     classifier: Arc<dyn ClassifierFactory>,
+    search: Arc<dyn SearchStrategy>,
     lookup_table: Option<usize>,
     batch_threads: usize,
     populations: Arc<PopulationCache>,
@@ -189,6 +191,7 @@ impl std::fmt::Debug for PipelineBatch<'_> {
             .field("guard_band", &self.guard_band)
             .field("cost_model", &self.cost_model)
             .field("classifier", &self.classifier)
+            .field("search", &self.search)
             .field("lookup_table", &self.lookup_table)
             .field("batch_threads", &self.batch_threads)
             .finish()
@@ -214,6 +217,7 @@ impl<'d> PipelineBatch<'d> {
             guard_band: None,
             cost_model: None,
             classifier: Arc::new(GridBackend::default()),
+            search: Arc::new(GreedyBackward),
             lookup_table: None,
             batch_threads: 1,
             populations: Arc::new(PopulationCache::new()),
@@ -293,6 +297,20 @@ impl<'d> PipelineBatch<'d> {
         self
     }
 
+    /// Selects the search strategy shared by every entry of the batch
+    /// (defaults to the paper's greedy backward elimination; see
+    /// [`crate::search`] for the bundled alternatives).
+    pub fn search(mut self, strategy: impl SearchStrategy + 'static) -> Self {
+        self.search = Arc::new(strategy);
+        self
+    }
+
+    /// Selects an already-shared search strategy.
+    pub fn search_arc(mut self, strategy: Arc<dyn SearchStrategy>) -> Self {
+        self.search = strategy;
+        self
+    }
+
     /// Deploys every final model as a lookup table with the given resolution.
     pub fn lookup_table(mut self, cells_per_dim: usize) -> Self {
         self.lookup_table = Some(cells_per_dim);
@@ -329,7 +347,8 @@ impl<'d> PipelineBatch<'d> {
         let mut pipeline = CompactionPipeline::for_device(entry.device)
             .monte_carlo(monte_carlo)
             .compaction(self.compaction.clone())
-            .classifier_arc(Arc::clone(&self.classifier));
+            .classifier_arc(Arc::clone(&self.classifier))
+            .search_arc(Arc::clone(&self.search));
         if let Some(instances) = self.test_instances {
             pipeline = pipeline.test_instances(instances);
         }
@@ -734,6 +753,22 @@ mod tests {
         assert_eq!(report.runs.len(), 2);
         assert_ne!(report.runs[0].report.train_yield, report.runs[1].report.train_yield);
         assert!(report.runs[0].label.contains("@1"));
+    }
+
+    #[test]
+    fn batch_carries_the_search_strategy_to_every_entry() {
+        use crate::search::BeamSearch;
+
+        let devices = devices();
+        let report = batch(&devices).search(BeamSearch::new(1)).batch_threads(2).run().unwrap();
+        for run in &report.runs {
+            assert_eq!(run.report.search, "beam");
+        }
+        // A width-1 beam is the greedy loop: the batch equals the default.
+        let default_report = batch(&devices).run().unwrap();
+        for (a, b) in report.runs.iter().zip(default_report.runs.iter()) {
+            assert_eq!(a.report.compaction, b.report.compaction);
+        }
     }
 
     #[test]

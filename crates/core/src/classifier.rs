@@ -199,13 +199,18 @@ pub trait Classifier: fmt::Debug + Send + Sync {
 
 /// Warm-start hint handed to [`ClassifierFactory::train_warm`]: a model this
 /// factory previously trained on the *same training population* over an
-/// overlapping kept set.
+/// overlapping kept set, together with the parent-candidate relation
+/// between the two kept sets ([`WarmStartContext::removed_columns`] /
+/// [`WarmStartContext::added_columns`]).
 ///
-/// In the greedy compaction loop the hint is the model of the parent kept
-/// set (the candidate's kept set plus the candidate column itself), so the
-/// two training problems differ by exactly one feature column while the
-/// instances — and therefore their pass/fail labels, which depend only on
-/// the full specification set — are identical.
+/// In the backward-elimination strategies the hint is the model of the
+/// committed frontier (the candidate's kept set plus the candidate column
+/// itself), so the two training problems differ by exactly one feature
+/// column; forward selection hands the frontier as a *subset* of the
+/// candidate kept set instead.  Either way the instances — and therefore
+/// their pass/fail labels, which depend only on the full specification set
+/// — are identical, which is what makes the parent's dual solution a
+/// useful starting point.
 #[derive(Debug, Clone, Copy)]
 pub struct WarmStartContext<'a> {
     model: &'a dyn Classifier,
@@ -227,6 +232,30 @@ impl<'a> WarmStartContext<'a> {
     /// The kept specification columns the model was trained on.
     pub fn kept(&self) -> &'a [usize] {
         self.kept
+    }
+
+    /// Whether this parent's kept set shares at least one column with a
+    /// child kept set — the minimum relation for a warm start to carry any
+    /// useful geometry.  Backends should fall back to a cold start when
+    /// this is `false`.
+    pub fn overlaps(&self, child_kept: &[usize]) -> bool {
+        self.kept.iter().any(|column| child_kept.contains(column))
+    }
+
+    /// The columns this parent was trained on that a child kept set
+    /// dropped.  In backward-elimination strategies this is exactly the
+    /// candidate under examination (one column); beam search hands larger
+    /// differences when a frontier warm-starts a cousin.
+    pub fn removed_columns(&self, child_kept: &[usize]) -> Vec<usize> {
+        self.kept.iter().copied().filter(|column| !child_kept.contains(column)).collect()
+    }
+
+    /// The columns a child kept set adds over this parent — the
+    /// forward-selection access pattern, where the parent is the committed
+    /// kept set and the child extends it by the candidate under
+    /// examination.
+    pub fn added_columns(&self, child_kept: &[usize]) -> Vec<usize> {
+        child_kept.iter().copied().filter(|column| !self.kept.contains(column)).collect()
     }
 }
 

@@ -1,16 +1,25 @@
-//! The greedy specification-test compaction loop (paper Figure 2).
-
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+//! The compaction shell: configuration, result assembly and the
+//! [`Compactor`] entry points over the pluggable search layer.
+//!
+//! As of 0.5 the actual search lives in [`crate::search`]: a
+//! [`SearchStrategy`] proposes kept-set candidates through a
+//! [`CandidateEvaluator`](crate::search::CandidateEvaluator) (the only
+//! component that trains models — it owns the per-run model cache, the
+//! warm-start bookkeeping and the speculative thread pool), and this module
+//! validates the outcome, trains the deploy-stage model and assembles the
+//! [`CompactionResult`].  The paper's greedy backward elimination (Figure 2)
+//! is the default strategy and is byte-identical to the pre-0.5 hard-coded
+//! loop.
 
 use serde::{Deserialize, Serialize};
 
 use crate::classifier::ClassifierFactory;
+use crate::costmodel::TestCostModel;
 use crate::dataset::MeasurementSet;
 use crate::guardband::{GuardBandConfig, GuardBandedClassifier};
 use crate::metrics::ErrorBreakdown;
 use crate::ordering::EliminationOrder;
+use crate::search::{CandidateEvaluator, GreedyBackward, SearchContext, SearchStrategy};
 use crate::{CompactionError, Result};
 
 /// Configuration of the compaction loop.
@@ -222,7 +231,16 @@ impl PartialEq for CompactionResult {
 }
 
 impl CompactionResult {
-    /// Fraction of tests removed from the complete specification test set.
+    /// Fraction of tests removed from the complete specification test set,
+    /// *by count*: every specification weighs the same, regardless of how
+    /// expensive it is to apply.  An empty result (no tests at all) reports
+    /// `0.0`.
+    ///
+    /// This is **not** the relative cost saving — a run that eliminates one
+    /// test of an expensive thermal insertion and a run that eliminates one
+    /// free ride-along test report the same ratio here.  For the quantity
+    /// cost-aware runs optimise, see
+    /// [`CompactionResult::cost_reduction_ratio`].
     pub fn compaction_ratio(&self) -> f64 {
         let total = self.kept.len() + self.eliminated.len();
         if total == 0 {
@@ -231,107 +249,20 @@ impl CompactionResult {
             self.eliminated.len() as f64 / total as f64
         }
     }
-}
 
-/// A cached trained model together with its held-out error breakdown.
-type CachedModel = Arc<(GuardBandedClassifier, ErrorBreakdown)>;
-
-/// Per-run cache of guard-banded models keyed by canonicalised kept set.
-///
-/// Training is deterministic for a fixed kept set, training population and
-/// guard-band configuration (all fixed within one run), so reusing a cached
-/// model is byte-identical to retraining it — the cache changes wall-clock
-/// time, never results.
-///
-/// Memory: at most one model pair per examined candidate is retained for
-/// the duration of the run — bounded by the specification count, which is
-/// small (≤ a dozen for the paper's devices; kilobytes per SVM pair).  The
-/// guaranteed reuse is the final deploy-stage model; `Functional` orders
-/// listing a candidate twice reuse its first (rejected) evaluation as well.
-#[derive(Debug, Default)]
-struct ModelCache {
-    models: Mutex<HashMap<Vec<usize>, CachedModel>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
-}
-
-impl ModelCache {
-    /// Canonical cache key: the kept set in ascending order.
-    fn key(kept: &[usize]) -> Vec<usize> {
-        let mut key = kept.to_vec();
-        key.sort_unstable();
-        key
+    /// Relative test-cost reduction of the kept set under a cost model
+    /// (0 = no saving, 1 = everything free) — the quantity
+    /// [`CostAwareGreedy`](crate::search::CostAwareGreedy) runs optimise,
+    /// and the cost-weighted companion of
+    /// [`CompactionResult::compaction_ratio`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates index errors when the cost model does not cover every
+    /// kept specification.
+    pub fn cost_reduction_ratio(&self, cost_model: &TestCostModel) -> Result<f64> {
+        cost_model.cost_reduction(&self.kept)
     }
-
-    fn lookup(&self, kept: &[usize]) -> Option<CachedModel> {
-        let found =
-            self.models.lock().expect("model cache poisoned").get(&Self::key(kept)).cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
-    }
-
-    /// [`ModelCache::lookup`] without touching the hit/miss counters — used
-    /// to fetch warm-start sources, which are an accelerator rather than a
-    /// kept-set request and must not distort the cache diagnostics.
-    fn peek(&self, kept: &[usize]) -> Option<CachedModel> {
-        self.models.lock().expect("model cache poisoned").get(&Self::key(kept)).cloned()
-    }
-
-    fn insert(&self, kept: &[usize], entry: CachedModel) {
-        self.models.lock().expect("model cache poisoned").insert(Self::key(kept), entry);
-    }
-
-    fn stats(&self) -> ModelCacheStats {
-        ModelCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// Thread-safe accumulator behind [`WarmStartStats`].
-#[derive(Debug, Default)]
-struct WarmStartTracker {
-    warm_trainings: AtomicUsize,
-    cold_trainings: AtomicUsize,
-    warm_iterations: AtomicUsize,
-    cold_iterations: AtomicUsize,
-}
-
-impl WarmStartTracker {
-    /// Records one successful training: whether a warm-start hint was
-    /// offered, and the solver iterations the trained pair reports.
-    fn record(&self, warmed: bool, iterations: Option<usize>) {
-        let (trainings, iteration_sum) = if warmed {
-            (&self.warm_trainings, &self.warm_iterations)
-        } else {
-            (&self.cold_trainings, &self.cold_iterations)
-        };
-        trainings.fetch_add(1, Ordering::Relaxed);
-        iteration_sum.fetch_add(iterations.unwrap_or(0), Ordering::Relaxed);
-    }
-
-    fn stats(&self) -> WarmStartStats {
-        WarmStartStats {
-            warm_trainings: self.warm_trainings.load(Ordering::Relaxed),
-            cold_trainings: self.cold_trainings.load(Ordering::Relaxed),
-            warm_iterations: self.warm_iterations.load(Ordering::Relaxed),
-            cold_iterations: self.cold_iterations.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// What one speculative candidate evaluation produced.
-enum CandidateVerdict {
-    /// Only one test would remain: the loop must stop.
-    LastTest,
-    /// A model was trained and scored.
-    Scored(ErrorBreakdown),
-    /// The backend could not build a model without this test.
-    Untrainable,
 }
 
 /// The compaction engine: owns the training and held-out test populations.
@@ -394,36 +325,6 @@ impl Compactor {
         Ok((classifier, breakdown))
     }
 
-    /// [`Compactor::evaluate_kept_set_with`] through a per-run model cache:
-    /// a kept set already trained in this run is returned without
-    /// retraining.  A cache miss trains the pair, warm-started from `warm`
-    /// when given, and records the training in `tracker`.
-    fn evaluate_kept_set_cached(
-        &self,
-        backend: &dyn ClassifierFactory,
-        kept: &[usize],
-        guard_band: &GuardBandConfig,
-        cache: &ModelCache,
-        warm: Option<&GuardBandedClassifier>,
-        tracker: &WarmStartTracker,
-    ) -> Result<CachedModel> {
-        if let Some(entry) = cache.lookup(kept) {
-            return Ok(entry);
-        }
-        let classifier = GuardBandedClassifier::train_with_warm(
-            backend,
-            &self.training,
-            kept,
-            guard_band,
-            warm,
-        )?;
-        let breakdown = classifier.evaluate(&self.testing);
-        tracker.record(warm.is_some(), classifier.solver_iterations());
-        let entry = Arc::new((classifier, breakdown));
-        cache.insert(kept, Arc::clone(&entry));
-        Ok(entry)
-    }
-
     /// Trains and evaluates a kept set with the built-in grid backend.
     #[deprecated(
         since = "0.2.0",
@@ -465,6 +366,33 @@ impl Compactor {
         self.compact_with_final_model(backend, config).map(|(result, _)| result)
     }
 
+    /// Runs the compaction with an explicit [`SearchStrategy`] — beam
+    /// search, forward selection, cost-aware greedy, or a user-defined
+    /// procedure — instead of the default greedy backward elimination.
+    ///
+    /// `cost_model` feeds cost-aware strategies (and defaults to a uniform
+    /// unit cost per test); strategies that do not consult costs ignore it.
+    /// All strategies share the evaluation machinery: the per-run model
+    /// cache, warm-started trainings and speculative evaluation threads of
+    /// [`Compactor::compact_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration/data errors, and rejects malformed strategy
+    /// outcomes (out-of-range or duplicated eliminations, or an empty kept
+    /// set); per-candidate training failures are handled inside the
+    /// strategies as "cannot eliminate".
+    pub fn compact_with_strategy(
+        &self,
+        backend: &dyn ClassifierFactory,
+        config: &CompactionConfig,
+        strategy: &dyn SearchStrategy,
+        cost_model: Option<&TestCostModel>,
+    ) -> Result<CompactionResult> {
+        self.compact_search_with_final_model(backend, config, strategy, cost_model)
+            .map(|(result, _)| result)
+    }
+
     /// [`Compactor::compact_with`], additionally returning the guard-banded
     /// classifier trained on the final kept set (`None` when nothing was
     /// eliminated, in which case the complete suite needs no model).  Lets
@@ -474,108 +402,68 @@ impl Compactor {
         backend: &dyn ClassifierFactory,
         config: &CompactionConfig,
     ) -> Result<(CompactionResult, Option<GuardBandedClassifier>)> {
+        self.compact_search_with_final_model(backend, config, &GreedyBackward, None)
+    }
+
+    /// The strategy-driven core every compaction entry point funnels into:
+    /// resolve the order, hand a [`CandidateEvaluator`] to the strategy,
+    /// validate its [`SearchOutcome`](crate::search::SearchOutcome) and
+    /// assemble the [`CompactionResult`] plus deploy-stage model.
+    pub(crate) fn compact_search_with_final_model(
+        &self,
+        backend: &dyn ClassifierFactory,
+        config: &CompactionConfig,
+        strategy: &dyn SearchStrategy,
+        cost_model: Option<&TestCostModel>,
+    ) -> Result<(CompactionResult, Option<GuardBandedClassifier>)> {
         config.validate()?;
         let spec_count = self.training.specs().len();
-        let order = config.order.resolve(&self.training)?;
-        if let Some(&bad) = order.iter().find(|&&c| c >= spec_count) {
+        let order = config.order.resolve_validated(&self.training)?;
+        let uniform;
+        let cost_model = match cost_model {
+            Some(model) => model,
+            None => {
+                uniform = TestCostModel::uniform(spec_count);
+                &uniform
+            }
+        };
+        let mut evaluator = CandidateEvaluator::new(&self.training, &self.testing, backend, config);
+        let context =
+            SearchContext::new(&order, config.error_tolerance, config.max_eliminated, cost_model);
+        let outcome = strategy.search(&mut evaluator, &context)?;
+        let eliminated = outcome.eliminated;
+        let steps = outcome.steps;
+
+        // Defensive validation: a strategy is arbitrary user code, so its
+        // outcome is checked before it becomes a result.
+        if let Some(&bad) = eliminated.iter().find(|&&c| c >= spec_count) {
             return Err(CompactionError::UnknownSpecification { index: bad, count: spec_count });
         }
-        let threads = config.threads.max(1);
-        // One model cache per run: the training data and guard band are fixed,
-        // so a canonicalised kept set fully identifies a trained model.
-        let cache = ModelCache::default();
-        let tracker = WarmStartTracker::default();
-
-        let mut eliminated: Vec<usize> = Vec::new();
-        let mut steps = Vec::new();
-        let mut index = 0;
-        'outer: while index < order.len() {
-            if let Some(max) = config.max_eliminated {
-                if eliminated.len() >= max {
-                    break;
-                }
-            }
-            // The next batch of examinations, all speculatively assuming the
-            // current eliminated set.
-            let mut batch: Vec<usize> = Vec::new();
-            let mut scan = index;
-            while scan < order.len() && batch.len() < threads {
-                if !eliminated.contains(&order[scan]) {
-                    batch.push(scan);
-                }
-                scan += 1;
-            }
-            if batch.is_empty() {
-                break;
-            }
-
-            let verdicts = self.evaluate_candidates(
-                backend,
-                &order,
-                &batch,
-                &eliminated,
-                config,
-                &cache,
-                &tracker,
-            )?;
-
-            // Commit verdicts in examination order; an acceptance invalidates
-            // the later speculative evaluations, which are simply discarded.
-            let mut accepted = false;
-            for (&order_index, verdict) in batch.iter().zip(verdicts) {
-                let candidate = order[order_index];
-                index = order_index + 1;
-                match verdict {
-                    CandidateVerdict::LastTest => break 'outer,
-                    CandidateVerdict::Scored(breakdown) => {
-                        let eliminate = breakdown.prediction_error() <= config.error_tolerance;
-                        if eliminate {
-                            eliminated.push(candidate);
-                        }
-                        steps.push(CompactionStep {
-                            spec_index: candidate,
-                            spec_name: self.training.specs().spec(candidate).name().to_string(),
-                            eliminated: eliminate,
-                            breakdown,
-                        });
-                        if eliminate {
-                            accepted = true;
-                            break;
-                        }
-                    }
-                    CandidateVerdict::Untrainable => {
-                        // Model could not be built without this test: keep it.
-                        steps.push(CompactionStep {
-                            spec_index: candidate,
-                            spec_name: self.training.specs().spec(candidate).name().to_string(),
-                            eliminated: false,
-                            breakdown: ErrorBreakdown::default(),
-                        });
-                    }
-                }
-            }
-            if !accepted {
-                index = index.max(scan);
-            }
+        let mut deduped = eliminated.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        if deduped.len() != eliminated.len() {
+            return Err(CompactionError::InvalidConfig {
+                parameter: "eliminated",
+                value: eliminated.len() as f64,
+            });
+        }
+        let kept: Vec<usize> = (0..spec_count).filter(|c| !eliminated.contains(c)).collect();
+        if kept.is_empty() {
+            return Err(CompactionError::EmptyTestSet);
         }
 
-        let kept: Vec<usize> = (0..spec_count).filter(|c| !eliminated.contains(c)).collect();
         let (final_breakdown, final_model) = if eliminated.is_empty() {
             // Nothing was removed: the complete test set has no prediction
             // error by construction, and deployment needs no model.
             (crate::baseline::evaluate_complete_test_set(&self.testing), None)
         } else {
-            // The final kept set was already trained when its elimination was
-            // accepted, so this is a guaranteed cache hit: the loop's last
-            // accepted model doubles as the deployed model.
-            let entry = self.evaluate_kept_set_cached(
-                backend,
-                &kept,
-                &config.guard_band,
-                &cache,
-                None,
-                &tracker,
-            )?;
+            // Every bundled strategy evaluated the final kept set when its
+            // last elimination was accepted, so this is a guaranteed cache
+            // hit: the search's last accepted model doubles as the deployed
+            // model.  (A custom strategy that never evaluated it trains it
+            // here, cold.)
+            let entry = evaluator.final_entry(&kept)?;
             (entry.1, Some(entry.0.clone()))
         };
 
@@ -584,8 +472,8 @@ impl Compactor {
             eliminated,
             steps,
             final_breakdown,
-            cache: cache.stats(),
-            warm_start: tracker.stats(),
+            cache: evaluator.cache_stats(),
+            warm_start: evaluator.warm_start_stats(),
         };
         Ok((result, final_model))
     }
@@ -607,81 +495,18 @@ impl Compactor {
         self.compact_with(&crate::classifier::GridBackend::default(), config)
     }
 
-    /// Evaluates the batch of candidates, in parallel when asked for, reusing
-    /// cached models for kept sets this run has already trained.
-    ///
-    /// When warm starts are enabled, every candidate training is seeded with
-    /// the cached model of the batch's shared *parent* kept set (the current
-    /// committed kept set, i.e. the candidate's kept set plus the candidate
-    /// itself — the maximal-overlap set this run can have trained).  The
-    /// parent depends only on the committed eliminations, never on
-    /// speculative evaluation order, so the warm-start source — and with it
-    /// the trained models — is identical for any thread count.
-    #[allow(clippy::too_many_arguments)]
-    fn evaluate_candidates(
-        &self,
-        backend: &dyn ClassifierFactory,
-        order: &[usize],
-        batch: &[usize],
-        eliminated: &[usize],
-        config: &CompactionConfig,
-        cache: &ModelCache,
-        tracker: &WarmStartTracker,
-    ) -> Result<Vec<CandidateVerdict>> {
-        let spec_count = self.training.specs().len();
-        let warm_entry = if config.warm_start {
-            let parent: Vec<usize> = (0..spec_count).filter(|c| !eliminated.contains(c)).collect();
-            cache.peek(&parent)
-        } else {
-            None
-        };
-        let warm = warm_entry.as_ref().map(|entry| &entry.0);
-        let evaluate_one = |order_index: usize| -> Result<CandidateVerdict> {
-            let candidate = order[order_index];
-            let kept: Vec<usize> =
-                (0..spec_count).filter(|c| !eliminated.contains(c) && *c != candidate).collect();
-            if kept.is_empty() {
-                // Never eliminate the last remaining test.
-                return Ok(CandidateVerdict::LastTest);
-            }
-            match self.evaluate_kept_set_cached(
-                backend,
-                &kept,
-                &config.guard_band,
-                cache,
-                warm,
-                tracker,
-            ) {
-                Ok(entry) => Ok(CandidateVerdict::Scored(entry.1)),
-                Err(CompactionError::Classifier { .. })
-                | Err(CompactionError::InsufficientData { .. }) => {
-                    Ok(CandidateVerdict::Untrainable)
-                }
-                Err(other) => Err(other),
-            }
-        };
-
-        if config.threads <= 1 || batch.len() <= 1 {
-            batch.iter().map(|&order_index| evaluate_one(order_index)).collect()
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = batch
-                    .iter()
-                    .map(|&order_index| scope.spawn(move || evaluate_one(order_index)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|handle| handle.join().expect("candidate evaluation worker panicked"))
-                    .collect()
-            })
-        }
-    }
-
     /// Forces the elimination of the tests in `order`, one after another,
     /// regardless of any tolerance, and records the error breakdown after each
     /// cumulative elimination.  This regenerates the Figure 5 sweep of the
     /// paper (yield loss / defect escape / guard band versus eliminated
     /// tests).
+    ///
+    /// Since 0.5 the sweep is a thin wrapper over the
+    /// [`CandidateEvaluator`]: every cumulative kept set goes through the
+    /// per-run model cache and warm-starts from the previous step's model
+    /// (consecutive sweep steps are exact parent/child kept sets — the
+    /// ideal warm-start chain), so long sweeps on iterative backends cost a
+    /// fraction of the pre-0.5 cold trainings.
     ///
     /// # Errors
     ///
@@ -697,19 +522,27 @@ impl Compactor {
         if let Some(&bad) = order.iter().find(|&&c| c >= spec_count) {
             return Err(CompactionError::UnknownSpecification { index: bad, count: spec_count });
         }
+        let evaluator = CandidateEvaluator::with_settings(
+            &self.training,
+            &self.testing,
+            backend,
+            *guard_band,
+            1,
+            true,
+        );
         let mut eliminated: Vec<usize> = Vec::new();
         let mut steps = Vec::new();
         for &candidate in order {
             if eliminated.contains(&candidate) {
                 continue;
             }
-            let kept: Vec<usize> =
-                (0..spec_count).filter(|c| !eliminated.contains(c) && *c != candidate).collect();
+            let parent: Vec<usize> = (0..spec_count).filter(|c| !eliminated.contains(c)).collect();
+            let kept: Vec<usize> = parent.iter().copied().filter(|&c| c != candidate).collect();
             if kept.is_empty() {
                 break;
             }
             eliminated.push(candidate);
-            let (_, breakdown) = self.evaluate_kept_set_with(backend, &kept, guard_band)?;
+            let breakdown = evaluator.evaluate(&kept, Some(&parent))?;
             steps.push(CompactionStep {
                 spec_index: candidate,
                 spec_name: self.training.specs().spec(candidate).name().to_string(),
@@ -756,8 +589,15 @@ impl Compactor {
         }
         let kept: Vec<usize> = (0..spec_count).filter(|&c| c != spec_index).collect();
         let truncated = self.training.truncated(training_instances.max(1));
-        let classifier = GuardBandedClassifier::train_with(backend, &truncated, &kept, guard_band)?;
-        Ok(classifier.evaluate(&self.testing))
+        let evaluator = CandidateEvaluator::with_settings(
+            &truncated,
+            &self.testing,
+            backend,
+            *guard_band,
+            1,
+            false,
+        );
+        evaluator.evaluate(&kept, None)
     }
 
     /// [`Compactor::eliminate_single_with`] with the built-in grid backend.
@@ -801,7 +641,15 @@ impl Compactor {
         if kept.is_empty() {
             return Err(CompactionError::EmptyTestSet);
         }
-        Ok(self.evaluate_kept_set_with(backend, &kept, guard_band)?.1)
+        let evaluator = CandidateEvaluator::with_settings(
+            &self.training,
+            &self.testing,
+            backend,
+            *guard_band,
+            1,
+            false,
+        );
+        evaluator.evaluate(&kept, None)
     }
 
     /// [`Compactor::eliminate_group_with`] with the built-in grid backend.

@@ -12,9 +12,12 @@
 //!
 //! 1. the **monte_carlo** stage simulates process-perturbed device instances
 //!    (Figure 1 of the paper) through any [`DeviceUnderTest`] implementation,
-//! 2. the **compaction** stage runs the greedy elimination loop (Figure 2),
-//!    training a classifier per candidate that predicts overall pass/fail
-//!    from the remaining measurements,
+//! 2. the **compaction** stage searches for a small kept set, training a
+//!    classifier per candidate that predicts overall pass/fail from the
+//!    remaining measurements; the search procedure is pluggable (see
+//!    [`search`]): the paper's greedy elimination loop (Figure 2) is the
+//!    default, with beam, forward-selection and cost-aware strategies
+//!    bundled,
 //! 3. the **guard_band** stage brackets the decision boundary with a
 //!    strict/loose model pair (Section 4.2); devices on which they disagree
 //!    are routed to retest,
@@ -73,6 +76,7 @@ pub mod gridmodel;
 pub mod montecarlo;
 pub mod pipeline;
 pub mod report;
+pub mod search;
 
 pub use batch::{BatchAggregate, BatchReport, BatchRun, PipelineBatch, PopulationCache};
 pub use classifier::{Classifier, ClassifierFactory, GridBackend, TrainingView, WarmStartContext};
@@ -90,6 +94,10 @@ pub use montecarlo::{
 };
 pub use ordering::EliminationOrder;
 pub use pipeline::{CompactionPipeline, CostSummary, GuardBandStats, PipelineReport};
+pub use search::{
+    BeamSearch, CandidateEvaluator, CandidateVerdict, CostAwareGreedy, ForwardSelection,
+    GreedyBackward, SearchContext, SearchOutcome, SearchStrategy,
+};
 pub use spec::{Specification, SpecificationSet};
 pub use tester::{TesterModel, TesterProgram};
 

@@ -13,7 +13,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::MeasurementSet;
-use crate::Result;
+use crate::{CompactionError, Result};
 
 /// Strategy deciding in which order candidate tests are examined for
 /// elimination.
@@ -93,6 +93,27 @@ impl EliminationOrder {
                 Ok(order)
             }
         }
+    }
+
+    /// [`EliminationOrder::resolve`] with the index validation every search
+    /// strategy relies on: the returned order is guaranteed to reference
+    /// only specifications of `training`, so strategies can treat it as a
+    /// trusted candidate pool (resolved orders are the *input* of a
+    /// [`SearchStrategy`](crate::search::SearchStrategy), via
+    /// [`SearchContext::order`](crate::search::SearchContext::order)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::UnknownSpecification`] for an
+    /// out-of-range index in a `Functional` order, plus everything
+    /// [`EliminationOrder::resolve`] reports.
+    pub fn resolve_validated(&self, training: &MeasurementSet) -> Result<Vec<usize>> {
+        let order = self.resolve(training)?;
+        let spec_count = training.specs().len();
+        if let Some(&bad) = order.iter().find(|&&c| c >= spec_count) {
+            return Err(CompactionError::UnknownSpecification { index: bad, count: spec_count });
+        }
+        Ok(order)
     }
 }
 

@@ -41,6 +41,7 @@ use crate::guardband::GuardBandConfig;
 use crate::metrics::ErrorBreakdown;
 use crate::montecarlo::{generate_train_test, MonteCarloConfig};
 use crate::report::percent;
+use crate::search::{GreedyBackward, SearchStrategy};
 use crate::tester::TesterProgram;
 use crate::Result;
 
@@ -59,6 +60,7 @@ pub struct CompactionPipeline<'d> {
     guard_band: Option<GuardBandConfig>,
     cost_model: Option<TestCostModel>,
     classifier: Arc<dyn ClassifierFactory>,
+    search: Arc<dyn SearchStrategy>,
     lookup_table: Option<usize>,
 }
 
@@ -72,6 +74,7 @@ impl std::fmt::Debug for CompactionPipeline<'_> {
             .field("guard_band", &self.guard_band)
             .field("cost_model", &self.cost_model)
             .field("classifier", &self.classifier)
+            .field("search", &self.search)
             .field("lookup_table", &self.lookup_table)
             .finish()
     }
@@ -89,6 +92,7 @@ impl<'d> CompactionPipeline<'d> {
             guard_band: None,
             cost_model: None,
             classifier: Arc::new(GridBackend::default()),
+            search: Arc::new(GreedyBackward),
             lookup_table: None,
         }
     }
@@ -143,6 +147,25 @@ impl<'d> CompactionPipeline<'d> {
         self
     }
 
+    /// Selects the search strategy the compaction stage runs (defaults to
+    /// the paper's [`GreedyBackward`] elimination; see [`crate::search`]
+    /// for the bundled alternatives — beam, forward-selection and
+    /// cost-aware search — or plug in a custom [`SearchStrategy`]).
+    ///
+    /// Cost-aware strategies read the pipeline's
+    /// [`CompactionPipeline::cost_model`] stage (uniform unit costs when
+    /// none is attached).
+    pub fn search(mut self, strategy: impl SearchStrategy + 'static) -> Self {
+        self.search = Arc::new(strategy);
+        self
+    }
+
+    /// Selects an already-shared search strategy.
+    pub fn search_arc(mut self, strategy: Arc<dyn SearchStrategy>) -> Self {
+        self.search = strategy;
+        self
+    }
+
     /// Deploys the final model as a grid lookup table with the given
     /// resolution instead of shipping the model itself (paper Section 3.3).
     pub fn lookup_table(mut self, cells_per_dim: usize) -> Self {
@@ -193,7 +216,12 @@ impl<'d> CompactionPipeline<'d> {
 
         let compactor = Compactor::new(train, test)?;
         let backend = self.classifier.as_ref();
-        let (compaction, final_model) = compactor.compact_with_final_model(backend, &config)?;
+        let (compaction, final_model) = compactor.compact_search_with_final_model(
+            backend,
+            &config,
+            self.search.as_ref(),
+            self.cost_model.as_ref(),
+        )?;
 
         let train = compactor.training();
         let test = compactor.testing();
@@ -233,6 +261,7 @@ impl<'d> CompactionPipeline<'d> {
         Ok(PipelineReport {
             device: self.device.name().to_string(),
             backend: self.classifier.name().to_string(),
+            search: self.search.name().to_string(),
             train_instances: train.len(),
             test_instances: test.len(),
             train_yield: train.yield_fraction(),
@@ -276,6 +305,9 @@ pub struct PipelineReport {
     pub device: String,
     /// Classifier backend name.
     pub backend: String,
+    /// Search strategy name (`"greedy-backward"` unless a
+    /// [`CompactionPipeline::search`] stage selected an alternative).
+    pub search: String,
     /// Number of training instances simulated.
     pub train_instances: usize,
     /// Number of held-out test instances simulated.
@@ -331,11 +363,12 @@ impl PipelineReport {
     /// One-paragraph human-readable summary of the deployed program.
     pub fn summary(&self) -> String {
         format!(
-            "{device} [{backend}]: eliminated {eliminated} of {total} tests \
+            "{device} [{backend}, {search}]: eliminated {eliminated} of {total} tests \
              (yield loss {yl}, defect escape {de}, {retest} retested in a {band} band), \
              cost reduced by {cost}",
             device = self.device,
             backend = self.backend,
+            search = self.search,
             eliminated = self.compaction.eliminated.len(),
             total = self.compaction.kept.len() + self.compaction.eliminated.len(),
             yl = percent(self.deployed.yield_loss()),
@@ -419,6 +452,25 @@ mod tests {
         assert_eq!(report.guard_band.retest_count, 0);
         assert_eq!(report.final_breakdown().prediction_error(), 0.0);
         assert_eq!(report.cost.reduction, 0.0);
+    }
+
+    #[test]
+    fn search_stage_selects_the_strategy() {
+        use crate::search::{BeamSearch, ForwardSelection};
+
+        let device = SyntheticDevice::new(5, 1.8, 0.92);
+        let default_run = pipeline(&device).run().unwrap();
+        assert_eq!(default_run.search, "greedy-backward");
+        assert!(default_run.summary().contains("greedy-backward"));
+
+        let beam_run = pipeline(&device).search(BeamSearch::new(1)).run().unwrap();
+        assert_eq!(beam_run.search, "beam");
+        // A width-1 beam is the greedy loop: identical compaction.
+        assert_eq!(beam_run.compaction, default_run.compaction);
+
+        let forward_run = pipeline(&device).search(ForwardSelection).run().unwrap();
+        assert_eq!(forward_run.search, "forward-selection");
+        assert!(forward_run.final_breakdown().prediction_error() <= 0.05 + 1e-9);
     }
 
     #[test]

@@ -1,0 +1,1331 @@
+//! Pluggable search strategies for specification-test compaction.
+//!
+//! The paper explores the defect-level/test-cost trade-off with one
+//! hard-coded greedy backward elimination (Figure 2), but the *search
+//! procedure* is orthogonal to the evaluation machinery this crate has been
+//! optimising (the per-run model cache, warm-started trainings and the
+//! speculative evaluation threads).  This module separates the two:
+//!
+//! * [`CandidateEvaluator`] owns the expensive part — it is the only thing
+//!   that trains models.  Every kept set it evaluates goes through a per-run
+//!   model cache and, when enabled, warm-starts from the cached model of an
+//!   explicitly named *parent* kept set, so every strategy inherits the
+//!   accelerators for free.  The warm-start source is always a committed
+//!   frontier a strategy names, never an artefact of speculative evaluation
+//!   order, so results stay identical for any thread count.
+//! * [`SearchStrategy`] decides *which* kept sets to examine and which
+//!   eliminations to accept against the error tolerance; it returns a
+//!   [`SearchOutcome`] that the [`Compactor`](crate::Compactor) shell turns
+//!   into a [`CompactionResult`](crate::CompactionResult).
+//!
+//! Four strategies ship with the crate:
+//!
+//! * [`GreedyBackward`] — the paper's Figure 2 loop, byte-identical to the
+//!   pre-0.5 hard-coded implementation (pinned by the property tests),
+//! * [`BeamSearch`] — keeps the `width` best frontiers per elimination
+//!   depth, escaping the greedy loop's local minima; `width: 1` reduces
+//!   exactly to [`GreedyBackward`],
+//! * [`ForwardSelection`] — grows the kept set from the other direction,
+//!   which converges faster when only a few specifications must survive,
+//! * [`CostAwareGreedy`] — accepts the elimination maximising
+//!   [`TestCostModel`] saving per unit prediction error instead of raw spec
+//!   count, so expensive insertions are dismantled first.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::classifier::ClassifierFactory;
+use crate::compaction::{CompactionConfig, CompactionStep, ModelCacheStats, WarmStartStats};
+use crate::costmodel::TestCostModel;
+use crate::dataset::MeasurementSet;
+use crate::guardband::{GuardBandConfig, GuardBandedClassifier};
+use crate::metrics::ErrorBreakdown;
+use crate::{CompactionError, Result};
+
+/// A cached trained model together with its held-out error breakdown.
+pub(crate) type CachedModel = Arc<(GuardBandedClassifier, ErrorBreakdown)>;
+
+/// Per-run cache of guard-banded models keyed by canonicalised kept set.
+///
+/// Training is deterministic for a fixed kept set, training population and
+/// guard-band configuration (all fixed within one run), so reusing a cached
+/// model is byte-identical to retraining it — the cache changes wall-clock
+/// time, never results.
+///
+/// Memory: at most one model pair per *distinct* evaluated kept set is
+/// retained for the duration of the run.  For the greedy loop that is
+/// bounded by the examined-candidate count; beam and forward searches
+/// revisit overlapping frontiers, which is exactly where the cache pays off.
+#[derive(Debug, Default)]
+struct ModelCache {
+    models: Mutex<HashMap<Vec<usize>, CachedModel>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ModelCache {
+    /// Canonical cache key: the kept set in ascending order.
+    fn key(kept: &[usize]) -> Vec<usize> {
+        let mut key = kept.to_vec();
+        key.sort_unstable();
+        key
+    }
+
+    fn lookup(&self, kept: &[usize]) -> Option<CachedModel> {
+        let found =
+            self.models.lock().expect("model cache poisoned").get(&Self::key(kept)).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// [`ModelCache::lookup`] without touching the hit/miss counters — used
+    /// to fetch warm-start sources, which are an accelerator rather than a
+    /// kept-set request and must not distort the cache diagnostics.
+    fn peek(&self, kept: &[usize]) -> Option<CachedModel> {
+        self.models.lock().expect("model cache poisoned").get(&Self::key(kept)).cloned()
+    }
+
+    fn insert(&self, kept: &[usize], entry: CachedModel) {
+        self.models.lock().expect("model cache poisoned").insert(Self::key(kept), entry);
+    }
+
+    fn stats(&self) -> ModelCacheStats {
+        ModelCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Thread-safe accumulator behind [`WarmStartStats`].
+#[derive(Debug, Default)]
+struct WarmStartTracker {
+    warm_trainings: AtomicUsize,
+    cold_trainings: AtomicUsize,
+    warm_iterations: AtomicUsize,
+    cold_iterations: AtomicUsize,
+}
+
+impl WarmStartTracker {
+    /// Records one successful training: whether a warm-start hint was
+    /// offered, and the solver iterations the trained pair reports.
+    fn record(&self, warmed: bool, iterations: Option<usize>) {
+        let (trainings, iteration_sum) = if warmed {
+            (&self.warm_trainings, &self.warm_iterations)
+        } else {
+            (&self.cold_trainings, &self.cold_iterations)
+        };
+        trainings.fetch_add(1, Ordering::Relaxed);
+        iteration_sum.fetch_add(iterations.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> WarmStartStats {
+        WarmStartStats {
+            warm_trainings: self.warm_trainings.load(Ordering::Relaxed),
+            cold_trainings: self.cold_trainings.load(Ordering::Relaxed),
+            warm_iterations: self.warm_iterations.load(Ordering::Relaxed),
+            cold_iterations: self.cold_iterations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What one candidate evaluation produced.
+#[derive(Debug, Clone)]
+pub enum CandidateVerdict {
+    /// Removing the candidate would leave no test at all: the elimination is
+    /// categorically impossible (only produced by
+    /// [`CandidateEvaluator::evaluate_removals`]).
+    LastTest,
+    /// A model was trained (or reused from the cache) and scored on the
+    /// held-out population.
+    Scored(ErrorBreakdown),
+    /// The backend could not build a model for this kept set (for example a
+    /// single-class training population); strategies must treat the
+    /// candidate as "cannot eliminate" rather than aborting.
+    Untrainable,
+}
+
+/// The evaluation engine strategies drive: the only component of a
+/// compaction run that trains models.
+///
+/// The evaluator owns the per-run model cache, the warm-start bookkeeping
+/// and the speculative thread pool.  Strategies name kept sets (directly or
+/// as removals/additions against a committed frontier) and receive
+/// held-out [`ErrorBreakdown`]s; every evaluation of a kept set this run
+/// has already trained is served from the cache, and cache-missing
+/// trainings are warm-started from the cached model of the *parent* kept
+/// set the strategy names.  Because the parent is always a committed
+/// frontier — never a function of speculative evaluation order — the
+/// trained models, and with them the search outcome, are identical for any
+/// thread count.
+#[derive(Debug)]
+pub struct CandidateEvaluator<'a> {
+    training: &'a MeasurementSet,
+    testing: &'a MeasurementSet,
+    backend: &'a dyn ClassifierFactory,
+    guard_band: GuardBandConfig,
+    threads: usize,
+    warm_start: bool,
+    cache: ModelCache,
+    tracker: WarmStartTracker,
+}
+
+impl<'a> CandidateEvaluator<'a> {
+    /// An evaluator over explicit settings (the compaction shell and the
+    /// thin experiment wrappers construct these).
+    pub(crate) fn with_settings(
+        training: &'a MeasurementSet,
+        testing: &'a MeasurementSet,
+        backend: &'a dyn ClassifierFactory,
+        guard_band: GuardBandConfig,
+        threads: usize,
+        warm_start: bool,
+    ) -> Self {
+        CandidateEvaluator {
+            training,
+            testing,
+            backend,
+            guard_band,
+            threads: threads.max(1),
+            warm_start,
+            cache: ModelCache::default(),
+            tracker: WarmStartTracker::default(),
+        }
+    }
+
+    /// An evaluator configured from a [`CompactionConfig`].
+    pub(crate) fn new(
+        training: &'a MeasurementSet,
+        testing: &'a MeasurementSet,
+        backend: &'a dyn ClassifierFactory,
+        config: &CompactionConfig,
+    ) -> Self {
+        CandidateEvaluator::with_settings(
+            training,
+            testing,
+            backend,
+            config.guard_band,
+            config.threads,
+            config.warm_start,
+        )
+    }
+
+    /// Number of specifications in the populations.
+    pub fn spec_count(&self) -> usize {
+        self.training.specs().len()
+    }
+
+    /// Name of specification `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn spec_name(&self, index: usize) -> &str {
+        self.training.specs().spec(index).name()
+    }
+
+    /// The training population models are fitted on.
+    pub fn training(&self) -> &MeasurementSet {
+        self.training
+    }
+
+    /// The held-out population breakdowns are scored on.
+    pub fn testing(&self) -> &MeasurementSet {
+        self.testing
+    }
+
+    /// Worker threads available for speculative candidate evaluation.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A [`CompactionStep`] log entry for an examined candidate.
+    pub fn step(
+        &self,
+        candidate: usize,
+        eliminated: bool,
+        breakdown: ErrorBreakdown,
+    ) -> CompactionStep {
+        CompactionStep {
+            spec_index: candidate,
+            spec_name: self.spec_name(candidate).to_string(),
+            eliminated,
+            breakdown,
+        }
+    }
+
+    /// Evaluates one kept set through the cache, warm-started from the
+    /// cached model of `warm_parent` when warm starts are enabled and the
+    /// parent was evaluated earlier in this run.
+    fn evaluate_cached(
+        &self,
+        kept: &[usize],
+        warm_parent: Option<&[usize]>,
+    ) -> Result<CachedModel> {
+        if let Some(entry) = self.cache.lookup(kept) {
+            return Ok(entry);
+        }
+        let warm_entry = match warm_parent {
+            Some(parent) if self.warm_start => self.cache.peek(parent),
+            _ => None,
+        };
+        let warm = warm_entry.as_ref().map(|entry| &entry.0);
+        let classifier = GuardBandedClassifier::train_with_warm(
+            self.backend,
+            self.training,
+            kept,
+            &self.guard_band,
+            warm,
+        )?;
+        let breakdown = classifier.evaluate(self.testing);
+        self.tracker.record(warm.is_some(), classifier.solver_iterations());
+        let entry = Arc::new((classifier, breakdown));
+        self.cache.insert(kept, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Trains (or reuses) the model of an explicit kept set and returns its
+    /// held-out error breakdown, propagating training failures.
+    ///
+    /// `warm_parent` names the kept set whose cached model may seed the
+    /// training (typically the committed frontier the kept set descends
+    /// from); pass `None` for a cold start.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend training failures and data errors.
+    pub fn evaluate(
+        &self,
+        kept: &[usize],
+        warm_parent: Option<&[usize]>,
+    ) -> Result<ErrorBreakdown> {
+        Ok(self.evaluate_cached(kept, warm_parent)?.1)
+    }
+
+    /// [`CandidateEvaluator::evaluate`], treating "the backend cannot build
+    /// a model for this kept set" as `Ok(None)` instead of an error — the
+    /// per-candidate rule every bundled strategy follows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and data errors other than
+    /// [`CompactionError::Classifier`] /
+    /// [`CompactionError::InsufficientData`].
+    pub fn try_evaluate(
+        &self,
+        kept: &[usize],
+        warm_parent: Option<&[usize]>,
+    ) -> Result<Option<ErrorBreakdown>> {
+        match self.evaluate_cached(kept, warm_parent) {
+            Ok(entry) => Ok(Some(entry.1)),
+            Err(CompactionError::Classifier { .. })
+            | Err(CompactionError::InsufficientData { .. }) => Ok(None),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// The kept set implied by an eliminated set, minus an optional extra
+    /// candidate, in ascending specification order.
+    fn kept_without(&self, eliminated: &[usize], candidate: Option<usize>) -> Vec<usize> {
+        (0..self.spec_count())
+            .filter(|c| !eliminated.contains(c) && Some(*c) != candidate)
+            .collect()
+    }
+
+    /// Evaluates removing each candidate from the frontier committed by
+    /// `eliminated`, speculatively in parallel when the evaluator has
+    /// worker threads.
+    ///
+    /// Every candidate's training is warm-started from the cached model of
+    /// the shared *parent* kept set (the frontier itself — the maximal
+    /// overlap this run can have trained), so verdicts are identical for
+    /// any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and data errors; per-candidate training
+    /// failures surface as [`CandidateVerdict::Untrainable`].
+    pub fn evaluate_removals(
+        &self,
+        eliminated: &[usize],
+        candidates: &[usize],
+    ) -> Result<Vec<CandidateVerdict>> {
+        let parent = self.kept_without(eliminated, None);
+        self.run_jobs(candidates.len(), |job| {
+            let candidate = candidates[job];
+            let kept = self.kept_without(eliminated, Some(candidate));
+            if kept.is_empty() {
+                // Never eliminate the last remaining test.
+                return Ok(CandidateVerdict::LastTest);
+            }
+            Ok(match self.try_evaluate(&kept, Some(&parent))? {
+                Some(breakdown) => CandidateVerdict::Scored(breakdown),
+                None => CandidateVerdict::Untrainable,
+            })
+        })
+    }
+
+    /// Evaluates adding each candidate to the frontier committed by `kept`
+    /// (the forward-selection direction), in parallel when the evaluator
+    /// has worker threads.  Trainings warm-start from the frontier's own
+    /// cached model; an empty frontier trains cold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and data errors; per-candidate training
+    /// failures surface as [`CandidateVerdict::Untrainable`].
+    pub fn evaluate_additions(
+        &self,
+        kept: &[usize],
+        candidates: &[usize],
+    ) -> Result<Vec<CandidateVerdict>> {
+        let parent: Option<&[usize]> = if kept.is_empty() { None } else { Some(kept) };
+        self.run_jobs(candidates.len(), |job| {
+            let mut child: Vec<usize> = kept.to_vec();
+            child.push(candidates[job]);
+            child.sort_unstable();
+            child.dedup();
+            Ok(match self.try_evaluate(&child, parent)? {
+                Some(breakdown) => CandidateVerdict::Scored(breakdown),
+                None => CandidateVerdict::Untrainable,
+            })
+        })
+    }
+
+    /// Runs `count` independent evaluation jobs, over the worker pool when
+    /// speculation is enabled, collecting results in job order.
+    fn run_jobs<T, F>(&self, count: usize, job: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T> + Sync,
+    {
+        if self.threads <= 1 || count <= 1 {
+            return (0..count).map(&job).collect();
+        }
+        let workers = self.threads.min(count);
+        let next = AtomicUsize::new(0);
+        let mut collected: Vec<(usize, Result<T>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let job = &job;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            if index >= count {
+                                break;
+                            }
+                            local.push((index, job(index)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("candidate evaluation worker panicked"))
+                .collect()
+        });
+        collected.sort_by_key(|(index, _)| *index);
+        collected.into_iter().map(|(_, result)| result).collect()
+    }
+
+    /// The deploy-stage model of the final kept set.  For every bundled
+    /// strategy the final kept set was already evaluated when its last
+    /// elimination was accepted, so this is a guaranteed cache hit.
+    pub(crate) fn final_entry(&self, kept: &[usize]) -> Result<CachedModel> {
+        self.evaluate_cached(kept, None)
+    }
+
+    /// Model-cache hit/miss counters accumulated so far.
+    pub fn cache_stats(&self) -> ModelCacheStats {
+        self.cache.stats()
+    }
+
+    /// Warm-start diagnostics accumulated so far.
+    pub fn warm_start_stats(&self) -> WarmStartStats {
+        self.tracker.stats()
+    }
+}
+
+/// Immutable inputs of one search: the resolved examination order, the
+/// acceptance tolerance, the elimination budget and the test-cost model
+/// cost-aware strategies optimise against.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchContext<'a> {
+    order: &'a [usize],
+    tolerance: f64,
+    max_eliminated: Option<usize>,
+    cost_model: &'a TestCostModel,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Bundles the inputs of one search.  `order` must already be resolved
+    /// (see [`EliminationOrder::resolve_validated`](
+    /// crate::EliminationOrder::resolve_validated)): strategies treat it as
+    /// the candidate pool and examination preference.
+    pub fn new(
+        order: &'a [usize],
+        tolerance: f64,
+        max_eliminated: Option<usize>,
+        cost_model: &'a TestCostModel,
+    ) -> Self {
+        SearchContext { order, tolerance, max_eliminated, cost_model }
+    }
+
+    /// The resolved examination order: which specifications may be
+    /// eliminated, and in which preference order.  Specifications absent
+    /// from the order are kept unconditionally.
+    pub fn order(&self) -> &'a [usize] {
+        self.order
+    }
+
+    /// Error tolerance an accepted frontier must meet (`e_T` in the paper).
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// Optional cap on how many tests may be eliminated.
+    pub fn max_eliminated(&self) -> Option<usize> {
+        self.max_eliminated
+    }
+
+    /// The test-cost model of this run (uniform unit costs unless the
+    /// caller attached one).
+    pub fn cost_model(&self) -> &'a TestCostModel {
+        self.cost_model
+    }
+
+    /// Whether a frontier with `eliminated_len` eliminations may still grow.
+    pub fn within_budget(&self, eliminated_len: usize) -> bool {
+        self.max_eliminated.is_none_or(|max| eliminated_len < max)
+    }
+
+    /// The candidate pool: the order with duplicates removed (first
+    /// occurrence wins), preserving examination preference.
+    pub fn candidate_pool(&self) -> Vec<usize> {
+        let mut pool: Vec<usize> = Vec::with_capacity(self.order.len());
+        for &candidate in self.order {
+            if !pool.contains(&candidate) {
+                pool.push(candidate);
+            }
+        }
+        pool
+    }
+}
+
+/// What a search decided: the eliminations it committed and its examination
+/// log.
+#[derive(Debug, Clone, Default)]
+pub struct SearchOutcome {
+    /// Indices of the eliminated specifications, in elimination order.
+    /// Must be duplicate-free, in range, and leave at least one test kept.
+    pub eliminated: Vec<usize>,
+    /// Per-examination log (strategy-specific granularity: the greedy and
+    /// beam strategies log every examined candidate along the winning path,
+    /// forward selection logs each adopted specification, cost-aware greedy
+    /// logs each accepted elimination).
+    pub steps: Vec<CompactionStep>,
+}
+
+impl SearchOutcome {
+    /// The conservative outcome: eliminate nothing, keep the complete
+    /// suite.
+    pub fn keep_everything() -> Self {
+        SearchOutcome::default()
+    }
+}
+
+/// A search procedure over kept-set candidates.
+///
+/// Strategies propose kept sets through the [`CandidateEvaluator`] (which
+/// owns all model training, caching and warm starts) and decide which
+/// eliminations to accept against [`SearchContext::tolerance`].  The
+/// [`Compactor`](crate::Compactor) shell validates the outcome, trains the
+/// deploy-stage model and assembles the
+/// [`CompactionResult`](crate::CompactionResult).
+///
+/// # Implementing a custom strategy
+///
+/// A strategy only needs the two methods.  This one eliminates a caller
+/// supplied blocklist in one shot when the remaining tests meet the
+/// tolerance, and keeps everything otherwise:
+///
+/// ```
+/// use stc_core::classifier::GridBackend;
+/// use stc_core::search::{CandidateEvaluator, SearchContext, SearchOutcome, SearchStrategy};
+/// use stc_core::{
+///     generate_train_test, CompactionConfig, Compactor, MonteCarloConfig, SyntheticDevice,
+/// };
+///
+/// /// All-or-nothing elimination of a fixed set of tests.
+/// #[derive(Debug)]
+/// struct DropSet {
+///     drop: Vec<usize>,
+/// }
+///
+/// impl SearchStrategy for DropSet {
+///     fn name(&self) -> &str {
+///         "drop-set"
+///     }
+///
+///     fn search(
+///         &self,
+///         eval: &mut CandidateEvaluator<'_>,
+///         ctx: &SearchContext<'_>,
+///     ) -> stc_core::Result<SearchOutcome> {
+///         let kept: Vec<usize> =
+///             (0..eval.spec_count()).filter(|c| !self.drop.contains(c)).collect();
+///         let steps = Vec::new();
+///         match eval.try_evaluate(&kept, None)? {
+///             Some(b) if b.prediction_error() <= ctx.tolerance() => {
+///                 Ok(SearchOutcome { eliminated: self.drop.clone(), steps })
+///             }
+///             _ => Ok(SearchOutcome::keep_everything()),
+///         }
+///     }
+/// }
+///
+/// # fn main() -> Result<(), stc_core::CompactionError> {
+/// let device = SyntheticDevice::new(4, 1.8, 0.9);
+/// let (train, test) =
+///     generate_train_test(&device, &MonteCarloConfig::new(200).with_seed(1), 100)?;
+/// let compactor = Compactor::new(train, test)?;
+/// let config = CompactionConfig::paper_default().with_tolerance(0.1);
+/// let result = compactor.compact_with_strategy(
+///     &GridBackend::default(),
+///     &config,
+///     &DropSet { drop: vec![3] },
+///     None,
+/// )?;
+/// assert_eq!(result.kept.len() + result.eliminated.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub trait SearchStrategy: std::fmt::Debug + Send + Sync {
+    /// Short strategy name used in reports (for example `"greedy-backward"`
+    /// or `"beam-4"`-style labels).
+    fn name(&self) -> &str;
+
+    /// Runs the search over the evaluator and returns the committed
+    /// eliminations plus the examination log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/data errors from the evaluator; strategies
+    /// must treat per-candidate training failures
+    /// ([`CandidateVerdict::Untrainable`]) as "cannot eliminate".
+    fn search(
+        &self,
+        eval: &mut CandidateEvaluator<'_>,
+        ctx: &SearchContext<'_>,
+    ) -> Result<SearchOutcome>;
+}
+
+/// The next speculative examination batch of a backward scan: up to
+/// `threads` order positions at or after `start` whose candidates are not
+/// yet eliminated, plus the position the scan stopped at.  Shared by
+/// [`GreedyBackward`] and [`BeamSearch`] so their scans cannot drift apart
+/// (the width-1-beam ≡ greedy invariant depends on it).
+fn next_examination_batch(
+    order: &[usize],
+    eliminated: &[usize],
+    start: usize,
+    threads: usize,
+) -> (Vec<usize>, usize) {
+    let mut batch: Vec<usize> = Vec::new();
+    let mut scan = start;
+    while scan < order.len() && batch.len() < threads {
+        if !eliminated.contains(&order[scan]) {
+            batch.push(scan);
+        }
+        scan += 1;
+    }
+    (batch, scan)
+}
+
+/// The paper's greedy backward elimination (Figure 2), byte-identical to
+/// the pre-0.5 hard-coded loop for any speculative thread count.
+///
+/// Every candidate (in the configured order) is tentatively removed; the
+/// removal becomes permanent when the held-out prediction error of the
+/// model trained without it stays at or below the tolerance.  With worker
+/// threads the next few candidates are evaluated speculatively against the
+/// same frontier and their verdicts committed in order; evaluations
+/// invalidated by an earlier acceptance are discarded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GreedyBackward;
+
+impl SearchStrategy for GreedyBackward {
+    fn name(&self) -> &str {
+        "greedy-backward"
+    }
+
+    fn search(
+        &self,
+        eval: &mut CandidateEvaluator<'_>,
+        ctx: &SearchContext<'_>,
+    ) -> Result<SearchOutcome> {
+        let order = ctx.order();
+        let threads = eval.threads();
+        let mut eliminated: Vec<usize> = Vec::new();
+        let mut steps = Vec::new();
+        let mut index = 0;
+        'outer: while index < order.len() {
+            if !ctx.within_budget(eliminated.len()) {
+                break;
+            }
+            // The next batch of examinations, all speculatively assuming the
+            // current eliminated set.
+            let (batch, scan) = next_examination_batch(order, &eliminated, index, threads);
+            if batch.is_empty() {
+                break;
+            }
+            let candidates: Vec<usize> = batch.iter().map(|&position| order[position]).collect();
+            let verdicts = eval.evaluate_removals(&eliminated, &candidates)?;
+
+            // Commit verdicts in examination order; an acceptance invalidates
+            // the later speculative evaluations, which are simply discarded.
+            let mut accepted = false;
+            for (&position, verdict) in batch.iter().zip(verdicts) {
+                let candidate = order[position];
+                index = position + 1;
+                match verdict {
+                    CandidateVerdict::LastTest => break 'outer,
+                    CandidateVerdict::Scored(breakdown) => {
+                        let eliminate = breakdown.prediction_error() <= ctx.tolerance();
+                        if eliminate {
+                            eliminated.push(candidate);
+                        }
+                        steps.push(eval.step(candidate, eliminate, breakdown));
+                        if eliminate {
+                            accepted = true;
+                            break;
+                        }
+                    }
+                    CandidateVerdict::Untrainable => {
+                        // Model could not be built without this test: keep it.
+                        steps.push(eval.step(candidate, false, ErrorBreakdown::default()));
+                    }
+                }
+            }
+            if !accepted {
+                index = index.max(scan);
+            }
+        }
+        Ok(SearchOutcome { eliminated, steps })
+    }
+}
+
+/// One live path of a beam search: a committed eliminated set, the order
+/// position its scan resumes from, its examination log and the prediction
+/// error of its kept-set model.
+#[derive(Debug, Clone)]
+struct Frontier {
+    eliminated: Vec<usize>,
+    steps: Vec<CompactionStep>,
+    index: usize,
+    error: f64,
+    /// Whether this frontier is the greedy lineage: the path that always
+    /// takes the first acceptable elimination.  One lineage frontier is
+    /// reserved a beam slot per depth, so the beam can never finish worse
+    /// than [`GreedyBackward`].
+    greedy_lineage: bool,
+}
+
+impl Frontier {
+    fn root() -> Self {
+        // The complete suite has zero prediction error by construction.
+        Frontier {
+            eliminated: Vec::new(),
+            steps: Vec::new(),
+            index: 0,
+            error: 0.0,
+            greedy_lineage: true,
+        }
+    }
+
+    fn canonical_eliminated(&self) -> Vec<usize> {
+        let mut canonical = self.eliminated.clone();
+        canonical.sort_unstable();
+        canonical
+    }
+}
+
+/// Beam search over elimination frontiers: at every depth each live
+/// frontier proposes up to `width` accepted eliminations (scanning the
+/// order exactly like the greedy loop), and the `width` lowest-error
+/// frontiers survive to the next depth.
+///
+/// Greedy backward elimination commits to the *first* acceptable
+/// elimination and can strand itself in a local minimum where no further
+/// candidate passes the tolerance; the beam keeps alternatives alive and
+/// finally returns the terminal frontier with the most eliminations
+/// (lowest prediction error on ties).  `BeamSearch { width: 1 }` reduces
+/// exactly to [`GreedyBackward`] — pinned by the property tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeamSearch {
+    /// Number of frontiers kept alive per elimination depth (clamped to at
+    /// least 1).
+    pub width: usize,
+}
+
+impl BeamSearch {
+    /// A beam of the given width (width 0 is clamped to 1).
+    pub fn new(width: usize) -> Self {
+        BeamSearch { width: width.max(1) }
+    }
+}
+
+impl BeamSearch {
+    /// Expands one frontier: scans the order from the frontier's resume
+    /// position, turning up to `width` accepted eliminations into child
+    /// frontiers.  A frontier producing no child is terminal and absorbs
+    /// the remaining examination log (exactly like the greedy loop's final
+    /// rejected examinations).
+    fn expand(
+        &self,
+        eval: &CandidateEvaluator<'_>,
+        ctx: &SearchContext<'_>,
+        frontier: &Frontier,
+        children: &mut Vec<Frontier>,
+        terminals: &mut Vec<Frontier>,
+    ) -> Result<()> {
+        let width = self.width.max(1);
+        if !ctx.within_budget(frontier.eliminated.len()) {
+            terminals.push(frontier.clone());
+            return Ok(());
+        }
+        let order = ctx.order();
+        let mut trail = frontier.steps.clone();
+        let mut produced = 0usize;
+        let mut index = frontier.index;
+        'scan: while index < order.len() {
+            let (batch, scan) =
+                next_examination_batch(order, &frontier.eliminated, index, eval.threads());
+            if batch.is_empty() {
+                break;
+            }
+            let candidates: Vec<usize> = batch.iter().map(|&position| order[position]).collect();
+            let verdicts = eval.evaluate_removals(&frontier.eliminated, &candidates)?;
+            for (&position, verdict) in batch.iter().zip(verdicts) {
+                let candidate = order[position];
+                index = position + 1;
+                match verdict {
+                    CandidateVerdict::LastTest => break 'scan,
+                    CandidateVerdict::Scored(breakdown) => {
+                        let error = breakdown.prediction_error();
+                        if error <= ctx.tolerance() && produced < width {
+                            let mut child_steps = trail.clone();
+                            child_steps.push(eval.step(candidate, true, breakdown));
+                            let mut child_eliminated = frontier.eliminated.clone();
+                            child_eliminated.push(candidate);
+                            children.push(Frontier {
+                                eliminated: child_eliminated,
+                                steps: child_steps,
+                                index,
+                                error,
+                                // The first acceptance continues the greedy
+                                // path; the alternatives branch off it.
+                                greedy_lineage: frontier.greedy_lineage && produced == 0,
+                            });
+                            produced += 1;
+                            if produced == width {
+                                // Enough alternatives from this path; the
+                                // survivors are selected across frontiers.
+                                break 'scan;
+                            }
+                            // On the paths that decline this elimination the
+                            // candidate was examined and retained.
+                            trail.push(eval.step(candidate, false, breakdown));
+                        } else {
+                            trail.push(eval.step(candidate, false, breakdown));
+                        }
+                    }
+                    CandidateVerdict::Untrainable => {
+                        trail.push(eval.step(candidate, false, ErrorBreakdown::default()));
+                    }
+                }
+            }
+            index = index.max(scan);
+        }
+        if produced == 0 {
+            // No acceptable elimination remains on this path: it is complete,
+            // and its log ends with the trailing rejected examinations.
+            let mut terminal = frontier.clone();
+            terminal.steps = trail;
+            terminal.index = index;
+            terminals.push(terminal);
+        }
+        Ok(())
+    }
+}
+
+impl SearchStrategy for BeamSearch {
+    fn name(&self) -> &str {
+        "beam"
+    }
+
+    fn search(
+        &self,
+        eval: &mut CandidateEvaluator<'_>,
+        ctx: &SearchContext<'_>,
+    ) -> Result<SearchOutcome> {
+        let width = self.width.max(1);
+        let mut beam = vec![Frontier::root()];
+        let mut terminals: Vec<Frontier> = Vec::new();
+        while !beam.is_empty() {
+            let mut children: Vec<Frontier> = Vec::new();
+            for frontier in &beam {
+                self.expand(eval, ctx, frontier, &mut children, &mut terminals)?;
+            }
+            // Deduplicate children reaching the same eliminated *set* along
+            // different acceptance orders, then keep the `width` best by
+            // (prediction error, canonical set) — fully deterministic.
+            // Equal sets have equal errors (one cached model per kept set),
+            // so the lineage flag is the only meaningful tiebreak: the
+            // greedy-lineage child must win its duplicate, because a cousin
+            // with the same set resumes its scan from a different order
+            // position and would silently derail the greedy guarantee.
+            children.sort_by(|a, b| {
+                a.error
+                    .partial_cmp(&b.error)
+                    .expect("finite prediction errors")
+                    .then_with(|| a.canonical_eliminated().cmp(&b.canonical_eliminated()))
+                    .then_with(|| b.greedy_lineage.cmp(&a.greedy_lineage))
+            });
+            let mut seen: Vec<Vec<usize>> = Vec::new();
+            children.retain(|child| {
+                let canonical = child.canonical_eliminated();
+                if seen.contains(&canonical) {
+                    false
+                } else {
+                    seen.push(canonical);
+                    true
+                }
+            });
+            // Reserve a slot for the greedy lineage so the beam never
+            // finishes with fewer eliminations than the greedy loop.
+            if let Some(position) = children.iter().position(|child| child.greedy_lineage) {
+                if position >= width {
+                    let lineage = children.remove(position);
+                    children.truncate(width.saturating_sub(1));
+                    children.push(lineage);
+                } else {
+                    children.truncate(width);
+                }
+            } else {
+                children.truncate(width);
+            }
+            beam = children;
+        }
+        // The best complete path: most eliminations, then lowest final
+        // error, then the lexicographically smallest eliminated set.
+        let winner = terminals
+            .into_iter()
+            .min_by(|a, b| {
+                b.eliminated
+                    .len()
+                    .cmp(&a.eliminated.len())
+                    .then_with(|| a.error.partial_cmp(&b.error).expect("finite prediction errors"))
+                    .then_with(|| a.canonical_eliminated().cmp(&b.canonical_eliminated()))
+            })
+            .unwrap_or_else(Frontier::root);
+        Ok(SearchOutcome { eliminated: winner.eliminated, steps: winner.steps })
+    }
+}
+
+/// Forward selection: grows the kept set from the empty set instead of
+/// shrinking it from the complete suite.
+///
+/// Each round evaluates adding every remaining candidate to the committed
+/// kept set (warm-started from the kept set's own model) and adopts the
+/// one whose model has the lowest held-out prediction error, until that
+/// error meets the tolerance (and the elimination budget is respected).
+/// Everything never adopted is eliminated.  When few specifications must
+/// survive, this reaches the answer in far fewer trainings than backward
+/// elimination.
+///
+/// Specifications absent from the configured order are adopted
+/// unconditionally before the first round (they are not elimination
+/// candidates, exactly as in the backward strategies).  If no extension of
+/// the kept set can be trained, or the finished kept set misses the
+/// tolerance, the strategy falls back to keeping everything — the same
+/// "cannot certify, cannot eliminate" rule the greedy loop applies per
+/// candidate.  [`SearchOutcome::steps`] logs one entry per adopted
+/// specification (with `eliminated: false`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForwardSelection;
+
+impl SearchStrategy for ForwardSelection {
+    fn name(&self) -> &str {
+        "forward-selection"
+    }
+
+    fn search(
+        &self,
+        eval: &mut CandidateEvaluator<'_>,
+        ctx: &SearchContext<'_>,
+    ) -> Result<SearchOutcome> {
+        let spec_count = eval.spec_count();
+        let pool = ctx.candidate_pool();
+        // Tests never offered for elimination are kept from the start.
+        let mut kept: Vec<usize> = (0..spec_count).filter(|c| !pool.contains(c)).collect();
+        let mut steps: Vec<CompactionStep> = Vec::new();
+        let min_kept = ctx.max_eliminated().map_or(0, |max| spec_count.saturating_sub(max));
+        let mut current: Option<ErrorBreakdown> =
+            if kept.is_empty() { None } else { eval.try_evaluate(&kept, None)? };
+        loop {
+            let tolerance_met =
+                current.as_ref().is_some_and(|b| b.prediction_error() <= ctx.tolerance());
+            if tolerance_met && kept.len() >= min_kept.max(1) {
+                break;
+            }
+            let remaining: Vec<usize> =
+                pool.iter().copied().filter(|c| !kept.contains(c)).collect();
+            if remaining.is_empty() {
+                // Everything adopted: the kept set is the complete suite.
+                return Ok(SearchOutcome { eliminated: Vec::new(), steps });
+            }
+            let verdicts = eval.evaluate_additions(&kept, &remaining)?;
+            let mut best: Option<(usize, ErrorBreakdown)> = None;
+            for (&candidate, verdict) in remaining.iter().zip(verdicts) {
+                if let CandidateVerdict::Scored(breakdown) = verdict {
+                    let better = match &best {
+                        None => true,
+                        Some((_, incumbent)) => {
+                            breakdown.prediction_error() < incumbent.prediction_error()
+                        }
+                    };
+                    if better {
+                        best = Some((candidate, breakdown));
+                    }
+                }
+            }
+            let Some((candidate, breakdown)) = best else {
+                // No extension is trainable: nothing can be certified, so
+                // nothing may be eliminated.
+                return Ok(SearchOutcome { eliminated: Vec::new(), steps });
+            };
+            kept.push(candidate);
+            kept.sort_unstable();
+            steps.push(eval.step(candidate, false, breakdown));
+            current = Some(breakdown);
+        }
+        // Adopted enough: everything else in the pool is eliminated, in
+        // examination-preference order.
+        let eliminated: Vec<usize> = pool.into_iter().filter(|c| !kept.contains(c)).collect();
+        Ok(SearchOutcome { eliminated, steps })
+    }
+}
+
+/// Guards the saving-per-error ratio against division by zero when a
+/// candidate model makes no held-out errors at all.
+const COST_ERROR_FLOOR: f64 = 1e-9;
+
+/// Cost-aware greedy backward elimination: each round evaluates removing
+/// *every* remaining candidate and accepts the one maximising
+/// [`TestCostModel`] saving per unit prediction error (instead of the first
+/// acceptable candidate in order), until no candidate passes the
+/// tolerance.
+///
+/// With an insertion-heavy cost model this dismantles expensive setup
+/// groups (for example the thermal soaks of the accelerometer's hot and
+/// cold insertions) before spending tolerance budget on cheap tests, which
+/// regularly yields a strictly cheaper kept set than count-greedy
+/// elimination.  Under the default uniform cost model every saving is
+/// identical, so the strategy degenerates to lowest-error-first backward
+/// elimination.  [`SearchOutcome::steps`] logs one entry per accepted
+/// elimination.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostAwareGreedy;
+
+impl SearchStrategy for CostAwareGreedy {
+    fn name(&self) -> &str {
+        "cost-aware-greedy"
+    }
+
+    fn search(
+        &self,
+        eval: &mut CandidateEvaluator<'_>,
+        ctx: &SearchContext<'_>,
+    ) -> Result<SearchOutcome> {
+        let pool = ctx.candidate_pool();
+        let cost_model = ctx.cost_model();
+        let mut eliminated: Vec<usize> = Vec::new();
+        let mut steps: Vec<CompactionStep> = Vec::new();
+        loop {
+            if !ctx.within_budget(eliminated.len()) {
+                break;
+            }
+            let remaining: Vec<usize> =
+                pool.iter().copied().filter(|c| !eliminated.contains(c)).collect();
+            if remaining.is_empty() {
+                break;
+            }
+            let kept_now = eval.kept_without(&eliminated, None);
+            let current_cost = cost_model.cost_of(&kept_now)?;
+            let verdicts = eval.evaluate_removals(&eliminated, &remaining)?;
+            // The acceptable candidate with the best saving-per-error ratio;
+            // ties fall to the higher absolute saving, then to examination
+            // order (the iteration order below).
+            let mut best: Option<(f64, f64, usize, ErrorBreakdown)> = None;
+            for (&candidate, verdict) in remaining.iter().zip(verdicts) {
+                let CandidateVerdict::Scored(breakdown) = verdict else { continue };
+                let error = breakdown.prediction_error();
+                if error > ctx.tolerance() {
+                    continue;
+                }
+                let kept_without: Vec<usize> =
+                    kept_now.iter().copied().filter(|&c| c != candidate).collect();
+                if kept_without.is_empty() {
+                    // Never eliminate the last remaining test.
+                    continue;
+                }
+                let saving = current_cost - cost_model.cost_of(&kept_without)?;
+                let score = saving / (error + COST_ERROR_FLOOR);
+                let better = match &best {
+                    None => true,
+                    Some((incumbent_score, incumbent_saving, _, _)) => {
+                        score > *incumbent_score
+                            || (score == *incumbent_score && saving > *incumbent_saving)
+                    }
+                };
+                if better {
+                    best = Some((score, saving, candidate, breakdown));
+                }
+            }
+            let Some((_, _, candidate, breakdown)) = best else { break };
+            eliminated.push(candidate);
+            steps.push(eval.step(candidate, true, breakdown));
+        }
+        Ok(SearchOutcome { eliminated, steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::GridBackend;
+    use crate::device::SyntheticDevice;
+    use crate::montecarlo::{generate_train_test, MonteCarloConfig};
+    use crate::ordering::EliminationOrder;
+    use crate::Compactor;
+
+    fn grid() -> GridBackend {
+        GridBackend::default()
+    }
+
+    /// Five specs where consecutive specs are strongly correlated: several
+    /// of them are redundant by construction.
+    fn redundant_population() -> Compactor {
+        let device = SyntheticDevice::new(5, 1.8, 0.92);
+        let (train, test) =
+            generate_train_test(&device, &MonteCarloConfig::new(500).with_seed(31), 300).unwrap();
+        Compactor::new(train, test).unwrap()
+    }
+
+    #[test]
+    fn beam_width_one_equals_greedy_for_all_thread_counts() {
+        let compactor = redundant_population();
+        for tolerance in [0.01, 0.05, 0.3] {
+            for threads in [1usize, 4] {
+                let config = CompactionConfig::paper_default()
+                    .with_tolerance(tolerance)
+                    .with_threads(threads);
+                let greedy = compactor
+                    .compact_with_strategy(&grid(), &config, &GreedyBackward, None)
+                    .unwrap();
+                let beam = compactor
+                    .compact_with_strategy(&grid(), &config, &BeamSearch::new(1), None)
+                    .unwrap();
+                assert_eq!(greedy, beam, "tolerance {tolerance} threads {threads}");
+                assert_eq!(greedy.steps, beam.steps, "tolerance {tolerance} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn wider_beams_never_eliminate_fewer_tests() {
+        let compactor = redundant_population();
+        let config = CompactionConfig::paper_default().with_tolerance(0.05);
+        let narrow =
+            compactor.compact_with_strategy(&grid(), &config, &BeamSearch::new(1), None).unwrap();
+        let wide =
+            compactor.compact_with_strategy(&grid(), &config, &BeamSearch::new(4), None).unwrap();
+        assert!(
+            wide.eliminated.len() >= narrow.eliminated.len(),
+            "wide {:?} narrow {:?}",
+            wide.eliminated,
+            narrow.eliminated
+        );
+        assert!(wide.final_breakdown.prediction_error() <= 0.05 + 1e-9);
+    }
+
+    #[test]
+    fn forward_selection_meets_the_tolerance() {
+        let compactor = redundant_population();
+        let config = CompactionConfig::paper_default().with_tolerance(0.05);
+        let result =
+            compactor.compact_with_strategy(&grid(), &config, &ForwardSelection, None).unwrap();
+        assert!(!result.kept.is_empty());
+        assert_eq!(result.kept.len() + result.eliminated.len(), 5);
+        assert!(result.final_breakdown.prediction_error() <= 0.05 + 1e-9);
+        // Each adopted spec logs one non-eliminating step.
+        assert_eq!(result.steps.len(), result.kept.len());
+        assert!(result.steps.iter().all(|s| !s.eliminated));
+    }
+
+    #[test]
+    fn forward_selection_respects_the_elimination_budget() {
+        let compactor = redundant_population();
+        let config = CompactionConfig::paper_default().with_tolerance(0.5).with_max_eliminated(2);
+        let result =
+            compactor.compact_with_strategy(&grid(), &config, &ForwardSelection, None).unwrap();
+        assert!(result.eliminated.len() <= 2, "eliminated {:?}", result.eliminated);
+    }
+
+    #[test]
+    fn forward_selection_keeps_specs_outside_the_order() {
+        let compactor = redundant_population();
+        let config = CompactionConfig::paper_default()
+            .with_tolerance(0.5)
+            .with_order(EliminationOrder::Functional(vec![2, 0]));
+        let result =
+            compactor.compact_with_strategy(&grid(), &config, &ForwardSelection, None).unwrap();
+        // Specs 1, 3 and 4 were never candidates: they must be kept.
+        for spec in [1usize, 3, 4] {
+            assert!(result.kept.contains(&spec), "kept {:?}", result.kept);
+        }
+        assert!(result.eliminated.iter().all(|c| *c == 0 || *c == 2));
+    }
+
+    /// The acceptance-criterion fixture: with a cost model whose expensive
+    /// test heads the examination order's survivors, count-greedy keeps an
+    /// expensive test while the cost-aware strategy keeps a cheap one.
+    #[test]
+    fn cost_aware_greedy_finds_a_strictly_cheaper_kept_set_than_greedy() {
+        let compactor = redundant_population();
+        // Loose tolerance: any single kept test suffices on this population,
+        // so the *choice* of survivor is entirely up to the strategy.
+        let config = CompactionConfig::paper_default()
+            .with_tolerance(0.4)
+            .with_order(EliminationOrder::Functional(vec![0, 1, 2, 3, 4]));
+        // Test 4 is two orders of magnitude more expensive than the rest.
+        let cost =
+            TestCostModel::new(vec![1.0, 1.0, 1.0, 1.0, 100.0], vec![0; 5], vec![0.0]).unwrap();
+        let greedy = compactor
+            .compact_with_strategy(&grid(), &config, &GreedyBackward, Some(&cost))
+            .unwrap();
+        let aware = compactor
+            .compact_with_strategy(&grid(), &config, &CostAwareGreedy, Some(&cost))
+            .unwrap();
+        // Greedy eliminates in examination order and strands the expensive
+        // test 4 as the survivor; the cost-aware strategy spends its budget
+        // eliminating the expensive test first and survives on a cheap one.
+        let greedy_cost = cost.cost_of(&greedy.kept).unwrap();
+        let aware_cost = cost.cost_of(&aware.kept).unwrap();
+        assert!(
+            aware_cost < greedy_cost,
+            "cost-aware kept {:?} (cost {aware_cost}) vs greedy kept {:?} (cost {greedy_cost})",
+            aware.kept,
+            greedy.kept
+        );
+        assert!(aware.final_breakdown.prediction_error() <= 0.4 + 1e-9);
+        assert!(
+            aware.cost_reduction_ratio(&cost).unwrap()
+                > greedy.cost_reduction_ratio(&cost).unwrap()
+        );
+    }
+
+    #[test]
+    fn cost_aware_greedy_respects_budget_and_tolerance() {
+        let compactor = redundant_population();
+        let config = CompactionConfig::paper_default().with_tolerance(0.3).with_max_eliminated(2);
+        let result =
+            compactor.compact_with_strategy(&grid(), &config, &CostAwareGreedy, None).unwrap();
+        assert!(result.eliminated.len() <= 2);
+        assert!(result.final_breakdown.prediction_error() <= 0.3 + 1e-9);
+        // Steps log exactly the accepted eliminations.
+        assert_eq!(result.steps.len(), result.eliminated.len());
+        assert!(result.steps.iter().all(|s| s.eliminated));
+    }
+
+    #[test]
+    fn alternative_strategies_are_thread_count_invariant() {
+        let compactor = redundant_population();
+        let base = CompactionConfig::paper_default().with_tolerance(0.1);
+        let strategies: [&dyn SearchStrategy; 3] =
+            [&BeamSearch::new(3), &ForwardSelection, &CostAwareGreedy];
+        for strategy in strategies {
+            let sequential =
+                compactor.compact_with_strategy(&grid(), &base, strategy, None).unwrap();
+            let threaded = compactor
+                .compact_with_strategy(&grid(), &base.clone().with_threads(4), strategy, None)
+                .unwrap();
+            assert_eq!(sequential, threaded, "strategy {:?}", strategy);
+        }
+    }
+
+    #[test]
+    fn strategy_outcomes_are_validated_by_the_shell() {
+        /// A deliberately broken strategy eliminating everything.
+        #[derive(Debug)]
+        struct EliminateAll;
+        impl SearchStrategy for EliminateAll {
+            fn name(&self) -> &str {
+                "eliminate-all"
+            }
+            fn search(
+                &self,
+                eval: &mut CandidateEvaluator<'_>,
+                _ctx: &SearchContext<'_>,
+            ) -> Result<SearchOutcome> {
+                Ok(SearchOutcome {
+                    eliminated: (0..eval.spec_count()).collect(),
+                    steps: Vec::new(),
+                })
+            }
+        }
+        /// A strategy reporting an out-of-range elimination.
+        #[derive(Debug)]
+        struct OutOfRange;
+        impl SearchStrategy for OutOfRange {
+            fn name(&self) -> &str {
+                "out-of-range"
+            }
+            fn search(
+                &self,
+                _eval: &mut CandidateEvaluator<'_>,
+                _ctx: &SearchContext<'_>,
+            ) -> Result<SearchOutcome> {
+                Ok(SearchOutcome { eliminated: vec![99], steps: Vec::new() })
+            }
+        }
+        /// A strategy reporting a duplicate elimination.
+        #[derive(Debug)]
+        struct Duplicated;
+        impl SearchStrategy for Duplicated {
+            fn name(&self) -> &str {
+                "duplicated"
+            }
+            fn search(
+                &self,
+                _eval: &mut CandidateEvaluator<'_>,
+                _ctx: &SearchContext<'_>,
+            ) -> Result<SearchOutcome> {
+                Ok(SearchOutcome { eliminated: vec![0, 0], steps: Vec::new() })
+            }
+        }
+        let compactor = redundant_population();
+        let config = CompactionConfig::paper_default().with_tolerance(0.1);
+        assert!(compactor.compact_with_strategy(&grid(), &config, &EliminateAll, None).is_err());
+        assert!(compactor.compact_with_strategy(&grid(), &config, &OutOfRange, None).is_err());
+        assert!(compactor.compact_with_strategy(&grid(), &config, &Duplicated, None).is_err());
+    }
+}

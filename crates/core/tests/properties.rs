@@ -4,12 +4,78 @@
 //! row-major path.
 
 use proptest::prelude::*;
-use stc_core::classifier::GridBackend;
+use stc_core::classifier::{ClassifierFactory, GridBackend};
+use stc_core::search::{BeamSearch, CostAwareGreedy, ForwardSelection, GreedyBackward};
 use stc_core::{
-    baseline, generate_train_test, CompactionConfig, Compactor, DeviceLabel, GuardBandConfig,
-    MeasurementSet, MonteCarloConfig, Specification, SpecificationSet, SyntheticDevice,
+    baseline, generate_train_test, CompactionConfig, CompactionError, CompactionStep, Compactor,
+    DeviceLabel, ErrorBreakdown, GuardBandConfig, MeasurementSet, MonteCarloConfig, Specification,
+    SpecificationSet, SyntheticDevice,
 };
 use stc_svm::SvmBackend;
+
+/// The pre-0.5 greedy backward elimination (the 0.4 `compact_with` loop),
+/// reimplemented sequentially, cold and uncached, as the reference the
+/// `SearchStrategy` seam must reproduce byte for byte: same kept and
+/// eliminated sets, same per-candidate steps, same final breakdown.
+#[allow(clippy::type_complexity)]
+fn reference_greedy_loop(
+    compactor: &Compactor,
+    backend: &dyn ClassifierFactory,
+    config: &CompactionConfig,
+) -> (Vec<usize>, Vec<usize>, Vec<CompactionStep>, ErrorBreakdown) {
+    let training = compactor.training();
+    let spec_count = training.specs().len();
+    let order = config.order.resolve(training).unwrap();
+    let mut eliminated: Vec<usize> = Vec::new();
+    let mut steps = Vec::new();
+    for &candidate in &order {
+        if let Some(max) = config.max_eliminated {
+            if eliminated.len() >= max {
+                break;
+            }
+        }
+        if eliminated.contains(&candidate) {
+            continue;
+        }
+        let kept: Vec<usize> =
+            (0..spec_count).filter(|c| !eliminated.contains(c) && *c != candidate).collect();
+        if kept.is_empty() {
+            // Never eliminate the last remaining test.
+            break;
+        }
+        match compactor.evaluate_kept_set_with(backend, &kept, &config.guard_band) {
+            Ok((_, breakdown)) => {
+                let eliminate = breakdown.prediction_error() <= config.error_tolerance;
+                if eliminate {
+                    eliminated.push(candidate);
+                }
+                steps.push(CompactionStep {
+                    spec_index: candidate,
+                    spec_name: training.specs().spec(candidate).name().to_string(),
+                    eliminated: eliminate,
+                    breakdown,
+                });
+            }
+            Err(CompactionError::Classifier { .. })
+            | Err(CompactionError::InsufficientData { .. }) => {
+                steps.push(CompactionStep {
+                    spec_index: candidate,
+                    spec_name: training.specs().spec(candidate).name().to_string(),
+                    eliminated: false,
+                    breakdown: ErrorBreakdown::default(),
+                });
+            }
+            Err(other) => panic!("reference loop failed: {other:?}"),
+        }
+    }
+    let kept: Vec<usize> = (0..spec_count).filter(|c| !eliminated.contains(c)).collect();
+    let final_breakdown = if eliminated.is_empty() {
+        baseline::evaluate_complete_test_set(compactor.testing())
+    } else {
+        compactor.evaluate_kept_set_with(backend, &kept, &config.guard_band).unwrap().1
+    };
+    (kept, eliminated, steps, final_breakdown)
+}
 
 fn spec_set(dimension: usize) -> SpecificationSet {
     let specs = (0..dimension)
@@ -215,5 +281,142 @@ proptest! {
                 (a, b) => prop_assert_eq!(a.is_err(), b.is_err()),
             }
         }
+    }
+}
+
+proptest! {
+    /// `GreedyBackward` through the 0.5 `SearchStrategy` seam is
+    /// byte-identical to the pre-refactor hard-coded loop on the grid
+    /// backend — kept and eliminated sets, every per-candidate step and the
+    /// final breakdown — for any speculative thread count.
+    #[test]
+    fn greedy_through_the_search_seam_matches_the_reference_loop_on_grid(
+        seed in 0u64..10_000,
+        correlation in 0.3f64..0.95,
+        tolerance in 0.01f64..0.3,
+        threads in 1usize..5,
+    ) {
+        let device = SyntheticDevice::new(4, 1.6, correlation);
+        let (train, test) =
+            generate_train_test(&device, &MonteCarloConfig::new(160).with_seed(seed), 80).unwrap();
+        let compactor = Compactor::new(train, test).unwrap();
+        let backend = GridBackend::default();
+        let config = CompactionConfig::paper_default()
+            .with_tolerance(tolerance)
+            .with_threads(threads);
+        let (kept, eliminated, steps, final_breakdown) =
+            reference_greedy_loop(&compactor, &backend, &config);
+        // Both entry points route through the seam; pin both anyway.
+        let via_compact = compactor.compact_with(&backend, &config).unwrap();
+        let via_strategy = compactor
+            .compact_with_strategy(&backend, &config, &GreedyBackward, None)
+            .unwrap();
+        for result in [&via_compact, &via_strategy] {
+            prop_assert_eq!(&result.kept, &kept);
+            prop_assert_eq!(&result.eliminated, &eliminated);
+            prop_assert_eq!(&result.steps, &steps);
+            prop_assert_eq!(&result.final_breakdown, &final_breakdown);
+        }
+    }
+
+    /// A beam of width 1 *is* the greedy loop: identical results (including
+    /// the step log) for arbitrary populations, tolerances and thread
+    /// counts.
+    #[test]
+    fn beam_width_one_is_greedy_backward(
+        seed in 0u64..10_000,
+        correlation in 0.3f64..0.95,
+        tolerance in 0.01f64..0.3,
+        threads in 1usize..5,
+    ) {
+        let device = SyntheticDevice::new(4, 1.6, correlation);
+        let (train, test) =
+            generate_train_test(&device, &MonteCarloConfig::new(160).with_seed(seed), 80).unwrap();
+        let compactor = Compactor::new(train, test).unwrap();
+        let backend = GridBackend::default();
+        let config = CompactionConfig::paper_default()
+            .with_tolerance(tolerance)
+            .with_threads(threads);
+        let greedy = compactor.compact_with(&backend, &config).unwrap();
+        let beam = compactor
+            .compact_with_strategy(&backend, &config, &BeamSearch::new(1), None)
+            .unwrap();
+        prop_assert_eq!(&greedy, &beam);
+        prop_assert_eq!(&greedy.steps, &beam.steps);
+    }
+
+    /// The model-cache and warm-start invariants restated per strategy:
+    /// every bundled search is byte-identical across speculative thread
+    /// counts (the warm source depends only on accepted frontiers), and the
+    /// deploy-stage model of an eliminating run is always a cache hit.
+    #[test]
+    fn every_bundled_strategy_is_thread_invariant_with_a_cached_final_model(
+        seed in 0u64..10_000,
+        tolerance in 0.05f64..0.3,
+        threads in 2usize..5,
+    ) {
+        let device = SyntheticDevice::new(4, 1.8, 0.9);
+        let (train, test) =
+            generate_train_test(&device, &MonteCarloConfig::new(160).with_seed(seed), 80).unwrap();
+        let compactor = Compactor::new(train, test).unwrap();
+        let backend = GridBackend::default();
+        let base = CompactionConfig::paper_default().with_tolerance(tolerance);
+        let strategies: [&dyn stc_core::SearchStrategy; 4] = [
+            &GreedyBackward,
+            &BeamSearch::new(3),
+            &ForwardSelection,
+            &CostAwareGreedy,
+        ];
+        for strategy in strategies {
+            let sequential =
+                compactor.compact_with_strategy(&backend, &base, strategy, None).unwrap();
+            let parallel = compactor
+                .compact_with_strategy(&backend, &base.clone().with_threads(threads), strategy, None)
+                .unwrap();
+            prop_assert_eq!(&sequential, &parallel);
+            prop_assert_eq!(&sequential.steps, &parallel.steps);
+            if !sequential.eliminated.is_empty() {
+                prop_assert!(
+                    sequential.cache.hits >= 1,
+                    "final model must be a cache hit for {} ({:?})",
+                    strategy.name(),
+                    sequential.cache
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The seam identity on the ε-SVM backend (the paper's model family):
+    /// with warm starts disabled the seam must reproduce the pre-refactor
+    /// loop byte for byte (warm-started runs are pinned against cold runs
+    /// separately, on curated seeds, because KKT-equivalent solutions may
+    /// disagree on boundary devices).  Fewer cases: each one trains dozens
+    /// of SVM pairs.
+    #[test]
+    fn greedy_through_the_search_seam_matches_the_reference_loop_on_svm(
+        seed in 0u64..10_000,
+        tolerance in 0.02f64..0.2,
+        threads in 1usize..4,
+    ) {
+        let device = SyntheticDevice::new(4, 1.6, 0.85);
+        let (train, test) =
+            generate_train_test(&device, &MonteCarloConfig::new(120).with_seed(seed), 60).unwrap();
+        let compactor = Compactor::new(train, test).unwrap();
+        let backend = SvmBackend::paper_default();
+        let config = CompactionConfig::paper_default()
+            .with_tolerance(tolerance)
+            .with_threads(threads)
+            .with_warm_start(false);
+        let (kept, eliminated, steps, final_breakdown) =
+            reference_greedy_loop(&compactor, &backend, &config);
+        let result = compactor.compact_with(&backend, &config).unwrap();
+        prop_assert_eq!(&result.kept, &kept);
+        prop_assert_eq!(&result.eliminated, &eliminated);
+        prop_assert_eq!(&result.steps, &steps);
+        prop_assert_eq!(&result.final_breakdown, &final_breakdown);
     }
 }

@@ -273,3 +273,34 @@ fn single_class_population_compacts_to_the_complete_suite() {
     assert_eq!(report.final_breakdown().prediction_error(), 0.0);
     assert_eq!(report.guard_band.retest_count, 0);
 }
+
+/// The 0.5 search seam on the paper's backend: a width-1 beam is the greedy
+/// loop, and every bundled strategy is thread-count invariant with the
+/// ε-SVM, warm starts and all.
+#[test]
+fn search_strategies_are_consistent_with_the_svm_backend() {
+    use stc_core::search::{BeamSearch, CostAwareGreedy, ForwardSelection, SearchStrategy};
+
+    let compactor = redundant_population();
+    let config = CompactionConfig::paper_default().with_tolerance(0.05);
+    let greedy = compactor.compact_with(&svm(), &config).unwrap();
+    let beam = compactor.compact_with_strategy(&svm(), &config, &BeamSearch::new(1), None).unwrap();
+    assert_eq!(greedy, beam);
+    assert_eq!(greedy.steps, beam.steps);
+
+    let strategies: [&dyn SearchStrategy; 3] =
+        [&BeamSearch::new(2), &ForwardSelection, &CostAwareGreedy];
+    for strategy in strategies {
+        let sequential = compactor.compact_with_strategy(&svm(), &config, strategy, None).unwrap();
+        let threaded = compactor
+            .compact_with_strategy(&svm(), &config.clone().with_threads(4), strategy, None)
+            .unwrap();
+        assert_eq!(sequential, threaded, "strategy {}", strategy.name());
+        assert!(
+            sequential.final_breakdown.prediction_error() <= 0.05 + 1e-9,
+            "strategy {} breaks the tolerance: {:?}",
+            strategy.name(),
+            sequential.final_breakdown
+        );
+    }
+}

@@ -98,7 +98,7 @@ impl ClassifierFactory for SvmBackend {
     ) -> stc_core::Result<Arc<dyn Classifier>> {
         let dataset = dataset_from_view(view)?;
         let warm_model = warm
-            .filter(|context| context.kept().iter().any(|column| view.kept().contains(column)))
+            .filter(|context| context.overlaps(view.kept()))
             .and_then(|context| context.model().as_any())
             .and_then(|any| any.downcast_ref::<SvmClassifier>())
             .map(|classifier| &classifier.model);

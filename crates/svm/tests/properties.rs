@@ -104,9 +104,40 @@ proptest! {
         }
     }
 
-    /// Warm-starting across a dropped feature column — the compaction loop's
-    /// access pattern — always converges to decisions that agree with the
-    /// cold-started model wherever the cold model is confident.
+    /// Warm-starting across an *added* feature column — the forward-selection
+    /// strategy's access pattern, where the committed kept set is a subset of
+    /// the candidate kept set — always converges to decisions that agree with
+    /// the cold-started model wherever the cold model is confident.  Alphas
+    /// are mapped by training-instance index, so the direction of the column
+    /// difference must not matter.
+    #[test]
+    fn warm_starts_across_added_columns_agree_with_cold_training(
+        slope in 0.2f64..2.0,
+        count in 12usize..40,
+    ) {
+        let mut data = Dataset::new(2).unwrap();
+        for i in 0..count {
+            let x = i as f64 / count as f64;
+            data.push(vec![x, slope * x + 0.4], 1.0).unwrap();
+            data.push(vec![x, slope * x - 0.4], -1.0).unwrap();
+        }
+        let params = SvcParams::new().with_c(10.0).with_kernel(Kernel::rbf(1.0));
+        // The parent sees only the informative column; the child adds one.
+        let narrow = data.select_columns(&[1]).unwrap();
+        let parent = Svc::train(&narrow, &params).unwrap();
+        let cold = Svc::train(&data, &params).unwrap();
+        let warm = Svc::train_warm(&data, &params, Some(&parent)).unwrap();
+        for sample in data.iter() {
+            let confidence = cold.decision_function(&sample.features);
+            if confidence.abs() > 0.05 {
+                prop_assert_eq!(warm.predict(&sample.features), cold.predict(&sample.features));
+            }
+        }
+    }
+
+    /// Warm-starting across a dropped feature column — the backward
+    /// strategies' access pattern — always converges to decisions that agree
+    /// with the cold-started model wherever the cold model is confident.
     #[test]
     fn warm_starts_across_dropped_columns_agree_with_cold_training(
         slope in 0.2f64..2.0,

@@ -1,0 +1,80 @@
+//! The four bundled search strategies side by side on one population.
+//!
+//! ```text
+//! cargo run --release --example search_strategies
+//! ```
+//!
+//! The greedy backward elimination of the paper commits to the *first*
+//! acceptable elimination in examination order; the 0.5 `SearchStrategy`
+//! seam makes the search procedure pluggable while every strategy shares
+//! the same evaluation machinery (model cache, warm starts, speculative
+//! threads).  This example runs a synthetic device with strongly correlated
+//! specifications — so the *choice* of surviving tests is up to the
+//! strategy — under a cost model where test 5 sits alone in an expensive
+//! thermal insertion, and prints what each strategy keeps and what that
+//! costs.  The functional examination order ranks the cheap tests first
+//! (the natural "most likely redundant first" ranking an engineer would
+//! write down), which makes count-greedy elimination strand the expensive
+//! test as the survivor; cost-aware search finds a strictly cheaper kept
+//! set on the same configuration.
+
+use spec_test_compaction::prelude::*;
+
+fn main() -> Result<(), CompactionError> {
+    // Six specs, strongly correlated: most of them are redundant.
+    let device = SyntheticDevice::new(6, 1.8, 0.92);
+
+    // Tests 0..=4 share a cheap room-temperature insertion; test 5 needs an
+    // expensive thermal soak on top of a pricey measurement.
+    let cost = TestCostModel::new(
+        vec![1.0, 1.0, 1.0, 1.0, 1.0, 10.0],
+        vec![0, 0, 0, 0, 0, 1],
+        vec![1.0, 25.0],
+    )?;
+
+    let pipeline = || {
+        CompactionPipeline::for_device(&device)
+            .monte_carlo(MonteCarloConfig::new(400).with_seed(2005))
+            .test_instances(200)
+            .compaction(
+                CompactionConfig::paper_default()
+                    .with_tolerance(0.1)
+                    .with_order(EliminationOrder::Functional(vec![0, 1, 2, 3, 4, 5])),
+            )
+            .cost_model(cost.clone())
+            .classifier(SvmBackend::paper_default())
+    };
+
+    let greedy = pipeline().run()?;
+    let beam = pipeline().search(BeamSearch::new(4)).run()?;
+    let forward = pipeline().search(ForwardSelection).run()?;
+    let aware = pipeline().search(CostAwareGreedy).run()?;
+
+    println!("strategy            kept            cost   cost reduction   prediction error");
+    for report in [&greedy, &beam, &forward, &aware] {
+        println!(
+            "{:<18}  {:<14}  {:>5.1}   {:>13.1}%   {:>15.2}%",
+            report.search,
+            format!("{:?}", report.kept()),
+            report.cost.compacted_cost,
+            100.0 * report.cost.reduction,
+            100.0 * report.final_breakdown().prediction_error(),
+        );
+    }
+
+    let greedy_cost = cost.cost_of(greedy.kept())?;
+    let aware_cost = cost.cost_of(aware.kept())?;
+    assert!(
+        aware_cost < greedy_cost,
+        "cost-aware search must be strictly cheaper than greedy here \
+         (aware {aware_cost} vs greedy {greedy_cost})"
+    );
+    println!(
+        "\ncost-aware search saves {:.1} cost units over greedy elimination \
+         ({:.1} vs {:.1})",
+        greedy_cost - aware_cost,
+        aware_cost,
+        greedy_cost,
+    );
+    Ok(())
+}

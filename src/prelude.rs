@@ -5,8 +5,10 @@
 //! ```
 //!
 //! brings in the [`CompactionPipeline`] builder, both bundled classifier
-//! backends ([`SvmBackend`], [`GridBackend`]), the device adapters and every
-//! configuration type the pipeline stages take.
+//! backends ([`SvmBackend`], [`GridBackend`]), the four bundled search
+//! strategies ([`GreedyBackward`], [`BeamSearch`], [`ForwardSelection`],
+//! [`CostAwareGreedy`]), the device adapters and every configuration type
+//! the pipeline stages take.
 
 pub use crate::adapters::{opamp_specs_from_nominal, AccelerometerDevice, OpAmpDevice};
 
@@ -14,6 +16,10 @@ pub use stc_core::classifier::{
     Classifier, ClassifierFactory, GridBackend, TrainingView, WarmStartContext,
 };
 pub use stc_core::pipeline::{CompactionPipeline, CostSummary, GuardBandStats, PipelineReport};
+pub use stc_core::search::{
+    BeamSearch, CandidateEvaluator, CandidateVerdict, CostAwareGreedy, ForwardSelection,
+    GreedyBackward, SearchContext, SearchOutcome, SearchStrategy,
+};
 pub use stc_core::{
     baseline, generate_measurement_set, generate_train_test, gridmodel, run_monte_carlo,
     BatchAggregate, BatchReport, BatchRun, CompactionConfig, CompactionError, CompactionResult,

@@ -52,7 +52,7 @@ use crate::metrics::ErrorBreakdown;
 use crate::montecarlo::{generate_train_test, MonteCarloConfig};
 use crate::pipeline::{CompactionPipeline, PipelineReport};
 use crate::report::percent;
-use crate::search::{GreedyBackward, SearchStrategy};
+use crate::search::{GreedyBackward, SearchBudget, SearchStrategy};
 use crate::Result;
 
 /// Cache key for one generated population: the batch entry label, a device
@@ -173,6 +173,7 @@ pub struct PipelineBatch<'d> {
     test_instances: Option<usize>,
     compaction: CompactionConfig,
     guard_band: Option<GuardBandConfig>,
+    budget: Option<SearchBudget>,
     cost_model: Option<TestCostModel>,
     classifier: Arc<dyn ClassifierFactory>,
     search: Arc<dyn SearchStrategy>,
@@ -189,6 +190,7 @@ impl std::fmt::Debug for PipelineBatch<'_> {
             .field("test_instances", &self.test_instances)
             .field("compaction", &self.compaction)
             .field("guard_band", &self.guard_band)
+            .field("budget", &self.budget)
             .field("cost_model", &self.cost_model)
             .field("classifier", &self.classifier)
             .field("search", &self.search)
@@ -215,6 +217,7 @@ impl<'d> PipelineBatch<'d> {
             test_instances: None,
             compaction: CompactionConfig::paper_default(),
             guard_band: None,
+            budget: None,
             cost_model: None,
             classifier: Arc::new(GridBackend::default()),
             search: Arc::new(GreedyBackward),
@@ -311,6 +314,15 @@ impl<'d> PipelineBatch<'d> {
         self
     }
 
+    /// Caps the training effort *each entry's* compaction search may spend
+    /// (see [`CompactionPipeline::budget`]; the budget is per run, not
+    /// shared across the batch, and overrides the budget embedded in the
+    /// compaction configuration, so stages stay order-independent).
+    pub fn budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     /// Deploys every final model as a lookup table with the given resolution.
     pub fn lookup_table(mut self, cells_per_dim: usize) -> Self {
         self.lookup_table = Some(cells_per_dim);
@@ -354,6 +366,9 @@ impl<'d> PipelineBatch<'d> {
         }
         if let Some(guard_band) = self.guard_band {
             pipeline = pipeline.guard_band(guard_band);
+        }
+        if let Some(budget) = self.budget {
+            pipeline = pipeline.budget(budget);
         }
         if let Some(cost_model) = &self.cost_model {
             pipeline = pipeline.cost_model(cost_model.clone());

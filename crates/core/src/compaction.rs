@@ -19,7 +19,10 @@ use crate::dataset::MeasurementSet;
 use crate::guardband::{GuardBandConfig, GuardBandedClassifier};
 use crate::metrics::ErrorBreakdown;
 use crate::ordering::EliminationOrder;
-use crate::search::{CandidateEvaluator, GreedyBackward, SearchContext, SearchStrategy};
+use crate::search::{
+    BudgetStats, CandidateEvaluator, GreedyBackward, SearchBudget, SearchContext, SearchOutcome,
+    SearchStrategy,
+};
 use crate::{CompactionError, Result};
 
 /// Configuration of the compaction loop.
@@ -48,6 +51,12 @@ pub struct CompactionConfig {
     /// differ by devices sitting within the solver tolerance of a decision
     /// boundary.  Disable to measure the cold-start baseline.
     pub warm_start: bool,
+    /// Limits on the training effort the search may spend (unlimited by
+    /// default).  Enforced centrally by the evaluator, so every strategy is
+    /// anytime: a truncated run returns its best committed frontier with
+    /// [`BudgetStats::exhausted`] set instead of failing.  See
+    /// [`SearchBudget`] for the semantics and the reproducibility caveats.
+    pub budget: SearchBudget,
 }
 
 impl CompactionConfig {
@@ -62,6 +71,7 @@ impl CompactionConfig {
             max_eliminated: None,
             threads: 1,
             warm_start: true,
+            budget: SearchBudget::unlimited(),
         }
     }
 
@@ -102,6 +112,13 @@ impl CompactionConfig {
         self
     }
 
+    /// Sets the [`SearchBudget`] the search may spend (unlimited by
+    /// default).
+    pub fn with_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     fn validate(&self) -> Result<()> {
         if !(self.error_tolerance >= 0.0 && self.error_tolerance < 1.0) {
             return Err(CompactionError::InvalidConfig {
@@ -139,8 +156,9 @@ pub struct CompactionStep {
 /// Every successfully trained canonicalised kept set is trained at most once
 /// per run; re-requesting the same kept set — most prominently the
 /// final-model training after the loop, whose kept set was already evaluated
-/// when the last elimination was accepted, and re-examined duplicates in a
-/// `Functional` order — is a hit.  The counters are diagnostics: they depend
+/// when the last elimination was accepted, and frontiers revisited by the
+/// beam/forward/stochastic strategies — is a hit.  The counters are
+/// diagnostics: they depend
 /// on the speculative-evaluation thread count (discarded speculative
 /// trainings still count as misses) even though the compaction outcome does
 /// not.
@@ -199,10 +217,10 @@ impl WarmStartStats {
 /// Result of a compaction run.
 ///
 /// Equality compares the compaction outcome (kept/eliminated sets, steps and
-/// final breakdown) and deliberately ignores the [`CompactionResult::cache`]
-/// and [`CompactionResult::warm_start`] diagnostics: those counters vary
-/// with the speculative thread count (and with warm starts being on or off)
-/// while the outcome is guaranteed not to.
+/// final breakdown) and deliberately ignores the [`CompactionResult::cache`],
+/// [`CompactionResult::warm_start`] and [`CompactionResult::budget`]
+/// diagnostics: those counters vary with the speculative thread count (and
+/// with warm starts being on or off) while the outcome is guaranteed not to.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CompactionResult {
     /// Indices of the specifications that must still be tested, in original
@@ -219,6 +237,10 @@ pub struct CompactionResult {
     /// Warm-start diagnostics of this run (trainings and solver iterations,
     /// split warm versus cold).
     pub warm_start: WarmStartStats,
+    /// [`SearchBudget`] diagnostics of this run: trainings and solver
+    /// iterations consumed, whether the budget truncated the search, and
+    /// the provenance of the returned frontier.
+    pub budget: BudgetStats,
 }
 
 impl PartialEq for CompactionResult {
@@ -430,7 +452,16 @@ impl Compactor {
         let mut evaluator = CandidateEvaluator::new(&self.training, &self.testing, backend, config);
         let context =
             SearchContext::new(&order, config.error_tolerance, config.max_eliminated, cost_model);
-        let outcome = strategy.search(&mut evaluator, &context)?;
+        // Anytime safety net: a strategy that propagates the evaluator's
+        // budget denial instead of handling it still yields a valid (if
+        // maximally conservative) truncated outcome — never an error.
+        let outcome = match strategy.search(&mut evaluator, &context) {
+            Err(CompactionError::BudgetExhausted) => {
+                SearchOutcome::truncated(Vec::new(), Vec::new())
+            }
+            other => other?,
+        };
+        let provenance = outcome.provenance;
         let eliminated = outcome.eliminated;
         let steps = outcome.steps;
 
@@ -474,6 +505,7 @@ impl Compactor {
             final_breakdown,
             cache: evaluator.cache_stats(),
             warm_start: evaluator.warm_start_stats(),
+            budget: evaluator.budget_stats(provenance),
         };
         Ok((result, final_model))
     }
@@ -529,6 +561,7 @@ impl Compactor {
             *guard_band,
             1,
             true,
+            SearchBudget::unlimited(),
         );
         let mut eliminated: Vec<usize> = Vec::new();
         let mut steps = Vec::new();
@@ -596,6 +629,7 @@ impl Compactor {
             *guard_band,
             1,
             false,
+            SearchBudget::unlimited(),
         );
         evaluator.evaluate(&kept, None)
     }
@@ -648,6 +682,7 @@ impl Compactor {
             *guard_band,
             1,
             false,
+            SearchBudget::unlimited(),
         );
         evaluator.evaluate(&kept, None)
     }

@@ -75,7 +75,12 @@ impl TestCostModel {
         self.per_test.len()
     }
 
-    /// Total cost of applying exactly the tests in `kept`.
+    /// Total cost of applying exactly the *set* of tests in `kept`.
+    ///
+    /// `kept` is treated as a set: a test listed more than once is applied —
+    /// and charged — once, exactly like its insertion overhead.  (Summing
+    /// per occurrence used to double-count duplicates, which would hand
+    /// cost-aware search strategies an inflated saving.)
     ///
     /// # Errors
     ///
@@ -87,7 +92,14 @@ impl TestCostModel {
                 count: self.per_test.len(),
             });
         }
-        let mut cost: f64 = kept.iter().map(|&t| self.per_test[t]).sum();
+        let mut applied = vec![false; self.per_test.len()];
+        let mut cost = 0.0;
+        for &test in kept {
+            if !applied[test] {
+                applied[test] = true;
+                cost += self.per_test[test];
+            }
+        }
         for (group, &group_cost) in self.insertion_cost.iter().enumerate() {
             if kept.iter().any(|&t| self.insertion_of_test[t] == group) {
                 cost += group_cost;
@@ -157,6 +169,19 @@ mod tests {
         assert_eq!(model.full_cost(), 11.0);
         assert_eq!(model.cost_of(&[0, 1, 2, 3]).unwrap(), 4.0);
         assert!((model.cost_reduction(&[0, 1, 2, 3]).unwrap() - 7.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_indices_are_charged_once() {
+        let model = accelerometer_costs();
+        assert_eq!(model.cost_of(&[0, 0, 0]).unwrap(), model.cost_of(&[0]).unwrap());
+        assert_eq!(model.cost_of(&[4, 5, 4]).unwrap(), model.cost_of(&[4, 5]).unwrap());
+        let uniform = TestCostModel::uniform(4);
+        assert_eq!(uniform.cost_of(&[1, 1, 2]).unwrap(), 2.0);
+        assert_eq!(
+            uniform.cost_reduction(&[1, 1, 2]).unwrap(),
+            uniform.cost_reduction(&[1, 2]).unwrap()
+        );
     }
 
     #[test]

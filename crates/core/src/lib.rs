@@ -16,8 +16,10 @@
 //!    classifier per candidate that predicts overall pass/fail from the
 //!    remaining measurements; the search procedure is pluggable (see
 //!    [`search`]): the paper's greedy elimination loop (Figure 2) is the
-//!    default, with beam, forward-selection and cost-aware strategies
-//!    bundled,
+//!    default, with beam, forward-selection, cost-aware, simulated-annealing
+//!    and genetic strategies bundled, and every strategy is *anytime* under
+//!    an optional [`search::SearchBudget`] (a truncated run returns its best
+//!    committed frontier, never an error),
 //! 3. the **guard_band** stage brackets the decision boundary with a
 //!    strict/loose model pair (Section 4.2); devices on which they disagree
 //!    are routed to retest,
@@ -95,8 +97,9 @@ pub use montecarlo::{
 pub use ordering::EliminationOrder;
 pub use pipeline::{CompactionPipeline, CostSummary, GuardBandStats, PipelineReport};
 pub use search::{
-    BeamSearch, CandidateEvaluator, CandidateVerdict, CostAwareGreedy, ForwardSelection,
-    GreedyBackward, SearchContext, SearchOutcome, SearchStrategy,
+    AnnealingSchedule, BeamSearch, BudgetStats, CandidateEvaluator, CandidateVerdict,
+    CostAwareGreedy, ForwardSelection, FrontierProvenance, GeneticSearch, GreedyBackward,
+    SearchBudget, SearchContext, SearchOutcome, SearchStrategy, SimulatedAnnealing,
 };
 pub use spec::{Specification, SpecificationSet};
 pub use tester::{TesterModel, TesterProgram};

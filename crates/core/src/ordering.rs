@@ -95,23 +95,38 @@ impl EliminationOrder {
         }
     }
 
-    /// [`EliminationOrder::resolve`] with the index validation every search
+    /// [`EliminationOrder::resolve`] with the validation every search
     /// strategy relies on: the returned order is guaranteed to reference
-    /// only specifications of `training`, so strategies can treat it as a
-    /// trusted candidate pool (resolved orders are the *input* of a
+    /// only specifications of `training` and to name each at most once, so
+    /// strategies can treat it as a trusted, duplicate-free candidate pool
+    /// (resolved orders are the *input* of a
     /// [`SearchStrategy`](crate::search::SearchStrategy), via
     /// [`SearchContext::order`](crate::search::SearchContext::order)).
     ///
     /// # Errors
     ///
     /// Returns [`CompactionError::UnknownSpecification`] for an
-    /// out-of-range index in a `Functional` order, plus everything
+    /// out-of-range index and [`CompactionError::InvalidConfig`] for a
+    /// duplicated index in a `Functional` order, plus everything
     /// [`EliminationOrder::resolve`] reports.
     pub fn resolve_validated(&self, training: &MeasurementSet) -> Result<Vec<usize>> {
         let order = self.resolve(training)?;
         let spec_count = training.specs().len();
-        if let Some(&bad) = order.iter().find(|&&c| c >= spec_count) {
-            return Err(CompactionError::UnknownSpecification { index: bad, count: spec_count });
+        let mut seen = vec![false; spec_count];
+        for &candidate in &order {
+            if candidate >= spec_count {
+                return Err(CompactionError::UnknownSpecification {
+                    index: candidate,
+                    count: spec_count,
+                });
+            }
+            if seen[candidate] {
+                return Err(CompactionError::InvalidConfig {
+                    parameter: "elimination_order",
+                    value: candidate as f64,
+                });
+            }
+            seen[candidate] = true;
         }
         Ok(order)
     }
@@ -172,6 +187,34 @@ mod tests {
     fn functional_order_is_passed_through() {
         let order = EliminationOrder::Functional(vec![2, 0, 1]);
         assert_eq!(order.resolve(&population()).unwrap(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn validated_resolution_rejects_duplicates_and_bad_indices() {
+        use crate::CompactionError;
+
+        let data = population();
+        let valid = EliminationOrder::Functional(vec![2, 0]);
+        assert_eq!(valid.resolve_validated(&data).unwrap(), vec![2, 0]);
+        // Search strategies trust the pool to be duplicate-free.
+        let duplicated = EliminationOrder::Functional(vec![2, 0, 2]);
+        assert!(matches!(
+            duplicated.resolve_validated(&data),
+            Err(CompactionError::InvalidConfig { parameter: "elimination_order", .. })
+        ));
+        let out_of_range = EliminationOrder::Functional(vec![0, 3]);
+        assert!(matches!(
+            out_of_range.resolve_validated(&data),
+            Err(CompactionError::UnknownSpecification { index: 3, count: 3 })
+        ));
+        // The heuristic orders always validate.
+        for order in [
+            EliminationOrder::ByClassificationPower,
+            EliminationOrder::ByCorrelationClustering,
+            EliminationOrder::Random { seed: 11 },
+        ] {
+            assert_eq!(order.resolve_validated(&data).unwrap().len(), 3);
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ use crate::guardband::GuardBandConfig;
 use crate::metrics::ErrorBreakdown;
 use crate::montecarlo::{generate_train_test, MonteCarloConfig};
 use crate::report::percent;
-use crate::search::{GreedyBackward, SearchStrategy};
+use crate::search::{BudgetStats, GreedyBackward, SearchBudget, SearchStrategy};
 use crate::tester::TesterProgram;
 use crate::Result;
 
@@ -58,6 +58,7 @@ pub struct CompactionPipeline<'d> {
     test_instances: Option<usize>,
     compaction: CompactionConfig,
     guard_band: Option<GuardBandConfig>,
+    budget: Option<SearchBudget>,
     cost_model: Option<TestCostModel>,
     classifier: Arc<dyn ClassifierFactory>,
     search: Arc<dyn SearchStrategy>,
@@ -72,6 +73,7 @@ impl std::fmt::Debug for CompactionPipeline<'_> {
             .field("test_instances", &self.test_instances)
             .field("compaction", &self.compaction)
             .field("guard_band", &self.guard_band)
+            .field("budget", &self.budget)
             .field("cost_model", &self.cost_model)
             .field("classifier", &self.classifier)
             .field("search", &self.search)
@@ -90,6 +92,7 @@ impl<'d> CompactionPipeline<'d> {
             test_instances: None,
             compaction: CompactionConfig::paper_default(),
             guard_band: None,
+            budget: None,
             cost_model: None,
             classifier: Arc::new(GridBackend::default()),
             search: Arc::new(GreedyBackward),
@@ -166,6 +169,17 @@ impl<'d> CompactionPipeline<'d> {
         self
     }
 
+    /// Caps the training effort the compaction search may spend (overrides
+    /// the budget embedded in the compaction configuration, like
+    /// [`CompactionPipeline::guard_band`] — stages stay order-independent).
+    /// Every strategy is anytime under a budget: a truncated run returns
+    /// its best committed frontier with [`BudgetStats::exhausted`] set,
+    /// never an error.
+    pub fn budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     /// Deploys the final model as a grid lookup table with the given
     /// resolution instead of shipping the model itself (paper Section 3.3).
     pub fn lookup_table(mut self, cells_per_dim: usize) -> Self {
@@ -212,6 +226,9 @@ impl<'d> CompactionPipeline<'d> {
         let mut config = self.compaction.clone();
         if let Some(guard_band) = self.guard_band {
             config.guard_band = guard_band;
+        }
+        if let Some(budget) = self.budget {
+            config.budget = budget;
         }
 
         let compactor = Compactor::new(train, test)?;
@@ -355,17 +372,38 @@ impl PipelineReport {
         &self.compaction.warm_start
     }
 
+    /// Search-budget diagnostics of the run: effort consumed, whether the
+    /// budget truncated the search, and the provenance of the returned
+    /// frontier (see [`crate::CompactionConfig::with_budget`]).
+    pub fn budget(&self) -> &BudgetStats {
+        &self.compaction.budget
+    }
+
     /// Error breakdown of the final compacted test set on the held-out data.
     pub fn final_breakdown(&self) -> &ErrorBreakdown {
         &self.compaction.final_breakdown
     }
 
-    /// One-paragraph human-readable summary of the deployed program.
+    /// One-paragraph human-readable summary of the deployed program.  A
+    /// budget-truncated search is called out explicitly, with the effort it
+    /// consumed and the provenance of the frontier it shipped.
     pub fn summary(&self) -> String {
+        let budget = &self.compaction.budget;
+        let budget_note = if budget.exhausted {
+            format!(
+                "; search budget exhausted after {trainings} trainings / \
+                 {iterations} solver iterations ({provenance} frontier)",
+                trainings = budget.trainings,
+                iterations = budget.solver_iterations,
+                provenance = budget.provenance,
+            )
+        } else {
+            String::new()
+        };
         format!(
             "{device} [{backend}, {search}]: eliminated {eliminated} of {total} tests \
              (yield loss {yl}, defect escape {de}, {retest} retested in a {band} band), \
-             cost reduced by {cost}",
+             cost reduced by {cost}{budget_note}",
             device = self.device,
             backend = self.backend,
             search = self.search,

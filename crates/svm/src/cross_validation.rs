@@ -31,7 +31,10 @@ pub fn fold_indices<R: Rng>(data: &Dataset, folds: usize, rng: &mut R) -> Result
 /// # Errors
 ///
 /// Returns [`SvmError::EmptyDataset`] if `data` has fewer than two samples and
-/// [`SvmError::InvalidParameter`] if `test_fraction` is not in `(0, 1)`.
+/// [`SvmError::InvalidParameter`] if `test_fraction` is non-finite (NaN or
+/// infinite) or outside the open interval `(0, 1)` — out-of-range fractions
+/// are rejected rather than silently clamped into range, matching the
+/// fail-fast validation of the solver parameters.
 pub fn train_test_split<R: Rng>(
     data: &Dataset,
     test_fraction: f64,
@@ -40,6 +43,8 @@ pub fn train_test_split<R: Rng>(
     if data.len() < 2 {
         return Err(SvmError::EmptyDataset);
     }
+    // NaN and ±infinity fail the open-interval comparison too, so every
+    // non-finite fraction is rejected here.
     if !(test_fraction > 0.0 && test_fraction < 1.0) {
         return Err(SvmError::InvalidParameter { name: "test_fraction", value: test_fraction });
     }
@@ -67,15 +72,19 @@ pub fn cross_validate_svc<R: Rng>(
     rng: &mut R,
 ) -> Result<f64> {
     let fold_sets = fold_indices(data, folds, rng)?;
-    let all: Vec<usize> = (0..data.len()).collect();
     let mut total = 0.0;
     let mut evaluated = 0usize;
     let mut last_error = None;
     for fold in &fold_sets {
-        let test_set: Vec<usize> = fold.clone();
-        let train_set: Vec<usize> = all.iter().copied().filter(|i| !fold.contains(i)).collect();
+        // One boolean membership mask per fold keeps the train-partition
+        // filter linear; testing `fold.contains(i)` per sample is O(n·k).
+        let mut in_fold = vec![false; data.len()];
+        for &index in fold {
+            in_fold[index] = true;
+        }
+        let train_set: Vec<usize> = (0..data.len()).filter(|&i| !in_fold[i]).collect();
         let train = data.subset(&train_set);
-        let test = data.subset(&test_set);
+        let test = data.subset(fold);
         match Svc::train(&train, params) {
             Ok(model) => {
                 total += model.accuracy(&test);
@@ -138,6 +147,19 @@ mod tests {
         assert_eq!(test.len(), data.len() / 5);
         assert!(train_test_split(&data, 0.0, &mut rng).is_err());
         assert!(train_test_split(&data, 1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn degenerate_fractions_are_rejected_not_clamped() {
+        let data = separable(25);
+        let mut rng = StdRng::seed_from_u64(3);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.3, -0.0, 1.0001, 17.0] {
+            let result = train_test_split(&data, bad, &mut rng);
+            assert!(
+                matches!(result, Err(SvmError::InvalidParameter { name: "test_fraction", .. })),
+                "fraction {bad} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -5,10 +5,11 @@
 //! ```
 //!
 //! brings in the [`CompactionPipeline`] builder, both bundled classifier
-//! backends ([`SvmBackend`], [`GridBackend`]), the four bundled search
+//! backends ([`SvmBackend`], [`GridBackend`]), the six bundled search
 //! strategies ([`GreedyBackward`], [`BeamSearch`], [`ForwardSelection`],
-//! [`CostAwareGreedy`]), the device adapters and every configuration type
-//! the pipeline stages take.
+//! [`CostAwareGreedy`], [`SimulatedAnnealing`], [`GeneticSearch`]), the
+//! [`SearchBudget`] limits that make every search anytime, the device
+//! adapters and every configuration type the pipeline stages take.
 
 pub use crate::adapters::{opamp_specs_from_nominal, AccelerometerDevice, OpAmpDevice};
 
@@ -17,8 +18,9 @@ pub use stc_core::classifier::{
 };
 pub use stc_core::pipeline::{CompactionPipeline, CostSummary, GuardBandStats, PipelineReport};
 pub use stc_core::search::{
-    BeamSearch, CandidateEvaluator, CandidateVerdict, CostAwareGreedy, ForwardSelection,
-    GreedyBackward, SearchContext, SearchOutcome, SearchStrategy,
+    AnnealingSchedule, BeamSearch, BudgetStats, CandidateEvaluator, CandidateVerdict,
+    CostAwareGreedy, ForwardSelection, FrontierProvenance, GeneticSearch, GreedyBackward,
+    SearchBudget, SearchContext, SearchOutcome, SearchStrategy, SimulatedAnnealing,
 };
 pub use stc_core::{
     baseline, generate_measurement_set, generate_train_test, gridmodel, run_monte_carlo,

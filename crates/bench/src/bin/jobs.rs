@@ -1,0 +1,81 @@
+//! JSON-in / JSON-out job runner for the `stc-serve` layer.
+//!
+//! ```text
+//! jobs <jobspec.json>              # run, write enveloped report to stdout
+//! jobs <jobspec.json> --out <path> # run, write the report to a file
+//! jobs --emit-sample <path>        # write a sample enveloped JobSpec
+//! ```
+//!
+//! Input and output are both wrapped in the versioned
+//! `{"schema_version": N, "payload": ...}` envelope; a document with an
+//! unknown version is rejected before the payload is parsed.  The sample
+//! spec is deterministic (fixed seeds, single-threaded stages, grid
+//! classifier), so running it twice — or on two machines — produces
+//! byte-identical reports; CI pins `BENCH_pipeline.json` to exactly that.
+
+use std::process::ExitCode;
+
+use stc_core::BatchReport;
+use stc_serve::{envelope, CompactionService, DeviceSpec, JobSpec};
+
+fn sample_spec() -> JobSpec {
+    let mut spec = JobSpec::new(
+        vec![
+            DeviceSpec::Synthetic { specs: 4, limit: 1.8, correlation: 0.9 },
+            DeviceSpec::Synthetic { specs: 5, limit: 1.5, correlation: 0.8 },
+        ],
+        stc_core::MonteCarloConfig::new(120).with_seed(42),
+        stc_core::CompactionConfig::paper_default().with_tolerance(0.1),
+    );
+    spec.shard_threads = 2;
+    spec
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, path] if flag == "--emit-sample" => {
+            let encoded = envelope::encode(&sample_spec()).map_err(|error| error.to_string())?;
+            std::fs::write(path, encoded + "\n")
+                .map_err(|error| format!("cannot write {path}: {error}"))?;
+            eprintln!("wrote sample job spec to {path}");
+            Ok(())
+        }
+        [spec_path, rest @ ..] => {
+            let out = match rest {
+                [] => None,
+                [flag, path] if flag == "--out" => Some(path.clone()),
+                _ => return Err(usage()),
+            };
+            let text = std::fs::read_to_string(spec_path)
+                .map_err(|error| format!("cannot read {spec_path}: {error}"))?;
+            let spec: JobSpec = envelope::decode(&text).map_err(|error| error.to_string())?;
+            let service = CompactionService::new(1);
+            let report: BatchReport =
+                service.run_blocking(spec).map_err(|error| error.to_string())?;
+            eprintln!("{}", report.summary());
+            let encoded = envelope::encode(&report).map_err(|error| error.to_string())?;
+            match out {
+                Some(path) => std::fs::write(&path, encoded + "\n")
+                    .map_err(|error| format!("cannot write {path}: {error}"))?,
+                None => println!("{encoded}"),
+            }
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn usage() -> String {
+    "usage: jobs <jobspec.json> [--out <report.json>] | jobs --emit-sample <path>".to_string()
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

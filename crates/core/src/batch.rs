@@ -52,7 +52,7 @@ use crate::metrics::ErrorBreakdown;
 use crate::montecarlo::{generate_train_test, MonteCarloConfig};
 use crate::pipeline::{CompactionPipeline, PipelineReport};
 use crate::report::percent;
-use crate::search::{GreedyBackward, SearchBudget, SearchStrategy};
+use crate::search::{GreedyBackward, ProgressObserver, SearchBudget, SearchStrategy};
 use crate::Result;
 
 /// Cache key for one generated population: the batch entry label, a device
@@ -147,9 +147,28 @@ impl PopulationCache {
     }
 
     /// Hit/miss counters accumulated over the cache's lifetime.
-    pub fn stats(&self) -> (usize, usize) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
+
+    /// Hit/miss counters as a bare `(hits, misses)` tuple.
+    #[deprecated(since = "0.7.0", note = "use `stats()`, which returns a named `CacheStats`")]
+    pub fn stats_tuple(&self) -> (usize, usize) {
+        let stats = self.stats();
+        (stats.hits, stats.misses)
+    }
+}
+
+/// Hit/miss counters of a [`PopulationCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Populations served from the cache.
+    pub hits: usize,
+    /// Populations generated because the key was absent.
+    pub misses: usize,
 }
 
 /// One device entry of a batch.
@@ -180,6 +199,7 @@ pub struct PipelineBatch<'d> {
     lookup_table: Option<usize>,
     batch_threads: usize,
     populations: Arc<PopulationCache>,
+    observer: Option<Arc<dyn ProgressObserver>>,
 }
 
 impl std::fmt::Debug for PipelineBatch<'_> {
@@ -196,6 +216,7 @@ impl std::fmt::Debug for PipelineBatch<'_> {
             .field("search", &self.search)
             .field("lookup_table", &self.lookup_table)
             .field("batch_threads", &self.batch_threads)
+            .field("observer", &self.observer)
             .finish()
     }
 }
@@ -224,6 +245,7 @@ impl<'d> PipelineBatch<'d> {
             lookup_table: None,
             batch_threads: 1,
             populations: Arc::new(PopulationCache::new()),
+            observer: None,
         }
     }
 
@@ -349,6 +371,16 @@ impl<'d> PipelineBatch<'d> {
         &self.populations
     }
 
+    /// Attaches a [`ProgressObserver`] shared by every entry's compaction
+    /// stage (see [`CompactionPipeline::observer`]).  With several batch
+    /// threads, events of different entries interleave; observers that need
+    /// per-entry streams should run entries through per-entry batches (or
+    /// pipelines) with distinct observers.
+    pub fn observer(mut self, observer: Arc<dyn ProgressObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
     /// The single-device pipeline for entry `index` — exactly what
     /// [`PipelineBatch::run`] executes for that entry.
     fn pipeline_for(&self, entry: &BatchEntry<'d>) -> (CompactionPipeline<'d>, MonteCarloConfig) {
@@ -375,6 +407,9 @@ impl<'d> PipelineBatch<'d> {
         }
         if let Some(cells) = self.lookup_table {
             pipeline = pipeline.lookup_table(cells);
+        }
+        if let Some(observer) = &self.observer {
+            pipeline = pipeline.observer(Arc::clone(observer));
         }
         (pipeline, monte_carlo)
     }
@@ -478,13 +513,18 @@ impl<'d> PipelineBatch<'d> {
         }
         debug_assert_eq!(runs.len(), self.entries.len(), "no entry may be skipped on success");
         let aggregate = BatchAggregate::from_runs(&runs);
-        let (population_cache_hits, population_cache_misses) = self.populations.stats();
-        Ok(BatchReport { runs, aggregate, population_cache_hits, population_cache_misses })
+        let population_cache = self.populations.stats();
+        Ok(BatchReport {
+            runs,
+            aggregate,
+            population_cache_hits: population_cache.hits,
+            population_cache_misses: population_cache.misses,
+        })
     }
 }
 
 /// One entry's outcome within a [`BatchReport`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BatchRun {
     /// The batch-entry label (defaults to `"<device name>#<index>"`).
     pub label: String,
@@ -518,7 +558,11 @@ pub struct BatchAggregate {
 }
 
 impl BatchAggregate {
-    fn from_runs(runs: &[BatchRun]) -> Self {
+    /// Builds the aggregate from per-entry runs — public so services
+    /// assembling a [`BatchReport`] from independently executed shards (for
+    /// example a job queue dispatching one shard per device) produce the
+    /// exact statistics [`PipelineBatch::run`] would.
+    pub fn from_runs(runs: &[BatchRun]) -> Self {
         let devices = runs.len();
         let mut aggregate = BatchAggregate {
             devices,
@@ -551,7 +595,7 @@ impl BatchAggregate {
 }
 
 /// Everything one batch run produces: per-device reports plus aggregates.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BatchReport {
     /// Per-entry outcomes, in the order the devices were added.
     pub runs: Vec<BatchRun>,
@@ -570,14 +614,43 @@ impl BatchReport {
         self.runs.iter().map(|run| &run.report)
     }
 
-    /// One-paragraph human-readable summary of the batch.
+    /// Search-strategy name shared by every run of the batch, or `"mixed"`
+    /// when per-run reports disagree (only possible for hand-assembled
+    /// reports; [`PipelineBatch::run`] applies one strategy to all entries).
+    pub fn search_strategy(&self) -> &str {
+        let Some(first) = self.runs.first() else { return "none" };
+        if self.runs.iter().all(|run| run.report.search == first.report.search) {
+            &first.report.search
+        } else {
+            "mixed"
+        }
+    }
+
+    /// Number of runs whose search budget was exhausted before the search
+    /// finished on its own.
+    pub fn budget_exhausted_runs(&self) -> usize {
+        self.runs.iter().filter(|run| run.report.budget().exhausted).count()
+    }
+
+    /// One-paragraph human-readable summary of the batch.  Mirrors
+    /// [`PipelineReport::summary`]: the search-strategy name is always named
+    /// and budget exhaustion is called out explicitly with the number of
+    /// truncated runs.
     pub fn summary(&self) -> String {
+        let budget_note = match self.budget_exhausted_runs() {
+            0 => String::new(),
+            exhausted => format!(
+                "; search budget exhausted in {exhausted} of {devices} runs",
+                devices = self.aggregate.devices,
+            ),
+        };
         format!(
-            "{devices} devices: eliminated {eliminated} of {total} tests \
+            "{devices} devices [{search}]: eliminated {eliminated} of {total} tests \
              (mean compaction {ratio}, mean cost reduction {cost}; \
              aggregate yield loss {yl}, defect escape {de}; \
-             model cache {hits} hits / {misses} misses)",
+             model cache {hits} hits / {misses} misses){budget_note}",
             devices = self.aggregate.devices,
+            search = self.search_strategy(),
             eliminated = self.aggregate.total_eliminated,
             total = self.aggregate.total_tests,
             ratio = percent(self.aggregate.mean_compaction_ratio),

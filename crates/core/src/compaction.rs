@@ -438,6 +438,21 @@ impl Compactor {
         strategy: &dyn SearchStrategy,
         cost_model: Option<&TestCostModel>,
     ) -> Result<(CompactionResult, Option<GuardBandedClassifier>)> {
+        self.compact_search_observed(backend, config, strategy, cost_model, None)
+    }
+
+    /// [`Compactor::compact_search_with_final_model`] with a
+    /// [`ProgressObserver`](crate::search::ProgressObserver) attached to the
+    /// evaluator, streaming per-training events and committed-frontier
+    /// snapshots while the search runs.
+    pub(crate) fn compact_search_observed(
+        &self,
+        backend: &dyn ClassifierFactory,
+        config: &CompactionConfig,
+        strategy: &dyn SearchStrategy,
+        cost_model: Option<&TestCostModel>,
+        observer: Option<std::sync::Arc<dyn crate::search::ProgressObserver>>,
+    ) -> Result<(CompactionResult, Option<GuardBandedClassifier>)> {
         config.validate()?;
         let spec_count = self.training.specs().len();
         let order = config.order.resolve_validated(&self.training)?;
@@ -450,6 +465,7 @@ impl Compactor {
             }
         };
         let mut evaluator = CandidateEvaluator::new(&self.training, &self.testing, backend, config);
+        evaluator.set_observer(observer);
         let context =
             SearchContext::new(&order, config.error_tolerance, config.max_eliminated, cost_model);
         // Anytime safety net: a strategy that propagates the evaluator's

@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use crate::{CompactionError, Result};
 
 /// Per-specification test-cost description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TestCostModel {
     /// Cost of applying each specification test, in arbitrary cost units
     /// (one entry per specification, in specification order).
@@ -17,6 +17,50 @@ pub struct TestCostModel {
     insertion_of_test: Vec<usize>,
     /// Fixed cost of each insertion, incurred once if any of its tests runs.
     insertion_cost: Vec<f64>,
+}
+
+impl<'de> Deserialize<'de> for TestCostModel {
+    /// Deserialises through [`TestCostModel::new`], so a decoded model
+    /// upholds the same invariants (consistent lengths, non-negative finite
+    /// costs, in-range insertion indices) as a constructed one.
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        use serde::de::{Error as _, IgnoredAny, MapAccess, Visitor};
+        struct ModelVisitor;
+        impl<'de> Visitor<'de> for ModelVisitor {
+            type Value = TestCostModel;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a test-cost model as {per_test, insertion_of_test, insertion_cost}")
+            }
+            fn visit_map<A: MapAccess<'de>>(
+                self,
+                mut map: A,
+            ) -> std::result::Result<TestCostModel, A::Error> {
+                let mut per_test: Option<Vec<f64>> = None;
+                let mut insertion_of_test: Option<Vec<usize>> = None;
+                let mut insertion_cost: Option<Vec<f64>> = None;
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "per_test" => per_test = Some(map.next_value()?),
+                        "insertion_of_test" => insertion_of_test = Some(map.next_value()?),
+                        "insertion_cost" => insertion_cost = Some(map.next_value()?),
+                        _ => {
+                            map.next_value::<IgnoredAny>()?;
+                        }
+                    }
+                }
+                TestCostModel::new(
+                    per_test.ok_or_else(|| A::Error::missing_field("per_test"))?,
+                    insertion_of_test
+                        .ok_or_else(|| A::Error::missing_field("insertion_of_test"))?,
+                    insertion_cost.ok_or_else(|| A::Error::missing_field("insertion_cost"))?,
+                )
+                .map_err(|error| A::Error::custom(format!("invalid cost model: {error}")))
+            }
+        }
+        deserializer.deserialize_any(ModelVisitor)
+    }
 }
 
 impl TestCostModel {

@@ -86,12 +86,12 @@ impl DeviceLabel {
 /// # }
 /// ```
 ///
-/// **Serialisation caveat:** the derived serde impls describe the *full*
-/// allocation plus the view fields.  When the vendored serde stand-ins are
-/// swapped for the real crate, replace them with a custom impl that
-/// serialises `to_rows()` (a view would otherwise drag its whole parent
-/// allocation along, and deserialisation must re-validate the view bounds).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// **Serialisation:** the hand-written serde impls describe the matrix as
+/// `{columns, rows}` with `rows = to_rows()` — a view serialises only the
+/// rows it exposes (never its parent allocation), and deserialisation
+/// rebuilds a fresh allocation through the validating
+/// [`MeasurementMatrix::from_rows`].
+#[derive(Debug, Clone)]
 pub struct MeasurementMatrix {
     /// Column-major values of the *full* allocation: column `c` occupies
     /// `values[c * alloc_rows .. (c + 1) * alloc_rows]`.
@@ -248,6 +248,55 @@ impl MeasurementMatrix {
     }
 }
 
+impl Serialize for MeasurementMatrix {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut state = serializer.serialize_struct("MeasurementMatrix", 2)?;
+        state.serialize_field("columns", &self.columns)?;
+        state.serialize_field("rows", &self.to_rows())?;
+        state.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for MeasurementMatrix {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        use serde::de::{Error as _, IgnoredAny, MapAccess, Visitor};
+        struct MatrixVisitor;
+        impl<'de> Visitor<'de> for MatrixVisitor {
+            type Value = MeasurementMatrix;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a measurement matrix as {columns, rows}")
+            }
+            fn visit_map<A: MapAccess<'de>>(
+                self,
+                mut map: A,
+            ) -> std::result::Result<MeasurementMatrix, A::Error> {
+                let mut columns: Option<usize> = None;
+                let mut rows: Option<Vec<Vec<f64>>> = None;
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "columns" => columns = Some(map.next_value()?),
+                        "rows" => rows = Some(map.next_value()?),
+                        _ => {
+                            map.next_value::<IgnoredAny>()?;
+                        }
+                    }
+                }
+                let columns = columns.ok_or_else(|| A::Error::missing_field("columns"))?;
+                let rows = rows.ok_or_else(|| A::Error::missing_field("rows"))?;
+                MeasurementMatrix::from_rows(rows, columns)
+                    .map_err(|error| A::Error::custom(format!("invalid matrix: {error}")))
+            }
+        }
+        deserializer.deserialize_any(MatrixVisitor)
+    }
+}
+
 impl PartialEq for MeasurementMatrix {
     /// Semantic equality: same shape and the same values, regardless of
     /// whether the two matrices share an allocation or where their views
@@ -266,10 +315,48 @@ impl PartialEq for MeasurementMatrix {
 /// the Figure 2 compaction loop.  Backed by a [`MeasurementMatrix`], so
 /// cloning, [`MeasurementSet::split_at`] and [`MeasurementSet::truncated`]
 /// are zero-copy views over the shared population allocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct MeasurementSet {
     specs: SpecificationSet,
     matrix: MeasurementMatrix,
+}
+
+impl<'de> Deserialize<'de> for MeasurementSet {
+    /// Deserialises through [`MeasurementSet::from_matrix`], so a decoded set
+    /// upholds the same column/specification invariant as a constructed one.
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        use serde::de::{Error as _, IgnoredAny, MapAccess, Visitor};
+        struct SetVisitor;
+        impl<'de> Visitor<'de> for SetVisitor {
+            type Value = MeasurementSet;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a measurement set as {specs, matrix}")
+            }
+            fn visit_map<A: MapAccess<'de>>(
+                self,
+                mut map: A,
+            ) -> std::result::Result<MeasurementSet, A::Error> {
+                let mut specs: Option<SpecificationSet> = None;
+                let mut matrix: Option<MeasurementMatrix> = None;
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "specs" => specs = Some(map.next_value()?),
+                        "matrix" => matrix = Some(map.next_value()?),
+                        _ => {
+                            map.next_value::<IgnoredAny>()?;
+                        }
+                    }
+                }
+                let specs = specs.ok_or_else(|| A::Error::missing_field("specs"))?;
+                let matrix = matrix.ok_or_else(|| A::Error::missing_field("matrix"))?;
+                MeasurementSet::from_matrix(specs, matrix)
+                    .map_err(|error| A::Error::custom(format!("invalid measurement set: {error}")))
+            }
+        }
+        deserializer.deserialize_any(SetVisitor)
+    }
 }
 
 impl MeasurementSet {

@@ -80,7 +80,9 @@ pub mod pipeline;
 pub mod report;
 pub mod search;
 
-pub use batch::{BatchAggregate, BatchReport, BatchRun, PipelineBatch, PopulationCache};
+pub use batch::{
+    BatchAggregate, BatchReport, BatchRun, CacheStats, PipelineBatch, PopulationCache,
+};
 pub use classifier::{Classifier, ClassifierFactory, GridBackend, TrainingView, WarmStartContext};
 pub use compaction::{
     CompactionConfig, CompactionResult, CompactionStep, Compactor, ModelCacheStats, WarmStartStats,
@@ -98,8 +100,9 @@ pub use ordering::EliminationOrder;
 pub use pipeline::{CompactionPipeline, CostSummary, GuardBandStats, PipelineReport};
 pub use search::{
     AnnealingSchedule, BeamSearch, BudgetStats, CandidateEvaluator, CandidateVerdict,
-    CostAwareGreedy, ForwardSelection, FrontierProvenance, GeneticSearch, GreedyBackward,
-    SearchBudget, SearchContext, SearchOutcome, SearchStrategy, SimulatedAnnealing,
+    CostAwareGreedy, ForwardSelection, FrontierProvenance, FrontierSnapshot, GeneticSearch,
+    GreedyBackward, ProgressObserver, SearchBudget, SearchContext, SearchOutcome, SearchStrategy,
+    SimulatedAnnealing, TrainingEvent,
 };
 pub use spec::{Specification, SpecificationSet};
 pub use tester::{TesterModel, TesterProgram};

@@ -2,6 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use crate::dataset::MeasurementSet;
 use crate::device::DeviceUnderTest;
@@ -9,7 +10,7 @@ use crate::spec::SpecificationSet;
 use crate::{CompactionError, Result};
 
 /// Configuration of a Monte-Carlo data-generation run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MonteCarloConfig {
     /// Number of device instances to simulate.
     pub instances: usize,

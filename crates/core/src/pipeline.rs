@@ -41,7 +41,7 @@ use crate::guardband::GuardBandConfig;
 use crate::metrics::ErrorBreakdown;
 use crate::montecarlo::{generate_train_test, MonteCarloConfig};
 use crate::report::percent;
-use crate::search::{BudgetStats, GreedyBackward, SearchBudget, SearchStrategy};
+use crate::search::{BudgetStats, GreedyBackward, ProgressObserver, SearchBudget, SearchStrategy};
 use crate::tester::TesterProgram;
 use crate::Result;
 
@@ -63,6 +63,7 @@ pub struct CompactionPipeline<'d> {
     classifier: Arc<dyn ClassifierFactory>,
     search: Arc<dyn SearchStrategy>,
     lookup_table: Option<usize>,
+    observer: Option<Arc<dyn ProgressObserver>>,
 }
 
 impl std::fmt::Debug for CompactionPipeline<'_> {
@@ -78,6 +79,7 @@ impl std::fmt::Debug for CompactionPipeline<'_> {
             .field("classifier", &self.classifier)
             .field("search", &self.search)
             .field("lookup_table", &self.lookup_table)
+            .field("observer", &self.observer)
             .finish()
     }
 }
@@ -97,6 +99,7 @@ impl<'d> CompactionPipeline<'d> {
             classifier: Arc::new(GridBackend::default()),
             search: Arc::new(GreedyBackward),
             lookup_table: None,
+            observer: None,
         }
     }
 
@@ -187,6 +190,14 @@ impl<'d> CompactionPipeline<'d> {
         self
     }
 
+    /// Attaches a [`ProgressObserver`] to the compaction stage: one event
+    /// per model training and one snapshot per committed frontier, streamed
+    /// while the search runs (see the trait for the callback contract).
+    pub fn observer(mut self, observer: Arc<dyn ProgressObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
     /// The held-out population size the pipeline will simulate (the explicit
     /// [`CompactionPipeline::test_instances`] or the default of half the
     /// training population).
@@ -233,11 +244,12 @@ impl<'d> CompactionPipeline<'d> {
 
         let compactor = Compactor::new(train, test)?;
         let backend = self.classifier.as_ref();
-        let (compaction, final_model) = compactor.compact_search_with_final_model(
+        let (compaction, final_model) = compactor.compact_search_observed(
             backend,
             &config,
             self.search.as_ref(),
             self.cost_model.as_ref(),
+            self.observer.clone(),
         )?;
 
         let train = compactor.training();
@@ -316,7 +328,11 @@ pub struct CostSummary {
 }
 
 /// Everything one pipeline run produces.
-#[derive(Debug, Clone)]
+///
+/// Serialises completely: the embedded [`TesterProgram`]'s exact model turns
+/// into its `Detached` descriptor on the wire (see
+/// [`crate::TesterModel`]'s serialisation notes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineReport {
     /// Device family name.
     pub device: String,

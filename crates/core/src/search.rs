@@ -254,6 +254,68 @@ impl BudgetLedger {
     }
 }
 
+/// One model training, as reported to a [`ProgressObserver`].
+///
+/// Counters are cumulative over the run (this training included), so an
+/// observer can render budget consumption without keeping its own tally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainingEvent {
+    /// Model trainings started so far this run.
+    pub trainings: usize,
+    /// Solver iterations consumed so far this run.
+    pub solver_iterations: usize,
+    /// Whether this training was warm-started from a cached parent model.
+    pub warm: bool,
+}
+
+/// A frontier a strategy committed, as reported to a [`ProgressObserver`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierSnapshot {
+    /// Indices of the eliminated specifications, in elimination order.
+    pub eliminated: Vec<usize>,
+    /// Held-out prediction error of the frontier's kept-set model, when the
+    /// run has one cached (`None` for the complete suite, whose error is
+    /// zero by construction).
+    pub prediction_error: Option<f64>,
+}
+
+/// Streaming progress events of one compaction search.
+///
+/// Attach an observer through [`CompactionPipeline::observer`](
+/// crate::CompactionPipeline::observer) (or
+/// [`PipelineBatch::observer`](crate::batch::PipelineBatch::observer)) to
+/// watch a search as it runs: one [`TrainingEvent`] per model training, and
+/// one [`FrontierSnapshot`] per frontier a strategy commits — the anytime
+/// "best answer so far" stream a service can publish while a job runs.
+///
+/// Contract:
+///
+/// * callbacks fire on the evaluator's worker threads and **block the
+///   search**; implementations must be cheap and non-blocking (copy the
+///   event into a channel or an atomic cell and return),
+/// * callbacks must not panic — a panic unwinds into the search and aborts
+///   the run,
+/// * with speculative evaluation threads, [`ProgressObserver::on_training`]
+///   events may arrive out of commit order and include discarded
+///   speculative trainings; [`ProgressObserver::on_frontier`] snapshots are
+///   always committed frontiers in commit order,
+/// * an unset observer costs one `Option` check per event — the seam is
+///   free when unused.
+///
+/// Both methods default to no-ops, so implementations override only what
+/// they consume.
+pub trait ProgressObserver: Send + Sync + std::fmt::Debug {
+    /// One model training completed (cache hits do not report).
+    fn on_training(&self, event: &TrainingEvent) {
+        let _ = event;
+    }
+
+    /// A strategy committed a new frontier (its best-so-far answer).
+    fn on_frontier(&self, snapshot: &FrontierSnapshot) {
+        let _ = snapshot;
+    }
+}
+
 /// A cached trained model together with its held-out error breakdown.
 pub(crate) type CachedModel = Arc<(GuardBandedClassifier, ErrorBreakdown)>;
 
@@ -396,6 +458,7 @@ pub struct CandidateEvaluator<'a> {
     cache: ModelCache,
     tracker: WarmStartTracker,
     ledger: BudgetLedger,
+    observer: Option<Arc<dyn ProgressObserver>>,
 }
 
 /// How one evaluation settles its budget claim.
@@ -432,7 +495,14 @@ impl<'a> CandidateEvaluator<'a> {
             cache: ModelCache::default(),
             tracker: WarmStartTracker::default(),
             ledger: BudgetLedger::new(budget),
+            observer: None,
         }
+    }
+
+    /// Attaches (or clears) the progress observer subsequent evaluations
+    /// report to (see [`ProgressObserver`] for the callback contract).
+    pub(crate) fn set_observer(&mut self, observer: Option<Arc<dyn ProgressObserver>>) {
+        self.observer = observer;
     }
 
     /// An evaluator configured from a [`CompactionConfig`].
@@ -531,6 +601,13 @@ impl<'a> CandidateEvaluator<'a> {
         if mode != BudgetMode::Exempt {
             self.ledger.record_iterations(iterations.unwrap_or(0));
         }
+        if let Some(observer) = &self.observer {
+            observer.on_training(&TrainingEvent {
+                trainings: self.ledger.trainings.load(Ordering::Relaxed),
+                solver_iterations: self.ledger.iterations.load(Ordering::Relaxed),
+                warm: warm.is_some(),
+            });
+        }
         let entry = Arc::new((classifier, breakdown));
         self.cache.insert(kept, Arc::clone(&entry));
         Ok(entry)
@@ -589,6 +666,20 @@ impl<'a> CandidateEvaluator<'a> {
     /// committed frontier.
     pub fn budget_exhausted(&self) -> bool {
         self.ledger.exhausted()
+    }
+
+    /// Reports a committed frontier to the attached [`ProgressObserver`]
+    /// (free when none is attached).  The snapshot's prediction error is
+    /// looked up from the run's model cache, so strategies only name the
+    /// eliminated set.  Every bundled strategy calls this at its commit
+    /// points; custom strategies should too, or their progress stream stays
+    /// silent between trainings.
+    pub fn notify_frontier(&self, eliminated: &[usize]) {
+        let Some(observer) = &self.observer else { return };
+        let kept = self.kept_without(eliminated, None);
+        let prediction_error = self.cache.peek(&kept).map(|entry| entry.1.prediction_error());
+        observer
+            .on_frontier(&FrontierSnapshot { eliminated: eliminated.to_vec(), prediction_error });
     }
 
     /// The kept set implied by an eliminated set, minus an optional extra
@@ -1085,6 +1176,7 @@ impl SearchStrategy for GreedyBackward {
                         let eliminate = breakdown.prediction_error() <= ctx.tolerance();
                         if eliminate {
                             eliminated.push(candidate);
+                            eval.notify_frontier(&eliminated);
                         }
                         steps.push(eval.step(candidate, eliminate, breakdown));
                         if eliminate {
@@ -1212,6 +1304,7 @@ impl BeamSearch {
                             child_steps.push(eval.step(candidate, true, breakdown));
                             let mut child_eliminated = frontier.eliminated.clone();
                             child_eliminated.push(candidate);
+                            eval.notify_frontier(&child_eliminated);
                             children.push(Frontier {
                                 eliminated: child_eliminated,
                                 steps: child_steps,
@@ -1417,8 +1510,11 @@ impl SearchStrategy for ForwardSelection {
             current = Some(breakdown);
         }
         // Adopted enough: everything else in the pool is eliminated, in
-        // examination-preference order.
+        // examination-preference order.  Only this final frontier is
+        // tolerance-certified, so only it is reported — intermediate kept
+        // sets were growth states, not committed answers.
         let eliminated: Vec<usize> = pool.into_iter().filter(|c| !kept.contains(c)).collect();
+        eval.notify_frontier(&eliminated);
         Ok(SearchOutcome::completed(eliminated, steps))
     }
 }
@@ -1507,6 +1603,7 @@ impl SearchStrategy for CostAwareGreedy {
             }
             let Some((_, _, candidate, breakdown)) = best else { break };
             eliminated.push(candidate);
+            eval.notify_frontier(&eliminated);
             steps.push(eval.step(candidate, true, breakdown));
         }
         Ok(SearchOutcome::finished(eliminated, steps, eval.budget_exhausted()))
@@ -1673,6 +1770,7 @@ impl SearchStrategy for SimulatedAnnealing {
             {
                 best = current.clone();
                 best_cost = current_cost;
+                eval.notify_frontier(&best);
             }
         }
         Ok(SearchOutcome::finished(best, steps, eval.budget_exhausted()))
@@ -1751,6 +1849,7 @@ impl GeneticSearch {
                         let eliminate = breakdown.prediction_error() <= ctx.tolerance();
                         if eliminate {
                             eliminated.push(candidate);
+                            eval.notify_frontier(&eliminated);
                         }
                         steps.push(eval.step(candidate, eliminate, breakdown));
                     }
@@ -1893,6 +1992,7 @@ impl SearchStrategy for GeneticSearch {
                 if fitness > best_fitness {
                     best_fitness = fitness;
                     best_genome = genome.clone();
+                    eval.notify_frontier(&eliminated_of(&best_genome));
                 }
             }
             if exhausted {

@@ -12,7 +12,16 @@ use crate::{CompactionError, Result};
 
 /// How the acceptance region of the compacted test set is represented on the
 /// tester.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// # Serialisation
+///
+/// `CompleteSuite` and `LookupTable` round-trip exactly.  `Exact` carries
+/// live classifier trait objects that cannot cross a process boundary, so it
+/// serialises as a [`TesterModel::Detached`] descriptor (backend name + kept
+/// set); decoding yields `Detached`, which reserialises to the same bytes.
+/// Jobs that need a fully serialisable deployed model should ship a lookup
+/// table instead.
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum TesterModel {
     /// Apply the complete specification suite directly — no statistical
@@ -24,6 +33,109 @@ pub enum TesterModel {
     /// Ship a grid lookup table derived from the model (cheap on the tester,
     /// slightly approximate).
     LookupTable(LookupTableTester),
+    /// A deserialised stand-in for [`TesterModel::Exact`]: records which
+    /// backend trained the model and which tests it kept, but cannot classify
+    /// devices.  Produced only by deserialisation.
+    Detached {
+        /// Name of the classifier backend that trained the original model.
+        backend: String,
+        /// Specification indices the original model kept.
+        kept: Vec<usize>,
+    },
+}
+
+impl Serialize for TesterModel {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStructVariant;
+        match self {
+            TesterModel::CompleteSuite => {
+                serializer.serialize_unit_variant("TesterModel", 0, "CompleteSuite")
+            }
+            TesterModel::Exact(classifier) => {
+                let mut state =
+                    serializer.serialize_struct_variant("TesterModel", 3, "Detached", 2)?;
+                state.serialize_field("backend", classifier.backend())?;
+                state.serialize_field("kept", &classifier.kept().to_vec())?;
+                state.end()
+            }
+            TesterModel::LookupTable(table) => {
+                serializer.serialize_newtype_variant("TesterModel", 2, "LookupTable", table)
+            }
+            TesterModel::Detached { backend, kept } => {
+                let mut state =
+                    serializer.serialize_struct_variant("TesterModel", 3, "Detached", 2)?;
+                state.serialize_field("backend", backend)?;
+                state.serialize_field("kept", kept)?;
+                state.end()
+            }
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for TesterModel {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        use serde::de::{EnumAccess, Error as _, IgnoredAny, MapAccess, VariantAccess, Visitor};
+        const VARIANTS: &[&str] = &["CompleteSuite", "LookupTable", "Detached"];
+        struct DetachedVisitor;
+        impl<'de> Visitor<'de> for DetachedVisitor {
+            type Value = TesterModel;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("struct variant TesterModel::Detached")
+            }
+            fn visit_map<A: MapAccess<'de>>(
+                self,
+                mut map: A,
+            ) -> std::result::Result<TesterModel, A::Error> {
+                let mut backend: Option<String> = None;
+                let mut kept: Option<Vec<usize>> = None;
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "backend" => backend = Some(map.next_value()?),
+                        "kept" => kept = Some(map.next_value()?),
+                        _ => {
+                            map.next_value::<IgnoredAny>()?;
+                        }
+                    }
+                }
+                Ok(TesterModel::Detached {
+                    backend: backend.ok_or_else(|| A::Error::missing_field("backend"))?,
+                    kept: kept.ok_or_else(|| A::Error::missing_field("kept"))?,
+                })
+            }
+        }
+        struct ModelVisitor;
+        impl<'de> Visitor<'de> for ModelVisitor {
+            type Value = TesterModel;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("enum TesterModel")
+            }
+            fn visit_enum<A: EnumAccess<'de>>(
+                self,
+                data: A,
+            ) -> std::result::Result<TesterModel, A::Error> {
+                let (tag, variant): (String, _) = data.variant()?;
+                match tag.as_str() {
+                    "CompleteSuite" => {
+                        variant.unit_variant()?;
+                        Ok(TesterModel::CompleteSuite)
+                    }
+                    "LookupTable" => Ok(TesterModel::LookupTable(variant.newtype_variant()?)),
+                    "Detached" => variant.struct_variant(&["backend", "kept"], DetachedVisitor),
+                    "Exact" => Err(A::Error::custom(
+                        "TesterModel::Exact never serialises under its own tag; \
+                         expected its `Detached` descriptor",
+                    )),
+                    other => Err(A::Error::unknown_variant(other, VARIANTS)),
+                }
+            }
+        }
+        deserializer.deserialize_enum("TesterModel", VARIANTS, ModelVisitor)
+    }
 }
 
 /// A complete tester program: which specifications to measure and how to turn
@@ -132,6 +244,14 @@ impl TesterProgram {
             TesterModel::CompleteSuite => Prediction::Good,
             TesterModel::Exact(classifier) => classifier.classify_features(&features),
             TesterModel::LookupTable(table) => table.classify_features(&features),
+            TesterModel::Detached { backend, .. } => {
+                return Err(CompactionError::Classifier {
+                    backend: backend.clone(),
+                    message: "a detached (deserialised) exact model cannot classify devices; \
+                              retrain or deploy a lookup table"
+                        .to_owned(),
+                })
+            }
         })
     }
 
@@ -142,7 +262,7 @@ impl TesterProgram {
         crate::metrics::evaluate_population(data, |data, i| {
             let kept_measurements: Vec<f64> = self.kept.iter().map(|&c| data.value(i, c)).collect();
             self.classify(&kept_measurements)
-                .expect("kept measurements are consistent by construction")
+                .expect("program model must be executable (detached models cannot classify)")
         })
     }
 }

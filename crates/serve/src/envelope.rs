@@ -1,0 +1,91 @@
+//! Versioned wire envelope.
+//!
+//! Every document stc-serve writes is wrapped as
+//! `{"schema_version": N, "payload": ...}` so a report written today can be
+//! refused — with a typed error instead of a field-mismatch puzzle — by a
+//! future build whose schema moved on.  Decoding is two-pass: a cheap probe
+//! reads only `schema_version` (ignoring the payload), and the full payload
+//! is parsed only when the version matches [`SCHEMA_VERSION`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ServeError;
+use crate::json;
+
+/// The wire schema version this build reads and writes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The versioned wrapper around every serialized document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope<T> {
+    /// Schema version of `payload`; see [`SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// The wrapped document.
+    pub payload: T,
+}
+
+/// Probe type for the first decoding pass: pulls out `schema_version` and
+/// skips everything else, so version checks never depend on the payload
+/// still being parseable.
+#[derive(Deserialize)]
+struct VersionProbe {
+    schema_version: u32,
+}
+
+/// Serializes `payload` inside a version-1 envelope.
+pub fn encode<T: Serialize>(payload: &T) -> Result<String, ServeError> {
+    let envelope = Envelope { schema_version: SCHEMA_VERSION, payload };
+    Ok(json::to_string(&envelope)?)
+}
+
+/// Decodes an enveloped document, rejecting unknown schema versions with
+/// [`ServeError::UnsupportedSchemaVersion`] before touching the payload.
+pub fn decode<T: for<'de> Deserialize<'de>>(input: &str) -> Result<T, ServeError> {
+    let probe: VersionProbe = json::from_str(input)?;
+    if probe.schema_version != SCHEMA_VERSION {
+        return Err(ServeError::UnsupportedSchemaVersion {
+            found: probe.schema_version,
+            supported: SCHEMA_VERSION,
+        });
+    }
+    let envelope: Envelope<T> = json::from_str(input)?;
+    Ok(envelope.payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_the_envelope() {
+        let encoded = encode(&vec![1.5f64, -2.0]).unwrap();
+        assert_eq!(encoded, r#"{"schema_version":1,"payload":[1.5,-2]}"#);
+        let decoded: Vec<f64> = decode(&encoded).unwrap();
+        assert_eq!(decoded, vec![1.5, -2.0]);
+    }
+
+    #[test]
+    fn rejects_unknown_schema_versions() {
+        let error = decode::<Vec<f64>>(r#"{"schema_version":99,"payload":[]}"#).unwrap_err();
+        match error {
+            ServeError::UnsupportedSchemaVersion { found, supported } => {
+                assert_eq!(found, 99);
+                assert_eq!(supported, SCHEMA_VERSION);
+            }
+            other => panic!("expected UnsupportedSchemaVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_check_ignores_payload_shape() {
+        // The probe must not choke on a payload it cannot interpret.
+        let error =
+            decode::<Vec<f64>>(r#"{"payload":{"future":"shape"},"schema_version":2}"#).unwrap_err();
+        assert!(matches!(error, ServeError::UnsupportedSchemaVersion { found: 2, .. }));
+    }
+
+    #[test]
+    fn missing_version_is_an_error() {
+        assert!(decode::<Vec<f64>>(r#"{"payload":[]}"#).is_err());
+    }
+}

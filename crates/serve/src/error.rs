@@ -1,0 +1,72 @@
+//! Error type shared by the service, the envelope codec and the spec layer.
+
+use std::fmt;
+
+use crate::json::JsonError;
+use stc_core::CompactionError;
+
+/// Everything that can go wrong between a submitted job spec and its report.
+#[derive(Debug)]
+pub enum ServeError {
+    /// JSON serialization or parsing failed.
+    Json(JsonError),
+    /// The envelope carries a schema version this build does not understand.
+    UnsupportedSchemaVersion {
+        /// Version found in the document.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// A job spec failed validation before it could be queued.
+    InvalidSpec(String),
+    /// The compaction flow itself failed inside a worker.
+    Compaction(CompactionError),
+    /// A [`JobId`](crate::service::JobId) that this service never issued.
+    UnknownJob(u64),
+    /// A job finished in the `Failed` state.
+    JobFailed(String),
+    /// A job was cancelled before it could produce a report.
+    Cancelled,
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Json(error) => write!(f, "{error}"),
+            ServeError::UnsupportedSchemaVersion { found, supported } => write!(
+                f,
+                "unsupported schema version {found} (this build reads version {supported})"
+            ),
+            ServeError::InvalidSpec(message) => write!(f, "invalid job spec: {message}"),
+            ServeError::Compaction(error) => write!(f, "compaction failed: {error}"),
+            ServeError::UnknownJob(id) => write!(f, "unknown job id {id}"),
+            ServeError::JobFailed(message) => write!(f, "job failed: {message}"),
+            ServeError::Cancelled => write!(f, "job was cancelled"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Json(error) => Some(error),
+            ServeError::Compaction(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<JsonError> for ServeError {
+    fn from(error: JsonError) -> Self {
+        ServeError::Json(error)
+    }
+}
+
+impl From<CompactionError> for ServeError {
+    fn from(error: CompactionError) -> Self {
+        ServeError::Compaction(error)
+    }
+}

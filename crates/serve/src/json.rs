@@ -1,0 +1,1003 @@
+//! A self-contained JSON codec for the vendored `serde` data model.
+//!
+//! The workspace vendors a miniature `serde` (traits plus derive) but no
+//! `serde_json`, so this module supplies the missing format layer:
+//!
+//! * [`to_string`] drives any [`serde::ser::Serialize`] value through a
+//!   [`serde::ser::Serializer`] that writes compact JSON into a `String`,
+//! * [`from_str`] parses JSON with a recursive-descent
+//!   [`serde::de::Deserializer`] that feeds visitors through
+//!   `deserialize_any`.
+//!
+//! Policy decisions, chosen to keep report round-trips loss-free:
+//!
+//! * **Non-finite floats are rejected** at serialization time (JSON has no
+//!   `NaN`/`Infinity` literals, and silently writing `null` would corrupt a
+//!   report on the way back in).  Finite floats are written with Rust's
+//!   shortest round-trip `Display` formatting, so `value -> JSON -> value`
+//!   is exact.
+//! * **Strings** escape `"`, `\` and all control characters (`\u00XX`);
+//!   parsing understands the full escape set including `\uXXXX` surrogate
+//!   pairs.
+//! * **Enums** use external tagging to match the derive: a unit variant is
+//!   the bare string `"Name"`, every other variant is the single-key object
+//!   `{"Name": ...}`.
+//! * Parsing enforces a nesting **depth cap** so malformed input cannot
+//!   overflow the stack.
+
+use std::fmt;
+
+use serde::de::{self, Deserialize, IgnoredAny, Visitor};
+use serde::ser::{self, Serialize};
+
+/// Maximum nesting depth accepted by the parser.
+const MAX_DEPTH: usize = 128;
+
+/// Error raised by JSON serialization or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+}
+
+impl JsonError {
+    fn new(message: impl Into<String>) -> Self {
+        JsonError { message: message.into() }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl ser::Error for JsonError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        JsonError::new(msg.to_string())
+    }
+}
+
+impl de::Error for JsonError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        JsonError::new(msg.to_string())
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+///
+/// Fails if the value contains a non-finite float ([`f64::NAN`],
+/// [`f64::INFINITY`]) anywhere in its tree.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, JsonError> {
+    let mut out = String::new();
+    value.serialize(JsonSerializer { out: &mut out })?;
+    Ok(out)
+}
+
+/// Parses a JSON string into any [`Deserialize`] type.
+///
+/// Rejects trailing non-whitespace after the top-level value.
+pub fn from_str<'de, T: Deserialize<'de>>(input: &'de str) -> Result<T, JsonError> {
+    let mut parser = Parser::new(input);
+    let value = T::deserialize(&mut parser)?;
+    parser.skip_whitespace();
+    if parser.peek().is_some() {
+        return Err(JsonError::new(format!("trailing characters at offset {}", parser.pos)));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+fn write_escaped(out: &mut String, value: &str) {
+    out.push('"');
+    let mut start = 0;
+    for (index, byte) in value.bytes().enumerate() {
+        let escape: Option<&str> = match byte {
+            b'"' => Some("\\\""),
+            b'\\' => Some("\\\\"),
+            b'\n' => Some("\\n"),
+            b'\r' => Some("\\r"),
+            b'\t' => Some("\\t"),
+            0x08 => Some("\\b"),
+            0x0c => Some("\\f"),
+            0x00..=0x1f => None, // other control characters: \u00XX below
+            _ => continue,
+        };
+        out.push_str(&value[start..index]);
+        match escape {
+            Some(text) => out.push_str(text),
+            None => {
+                out.push_str("\\u00");
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                out.push(HEX[(byte >> 4) as usize] as char);
+                out.push(HEX[(byte & 0x0f) as usize] as char);
+            }
+        }
+        start = index + 1;
+    }
+    out.push_str(&value[start..]);
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) -> Result<(), JsonError> {
+    if !v.is_finite() {
+        return Err(JsonError::new(format!(
+            "cannot serialize non-finite float {v} (JSON has no NaN/Infinity literals)"
+        )));
+    }
+    // Rust's `Display` for floats is the shortest representation that parses
+    // back to the same bits, so round-trips are exact.
+    out.push_str(&format!("{v}"));
+    Ok(())
+}
+
+/// The serializer half of the codec; writes compact JSON into a `String`.
+struct JsonSerializer<'o> {
+    out: &'o mut String,
+}
+
+/// In-progress JSON array or object; tracks whether a comma is due and which
+/// closing delimiters remain (a variant object closes with `]}`/`}}`).
+struct Compound<'o> {
+    out: &'o mut String,
+    first: bool,
+    close: &'static str,
+}
+
+impl Compound<'_> {
+    fn comma(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+    }
+}
+
+impl<'o> ser::Serializer for JsonSerializer<'o> {
+    type Ok = ();
+    type Error = JsonError;
+    type SerializeSeq = Compound<'o>;
+    type SerializeMap = Compound<'o>;
+    type SerializeStruct = Compound<'o>;
+    type SerializeStructVariant = Compound<'o>;
+    type SerializeTupleVariant = Compound<'o>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), JsonError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), JsonError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), JsonError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), JsonError> {
+        write_f64(self.out, v)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), JsonError> {
+        write_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<(), JsonError> {
+        write_escaped(self.out, variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push(':');
+        value.serialize(JsonSerializer { out: self.out })?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'o>, JsonError> {
+        self.out.push('[');
+        Ok(Compound { out: self.out, first: true, close: "]" })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'o>, JsonError> {
+        self.out.push('{');
+        Ok(Compound { out: self.out, first: true, close: "}" })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'o>, JsonError> {
+        self.out.push('{');
+        Ok(Compound { out: self.out, first: true, close: "}" })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'o>, JsonError> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push_str(":{");
+        Ok(Compound { out: self.out, first: true, close: "}}" })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'o>, JsonError> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push_str(":[");
+        Ok(Compound { out: self.out, first: true, close: "]}" })
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.comma();
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.out.push_str(self.close);
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), JsonError> {
+        self.comma();
+        // JSON object keys must be strings; serialize the key on its own and
+        // quote the rendition when it is not already a string literal.
+        let mut rendered = String::new();
+        key.serialize(JsonSerializer { out: &mut rendered })?;
+        if rendered.starts_with('"') {
+            self.out.push_str(&rendered);
+        } else {
+            write_escaped(self.out, &rendered);
+        }
+        self.out.push(':');
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.out.push_str(self.close);
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.comma();
+        write_escaped(self.out, key);
+        self.out.push(':');
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.out.push_str(self.close);
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.out.push_str(self.close);
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.comma();
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.out.push_str(self.close);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Recursive-descent JSON parser; `&mut Parser` implements
+/// [`serde::de::Deserializer`].
+struct Parser<'de> {
+    input: &'de str,
+    pos: usize,
+    depth: usize,
+}
+
+impl<'de> Parser<'de> {
+    fn new(input: &'de str) -> Self {
+        Parser { input, pos: 0, depth: 0 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.as_bytes().get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let byte = self.peek()?;
+        self.pos += 1;
+        Some(byte)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError::new(format!("{} at offset {}", message.into(), self.pos))
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        self.skip_whitespace();
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`, found {}", byte as char, self.describe_next())))
+        }
+    }
+
+    fn describe_next(&self) -> String {
+        match self.peek() {
+            Some(byte) => format!("`{}`", byte as char),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), JsonError> {
+        if self.input[self.pos..].starts_with(keyword) {
+            self.pos += keyword.len();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{keyword}`")))
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    /// Parses a string literal, assuming the cursor sits on the opening `"`.
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut value = String::new();
+        let bytes = self.input.as_bytes();
+        let mut start = self.pos;
+        loop {
+            match bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    value.push_str(&self.input[start..self.pos]);
+                    self.pos += 1;
+                    return Ok(value);
+                }
+                Some(b'\\') => {
+                    value.push_str(&self.input[start..self.pos]);
+                    self.pos += 1;
+                    let escaped = match self.bump() {
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        Some(b'/') => '/',
+                        Some(b'b') => '\u{8}',
+                        Some(b'f') => '\u{c}',
+                        Some(b'n') => '\n',
+                        Some(b'r') => '\r',
+                        Some(b't') => '\t',
+                        Some(b'u') => self.parse_unicode_escape()?,
+                        _ => return Err(self.error("invalid escape sequence")),
+                    };
+                    value.push(escaped);
+                    start = self.pos;
+                }
+                Some(byte) if *byte < 0x20 => {
+                    return Err(self.error("unescaped control character in string"));
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, JsonError> {
+        let end = self.pos + 4;
+        let digits =
+            self.input.get(self.pos..end).ok_or_else(|| self.error("truncated \\u escape"))?;
+        let code = u16::from_str_radix(digits, 16)
+            .map_err(|_| self.error(format!("invalid \\u escape `{digits}`")))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.parse_hex4()?;
+        if (0xd800..0xdc00).contains(&first) {
+            // High surrogate: a low surrogate escape must follow.
+            self.expect_keyword("\\u")
+                .map_err(|_| self.error("unpaired surrogate in \\u escape"))?;
+            let second = self.parse_hex4()?;
+            if !(0xdc00..0xe000).contains(&second) {
+                return Err(self.error("invalid low surrogate in \\u escape"));
+            }
+            let code = 0x10000 + ((u32::from(first) - 0xd800) << 10) + (u32::from(second) - 0xdc00);
+            char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"))
+        } else if (0xdc00..0xe000).contains(&first) {
+            Err(self.error("unpaired low surrogate in \\u escape"))
+        } else {
+            char::from_u32(u32::from(first)).ok_or_else(|| self.error("invalid \\u escape"))
+        }
+    }
+
+    /// Parses a number and dispatches to the visitor as `i64`, `u64` or
+    /// `f64` — integers stay integers so `u64::MAX` survives a round-trip.
+    fn parse_number<V: Visitor<'de>>(&mut self, visitor: V) -> Result<V::Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(byte) = self.peek() {
+            match byte {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if text.is_empty() || text == "-" {
+            return Err(self.error("invalid number"));
+        }
+        if text == "-0" {
+            // `-0` must stay a float: routing it through `visit_i64(0)`
+            // would drop the sign bit.
+            return visitor.visit_f64(-0.0);
+        }
+        if !float {
+            if let Some(digits) = text.strip_prefix('-') {
+                if digits.parse::<u64>().is_ok() {
+                    if let Ok(value) = text.parse::<i64>() {
+                        return visitor.visit_i64(value);
+                    }
+                }
+            } else if let Ok(value) = text.parse::<u64>() {
+                return visitor.visit_u64(value);
+            }
+        }
+        let value: f64 =
+            text.parse().map_err(|_| JsonError::new(format!("invalid number `{text}`")))?;
+        if !value.is_finite() {
+            return Err(JsonError::new(format!("number `{text}` overflows f64")));
+        }
+        visitor.visit_f64(value)
+    }
+
+    /// Consumes one complete JSON value without interpreting it.
+    fn skip_value(&mut self) -> Result<(), JsonError> {
+        IgnoredAny::deserialize(&mut *self).map(|_| ())
+    }
+}
+
+/// Sequence access over `[...]`; drained to the closing bracket by the
+/// deserializer even if the visitor stops early.
+struct SeqFrame<'a, 'de> {
+    parser: &'a mut Parser<'de>,
+    first: bool,
+    done: bool,
+}
+
+impl<'de> SeqFrame<'_, 'de> {
+    /// Positions the cursor on the next element, or consumes `]` and
+    /// reports the end.
+    fn element_start(&mut self) -> Result<bool, JsonError> {
+        if self.done {
+            return Ok(false);
+        }
+        self.parser.skip_whitespace();
+        if self.parser.peek() == Some(b']') {
+            self.parser.pos += 1;
+            self.done = true;
+            return Ok(false);
+        }
+        if !self.first {
+            self.parser.expect(b',')?;
+            self.parser.skip_whitespace();
+        }
+        self.first = false;
+        Ok(true)
+    }
+
+    fn drain(&mut self) -> Result<(), JsonError> {
+        while self.element_start()? {
+            self.parser.skip_value()?;
+        }
+        Ok(())
+    }
+}
+
+impl<'de> de::SeqAccess<'de> for &mut SeqFrame<'_, 'de> {
+    type Error = JsonError;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, JsonError> {
+        if !self.element_start()? {
+            return Ok(None);
+        }
+        T::deserialize(&mut *self.parser).map(Some)
+    }
+}
+
+/// Map access over `{...}`; drained to the closing brace by the
+/// deserializer even if the visitor stops early.
+struct MapFrame<'a, 'de> {
+    parser: &'a mut Parser<'de>,
+    first: bool,
+    done: bool,
+    expect_value: bool,
+}
+
+impl<'de> MapFrame<'_, 'de> {
+    /// Positions the cursor on the next key, or consumes `}` and reports
+    /// the end.
+    fn key_start(&mut self) -> Result<bool, JsonError> {
+        if self.done {
+            return Ok(false);
+        }
+        self.parser.skip_whitespace();
+        if self.parser.peek() == Some(b'}') {
+            self.parser.pos += 1;
+            self.done = true;
+            return Ok(false);
+        }
+        if !self.first {
+            self.parser.expect(b',')?;
+            self.parser.skip_whitespace();
+        }
+        self.first = false;
+        Ok(true)
+    }
+
+    fn drain(&mut self) -> Result<(), JsonError> {
+        if self.expect_value {
+            self.expect_value = false;
+            self.parser.expect(b':')?;
+            self.parser.skip_value()?;
+        }
+        while self.key_start()? {
+            self.parser.parse_string()?;
+            self.parser.expect(b':')?;
+            self.parser.skip_value()?;
+        }
+        Ok(())
+    }
+}
+
+impl<'de> de::MapAccess<'de> for &mut MapFrame<'_, 'de> {
+    type Error = JsonError;
+
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, JsonError> {
+        if self.expect_value {
+            // The visitor skipped `next_value`; discard the pending value.
+            self.expect_value = false;
+            self.parser.expect(b':')?;
+            self.parser.skip_value()?;
+        }
+        if !self.key_start()? {
+            return Ok(None);
+        }
+        self.expect_value = true;
+        K::deserialize(&mut *self.parser).map(Some)
+    }
+
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, JsonError> {
+        if !self.expect_value {
+            return Err(self.parser.error("map value requested before a key"));
+        }
+        self.expect_value = false;
+        self.parser.expect(b':')?;
+        V::deserialize(&mut *self.parser)
+    }
+}
+
+/// Feeds an already-parsed variant tag to the derive's tag visitor.
+struct TagDeserializer {
+    tag: String,
+}
+
+impl<'de> de::Deserializer<'de> for TagDeserializer {
+    type Error = JsonError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        visitor.visit_string(self.tag)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        visitor.visit_some(self)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        _visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        Err(JsonError::new("variant tag cannot itself be an enum"))
+    }
+}
+
+/// Enum access for externally tagged values: either a bare `"Name"` string
+/// (unit variants) or the single-key object `{"Name": content}`.
+struct EnumFrame<'a, 'de> {
+    parser: &'a mut Parser<'de>,
+    tag: String,
+    /// `true` when the tag came from a `{"Name": ...}` object whose content
+    /// and closing `}` still need to be consumed.
+    has_content: bool,
+}
+
+impl<'de> de::EnumAccess<'de> for EnumFrame<'_, 'de> {
+    type Error = JsonError;
+    type Variant = Self;
+
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self), JsonError> {
+        let tag = V::deserialize(TagDeserializer { tag: self.tag.clone() })?;
+        Ok((tag, self))
+    }
+}
+
+impl<'de> de::VariantAccess<'de> for EnumFrame<'_, 'de> {
+    type Error = JsonError;
+
+    fn unit_variant(self) -> Result<(), JsonError> {
+        if self.has_content {
+            // Tolerate `{"Name": null}` as a unit variant.
+            self.parser.skip_value()?;
+            self.parser.expect(b'}')?;
+        }
+        Ok(())
+    }
+
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, JsonError> {
+        if !self.has_content {
+            return Err(JsonError::new(format!(
+                "variant `{}` expects a value: `{{\"{}\": ...}}`",
+                self.tag, self.tag
+            )));
+        }
+        let value = T::deserialize(&mut *self.parser)?;
+        self.parser.expect(b'}')?;
+        Ok(value)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        if !self.has_content {
+            return Err(JsonError::new(format!(
+                "variant `{}` expects an array: `{{\"{}\": [...]}}`",
+                self.tag, self.tag
+            )));
+        }
+        let value = {
+            let content = &mut *self.parser;
+            content.skip_whitespace();
+            content.expect(b'[')?;
+            content.enter()?;
+            let mut frame = SeqFrame { parser: content, first: true, done: false };
+            let value = visitor.visit_seq(&mut frame)?;
+            frame.drain()?;
+            value
+        };
+        self.parser.leave();
+        self.parser.expect(b'}')?;
+        Ok(value)
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        if !self.has_content {
+            return Err(JsonError::new(format!(
+                "variant `{}` expects an object: `{{\"{}\": {{...}}}}`",
+                self.tag, self.tag
+            )));
+        }
+        let value = {
+            let content = &mut *self.parser;
+            content.skip_whitespace();
+            content.expect(b'{')?;
+            content.enter()?;
+            let mut frame =
+                MapFrame { parser: content, first: true, done: false, expect_value: false };
+            let value = visitor.visit_map(&mut frame)?;
+            frame.drain()?;
+            value
+        };
+        self.parser.leave();
+        self.parser.expect(b'}')?;
+        Ok(value)
+    }
+}
+
+impl<'de> de::Deserializer<'de> for &mut Parser<'de> {
+    type Error = JsonError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        self.skip_whitespace();
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') => {
+                self.expect_keyword("null")?;
+                visitor.visit_unit()
+            }
+            Some(b't') => {
+                self.expect_keyword("true")?;
+                visitor.visit_bool(true)
+            }
+            Some(b'f') => {
+                self.expect_keyword("false")?;
+                visitor.visit_bool(false)
+            }
+            Some(b'"') => {
+                let value = self.parse_string()?;
+                visitor.visit_string(value)
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.enter()?;
+                let mut frame = SeqFrame { parser: self, first: true, done: false };
+                let value = visitor.visit_seq(&mut frame)?;
+                frame.drain()?;
+                frame.parser.leave();
+                Ok(value)
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                self.enter()?;
+                let mut frame =
+                    MapFrame { parser: self, first: true, done: false, expect_value: false };
+                let value = visitor.visit_map(&mut frame)?;
+                frame.drain()?;
+                frame.parser.leave();
+                Ok(value)
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(visitor),
+            Some(byte) => Err(self.error(format!("unexpected character `{}`", byte as char))),
+        }
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        self.skip_whitespace();
+        if self.peek() == Some(b'n') {
+            self.expect_keyword("null")?;
+            visitor.visit_none()
+        } else {
+            visitor.visit_some(self)
+        }
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'"') => {
+                let tag = self.parse_string()?;
+                visitor.visit_enum(EnumFrame { parser: self, tag, has_content: false })
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                self.enter()?;
+                self.skip_whitespace();
+                let tag = self.parse_string()?;
+                self.expect(b':')?;
+                self.skip_whitespace();
+                let value =
+                    visitor.visit_enum(EnumFrame { parser: self, tag, has_content: true })?;
+                self.leave();
+                Ok(value)
+            }
+            _ => Err(self.error(format!(
+                "expected enum (string tag or single-key object), found {}",
+                self.describe_next()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: f64,
+        y: f64,
+        label: String,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Empty,
+        Circle(f64),
+        Rect { w: f64, h: f64 },
+        Pair(f64, f64),
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&-42i64).unwrap(), "-42");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<i64>("-42").unwrap(), -42);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<u64>(&u64::MAX.to_string()).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let gnarly = "a\"b\\c\nd\te\u{8}\u{c}\u{1}é€\u{10348}";
+        let json = to_string(&gnarly.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), gnarly);
+        // Surrogate-pair escapes decode too.
+        assert_eq!(from_str::<String>(r#""𐍈""#).unwrap(), "\u{10348}");
+        assert!(from_str::<String>(r#""\ud800""#).is_err());
+    }
+
+    #[test]
+    fn structs_and_enums_round_trip() {
+        let point = Point { x: 1.25, y: -0.5, label: "origin-ish".into() };
+        let json = to_string(&point).unwrap();
+        assert_eq!(json, r#"{"x":1.25,"y":-0.5,"label":"origin-ish"}"#);
+        assert_eq!(from_str::<Point>(&json).unwrap(), point);
+
+        for shape in [
+            Shape::Empty,
+            Shape::Circle(2.0),
+            Shape::Rect { w: 3.0, h: 4.0 },
+            Shape::Pair(1.0, 2.0),
+        ] {
+            let json = to_string(&shape).unwrap();
+            assert_eq!(from_str::<Shape>(&json).unwrap(), shape);
+        }
+        assert_eq!(to_string(&Shape::Empty).unwrap(), r#""Empty""#);
+        assert_eq!(to_string(&Shape::Circle(2.0)).unwrap(), r#"{"Circle":2}"#);
+    }
+
+    #[test]
+    fn options_and_sequences_round_trip() {
+        let values: Vec<Option<f64>> = vec![Some(1.0), None, Some(-2.5)];
+        let json = to_string(&values).unwrap();
+        assert_eq!(json, "[1,null,-2.5]");
+        assert_eq!(from_str::<Vec<Option<f64>>>(&json).unwrap(), values);
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+        assert!(to_string(&f64::NEG_INFINITY).is_err());
+    }
+
+    #[test]
+    fn unknown_fields_are_skipped() {
+        let json = r#"{"x":1,"extra":{"deep":[1,2,{"a":"b"}]},"y":2,"label":"p"}"#;
+        let point = from_str::<Point>(json).unwrap();
+        assert_eq!(point, Point { x: 1.0, y: 2.0, label: "p".into() });
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(from_str::<f64>("nope").is_err());
+        assert!(from_str::<Vec<f64>>("[1,2").is_err());
+        assert!(from_str::<Point>(r#"{"x":1}"#).is_err());
+        assert!(from_str::<f64>("1.5 junk").is_err());
+        let deep = "[".repeat(MAX_DEPTH + 1);
+        assert!(from_str::<IgnoredAny>(&deep).is_err());
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for value in [0.1, 1.0 / 3.0, f64::MAX, f64::MIN_POSITIVE, -0.0, 6.02e23] {
+            let json = to_string(&value).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), value.to_bits(), "{value} -> {json}");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Compaction as a service: the paper's two case studies through the
+//! `stc-serve` job queue.
+//!
+//! ```text
+//! cargo run --release --example serve_compaction
+//! ```
+//!
+//! Submits the op-amp and MEMS accelerometer batches as two jobs on a
+//! two-worker [`CompactionService`], plus a third (synthetic) job that is
+//! cancelled while still queued.  While the jobs run, the example polls
+//! [`CompactionService::status`] and prints the streaming anytime view —
+//! models trained and best elimination frontier so far, per shard — then
+//! prints each final report and round-trips one through the versioned JSON
+//! envelope.
+//!
+//! Population sizes honour `STC_SCALE` (e.g. `STC_SCALE=0.05` for a smoke
+//! run).
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use spec_test_compaction::adapters::AccelerometerDevice;
+use stc_core::{CompactionConfig, MonteCarloConfig};
+use stc_serve::{
+    envelope, ClassifierSpec, CompactionService, DeviceSpec, JobId, JobSpec, JobStatus, ServeError,
+};
+
+fn scaled(count: usize) -> usize {
+    let scale = std::env::var("STC_SCALE")
+        .ok()
+        .and_then(|value| value.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .clamp(0.02, 1.0);
+    ((count as f64 * scale) as usize).max(40)
+}
+
+fn main() -> Result<(), ServeError> {
+    let service = CompactionService::new(2);
+
+    // Job 1: the op-amp case study (paper Section 5.1 settings, scaled).
+    let mut opamp = JobSpec::new(
+        vec![DeviceSpec::OpAmp],
+        MonteCarloConfig::new(scaled(300)).with_seed(2005).with_calibration_quantiles(0.02, 0.98),
+        CompactionConfig::paper_default().with_tolerance(0.02),
+    );
+    opamp.classifier = ClassifierSpec::Svm;
+
+    // Job 2: the MEMS accelerometer with its thermal-insertion cost model.
+    let mut mems = JobSpec::new(
+        vec![DeviceSpec::MemsAccelerometer],
+        MonteCarloConfig::new(scaled(300)).with_seed(2005).with_calibration_quantiles(0.075, 0.925),
+        CompactionConfig::paper_default().with_tolerance(0.02),
+    );
+    mems.classifier = ClassifierSpec::Svm;
+    mems.cost_model = Some(AccelerometerDevice::cost_model());
+
+    // Job 3: a synthetic batch we change our mind about.
+    let doomed_spec = JobSpec::new(
+        vec![DeviceSpec::Synthetic { specs: 6, limit: 1.8, correlation: 0.9 }],
+        MonteCarloConfig::new(scaled(300)).with_seed(7),
+        CompactionConfig::paper_default().with_tolerance(0.05),
+    );
+
+    let opamp_id = service.submit(opamp)?;
+    let mems_id = service.submit(mems)?;
+    let doomed = service.submit(doomed_spec)?;
+    println!("submitted {opamp_id}, {mems_id}, {doomed}");
+
+    // Both workers are busy with the first two jobs, so the third is still
+    // queued and cancelling it is guaranteed to never train a model.
+    service.cancel(doomed)?;
+    println!("cancelled {doomed} while queued\n");
+
+    // Poll the running jobs and print the anytime progress stream.
+    let mut pending: Vec<JobId> = vec![opamp_id, mems_id, doomed];
+    let mut reported: HashSet<u64> = HashSet::new();
+    while !pending.is_empty() {
+        pending.retain(|&id| {
+            let status = service.status(id).expect("job ids stay valid");
+            match status {
+                JobStatus::Queued => true,
+                JobStatus::Running { progress } => {
+                    for shard in &progress.shards {
+                        if shard.started && !shard.finished {
+                            println!(
+                                "  {id} [{}] {} trainings, best frontier so far: {:?}",
+                                shard.label, shard.trainings, shard.best_frontier
+                            );
+                        }
+                    }
+                    true
+                }
+                JobStatus::Done { report } => {
+                    if reported.insert(id.as_u64()) {
+                        println!("\n{id} done: {}\n", report.summary());
+                        for run in &report.runs {
+                            println!("  [{}] {}", run.label, run.report.summary());
+                        }
+                        println!();
+                    }
+                    false
+                }
+                JobStatus::Failed { error } => {
+                    println!("{id} failed: {error}");
+                    false
+                }
+                JobStatus::Cancelled => {
+                    println!("{id} cancelled (never trained)");
+                    false
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(150));
+    }
+
+    // Reports are wire-ready: round-trip the op-amp report through the
+    // versioned JSON envelope.
+    let status = service.await_result(opamp_id)?;
+    let report = status.report().expect("op-amp job completed");
+    let encoded = envelope::encode(report)?;
+    let decoded: stc_core::BatchReport = envelope::decode(&encoded)?;
+    assert_eq!(envelope::encode(&decoded)?, encoded);
+    println!(
+        "op-amp report JSON: {} bytes (schema v{}), round-trips byte-for-byte",
+        encoded.len(),
+        stc_serve::SCHEMA_VERSION
+    );
+    Ok(())
+}

@@ -1,17 +1,792 @@
-//! Offline stand-in for the real `serde` crate (see `vendor/serde_derive`).
+//! Offline mini-implementation of the `serde` data model.
 //!
-//! Exposes `Serialize`/`Deserialize` in both the trait and derive-macro
-//! namespaces so `use serde::{Deserialize, Serialize};` plus
-//! `#[derive(Serialize, Deserialize)]` compile unchanged.  The traits are
-//! empty markers and the derives expand to nothing; replace the `vendor/`
-//! path dependencies with crates.io entries to restore real serialisation.
+//! Earlier releases shipped this crate as an empty marker so annotated types
+//! merely compiled; as of 0.7 it is a real (if deliberately small) serde:
+//! [`Serialize`]/[`Deserialize`] drive a visitor-based data model rich enough
+//! for every type in the workspace, and `vendor/serde_derive` generates real
+//! implementations for `#[derive(Serialize, Deserialize)]`.  Formats (such as
+//! `stc-serve`'s JSON codec) implement [`ser::Serializer`] and
+//! [`de::Deserializer`].
+//!
+//! Differences from crates.io serde, chosen to keep the vendored crate small:
+//!
+//! - no zero-copy deserialization (strings are owned; the `'de` lifetime is
+//!   carried for API compatibility),
+//! - no `DeserializeSeed`; sequence/map access hands out values directly,
+//! - self-describing formats only: a [`de::Deserializer`] exposes
+//!   `deserialize_any`, `deserialize_option`, and `deserialize_enum` rather
+//!   than the full set of type hints.
+//!
+//! Swapping back to crates.io serde only requires replacing the `vendor/`
+//! path entries; the annotated types themselves are unchanged.
 
 #![forbid(unsafe_code)]
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize`.
-pub trait Serialize {}
+pub use crate::de::{Deserialize, Deserializer};
+pub use crate::ser::{Serialize, Serializer};
 
-/// Marker stand-in for `serde::Deserialize`.
-pub trait Deserialize<'de>: Sized {}
+/// Serialization half of the data model.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Error raised by a [`Serializer`].
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A value that can be serialized into any [`Serializer`].
+    pub trait Serialize {
+        /// Serializes `self` into the given serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    /// A data format that can receive the serde data model.
+    pub trait Serializer: Sized {
+        /// Output produced by a successful serialization.
+        type Ok;
+        /// Error raised on failure.
+        type Error: Error;
+        /// State for serializing sequences (and tuples).
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+        /// State for serializing maps.
+        type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+        /// State for serializing structs.
+        type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+        /// State for serializing struct enum variants.
+        type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+        /// State for serializing tuple enum variants.
+        type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+
+        /// Serializes a `bool`.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a signed integer.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an unsigned integer.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a floating-point number.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a string.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `()`.
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `Option::None`.
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `Option::Some(value)`.
+        fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a unit struct such as `struct Marker;`.
+        fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error> {
+            let _ = name;
+            self.serialize_unit()
+        }
+        /// Serializes a newtype struct such as `struct Id(u64);`.
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error> {
+            let _ = name;
+            value.serialize(self)
+        }
+        /// Serializes a unit enum variant such as `E::A`.
+        fn serialize_unit_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a newtype enum variant such as `E::A(value)`.
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Begins serializing a variable-length sequence.
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+        /// Begins serializing a fixed-length tuple.
+        fn serialize_tuple(self, len: usize) -> Result<Self::SerializeSeq, Self::Error> {
+            self.serialize_seq(Some(len))
+        }
+        /// Begins serializing a map.
+        fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+        /// Begins serializing a struct with named fields.
+        fn serialize_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error>;
+        /// Begins serializing a struct enum variant such as `E::A { .. }`.
+        fn serialize_struct_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStructVariant, Self::Error>;
+        /// Begins serializing a tuple enum variant such as `E::A(x, y)`.
+        fn serialize_tuple_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    }
+
+    /// In-progress sequence serialization.
+    pub trait SerializeSeq: Sized {
+        /// Output produced by [`SerializeSeq::end`].
+        type Ok;
+        /// Error raised on failure.
+        type Error: Error;
+        /// Serializes one element.
+        fn serialize_element<T: Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// In-progress map serialization.
+    pub trait SerializeMap: Sized {
+        /// Output produced by [`SerializeMap::end`].
+        type Ok;
+        /// Error raised on failure.
+        type Error: Error;
+        /// Serializes one key/value entry.
+        fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+            &mut self,
+            key: &K,
+            value: &V,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the map.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// In-progress struct serialization.
+    pub trait SerializeStruct: Sized {
+        /// Output produced by [`SerializeStruct::end`].
+        type Ok;
+        /// Error raised on failure.
+        type Error: Error;
+        /// Serializes one named field.
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// In-progress struct-variant serialization.
+    pub trait SerializeStructVariant: Sized {
+        /// Output produced by [`SerializeStructVariant::end`].
+        type Ok;
+        /// Error raised on failure.
+        type Error: Error;
+        /// Serializes one named field.
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the variant.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// In-progress tuple-variant serialization.
+    pub trait SerializeTupleVariant: Sized {
+        /// Output produced by [`SerializeTupleVariant::end`].
+        type Ok;
+        /// Error raised on failure.
+        type Error: Error;
+        /// Serializes one positional field.
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+        /// Finishes the variant.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(serializer)
+        }
+    }
+
+    impl Serialize for bool {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_bool(*self)
+        }
+    }
+
+    macro_rules! serialize_signed {
+        ($($ty:ty),*) => {$(
+            impl Serialize for $ty {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.serialize_i64(*self as i64)
+                }
+            }
+        )*};
+    }
+    serialize_signed!(i8, i16, i32, i64, isize);
+
+    macro_rules! serialize_unsigned {
+        ($($ty:ty),*) => {$(
+            impl Serialize for $ty {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.serialize_u64(*self as u64)
+                }
+            }
+        )*};
+    }
+    serialize_unsigned!(u8, u16, u32, u64, usize);
+
+    impl Serialize for f32 {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_f64(f64::from(*self))
+        }
+    }
+
+    impl Serialize for f64 {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_f64(*self)
+        }
+    }
+
+    impl Serialize for str {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl Serialize for String {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl Serialize for () {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_unit()
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            match self {
+                Some(value) => serializer.serialize_some(value),
+                None => serializer.serialize_none(),
+            }
+        }
+    }
+
+    impl<T: Serialize> Serialize for [T] {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut seq = serializer.serialize_seq(Some(self.len()))?;
+            for element in self {
+                seq.serialize_element(element)?;
+            }
+            seq.end()
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(serializer)
+        }
+    }
+
+    impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut seq = serializer.serialize_tuple(2)?;
+            seq.serialize_element(&self.0)?;
+            seq.serialize_element(&self.1)?;
+            seq.end()
+        }
+    }
+
+    impl Serialize for std::time::Duration {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut state = serializer.serialize_struct("Duration", 2)?;
+            state.serialize_field("secs", &self.as_secs())?;
+            state.serialize_field("nanos", &self.subsec_nanos())?;
+            state.end()
+        }
+    }
+}
+
+/// Deserialization half of the data model.
+pub mod de {
+    use std::fmt::{self, Display};
+
+    /// Error raised by a [`Deserializer`].
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+
+        /// A required field was absent from the input.
+        fn missing_field(field: &'static str) -> Self {
+            Self::custom(format!("missing field `{field}`"))
+        }
+
+        /// A field was present more than once.
+        fn duplicate_field(field: &'static str) -> Self {
+            Self::custom(format!("duplicate field `{field}`"))
+        }
+
+        /// An enum tag did not match any known variant.
+        fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+            Self::custom(format!("unknown variant `{variant}`, expected one of {expected:?}"))
+        }
+
+        /// The input held a value of the wrong type.
+        fn invalid_type(found: &str, expected: &dyn Display) -> Self {
+            Self::custom(format!("invalid type: {found}, expected {expected}"))
+        }
+    }
+
+    /// A value that can be deserialized from any [`Deserializer`].
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes `Self` from the given deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// A self-describing data format the serde data model can be read from.
+    pub trait Deserializer<'de>: Sized {
+        /// Error raised on failure.
+        type Error: Error;
+
+        /// Feeds whatever value comes next into `visitor`.
+        fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+        /// Like `deserialize_any`, but maps the format's null to
+        /// `visit_none` and everything else to `visit_some`.
+        fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+        /// Feeds an externally-tagged enum into `visitor`.
+        fn deserialize_enum<V: Visitor<'de>>(
+            self,
+            name: &'static str,
+            variants: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, Self::Error>;
+    }
+
+    /// Helper rendering a visitor's `expecting` message.
+    struct Expecting<'a, V>(&'a V);
+
+    impl<'de, V: Visitor<'de>> Display for Expecting<'_, V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.expecting(f)
+        }
+    }
+
+    /// Receives values from a [`Deserializer`]; every `visit_*` method
+    /// defaults to an invalid-type error.
+    pub trait Visitor<'de>: Sized {
+        /// The value this visitor produces.
+        type Value;
+
+        /// Writes a short description of what the visitor expects
+        /// ("struct CompactionConfig", "a non-negative integer", ...).
+        fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+        /// Visits a `bool`.
+        fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+            Err(E::invalid_type(&format!("boolean `{v}`"), &Expecting(&self)))
+        }
+
+        /// Visits a signed integer.
+        fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+            Err(E::invalid_type(&format!("integer `{v}`"), &Expecting(&self)))
+        }
+
+        /// Visits an unsigned integer.
+        fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+            Err(E::invalid_type(&format!("integer `{v}`"), &Expecting(&self)))
+        }
+
+        /// Visits a floating-point number.
+        fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+            Err(E::invalid_type(&format!("number `{v}`"), &Expecting(&self)))
+        }
+
+        /// Visits a borrowed string.
+        fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+            Err(E::invalid_type(&format!("string {v:?}"), &Expecting(&self)))
+        }
+
+        /// Visits an owned string (defaults to [`Visitor::visit_str`]).
+        fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+            self.visit_str(&v)
+        }
+
+        /// Visits a unit / null value.
+        fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+            Err(E::invalid_type("unit", &Expecting(&self)))
+        }
+
+        /// Visits an absent optional.
+        fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+            Err(E::invalid_type("none", &Expecting(&self)))
+        }
+
+        /// Visits a present optional.
+        fn visit_some<D: Deserializer<'de>>(
+            self,
+            deserializer: D,
+        ) -> Result<Self::Value, D::Error> {
+            let _ = deserializer;
+            Err(D::Error::invalid_type("some", &Expecting(&self)))
+        }
+
+        /// Visits a sequence.
+        fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+            let _ = seq;
+            Err(A::Error::invalid_type("sequence", &Expecting(&self)))
+        }
+
+        /// Visits a map.
+        fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+            let _ = map;
+            Err(A::Error::invalid_type("map", &Expecting(&self)))
+        }
+
+        /// Visits an externally-tagged enum.
+        fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+            let _ = data;
+            Err(A::Error::invalid_type("enum", &Expecting(&self)))
+        }
+    }
+
+    /// Streaming access to the elements of a sequence.
+    pub trait SeqAccess<'de> {
+        /// Error raised on failure.
+        type Error: Error;
+        /// Deserializes the next element, or `None` at the end.
+        fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+    }
+
+    /// Streaming access to the entries of a map.
+    pub trait MapAccess<'de> {
+        /// Error raised on failure.
+        type Error: Error;
+        /// Deserializes the next key, or `None` at the end.
+        fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error>;
+        /// Deserializes the value paired with the most recent key.
+        fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error>;
+    }
+
+    /// Access to the tag and content of an externally-tagged enum.
+    pub trait EnumAccess<'de>: Sized {
+        /// Error raised on failure.
+        type Error: Error;
+        /// Access to the variant's content after the tag is read.
+        type Variant: VariantAccess<'de, Error = Self::Error>;
+        /// Deserializes the variant tag.
+        fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error>;
+    }
+
+    /// Access to the content of one enum variant.
+    pub trait VariantAccess<'de>: Sized {
+        /// Error raised on failure.
+        type Error: Error;
+        /// Consumes a unit variant.
+        fn unit_variant(self) -> Result<(), Self::Error>;
+        /// Deserializes a newtype variant's single field.
+        fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error>;
+        /// Feeds a tuple variant's fields into `visitor` as a sequence.
+        fn tuple_variant<V: Visitor<'de>>(
+            self,
+            len: usize,
+            visitor: V,
+        ) -> Result<V::Value, Self::Error>;
+        /// Feeds a struct variant's fields into `visitor` as a map.
+        fn struct_variant<V: Visitor<'de>>(
+            self,
+            fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, Self::Error>;
+    }
+
+    /// Accepts and discards any single value; used to skip unknown fields.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct IgnoredAny;
+
+    impl<'de> Deserialize<'de> for IgnoredAny {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            struct IgnoredVisitor;
+            impl<'de> Visitor<'de> for IgnoredVisitor {
+                type Value = IgnoredAny;
+                fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    f.write_str("any value")
+                }
+                fn visit_bool<E: Error>(self, _: bool) -> Result<IgnoredAny, E> {
+                    Ok(IgnoredAny)
+                }
+                fn visit_i64<E: Error>(self, _: i64) -> Result<IgnoredAny, E> {
+                    Ok(IgnoredAny)
+                }
+                fn visit_u64<E: Error>(self, _: u64) -> Result<IgnoredAny, E> {
+                    Ok(IgnoredAny)
+                }
+                fn visit_f64<E: Error>(self, _: f64) -> Result<IgnoredAny, E> {
+                    Ok(IgnoredAny)
+                }
+                fn visit_str<E: Error>(self, _: &str) -> Result<IgnoredAny, E> {
+                    Ok(IgnoredAny)
+                }
+                fn visit_unit<E: Error>(self) -> Result<IgnoredAny, E> {
+                    Ok(IgnoredAny)
+                }
+                fn visit_none<E: Error>(self) -> Result<IgnoredAny, E> {
+                    Ok(IgnoredAny)
+                }
+                fn visit_some<D: Deserializer<'de>>(
+                    self,
+                    deserializer: D,
+                ) -> Result<IgnoredAny, D::Error> {
+                    IgnoredAny::deserialize(deserializer)
+                }
+                fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<IgnoredAny, A::Error> {
+                    while seq.next_element::<IgnoredAny>()?.is_some() {}
+                    Ok(IgnoredAny)
+                }
+                fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<IgnoredAny, A::Error> {
+                    while map.next_key::<IgnoredAny>()?.is_some() {
+                        map.next_value::<IgnoredAny>()?;
+                    }
+                    Ok(IgnoredAny)
+                }
+            }
+            deserializer.deserialize_any(IgnoredVisitor)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for bool {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            struct BoolVisitor;
+            impl<'de> Visitor<'de> for BoolVisitor {
+                type Value = bool;
+                fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    f.write_str("a boolean")
+                }
+                fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+                    Ok(v)
+                }
+            }
+            deserializer.deserialize_any(BoolVisitor)
+        }
+    }
+
+    macro_rules! deserialize_integer {
+        ($($ty:ty => $expecting:literal),*) => {$(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct IntVisitor;
+                    impl<'de> Visitor<'de> for IntVisitor {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str($expecting)
+                        }
+                        fn visit_i64<E: Error>(self, v: i64) -> Result<$ty, E> {
+                            <$ty>::try_from(v).map_err(|_| {
+                                E::custom(format!("integer `{v}` out of range for {}", $expecting))
+                            })
+                        }
+                        fn visit_u64<E: Error>(self, v: u64) -> Result<$ty, E> {
+                            <$ty>::try_from(v).map_err(|_| {
+                                E::custom(format!("integer `{v}` out of range for {}", $expecting))
+                            })
+                        }
+                    }
+                    deserializer.deserialize_any(IntVisitor)
+                }
+            }
+        )*};
+    }
+    deserialize_integer!(
+        i8 => "an 8-bit signed integer",
+        i16 => "a 16-bit signed integer",
+        i32 => "a 32-bit signed integer",
+        i64 => "a 64-bit signed integer",
+        isize => "a pointer-sized signed integer",
+        u8 => "an 8-bit unsigned integer",
+        u16 => "a 16-bit unsigned integer",
+        u32 => "a 32-bit unsigned integer",
+        u64 => "a 64-bit unsigned integer",
+        usize => "a pointer-sized unsigned integer"
+    );
+
+    macro_rules! deserialize_float {
+        ($($ty:ty),*) => {$(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct FloatVisitor;
+                    impl<'de> Visitor<'de> for FloatVisitor {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str("a number")
+                        }
+                        fn visit_i64<E: Error>(self, v: i64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_u64<E: Error>(self, v: u64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_f64<E: Error>(self, v: f64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                    }
+                    deserializer.deserialize_any(FloatVisitor)
+                }
+            }
+        )*};
+    }
+    deserialize_float!(f32, f64);
+
+    impl<'de> Deserialize<'de> for String {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            struct StringVisitor;
+            impl<'de> Visitor<'de> for StringVisitor {
+                type Value = String;
+                fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    f.write_str("a string")
+                }
+                fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                    Ok(v.to_owned())
+                }
+                fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                    Ok(v)
+                }
+            }
+            deserializer.deserialize_any(StringVisitor)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for () {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            struct UnitVisitor;
+            impl<'de> Visitor<'de> for UnitVisitor {
+                type Value = ();
+                fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    f.write_str("unit")
+                }
+                fn visit_unit<E: Error>(self) -> Result<(), E> {
+                    Ok(())
+                }
+            }
+            deserializer.deserialize_any(UnitVisitor)
+        }
+    }
+
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            struct OptionVisitor<T>(std::marker::PhantomData<T>);
+            impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+                type Value = Option<T>;
+                fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    f.write_str("an optional value")
+                }
+                fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                    Ok(None)
+                }
+                fn visit_unit<E: Error>(self) -> Result<Option<T>, E> {
+                    Ok(None)
+                }
+                fn visit_some<D: Deserializer<'de>>(
+                    self,
+                    deserializer: D,
+                ) -> Result<Option<T>, D::Error> {
+                    T::deserialize(deserializer).map(Some)
+                }
+            }
+            deserializer.deserialize_option(OptionVisitor(std::marker::PhantomData))
+        }
+    }
+
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            struct VecVisitor<T>(std::marker::PhantomData<T>);
+            impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+                type Value = Vec<T>;
+                fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    f.write_str("a sequence")
+                }
+                fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                    let mut values = Vec::new();
+                    while let Some(value) = seq.next_element()? {
+                        values.push(value);
+                    }
+                    Ok(values)
+                }
+            }
+            deserializer.deserialize_any(VecVisitor(std::marker::PhantomData))
+        }
+    }
+
+    impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            struct PairVisitor<A, B>(std::marker::PhantomData<(A, B)>);
+            impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Visitor<'de> for PairVisitor<A, B> {
+                type Value = (A, B);
+                fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    f.write_str("a two-element sequence")
+                }
+                fn visit_seq<S: SeqAccess<'de>>(self, mut seq: S) -> Result<(A, B), S::Error> {
+                    let first = seq
+                        .next_element()?
+                        .ok_or_else(|| S::Error::custom("expected 2 elements, found 0"))?;
+                    let second = seq
+                        .next_element()?
+                        .ok_or_else(|| S::Error::custom("expected 2 elements, found 1"))?;
+                    if seq.next_element::<IgnoredAny>()?.is_some() {
+                        return Err(S::Error::custom("expected exactly 2 elements"));
+                    }
+                    Ok((first, second))
+                }
+            }
+            deserializer.deserialize_any(PairVisitor(std::marker::PhantomData))
+        }
+    }
+
+    impl<'de> Deserialize<'de> for std::time::Duration {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            struct DurationVisitor;
+            impl<'de> Visitor<'de> for DurationVisitor {
+                type Value = std::time::Duration;
+                fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    f.write_str("a duration as {secs, nanos}")
+                }
+                fn visit_map<A: MapAccess<'de>>(
+                    self,
+                    mut map: A,
+                ) -> Result<std::time::Duration, A::Error> {
+                    let mut secs: Option<u64> = None;
+                    let mut nanos: Option<u32> = None;
+                    while let Some(key) = map.next_key::<String>()? {
+                        match key.as_str() {
+                            "secs" => secs = Some(map.next_value()?),
+                            "nanos" => nanos = Some(map.next_value()?),
+                            _ => {
+                                map.next_value::<IgnoredAny>()?;
+                            }
+                        }
+                    }
+                    let secs = secs.ok_or_else(|| A::Error::missing_field("secs"))?;
+                    let nanos = nanos.ok_or_else(|| A::Error::missing_field("nanos"))?;
+                    if nanos >= 1_000_000_000 {
+                        return Err(A::Error::custom("duration nanos must be < 1e9"));
+                    }
+                    Ok(std::time::Duration::new(secs, nanos))
+                }
+            }
+            deserializer.deserialize_any(DurationVisitor)
+        }
+    }
+}

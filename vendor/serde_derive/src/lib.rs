@@ -1,27 +1,764 @@
-//! Offline stand-in for the real `serde_derive` crate.
+//! Offline implementation of the `serde_derive` proc macros.
 //!
-//! The workspace is built in an environment without network access, so the
-//! real serde cannot be fetched.  Nothing in the workspace serialises data
-//! yet — the `#[derive(Serialize, Deserialize)]` annotations only declare
-//! intent — so the derives here expand to nothing.  Swapping the vendored
-//! crates for the real ones (delete `vendor/` and the `[workspace
-//! dependencies]` path entries) re-enables full serde support without
-//! touching any annotated type.
+//! Generates real [`Serialize`]/[`Deserialize`] impls against the vendored
+//! mini-serde in `vendor/serde`.  The input is parsed directly from the
+//! `proc_macro` token stream (no `syn`/`quote` — the build environment has no
+//! network access), which is sufficient for the shapes the workspace uses:
+//! named structs, newtype/tuple/unit structs, plain `<T>`-style generics, and
+//! enums with unit, newtype, tuple, and struct variants.  The only field
+//! attribute honoured is `#[serde(default)]`; anything else is rejected at
+//! compile time rather than silently mis-serialized.  Unknown fields and
+//! unknown map keys are skipped on deserialization, matching serde's default.
+//!
+//! [`Serialize`]: ../serde/ser/trait.Serialize.html
+//! [`Deserialize`]: ../serde/de/trait.Deserialize.html
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// No-op `Serialize` derive.  Accepts (and ignores) `#[serde(...)]` field
-/// attributes so annotated types keep compiling; the real derive honours
-/// them.
+/// Derives `serde::Serialize` for a struct or enum.
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
 }
 
-/// No-op `Deserialize` derive.  Accepts (and ignores) `#[serde(...)]` field
-/// attributes so annotated types keep compiling; the real derive honours
-/// them.
+/// Derives `serde::Deserialize` for a struct or enum.
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(message) => return compile_error(&message),
+    };
+    let code = match which {
+        Trait::Serialize => gen_serialize(&parsed),
+        Trait::Deserialize => gen_deserialize(&parsed),
+    };
+    match code.parse() {
+        Ok(stream) => stream,
+        Err(error) => compile_error(&format!("serde_derive internal error: {error}")),
+    }
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().expect("compile_error literal")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    /// Plain type-parameter names (`T` in `struct Matrix<T>`).
+    type_params: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: missing on deserialization means `Default::default()`.
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    skip_attributes(&tokens, &mut i)?;
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i)?;
+    if keyword != "struct" && keyword != "enum" {
+        return Err(format!("serde_derive supports `struct` and `enum`, found `{keyword}`"));
+    }
+    let name = expect_ident(&tokens, &mut i)?;
+    let type_params = parse_generics(&tokens, &mut i)?;
+
+    if let Some(TokenTree::Ident(ident)) = tokens.get(i) {
+        if ident.to_string() == "where" {
+            return Err("serde_derive does not support `where` clauses".to_owned());
+        }
+    }
+
+    let body = if keyword == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(group.stream())?)
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(group.stream())? {
+                    1 => Body::NewtypeStruct,
+                    n => Body::TupleStruct(n),
+                }
+            }
+            Some(TokenTree::Punct(punct)) if punct.as_char() == ';' => Body::UnitStruct,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(group.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        }
+    };
+
+    Ok(Input { name, type_params, body })
+}
+
+/// Skips outer attributes, rejecting any `#[serde(...)]` other than
+/// `#[serde(default)]` (which only makes sense on fields and is handled by
+/// the field parser).
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    while parse_one_attribute(tokens, i)?.is_some() {}
+    Ok(())
+}
+
+/// Parses one `#[...]` attribute if present.  Returns `Some(true)` when it
+/// was `#[serde(default)]`, `Some(false)` for any other attribute.
+fn parse_one_attribute(tokens: &[TokenTree], i: &mut usize) -> Result<Option<bool>, String> {
+    match (tokens.get(*i), tokens.get(*i + 1)) {
+        (Some(TokenTree::Punct(punct)), Some(TokenTree::Group(group)))
+            if punct.as_char() == '#' && group.delimiter() == Delimiter::Bracket =>
+        {
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            *i += 2;
+            if let Some(TokenTree::Ident(ident)) = inner.first() {
+                if ident.to_string() == "serde" {
+                    return match inner.get(1) {
+                        Some(TokenTree::Group(args))
+                            if args.delimiter() == Delimiter::Parenthesis
+                                && args.stream().to_string().trim() == "default" =>
+                        {
+                            Ok(Some(true))
+                        }
+                        _ => Err(format!(
+                            "unsupported serde attribute `#[serde({})]`: \
+                             the vendored derive only understands `#[serde(default)]`",
+                            inner
+                                .get(1)
+                                .map(|group| match group {
+                                    TokenTree::Group(group) => group.stream().to_string(),
+                                    other => other.to_string(),
+                                })
+                                .unwrap_or_default()
+                        )),
+                    };
+                }
+            }
+            Ok(Some(false))
+        }
+        _ => Ok(None),
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(*i) {
+        if ident.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(group)) = tokens.get(*i) {
+                if group.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(ident)) => {
+            *i += 1;
+            Ok(ident.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+/// Parses `<T, U: Bound, ..>` if present, returning the type-parameter names.
+/// Bounds are discarded (the generated impls re-bound every parameter with
+/// the serde trait being derived).  Lifetimes and const parameters are
+/// rejected — nothing in the workspace needs them.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<String>, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(punct)) if punct.as_char() == '<' => {}
+        _ => return Ok(Vec::new()),
+    }
+    *i += 1;
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while let Some(token) = tokens.get(*i) {
+        match token {
+            TokenTree::Punct(punct) if punct.as_char() == '<' => depth += 1,
+            TokenTree::Punct(punct) if punct.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    return Ok(params);
+                }
+            }
+            TokenTree::Punct(punct) if punct.as_char() == ',' && depth == 1 => {
+                at_param_start = true;
+                *i += 1;
+                continue;
+            }
+            TokenTree::Punct(punct) if punct.as_char() == '\'' && depth == 1 && at_param_start => {
+                return Err("serde_derive does not support lifetime parameters".to_owned());
+            }
+            TokenTree::Ident(ident) if depth == 1 && at_param_start => {
+                let text = ident.to_string();
+                if text == "const" {
+                    return Err("serde_derive does not support const parameters".to_owned());
+                }
+                params.push(text);
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    Err("unterminated generic parameter list".to_owned())
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let mut default = false;
+        while let Some(is_default) = parse_one_attribute(&tokens, &mut i)? {
+            default |= is_default;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i)?;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(punct)) if punct.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping after the top-level `,` that ends it (or
+/// at the end of the stream).  Angle brackets are tracked so commas inside
+/// `Vec<(f64, f64)>`-style types do not end the field early.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.get(*i) {
+        match token {
+            TokenTree::Punct(punct) if punct.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(punct) if punct.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(punct) if punct.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut count = 0usize;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+    }
+    Ok(count)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i)?;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_tuple_fields(group.stream())? {
+                    1 => VariantKind::Newtype,
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(group.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(punct)) if punct.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(punct)) if punct.as_char() == '=' => {
+                return Err("serde_derive does not support explicit discriminants".to_owned());
+            }
+            None => {}
+            other => return Err(format!("expected `,` after variant `{name}`, found {other:?}")),
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+/// `impl<..>` generic header + `<..>` type arguments for the serialized type.
+fn ser_generics(input: &Input) -> (String, String) {
+    if input.type_params.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let bounded: Vec<String> = input
+            .type_params
+            .iter()
+            .map(|param| format!("{param}: ::serde::ser::Serialize"))
+            .collect();
+        (format!("<{}>", bounded.join(", ")), format!("<{}>", input.type_params.join(", ")))
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let (impl_generics, ty_args) = ser_generics(input);
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let mut out = format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_struct(__serializer, \
+                 {name:?}, {}usize)?;\n",
+                fields.len()
+            );
+            for field in fields {
+                let f = &field.name;
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, {f:?}, \
+                     &self.{f})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__state)");
+            out
+        }
+        Body::NewtypeStruct => format!(
+            "::serde::ser::Serializer::serialize_newtype_struct(__serializer, {name:?}, &self.0)"
+        ),
+        Body::TupleStruct(len) => {
+            let mut out = format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_tuple(__serializer, \
+                 {len}usize)?;\n"
+            );
+            for index in 0..*len {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeSeq::serialize_element(&mut __state, \
+                     &self.{index})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeSeq::end(__state)");
+            out
+        }
+        Body::UnitStruct => {
+            format!("::serde::ser::Serializer::serialize_unit_struct(__serializer, {name:?})")
+        }
+        Body::Enum(variants) => gen_serialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl{impl_generics} ::serde::ser::Serialize for {name}{ty_args} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (index, variant) in variants.iter().enumerate() {
+        let v = &variant.name;
+        match &variant.kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "{name}::{v} => ::serde::ser::Serializer::serialize_unit_variant(__serializer, \
+                 {name:?}, {index}u32, {v:?}),\n"
+            )),
+            VariantKind::Newtype => arms.push_str(&format!(
+                "{name}::{v}(__f0) => \
+                 ::serde::ser::Serializer::serialize_newtype_variant(__serializer, {name:?}, \
+                 {index}u32, {v:?}, __f0),\n"
+            )),
+            VariantKind::Tuple(len) => {
+                let bindings: Vec<String> = (0..*len).map(|n| format!("__f{n}")).collect();
+                let mut arm = format!(
+                    "{name}::{v}({}) => {{\nlet mut __state = \
+                     ::serde::ser::Serializer::serialize_tuple_variant(__serializer, {name:?}, \
+                     {index}u32, {v:?}, {len}usize)?;\n",
+                    bindings.join(", ")
+                );
+                for binding in &bindings {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeTupleVariant::serialize_field(&mut __state, \
+                         {binding})?;\n"
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeTupleVariant::end(__state)\n}\n");
+                arms.push_str(&arm);
+            }
+            VariantKind::Struct(fields) => {
+                let bindings: Vec<String> = fields
+                    .iter()
+                    .enumerate()
+                    .map(|(n, field)| format!("{}: __f{n}", field.name))
+                    .collect();
+                let mut arm = format!(
+                    "{name}::{v} {{ {} }} => {{\nlet mut __state = \
+                     ::serde::ser::Serializer::serialize_struct_variant(__serializer, {name:?}, \
+                     {index}u32, {v:?}, {}usize)?;\n",
+                    bindings.join(", "),
+                    fields.len()
+                );
+                for (n, field) in fields.iter().enumerate() {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, \
+                         {:?}, __f{n})?;\n",
+                        field.name
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeStructVariant::end(__state)\n}\n");
+                arms.push_str(&arm);
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+/// `impl<..>` generic header (with `'de`), `<..>` type arguments, visitor
+/// declaration, and visitor construction expression.
+struct DeGenerics {
+    impl_generics: String,
+    ty_args: String,
+    visitor_decl: String,
+    visitor_expr: String,
+    visitor_args: String,
+}
+
+fn de_generics(input: &Input, visitor_name: &str) -> DeGenerics {
+    if input.type_params.is_empty() {
+        DeGenerics {
+            impl_generics: "<'de>".to_owned(),
+            ty_args: String::new(),
+            visitor_decl: format!("struct {visitor_name};"),
+            visitor_expr: visitor_name.to_owned(),
+            visitor_args: String::new(),
+        }
+    } else {
+        let bounded: Vec<String> = input
+            .type_params
+            .iter()
+            .map(|param| format!("{param}: ::serde::de::Deserialize<'de>"))
+            .collect();
+        let args = input.type_params.join(", ");
+        DeGenerics {
+            impl_generics: format!("<'de, {}>", bounded.join(", ")),
+            ty_args: format!("<{args}>"),
+            visitor_decl: format!(
+                "struct {visitor_name}<{args}>(::core::marker::PhantomData<fn() -> ({args},)>);"
+            ),
+            visitor_expr: format!("{visitor_name}(::core::marker::PhantomData)"),
+            visitor_args: format!("<{args}>"),
+        }
+    }
+}
+
+/// The `visit_map` body shared by named structs and struct variants:
+/// deserializes fields by name into options, skips unknown keys, then builds
+/// `constructor { .. }`.
+fn gen_visit_map(constructor: &str, fields: &[Field]) -> String {
+    let mut decls = String::new();
+    let mut arms = String::new();
+    let mut inits = String::new();
+    for (index, field) in fields.iter().enumerate() {
+        let f = &field.name;
+        decls.push_str(&format!("let mut __field{index} = ::core::option::Option::None;\n"));
+        arms.push_str(&format!(
+            "{f:?} => {{ __field{index} = \
+             ::core::option::Option::Some(::serde::de::MapAccess::next_value(&mut __map)?); }}\n"
+        ));
+        if field.default {
+            inits.push_str(&format!("{f}: __field{index}.unwrap_or_default(),\n"));
+        } else {
+            inits.push_str(&format!(
+                "{f}: match __field{index} {{\n\
+                     ::core::option::Option::Some(__value) => __value,\n\
+                     ::core::option::Option::None => return ::core::result::Result::Err(\
+                         <__A::Error as ::serde::de::Error>::missing_field({f:?})),\n\
+                 }},\n"
+            ));
+        }
+    }
+    format!(
+        "fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A)\n\
+             -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+             {decls}\
+             while let ::core::option::Option::Some(__key) =\n\
+                 ::serde::de::MapAccess::next_key::<::std::string::String>(&mut __map)? {{\n\
+                 match __key.as_str() {{\n\
+                     {arms}\
+                     _ => {{ ::serde::de::MapAccess::next_value::<::serde::de::IgnoredAny>(\
+                         &mut __map)?; }}\n\
+                 }}\n\
+             }}\n\
+             ::core::result::Result::Ok({constructor} {{\n{inits}}})\n\
+         }}"
+    )
+}
+
+/// The `visit_seq` body shared by tuple structs and tuple variants.
+fn gen_visit_seq(constructor: &str, len: usize) -> String {
+    let mut decls = String::new();
+    let mut args = Vec::new();
+    for index in 0..len {
+        decls.push_str(&format!(
+            "let __f{index} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                 ::core::option::Option::Some(__value) => __value,\n\
+                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                     <__A::Error as ::serde::de::Error>::custom(\
+                         \"sequence ended before {len} elements\")),\n\
+             }};\n"
+        ));
+        args.push(format!("__f{index}"));
+    }
+    format!(
+        "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+             -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+             {decls}\
+             ::core::result::Result::Ok({constructor}({}))\n\
+         }}",
+        args.join(", ")
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let generics = de_generics(input, "__Visitor");
+    let DeGenerics { impl_generics, ty_args, visitor_decl, visitor_expr, visitor_args } = &generics;
+    let value = format!("{name}{ty_args}");
+
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let visit_map = gen_visit_map(name, fields);
+            format!(
+                "{visitor_decl}\n\
+                 impl{impl_generics} ::serde::de::Visitor<'de> for __Visitor{visitor_args} {{\n\
+                     type Value = {value};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>)\n\
+                         -> ::core::fmt::Result {{ __f.write_str(\"struct {name}\") }}\n\
+                     {visit_map}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_any(__deserializer, {visitor_expr})"
+            )
+        }
+        Body::NewtypeStruct => format!(
+            "::core::result::Result::Ok({name}(::serde::de::Deserialize::deserialize(\
+             __deserializer)?))"
+        ),
+        Body::TupleStruct(len) => {
+            let visit_seq = gen_visit_seq(name, *len);
+            format!(
+                "{visitor_decl}\n\
+                 impl{impl_generics} ::serde::de::Visitor<'de> for __Visitor{visitor_args} {{\n\
+                     type Value = {value};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>)\n\
+                         -> ::core::fmt::Result {{ __f.write_str(\"tuple struct {name}\") }}\n\
+                     {visit_seq}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_any(__deserializer, {visitor_expr})"
+            )
+        }
+        Body::UnitStruct => format!(
+            "{visitor_decl}\n\
+             impl{impl_generics} ::serde::de::Visitor<'de> for __Visitor{visitor_args} {{\n\
+                 type Value = {value};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>)\n\
+                     -> ::core::fmt::Result {{ __f.write_str(\"unit struct {name}\") }}\n\
+                 fn visit_unit<__E: ::serde::de::Error>(self)\n\
+                     -> ::core::result::Result<Self::Value, __E> {{\n\
+                     ::core::result::Result::Ok({name})\n\
+                 }}\n\
+             }}\n\
+             ::serde::de::Deserializer::deserialize_any(__deserializer, {visitor_expr})"
+        ),
+        Body::Enum(variants) => gen_deserialize_enum(input, &generics, variants),
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl{impl_generics} ::serde::de::Deserialize<'de> for {value} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize_enum(input: &Input, generics: &DeGenerics, variants: &[Variant]) -> String {
+    let name = &input.name;
+    let DeGenerics { impl_generics, ty_args, visitor_decl, visitor_expr, visitor_args } = generics;
+    let value = format!("{name}{ty_args}");
+    let variant_names: Vec<String> =
+        variants.iter().map(|variant| format!("{:?}", variant.name)).collect();
+
+    let mut helper_visitors = String::new();
+    let mut arms = String::new();
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "{v:?} => {{\n\
+                     ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                     ::core::result::Result::Ok({name}::{v})\n\
+                 }}\n"
+            )),
+            VariantKind::Newtype => arms.push_str(&format!(
+                "{v:?} => ::core::result::Result::Ok({name}::{v}(\
+                 ::serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+            )),
+            VariantKind::Tuple(len) => {
+                let helper = format!("__TupleVisitor{v}");
+                let helper_generics = de_generics_named(input, &helper);
+                let visit_seq = gen_visit_seq(&format!("{name}::{v}"), *len);
+                helper_visitors.push_str(&format!(
+                    "{}\n\
+                     impl{impl_generics} ::serde::de::Visitor<'de> for {helper}{visitor_args} {{\n\
+                         type Value = {value};\n\
+                         fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>)\n\
+                             -> ::core::fmt::Result {{ \
+                                 __f.write_str(\"tuple variant {name}::{v}\") }}\n\
+                         {visit_seq}\n\
+                     }}\n",
+                    helper_generics.visitor_decl
+                ));
+                arms.push_str(&format!(
+                    "{v:?} => ::serde::de::VariantAccess::tuple_variant(__variant, {len}usize, \
+                     {}),\n",
+                    helper_generics.visitor_expr
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let helper = format!("__StructVisitor{v}");
+                let helper_generics = de_generics_named(input, &helper);
+                let visit_map = gen_visit_map(&format!("{name}::{v}"), fields);
+                let field_names: Vec<String> =
+                    fields.iter().map(|field| format!("{:?}", field.name)).collect();
+                helper_visitors.push_str(&format!(
+                    "{}\n\
+                     impl{impl_generics} ::serde::de::Visitor<'de> for {helper}{visitor_args} {{\n\
+                         type Value = {value};\n\
+                         fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>)\n\
+                             -> ::core::fmt::Result {{ \
+                                 __f.write_str(\"struct variant {name}::{v}\") }}\n\
+                         {visit_map}\n\
+                     }}\n",
+                    helper_generics.visitor_decl
+                ));
+                arms.push_str(&format!(
+                    "{v:?} => ::serde::de::VariantAccess::struct_variant(__variant, \
+                     &[{}], {}),\n",
+                    field_names.join(", "),
+                    helper_generics.visitor_expr
+                ));
+            }
+        }
+    }
+
+    format!(
+        "const __VARIANTS: &[&str] = &[{}];\n\
+         {helper_visitors}\
+         {visitor_decl}\n\
+         impl{impl_generics} ::serde::de::Visitor<'de> for __Visitor{visitor_args} {{\n\
+             type Value = {value};\n\
+             fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>)\n\
+                 -> ::core::fmt::Result {{ __f.write_str(\"enum {name}\") }}\n\
+             fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A)\n\
+                 -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 let (__tag, __variant): (::std::string::String, _) =\n\
+                     ::serde::de::EnumAccess::variant(__data)?;\n\
+                 match __tag.as_str() {{\n\
+                     {arms}\
+                     __other => ::core::result::Result::Err(\
+                         <__A::Error as ::serde::de::Error>::unknown_variant(\
+                             __other, __VARIANTS)),\n\
+                 }}\n\
+             }}\n\
+         }}\n\
+         ::serde::de::Deserializer::deserialize_enum(__deserializer, {:?}, __VARIANTS, \
+         {visitor_expr})",
+        variant_names.join(", "),
+        name,
+    )
+}
+
+/// Like [`de_generics`] but for a helper visitor with the given name.
+fn de_generics_named(input: &Input, visitor_name: &str) -> DeGenerics {
+    de_generics(input, visitor_name)
 }

@@ -1,0 +1,100 @@
+//! Microbenchmark of RBF kernel-row assembly — the SMO hot path the 0.8
+//! kernel engine optimizes.
+//!
+//! Three variants assemble the same batch of kernel rows at a
+//! `scaled(10_000)`-device population with 24 features:
+//!
+//! * `naive` — per-element `Kernel::eval` over gathered feature rows, the
+//!   pre-0.8 `SvcQ::row` behaviour (`KernelPath::Naive`),
+//! * `blocked` — columnar dot rows with precomputed squared norms
+//!   (`KernelPath::Blocked`, the default),
+//! * `banked` — blocked assembly seeded from a parent kept set's
+//!   `DotRowBank`, the incremental candidate-row path of the greedy loop.
+//!
+//! Each iteration constructs a fresh engine so every row is a first-touch
+//! assembly (the engine memoizes rows it has already built).  `STC_SCALE`
+//! shrinks the population for CI smoke runs (`--test`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stc_bench::trajectory::measure_kernel;
+use stc_svm::{Dataset, DotRowBank, Kernel, KernelEngine, KernelPath};
+
+const DIMENSION: usize = 24;
+
+/// Deterministic timing dataset shaped like the one `measure_kernel` uses:
+/// the parent carries one extra column so the bank variant adjusts rows by a
+/// genuine dropped column.
+fn populations(samples: usize) -> (Dataset, Dataset) {
+    let mut state = 0x0DDB1A5E5BAD5EEDu64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    };
+    let columns: Vec<Vec<f64>> =
+        (0..DIMENSION + 1).map(|_| (0..samples).map(|_| next()).collect()).collect();
+    let column_refs: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+    let labels: Vec<f64> = (0..samples).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let parent = Dataset::from_columns(&column_refs, &labels).expect("parent dataset is valid");
+    let kept: Vec<usize> = (0..DIMENSION).collect();
+    let child = parent.select_columns(&kept).expect("child projection is valid");
+    (parent, child)
+}
+
+fn assemble(data: &Dataset, path: KernelPath, bank: Option<&DotRowBank>, rows: usize) -> f64 {
+    let engine = KernelEngine::with_bank(data, Kernel::rbf(1.0), path, bank);
+    let mut out = vec![0.0; data.len()];
+    let mut checksum = 0.0;
+    for i in 0..rows {
+        engine.kernel_row(i, &mut out);
+        checksum += out[i];
+    }
+    checksum
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let samples = stc_bench::scaled(10_000, 500);
+    let rows = samples.min(96);
+    let (parent, child) = populations(samples);
+
+    // The bank the greedy loop would hand a candidate: the parent engine's
+    // recorded rows over the superset kept set.
+    let parent_engine = KernelEngine::new(&parent, Kernel::rbf(1.0), KernelPath::Blocked);
+    let mut out = vec![0.0; parent.len()];
+    for i in 0..rows {
+        parent_engine.kernel_row(i, &mut out);
+    }
+    let bank = parent_engine.into_bank();
+
+    let mut group = c.benchmark_group("kernel");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("rbf-rows-naive", samples), &samples, |b, _| {
+        b.iter(|| assemble(&child, KernelPath::Naive, None, rows))
+    });
+    group.bench_with_input(BenchmarkId::new("rbf-rows-blocked", samples), &samples, |b, _| {
+        b.iter(|| assemble(&child, KernelPath::Blocked, None, rows))
+    });
+    group.bench_with_input(BenchmarkId::new("rbf-rows-banked", samples), &samples, |b, _| {
+        b.iter(|| assemble(&child, KernelPath::Blocked, Some(&bank), rows))
+    });
+    group.finish();
+
+    // One-shot summary with the same harness the `trajectory --kernel` bin
+    // uses, so the speedup is visible next to the criterion numbers.
+    let report = measure_kernel(&[samples], DIMENSION);
+    let timing = &report.timings[0];
+    println!(
+        "kernel/{samples}: naive {:.0} ns/row, blocked {:.0} ns/row ({:.2}x), \
+         banked {:.0} ns/row ({:.2}x)",
+        timing.naive_ns_per_row,
+        timing.blocked_ns_per_row,
+        timing.blocked_speedup,
+        timing.banked_ns_per_row,
+        timing.banked_speedup,
+    );
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

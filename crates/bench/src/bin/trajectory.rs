@@ -1,0 +1,89 @@
+//! Emits and checks the kernel-engine performance trajectory files.
+//!
+//! ```text
+//! trajectory --emit <path>          # deterministic solver counters
+//! trajectory --kernel <path> [n..]  # wall-clock kernel timings (default
+//!                                   # sizes 2000 10000, 24 features)
+//! trajectory --check <path>         # decode + validate either report
+//! ```
+//!
+//! Output is wrapped in the versioned `{"schema_version": N, "payload": ...}`
+//! `stc-serve` envelope.  `--emit` is byte-deterministic across machines
+//! (CI diffs it against `crates/bench/snapshots/BENCH_trajectory.json`);
+//! `--kernel` measures wall time and is therefore only structure-checked on
+//! CI, with the committed `BENCH_kernel.json` as the reference measurement.
+
+use std::process::ExitCode;
+
+use stc_bench::trajectory::{collect_trajectory, measure_kernel, KernelReport, TrajectoryReport};
+use stc_serve::envelope;
+
+fn write_enveloped<T: serde::Serialize>(report: &T, path: &str) -> Result<(), String> {
+    let encoded = envelope::encode(report).map_err(|error| error.to_string())?;
+    std::fs::write(path, encoded + "\n").map_err(|error| format!("cannot write {path}: {error}"))
+}
+
+/// Checks a decoded trajectory or kernel report, whichever the file holds.
+fn check(path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|error| format!("cannot read {path}: {error}"))?;
+    if let Ok(report) = envelope::decode::<TrajectoryReport>(&text) {
+        report.validate()?;
+        eprintln!("{path}: valid trajectory report ({} points)", report.points.len());
+        return Ok(());
+    }
+    let report: KernelReport = envelope::decode(&text).map_err(|error| error.to_string())?;
+    report.validate()?;
+    for timing in &report.timings {
+        eprintln!(
+            "{path}: {} devices x {} features: naive {:.0} ns/row, blocked {:.0} ns/row \
+             ({:.2}x), banked {:.0} ns/row ({:.2}x)",
+            timing.samples,
+            timing.dimension,
+            timing.naive_ns_per_row,
+            timing.blocked_ns_per_row,
+            timing.blocked_speedup,
+            timing.banked_ns_per_row,
+            timing.banked_speedup,
+        );
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, path] if flag == "--emit" => {
+            let report = collect_trajectory();
+            write_enveloped(&report, path)?;
+            eprintln!("wrote {} trajectory points to {path}", report.points.len());
+            Ok(())
+        }
+        [flag, path, sizes @ ..] if flag == "--kernel" => {
+            let sizes: Vec<usize> = if sizes.is_empty() {
+                vec![2_000, 10_000]
+            } else {
+                sizes
+                    .iter()
+                    .map(|s| s.parse().map_err(|_| format!("bad size {s}")))
+                    .collect::<Result<_, _>>()?
+            };
+            let report = measure_kernel(&sizes, 24);
+            write_enveloped(&report, path)?;
+            check(path)
+        }
+        [flag, path] if flag == "--check" => check(path),
+        _ => Err("usage: trajectory --emit <path> | --kernel <path> [sizes..] | --check <path>"
+            .to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

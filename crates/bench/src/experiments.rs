@@ -262,15 +262,11 @@ pub fn ablation_classification_vs_regression(
 
     // Regression path: fit the eliminated specification from the kept ones,
     // then apply the original range to the predicted value.
-    let mut regression_data = stc_svm::Dataset::new(kept.len()).expect("non-empty kept set");
-    for i in 0..train.len() {
-        regression_data
-            .push(
-                train.features(i, &kept),
-                train.specs().spec(eliminated).normalize(train.value(i, eliminated)),
-            )
-            .expect("finite features");
-    }
+    let rows: Vec<Vec<f64>> = (0..train.len()).map(|i| train.features(i, &kept)).collect();
+    let targets: Vec<f64> = (0..train.len())
+        .map(|i| train.specs().spec(eliminated).normalize(train.value(i, eliminated)))
+        .collect();
+    let regression_data = stc_svm::Dataset::from_rows(&rows, &targets).expect("finite features");
     let svr = Svr::train(
         &regression_data,
         &SvrParams::new().with_c(10.0).with_epsilon(0.02).with_kernel(Kernel::rbf(1.0)),

@@ -24,6 +24,7 @@
 
 pub mod experiments;
 pub mod populations;
+pub mod trajectory;
 
 /// Population scale factor read from `STC_SCALE` (default 1.0, clamped to
 /// `[0.02, 1.0]`).

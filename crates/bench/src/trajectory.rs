@@ -1,0 +1,394 @@
+//! Machine-readable performance trajectories for the kernel engine.
+//!
+//! Two reports, two gating disciplines:
+//!
+//! * [`TrajectoryReport`] — **deterministic solver counters** (trainings,
+//!   SMO iterations, warm-start and cache statistics) for a fixed compaction
+//!   workload across population scales and search strategies.  Every field
+//!   is an exact integer or a literal configuration constant, so the
+//!   enveloped JSON is byte-identical across machines and CI *diffs* the
+//!   regenerated file against the committed
+//!   `crates/bench/snapshots/BENCH_trajectory.json`, exactly like
+//!   `BENCH_pipeline.json`.
+//! * [`KernelReport`] — **wall-clock timings** of naive versus blocked
+//!   versus bank-seeded RBF kernel-row assembly.  Timings are machine
+//!   dependent, so the committed `BENCH_kernel.json` records the reference
+//!   measurement and CI regenerates a fresh copy and *validates its
+//!   structure* ([`KernelReport::validate`]) instead of byte-diffing it.
+//!
+//! Both files are wrapped in the versioned `stc-serve` envelope
+//! (`{"schema_version": 1, "payload": ...}`), produced and checked by the
+//! `trajectory` binary.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use stc_core::search::{BeamSearch, CostAwareGreedy, ForwardSelection, SearchStrategy};
+use stc_core::{
+    generate_train_test, CompactionConfig, CompactionResult, Compactor, MonteCarloConfig,
+    SyntheticDevice,
+};
+use stc_svm::{Dataset, Kernel, KernelEngine, KernelPath, SvmBackend};
+
+/// Deterministic counters for one `(population, strategy)` compaction run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Training population size (devices).
+    pub train_devices: usize,
+    /// Held-out population size (devices).
+    pub test_devices: usize,
+    /// Specification count of the synthetic device.
+    pub specs: usize,
+    /// Search strategy that produced this point.
+    pub strategy: String,
+    /// Error tolerance the run was configured with.
+    pub tolerance: f64,
+    /// Kept specification indices.
+    pub kept: Vec<usize>,
+    /// Eliminated specification indices, in elimination order.
+    pub eliminated: Vec<usize>,
+    /// Total classifier trainings charged to the run.
+    pub trainings: usize,
+    /// Total SMO iterations across all trainings.
+    pub solver_iterations: usize,
+    /// Trainings that warm-started from a parent model.
+    pub warm_trainings: usize,
+    /// Trainings that started cold.
+    pub cold_trainings: usize,
+    /// SMO iterations spent by warm-started trainings.
+    pub warm_iterations: usize,
+    /// SMO iterations spent by cold trainings.
+    pub cold_iterations: usize,
+    /// Model-cache hits observed by the evaluator.
+    pub cache_hits: usize,
+    /// Model-cache misses observed by the evaluator.
+    pub cache_misses: usize,
+}
+
+impl TrajectoryPoint {
+    fn from_result(
+        train_devices: usize,
+        test_devices: usize,
+        specs: usize,
+        strategy: &str,
+        tolerance: f64,
+        result: &CompactionResult,
+    ) -> Self {
+        TrajectoryPoint {
+            train_devices,
+            test_devices,
+            specs,
+            strategy: strategy.to_string(),
+            tolerance,
+            kept: result.kept.clone(),
+            eliminated: result.eliminated.clone(),
+            trainings: result.budget.trainings,
+            solver_iterations: result.budget.solver_iterations,
+            warm_trainings: result.warm_start.warm_trainings,
+            cold_trainings: result.warm_start.cold_trainings,
+            warm_iterations: result.warm_start.warm_iterations,
+            cold_iterations: result.warm_start.cold_iterations,
+            cache_hits: result.cache.hits,
+            cache_misses: result.cache.misses,
+        }
+    }
+}
+
+/// The deterministic performance trajectory of the ε-SVM compaction stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryReport {
+    /// One point per `(population, strategy)` pair, in workload order.
+    pub points: Vec<TrajectoryPoint>,
+}
+
+impl TrajectoryReport {
+    /// Structural sanity of a decoded report (used by `trajectory --check`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.points.is_empty() {
+            return Err("trajectory has no points".to_string());
+        }
+        for (i, point) in self.points.iter().enumerate() {
+            if point.kept.is_empty() {
+                return Err(format!("point {i}: kept set is empty"));
+            }
+            if point.kept.len() + point.eliminated.len() != point.specs {
+                return Err(format!("point {i}: kept + eliminated != specs"));
+            }
+            if point.trainings == 0 || point.solver_iterations == 0 {
+                return Err(format!("point {i}: no solver work recorded"));
+            }
+            if point.warm_trainings + point.cold_trainings != point.trainings {
+                return Err(format!("point {i}: warm + cold trainings != trainings"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The fixed workload behind [`TrajectoryReport`]: two synthetic populations
+/// (fixed seeds, sizes independent of `STC_SCALE`), each compacted with the
+/// greedy loop and every bundled search strategy on the paper's ε-SVM
+/// backend.  Pure integer counters out of a deterministic stack: running
+/// this twice — or on two machines — produces byte-identical reports.
+///
+/// # Panics
+///
+/// Panics if a population cannot be generated or a compaction fails (both
+/// indicate a broken build, not bad input).
+pub fn collect_trajectory() -> TrajectoryReport {
+    let backend = SvmBackend::paper_default();
+    let tolerance = 0.05;
+    let mut points = Vec::new();
+    for (specs, train_devices, test_devices, seed) in [(5, 300, 150, 31u64), (6, 400, 200, 7)] {
+        let device = SyntheticDevice::new(specs, 1.8, 0.92);
+        let monte_carlo = MonteCarloConfig::new(train_devices).with_seed(seed);
+        let (train, test) =
+            generate_train_test(&device, &monte_carlo, test_devices).expect("population generates");
+        let compactor = Compactor::new(train, test).expect("populations are valid");
+        let config = CompactionConfig::paper_default().with_tolerance(tolerance);
+
+        let greedy = compactor.compact_with(&backend, &config).expect("greedy compaction runs");
+        points.push(TrajectoryPoint::from_result(
+            train_devices,
+            test_devices,
+            specs,
+            "greedy",
+            tolerance,
+            &greedy,
+        ));
+
+        let strategies: [&dyn SearchStrategy; 3] =
+            [&BeamSearch::new(2), &ForwardSelection, &CostAwareGreedy];
+        for strategy in strategies {
+            let result = compactor
+                .compact_with_strategy(&backend, &config, strategy, None)
+                .expect("strategy compaction runs");
+            points.push(TrajectoryPoint::from_result(
+                train_devices,
+                test_devices,
+                specs,
+                strategy.name(),
+                tolerance,
+                &result,
+            ));
+        }
+    }
+    TrajectoryReport { points }
+}
+
+/// Wall-clock timing of RBF kernel-row assembly at one population size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelTiming {
+    /// Devices (rows) in the dataset.
+    pub samples: usize,
+    /// Feature columns.
+    pub dimension: usize,
+    /// Kernel rows assembled per timed pass.
+    pub rows_assembled: usize,
+    /// Nanoseconds per row, naive per-element `Kernel::eval` assembly.
+    pub naive_ns_per_row: f64,
+    /// Nanoseconds per row, blocked columnar assembly with precomputed norms.
+    pub blocked_ns_per_row: f64,
+    /// Nanoseconds per row when seeded from a parent's [`stc_svm::DotRowBank`].
+    pub banked_ns_per_row: f64,
+    /// `naive_ns_per_row / blocked_ns_per_row`.
+    pub blocked_speedup: f64,
+    /// `naive_ns_per_row / banked_ns_per_row`.
+    pub banked_speedup: f64,
+    /// Largest `|blocked - naive|` kernel-row entry seen while timing.
+    pub max_abs_row_difference: f64,
+}
+
+/// Wall-clock kernel-engine measurements (machine dependent; CI validates
+/// structure, not bytes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// One timing per measured population size, ascending.
+    pub timings: Vec<KernelTiming>,
+}
+
+impl KernelReport {
+    /// Structural sanity of a decoded report (used by `trajectory --check`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.timings.is_empty() {
+            return Err("kernel report has no timings".to_string());
+        }
+        for (i, timing) in self.timings.iter().enumerate() {
+            for (name, value) in [
+                ("naive_ns_per_row", timing.naive_ns_per_row),
+                ("blocked_ns_per_row", timing.blocked_ns_per_row),
+                ("banked_ns_per_row", timing.banked_ns_per_row),
+                ("blocked_speedup", timing.blocked_speedup),
+                ("banked_speedup", timing.banked_speedup),
+            ] {
+                if !(value.is_finite() && value > 0.0) {
+                    return Err(format!("timing {i}: {name} = {value} is not positive"));
+                }
+            }
+            if timing.rows_assembled == 0 {
+                return Err(format!("timing {i}: no rows assembled"));
+            }
+            if timing.max_abs_row_difference > 1e-12 {
+                return Err(format!(
+                    "timing {i}: blocked rows diverge from naive by {}",
+                    timing.max_abs_row_difference
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic pseudo-random dataset for the kernel timings: `samples`
+/// devices over `dimension` correlated features, values in roughly `[0, 1]`
+/// (the compaction pipeline feeds the engine normalized measurements).
+fn timing_dataset(samples: usize, dimension: usize) -> Dataset {
+    let mut state = 0x5DEECE66Du64;
+    let mut next = move || {
+        // SplitMix64: cheap, dependency-free, stable across platforms.
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    };
+    let columns: Vec<Vec<f64>> = (0..dimension)
+        .map(|c| {
+            let offset = c as f64 / dimension as f64;
+            (0..samples).map(|_| 0.8 * next() + 0.2 * offset).collect()
+        })
+        .collect();
+    let column_refs: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+    let labels: Vec<f64> = (0..samples).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    Dataset::from_columns(&column_refs, &labels).expect("timing dataset is valid")
+}
+
+/// Assembles `rows` kernel rows on a fresh engine and returns the elapsed
+/// nanoseconds per row plus a checksum defeating dead-code elimination.
+fn time_assembly(
+    data: &Dataset,
+    path: KernelPath,
+    bank: Option<&stc_svm::DotRowBank>,
+    rows: usize,
+    out: &mut [f64],
+) -> (f64, f64) {
+    let start = Instant::now();
+    let engine = KernelEngine::with_bank(data, Kernel::rbf(1.0), path, bank);
+    let mut checksum = 0.0;
+    for i in 0..rows {
+        engine.kernel_row(i, out);
+        checksum += out[i];
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    (elapsed / rows as f64, checksum)
+}
+
+/// Times naive versus blocked versus bank-seeded RBF row assembly at each of
+/// `sizes` (devices), `dimension` features.  The bank variant reproduces the
+/// greedy loop's shape: the parent dataset has one extra column, its engine
+/// records the same rows, and the child adjusts them by the dropped column.
+pub fn measure_kernel(sizes: &[usize], dimension: usize) -> KernelReport {
+    let timings = sizes
+        .iter()
+        .map(|&samples| {
+            let parent = timing_dataset(samples, dimension + 1);
+            let kept: Vec<usize> = (0..dimension).collect();
+            let child = parent.select_columns(&kept).expect("child projection is valid");
+            let rows = samples.min(96);
+            let mut out = vec![0.0; samples];
+
+            // Warm-up pass (page in the columns), then one timed pass each.
+            let _ = time_assembly(&child, KernelPath::Blocked, None, rows, &mut out);
+            let (naive_ns_per_row, _) =
+                time_assembly(&child, KernelPath::Naive, None, rows, &mut out);
+            let (blocked_ns_per_row, _) =
+                time_assembly(&child, KernelPath::Blocked, None, rows, &mut out);
+
+            let parent_engine = KernelEngine::new(&parent, Kernel::rbf(1.0), KernelPath::Blocked);
+            for i in 0..rows {
+                parent_engine.kernel_row(i, &mut out);
+            }
+            let bank = parent_engine.into_bank();
+            let (banked_ns_per_row, _) =
+                time_assembly(&child, KernelPath::Blocked, Some(&bank), rows, &mut out);
+
+            let max_abs_row_difference = max_row_difference(&child, rows);
+            KernelTiming {
+                samples,
+                dimension,
+                rows_assembled: rows,
+                naive_ns_per_row,
+                blocked_ns_per_row,
+                banked_ns_per_row,
+                blocked_speedup: naive_ns_per_row / blocked_ns_per_row,
+                banked_speedup: naive_ns_per_row / banked_ns_per_row,
+                max_abs_row_difference,
+            }
+        })
+        .collect();
+    KernelReport { timings }
+}
+
+fn max_row_difference(data: &Dataset, rows: usize) -> f64 {
+    let blocked = KernelEngine::new(data, Kernel::rbf(1.0), KernelPath::Blocked);
+    let naive = KernelEngine::new(data, Kernel::rbf(1.0), KernelPath::Naive);
+    let mut fast = vec![0.0; data.len()];
+    let mut reference = vec![0.0; data.len()];
+    let mut max = 0.0f64;
+    for i in 0..rows {
+        blocked.kernel_row(i, &mut fast);
+        naive.kernel_row(i, &mut reference);
+        for (a, b) in fast.iter().zip(reference.iter()) {
+            max = max.max((a - b).abs());
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_measurement_is_structurally_valid_at_small_scale() {
+        let report = measure_kernel(&[64, 128], 8);
+        report.validate().expect("small-scale kernel report validates");
+        assert_eq!(report.timings.len(), 2);
+        assert!(report.timings[0].samples < report.timings[1].samples);
+    }
+
+    #[test]
+    fn trajectory_validation_rejects_inconsistent_points() {
+        let mut report = TrajectoryReport {
+            points: vec![TrajectoryPoint {
+                train_devices: 10,
+                test_devices: 5,
+                specs: 3,
+                strategy: "greedy".to_string(),
+                tolerance: 0.05,
+                kept: vec![0, 1],
+                eliminated: vec![2],
+                trainings: 4,
+                solver_iterations: 100,
+                warm_trainings: 3,
+                cold_trainings: 1,
+                warm_iterations: 60,
+                cold_iterations: 40,
+                cache_hits: 0,
+                cache_misses: 4,
+            }],
+        };
+        report.validate().expect("consistent point validates");
+        report.points[0].warm_trainings = 4;
+        assert!(report.validate().is_err());
+        assert!(TrajectoryReport { points: vec![] }.validate().is_err());
+    }
+}

@@ -153,13 +153,6 @@ impl PopulationCache {
             misses: self.misses.load(Ordering::Relaxed),
         }
     }
-
-    /// Hit/miss counters as a bare `(hits, misses)` tuple.
-    #[deprecated(since = "0.7.0", note = "use `stats()`, which returns a named `CacheStats`")]
-    pub fn stats_tuple(&self) -> (usize, usize) {
-        let stats = self.stats();
-        (stats.hits, stats.misses)
-    }
 }
 
 /// Hit/miss counters of a [`PopulationCache`].

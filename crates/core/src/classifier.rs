@@ -134,18 +134,40 @@ impl<'a> TrainingView<'a> {
         self.data.matrix().column(self.kept[j])
     }
 
-    /// The normalised values of feature `j` for every instance, produced in
-    /// one sequential pass over the backing column.
+    /// The normalised values of feature `j` for every instance, as an owned
+    /// vector.  Prefer [`TrainingView::shared_column`] in hot paths — it
+    /// returns the memoized shared allocation without copying.
     ///
     /// # Panics
     ///
     /// Panics if `j >= dimension()`.
     pub fn normalized_column(&self, j: usize) -> Vec<f64> {
-        let spec = self.data.specs().spec(self.kept[j]);
-        self.raw_column(j).iter().map(|&value| spec.normalize(value)).collect()
+        self.shared_column(j).to_vec()
     }
 
-    /// All normalised feature columns, one `Vec` per kept specification.
+    /// The normalised values of feature `j`, memoized on the underlying
+    /// measurement set ([`MeasurementSet::normalized_column_shared`]).
+    ///
+    /// Every view borrowed from the same set — every candidate kept set of a
+    /// compaction round — receives pointer-identical `Arc`s for the columns
+    /// it shares with other candidates, which is what lets the SVM kernel
+    /// engine reuse per-column dot-product contributions across candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= dimension()`.
+    pub fn shared_column(&self, j: usize) -> Arc<[f64]> {
+        self.data.normalized_column_shared(self.kept[j])
+    }
+
+    /// All normalised feature columns as shared allocations, one per kept
+    /// specification, in feature order.
+    pub fn shared_feature_columns(&self) -> Vec<Arc<[f64]>> {
+        (0..self.dimension()).map(|j| self.shared_column(j)).collect()
+    }
+
+    /// All normalised feature columns, one owned `Vec` per kept
+    /// specification.
     pub fn feature_columns(&self) -> Vec<Vec<f64>> {
         (0..self.dimension()).map(|j| self.normalized_column(j)).collect()
     }
@@ -375,9 +397,9 @@ impl ClassifierFactory for GridBackend {
         let labels = view.labels();
         let cell_columns: Vec<Vec<u16>> = (0..view.dimension())
             .map(|j| {
-                view.normalized_column(j)
-                    .into_iter()
-                    .map(|value| grid_cell(value, self.cells_per_dim))
+                view.shared_column(j)
+                    .iter()
+                    .map(|&value| grid_cell(value, self.cells_per_dim))
                     .collect()
             })
             .collect();
@@ -501,6 +523,23 @@ mod tests {
         let labels = view.labels();
         for (i, &label) in labels.iter().enumerate() {
             assert_eq!(label, view.label(i));
+        }
+    }
+
+    #[test]
+    fn shared_columns_are_pointer_identical_across_views() {
+        let data = linear_population();
+        // Two different candidate views over the same set — different kept
+        // sets, different margins — still share the normalized columns.
+        let strict = TrainingView::new(&data, &[0, 1], 0.2).unwrap();
+        let loose = TrainingView::new(&data, &[1], -0.2).unwrap();
+        assert!(Arc::ptr_eq(&strict.shared_column(1), &loose.shared_column(0)));
+        assert_eq!(strict.shared_column(0).as_ref(), strict.normalized_column(0).as_slice());
+        let shared = strict.shared_feature_columns();
+        let owned = strict.feature_columns();
+        assert_eq!(shared.len(), owned.len());
+        for (a, b) in shared.iter().zip(&owned) {
+            assert_eq!(a.as_ref(), b.as_slice());
         }
     }
 

@@ -308,6 +308,27 @@ impl PartialEq for MeasurementMatrix {
     }
 }
 
+/// Lazily filled per-column normalized values of a measurement set.
+///
+/// Normalization maps each measurement to its acceptability range (paper
+/// Section 4.3) and depends only on the specification and the raw column —
+/// not on the labelling margin and not on which columns a candidate kept set
+/// retains.  One cache per measurement set therefore serves every
+/// guard-banded strict/loose view and every candidate kept set of a
+/// compaction run, and the `Arc` identity of each cached column lets
+/// downstream consumers (the SVM kernel engine) recognise shared columns
+/// across candidate datasets by pointer equality.
+#[derive(Debug, Default)]
+struct NormalizedColumns {
+    columns: Vec<std::sync::OnceLock<Arc<[f64]>>>,
+}
+
+impl NormalizedColumns {
+    fn with_capacity(count: usize) -> Arc<Self> {
+        Arc::new(NormalizedColumns { columns: (0..count).map(|_| Default::default()).collect() })
+    }
+}
+
 /// A set of measured device instances: one row of specification measurements
 /// per instance, together with the specification set that defines pass/fail.
 ///
@@ -315,10 +336,37 @@ impl PartialEq for MeasurementMatrix {
 /// the Figure 2 compaction loop.  Backed by a [`MeasurementMatrix`], so
 /// cloning, [`MeasurementSet::split_at`] and [`MeasurementSet::truncated`]
 /// are zero-copy views over the shared population allocation.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+///
+/// Equality and serialization cover the specifications and measurements
+/// only; the internal normalized-column cache is an invisible accelerator.
+#[derive(Debug, Clone)]
 pub struct MeasurementSet {
     specs: SpecificationSet,
     matrix: MeasurementMatrix,
+    /// Lazy normalized columns, shared by clones (identical rows) but not by
+    /// derived views (different row ranges).
+    normalized: Arc<NormalizedColumns>,
+}
+
+impl PartialEq for MeasurementSet {
+    /// Semantic equality over specifications and measurements; the lazy
+    /// normalization cache never participates.
+    fn eq(&self, other: &Self) -> bool {
+        self.specs == other.specs && self.matrix == other.matrix
+    }
+}
+
+impl Serialize for MeasurementSet {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut state = serializer.serialize_struct("MeasurementSet", 2)?;
+        state.serialize_field("specs", &self.specs)?;
+        state.serialize_field("matrix", &self.matrix)?;
+        state.end()
+    }
 }
 
 impl<'de> Deserialize<'de> for MeasurementSet {
@@ -369,7 +417,7 @@ impl MeasurementSet {
     /// one value per specification.
     pub fn new(specs: SpecificationSet, rows: Vec<Vec<f64>>) -> Result<Self> {
         let matrix = MeasurementMatrix::from_rows(rows, specs.len())?;
-        Ok(MeasurementSet { specs, matrix })
+        MeasurementSet::from_matrix(specs, matrix)
     }
 
     /// Creates a measurement set over an existing (possibly shared) matrix.
@@ -385,7 +433,8 @@ impl MeasurementSet {
                 found: matrix.column_count(),
             });
         }
-        Ok(MeasurementSet { specs, matrix })
+        let normalized = NormalizedColumns::with_capacity(specs.len());
+        Ok(MeasurementSet { specs, matrix, normalized })
     }
 
     /// The specification set describing the columns.
@@ -527,11 +576,18 @@ impl MeasurementSet {
     ///
     /// Panics if `index > len()`.
     pub fn split_at(&self, index: usize) -> (MeasurementSet, MeasurementSet) {
+        // Derived views expose different row ranges, so each gets its own
+        // (empty) normalization cache rather than sharing this set's.
         (
-            MeasurementSet { specs: self.specs.clone(), matrix: self.matrix.rows_view(0, index) },
+            MeasurementSet {
+                specs: self.specs.clone(),
+                matrix: self.matrix.rows_view(0, index),
+                normalized: NormalizedColumns::with_capacity(self.specs.len()),
+            },
             MeasurementSet {
                 specs: self.specs.clone(),
                 matrix: self.matrix.rows_view(index, self.len() - index),
+                normalized: NormalizedColumns::with_capacity(self.specs.len()),
             },
         )
     }
@@ -540,7 +596,11 @@ impl MeasurementSet {
     /// (or all of them when `count >= len()`), sharing this set's allocation.
     pub fn truncated(&self, count: usize) -> MeasurementSet {
         let count = count.min(self.len());
-        MeasurementSet { specs: self.specs.clone(), matrix: self.matrix.rows_view(0, count) }
+        MeasurementSet {
+            specs: self.specs.clone(),
+            matrix: self.matrix.rows_view(0, count),
+            normalized: NormalizedColumns::with_capacity(self.specs.len()),
+        }
     }
 
     /// Builds a borrowed training view over the kept columns with a labelling
@@ -567,6 +627,27 @@ impl MeasurementSet {
     /// Panics if `i` or any column index is out of bounds.
     pub fn features(&self, i: usize, kept: &[usize]) -> Vec<f64> {
         kept.iter().map(|&c| self.specs.spec(c).normalize(self.matrix.value(i, c))).collect()
+    }
+
+    /// The normalized values of specification `column`, one per instance, as
+    /// a shared allocation.
+    ///
+    /// The column is normalized once per set and memoized; clones of this set
+    /// (and every [`crate::classifier::TrainingView`] borrowed from it) hand
+    /// out `Arc`s over the *same* allocation, so two candidate kept sets of
+    /// one compaction run that both retain `column` see pointer-identical
+    /// feature columns.  The SVM backend relies on that identity to assemble
+    /// candidate kernel rows incrementally instead of from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` is out of bounds.
+    pub fn normalized_column_shared(&self, column: usize) -> Arc<[f64]> {
+        let slot = &self.normalized.columns[column];
+        Arc::clone(slot.get_or_init(|| {
+            let spec = self.specs.spec(column);
+            self.matrix.column(column).iter().map(|&v| spec.normalize(v)).collect()
+        }))
     }
 }
 
@@ -754,6 +835,26 @@ mod tests {
         for i in 0..set.len() {
             assert_eq!(set.features(i, &[0, 1]), view.features(i));
         }
+    }
+
+    #[test]
+    fn normalized_columns_are_memoized_and_shared_by_clones() {
+        let set = sample_set();
+        let first = set.normalized_column_shared(1);
+        // Memoized: repeated access and clones return the same allocation.
+        assert!(Arc::ptr_eq(&first, &set.normalized_column_shared(1)));
+        assert!(Arc::ptr_eq(&first, &set.clone().normalized_column_shared(1)));
+        // Values match the per-instance normalization path.
+        for i in 0..set.len() {
+            assert_eq!(first[i], set.features(i, &[1])[0]);
+        }
+        // Derived views cover different rows, so they build their own columns.
+        let head = set.truncated(2);
+        let head_col = head.normalized_column_shared(1);
+        assert!(!Arc::ptr_eq(&first, &head_col));
+        assert_eq!(&head_col[..], &first[..2]);
+        // The cache is invisible to equality and serialization.
+        assert_eq!(set, sample_set());
     }
 
     #[test]

@@ -274,6 +274,69 @@ fn single_class_population_compacts_to_the_complete_suite() {
     assert_eq!(report.guard_band.retest_count, 0);
 }
 
+/// The 0.8 kernel-engine contract at the compaction level: the blocked
+/// columnar path (precomputed norms, incremental candidate rows) produces
+/// kept and eliminated sets byte-identical to [`stc_svm::KernelPath::Naive`]
+/// — the pre-engine per-element row assembly — for the greedy loop and every
+/// bundled search strategy, at every thread count.  Per-step
+/// `ErrorBreakdown`s are *not* compared: the two paths' Q matrices differ by
+/// ulps, so a device sitting within the solver's stopping tolerance of a
+/// guard-band boundary can land on either side without perturbing any
+/// accept/reject decision.
+#[test]
+fn blocked_kernel_path_reproduces_the_naive_kept_sets() {
+    use stc_core::search::{BeamSearch, CostAwareGreedy, ForwardSelection, SearchStrategy};
+    use stc_core::CompactionResult;
+    use stc_svm::{Kernel, KernelPath, SvcParams};
+
+    fn decisions(result: &CompactionResult) -> (Vec<usize>, Vec<usize>, Vec<(usize, bool)>) {
+        (
+            result.kept.clone(),
+            result.eliminated.clone(),
+            result.steps.iter().map(|step| (step.spec_index, step.eliminated)).collect(),
+        )
+    }
+
+    let naive = SvmBackend::new(
+        SvcParams::new()
+            .with_c(10.0)
+            .with_kernel(Kernel::rbf(1.0))
+            .with_kernel_path(KernelPath::Naive),
+    );
+    let device = SyntheticDevice::new(5, 1.8, 0.92);
+    for seed in [31u64, 99] {
+        let (train, test) =
+            generate_train_test(&device, &MonteCarloConfig::new(400).with_seed(seed), 200).unwrap();
+        let compactor = Compactor::new(train, test).unwrap();
+        for threads in [1usize, 4] {
+            let config =
+                CompactionConfig::paper_default().with_tolerance(0.05).with_threads(threads);
+            let fast = compactor.compact_with(&svm(), &config).unwrap();
+            let reference = compactor.compact_with(&naive, &config).unwrap();
+            assert_eq!(
+                decisions(&fast),
+                decisions(&reference),
+                "greedy seed {seed} threads {threads}"
+            );
+
+            let strategies: [&dyn SearchStrategy; 3] =
+                [&BeamSearch::new(2), &ForwardSelection, &CostAwareGreedy];
+            for strategy in strategies {
+                let fast =
+                    compactor.compact_with_strategy(&svm(), &config, strategy, None).unwrap();
+                let reference =
+                    compactor.compact_with_strategy(&naive, &config, strategy, None).unwrap();
+                assert_eq!(
+                    decisions(&fast),
+                    decisions(&reference),
+                    "strategy {} seed {seed} threads {threads}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+}
+
 /// The 0.5 search seam on the paper's backend: a width-1 beam is the greedy
 /// loop, and every bundled strategy is thread-count invariant with the
 /// ε-SVM, warm starts and all.

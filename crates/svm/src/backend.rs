@@ -10,6 +10,7 @@ use std::sync::Arc;
 use stc_core::classifier::{Classifier, ClassifierFactory, TrainingView, WarmStartContext};
 use stc_core::{CompactionError, GuardBandConfig};
 
+use crate::engine::DotRowBank;
 use crate::{Dataset, Kernel, Svc, SvcParams, SvmError};
 
 impl From<SvmError> for CompactionError {
@@ -91,26 +92,37 @@ impl ClassifierFactory for SvmBackend {
     /// fully disjoint feature space carries no useful geometry) — silently
     /// falls back to a cold start; the returned model always meets the
     /// cold-start KKT tolerance.
+    ///
+    /// The same hint also carries the parent training's [`DotRowBank`]: the
+    /// kernel engine adjusts the parent's cached dot-product rows by the one
+    /// (or few) differing feature columns instead of recomputing them from
+    /// scratch — the incremental candidate-row path of [`crate::engine`].
+    /// Like the warm start itself, the bank is purely an accelerator and is
+    /// ignored whenever it does not line up with this view's columns.
     fn train_warm(
         &self,
         view: &TrainingView<'_>,
         warm: Option<&WarmStartContext<'_>>,
     ) -> stc_core::Result<Arc<dyn Classifier>> {
         let dataset = dataset_from_view(view)?;
-        let warm_model = warm
+        let parent = warm
             .filter(|context| context.overlaps(view.kept()))
             .and_then(|context| context.model().as_any())
-            .and_then(|any| any.downcast_ref::<SvmClassifier>())
-            .map(|classifier| &classifier.model);
-        let model = Svc::train_warm(&dataset, &self.params, warm_model)?;
-        Ok(Arc::new(SvmClassifier { model }))
+            .and_then(|any| any.downcast_ref::<SvmClassifier>());
+        let warm_model = parent.map(|classifier| &classifier.model);
+        let parent_bank = parent.map(|classifier| classifier.bank.as_ref());
+        let (model, bank) = Svc::train_with_bank(&dataset, &self.params, warm_model, parent_bank)?;
+        Ok(Arc::new(SvmClassifier { model, bank: Arc::new(bank) }))
     }
 }
 
-/// Classifier wrapping a trained [`Svc`].
+/// Classifier wrapping a trained [`Svc`], together with the dot rows its
+/// training recorded (reused when this model later warm-starts a candidate
+/// child — see [`crate::engine`]).
 #[derive(Debug, Clone)]
 struct SvmClassifier {
     model: Svc,
+    bank: Arc<DotRowBank>,
 }
 
 impl Classifier for SvmClassifier {
@@ -131,20 +143,23 @@ impl Classifier for SvmClassifier {
 /// features with margin-adjusted `+1`/`-1` labels (the successor of the old
 /// `MeasurementSet::to_svm_dataset`).
 ///
-/// Since 0.3 this consumes the view's *columns*: each kept measurement
-/// column is a zero-copy slice of the shared population allocation,
-/// normalised in one sequential pass, and the labels come from one columnar
-/// pass over the full specification set — no per-instance row gathering.
+/// Since 0.8 this is **zero-copy end to end**: the view hands out the
+/// `Arc`-shared normalized columns memoized on the underlying measurement
+/// set, and the dataset adopts those allocations directly
+/// ([`Dataset::from_shared_columns`]) — no per-row gathers and no per-call
+/// renormalization.  Because every candidate kept set of a compaction run
+/// draws from the same memoized columns, the datasets built here share
+/// column allocations, which is what enables the kernel engine's
+/// incremental candidate rows.
 ///
 /// # Errors
 ///
 /// Propagates dataset-construction errors (converted to
 /// [`CompactionError::Classifier`]).
 pub fn dataset_from_view(view: &TrainingView<'_>) -> stc_core::Result<Dataset> {
-    let columns = view.feature_columns();
-    let column_refs: Vec<&[f64]> = columns.iter().map(Vec::as_slice).collect();
+    let columns = view.shared_feature_columns();
     let labels = view.class_labels();
-    Ok(Dataset::from_columns(&column_refs, &labels)?)
+    Ok(Dataset::from_shared_columns(columns, labels)?)
 }
 
 #[cfg(test)]

@@ -1,4 +1,19 @@
 //! Training/test data containers.
+//!
+//! Since 0.8 the [`Dataset`] stores features **column-major** in `Arc`-shared
+//! allocations: one contiguous slice per feature, shared (not copied) with
+//! whatever produced it — in the compaction flow, the normalized-column cache
+//! of `stc_core`'s `MeasurementSet`.  This is the layout the SMO kernel
+//! engine ([`crate::engine`]) consumes: kernel rows are assembled as fused
+//! per-column passes over contiguous lanes, and column `Arc` identity lets
+//! consecutive candidate kept sets (which differ by one column) reuse each
+//! other's per-column dot-product contributions.
+//!
+//! Validation happens **once, at construction**: every constructor rejects
+//! ragged shapes and non-finite values, so the kernel and solver hot paths
+//! can assume consistent finite data without re-checking per element.
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -23,10 +38,18 @@ impl Sample {
     }
 }
 
-/// A dense, fixed-dimension collection of labelled samples.
+/// A dense, fixed-dimension collection of labelled samples, stored
+/// column-major.
 ///
-/// The dataset validates every inserted sample so that downstream training
-/// code can assume consistent, finite data.
+/// The dataset validates every inserted value so that downstream training
+/// code can assume consistent, finite data.  Feature columns are `Arc`-shared
+/// slices: [`Dataset::select_columns`] and [`Dataset::relabel`] are zero-copy
+/// over the feature storage, and [`Dataset::from_shared_columns`] adopts
+/// caller-owned allocations without copying.
+///
+/// Row-oriented accessors remain available — [`Dataset::features`] *gathers*
+/// a row into an owned vector, which is the slow path; hot code should read
+/// whole columns via [`Dataset::column`].
 ///
 /// # Example
 ///
@@ -39,13 +62,20 @@ impl Sample {
 /// data.push(vec![1.0, 0.0], -1.0)?;
 /// assert_eq!(data.len(), 2);
 /// assert_eq!(data.dimension(), 2);
+/// assert_eq!(data.column(0), &[0.0, 1.0]);
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// **Serialisation:** the wire format is unchanged from the row-major era —
+/// `{dimension, samples: [{features, label}]}` — so persisted datasets and
+/// models keep round-tripping.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     dimension: usize,
-    samples: Vec<Sample>,
+    /// One `Arc`-shared slice per feature, each of length `labels.len()`.
+    columns: Vec<Arc<[f64]>>,
+    labels: Vec<f64>,
 }
 
 impl Dataset {
@@ -58,24 +88,46 @@ impl Dataset {
         if dimension == 0 {
             return Err(SvmError::EmptyDimension);
         }
-        Ok(Dataset { dimension, samples: Vec::new() })
+        let columns = (0..dimension).map(|_| Arc::from(Vec::<f64>::new())).collect();
+        Ok(Dataset { dimension, columns, labels: Vec::new() })
     }
 
-    /// Creates a dataset from parallel slices of feature vectors and labels.
+    /// Creates a dataset from parallel slices of feature vectors and labels
+    /// (one transpose pass; total cost `O(len · dimension)`).
     ///
     /// # Errors
     ///
-    /// Returns an error if the vectors are empty, have inconsistent lengths or
-    /// contain non-finite values.
+    /// Returns an error if `rows` is empty, `rows` and `labels` disagree in
+    /// length, any row has the wrong dimension, or any value is non-finite.
     pub fn from_rows(rows: &[Vec<f64>], labels: &[f64]) -> Result<Self> {
         if rows.is_empty() {
             return Err(SvmError::EmptyDataset);
         }
-        let mut data = Dataset::new(rows[0].len())?;
-        for (row, &label) in rows.iter().zip(labels.iter()) {
-            data.push(row.clone(), label)?;
+        if rows.len() != labels.len() {
+            return Err(SvmError::DimensionMismatch { expected: rows.len(), found: labels.len() });
         }
-        Ok(data)
+        let dimension = rows[0].len();
+        if dimension == 0 {
+            return Err(SvmError::EmptyDimension);
+        }
+        let mut columns = vec![Vec::with_capacity(rows.len()); dimension];
+        for row in rows {
+            if row.len() != dimension {
+                return Err(SvmError::DimensionMismatch { expected: dimension, found: row.len() });
+            }
+            for (index, (&value, column)) in row.iter().zip(columns.iter_mut()).enumerate() {
+                if !value.is_finite() {
+                    return Err(SvmError::NonFiniteFeature { index, value });
+                }
+                column.push(value);
+            }
+        }
+        validate_labels(labels)?;
+        Ok(Dataset {
+            dimension,
+            columns: columns.into_iter().map(Arc::from).collect(),
+            labels: labels.to_vec(),
+        })
     }
 
     /// Creates a dataset from feature *columns* (one slice per feature, each
@@ -89,29 +141,39 @@ impl Dataset {
     /// with `labels` and [`SvmError::NonFiniteFeature`] for NaN/infinite
     /// values (checked column-sequentially before assembly).
     pub fn from_columns(columns: &[&[f64]], labels: &[f64]) -> Result<Self> {
-        if columns.is_empty() {
-            return Err(SvmError::EmptyDimension);
-        }
-        let count = labels.len();
-        for (feature, column) in columns.iter().enumerate() {
-            if column.len() != count {
-                return Err(SvmError::DimensionMismatch { expected: count, found: column.len() });
-            }
-            // `index` is the *feature* index, matching `push`'s convention.
-            if let Some(&value) = column.iter().find(|v| !v.is_finite()) {
-                return Err(SvmError::NonFiniteFeature { index: feature, value });
-            }
-        }
-        if let Some(&label) = labels.iter().find(|l| !l.is_finite()) {
-            return Err(SvmError::NonFiniteFeature { index: usize::MAX, value: label });
-        }
-        let samples = (0..count)
-            .map(|i| Sample::new(columns.iter().map(|column| column[i]).collect(), labels[i]))
-            .collect();
-        Ok(Dataset { dimension: columns.len(), samples })
+        validate_columns(columns.iter().map(|c| &c[..]), columns.len(), labels)?;
+        Ok(Dataset {
+            dimension: columns.len(),
+            columns: columns.iter().map(|&column| Arc::from(column)).collect(),
+            labels: labels.to_vec(),
+        })
+    }
+
+    /// Creates a dataset that *adopts* already-shared feature columns without
+    /// copying them.
+    ///
+    /// This is the zero-copy entry point of the compaction flow: the
+    /// normalized columns cached on a `stc_core` measurement set flow
+    /// straight into SVM training, and because two candidate kept sets that
+    /// share a specification receive pointer-identical `Arc`s, the kernel
+    /// engine can recognise shared columns across datasets via
+    /// [`Dataset::shares_column_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Dataset::from_columns`].
+    pub fn from_shared_columns(columns: Vec<Arc<[f64]>>, labels: Vec<f64>) -> Result<Self> {
+        validate_columns(columns.iter().map(|c| &c[..]), columns.len(), &labels)?;
+        Ok(Dataset { dimension: columns.len(), columns, labels })
     }
 
     /// Appends a sample.
+    ///
+    /// This is the **slow path**: column-major shared storage means every
+    /// push re-allocates each feature column (`O(len · dimension)` per call).
+    /// It remains for convenient test/example construction; bulk data should
+    /// arrive through [`Dataset::from_rows`], [`Dataset::from_columns`] or
+    /// [`Dataset::from_shared_columns`].
     ///
     /// # Errors
     ///
@@ -133,18 +195,24 @@ impl Dataset {
         if !label.is_finite() {
             return Err(SvmError::NonFiniteFeature { index: usize::MAX, value: label });
         }
-        self.samples.push(Sample::new(features, label));
+        for (column, &value) in self.columns.iter_mut().zip(&features) {
+            let mut grown = Vec::with_capacity(column.len() + 1);
+            grown.extend_from_slice(column);
+            grown.push(value);
+            *column = grown.into();
+        }
+        self.labels.push(label);
         Ok(())
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.labels.len()
     }
 
     /// Whether the dataset holds no samples.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.labels.is_empty()
     }
 
     /// Number of features per sample.
@@ -152,18 +220,40 @@ impl Dataset {
         self.dimension
     }
 
-    /// Borrow of all samples.
-    pub fn samples(&self) -> &[Sample] {
-        &self.samples
+    /// The contiguous values of feature `c`, one per sample — zero-copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn column(&self, c: usize) -> &[f64] {
+        &self.columns[c]
     }
 
-    /// Feature vector of sample `i`.
+    /// The `Arc`-shared feature columns, in feature order.
+    pub fn shared_columns(&self) -> &[Arc<[f64]>] {
+        &self.columns
+    }
+
+    /// Whether feature `c` of this dataset and feature `other_c` of `other`
+    /// are views of the *same allocation* (`Arc` pointer identity, not value
+    /// equality).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn shares_column_with(&self, c: usize, other: &Dataset, other_c: usize) -> bool {
+        Arc::ptr_eq(&self.columns[c], &other.columns[other_c])
+    }
+
+    /// Feature vector of sample `i`, gathered from the column storage into an
+    /// owned vector.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of bounds.
-    pub fn features(&self, i: usize) -> &[f64] {
-        &self.samples[i].features
+    pub fn features(&self, i: usize) -> Vec<f64> {
+        assert!(i < self.len(), "sample {i} out of range ({} samples)", self.len());
+        self.columns.iter().map(|column| column[i]).collect()
     }
 
     /// Label of sample `i`.
@@ -172,17 +262,17 @@ impl Dataset {
     ///
     /// Panics if `i` is out of bounds.
     pub fn label(&self, i: usize) -> f64 {
-        self.samples[i].label
+        self.labels[i]
     }
 
     /// All labels, in insertion order.
-    pub fn labels(&self) -> Vec<f64> {
-        self.samples.iter().map(|s| s.label).collect()
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
     }
 
-    /// Iterator over samples.
-    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
-        self.samples.iter()
+    /// Iterator over samples (each gathered into an owned [`Sample`]).
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Sample> + '_ {
+        (0..self.len()).map(|i| Sample::new(self.features(i), self.labels[i]))
     }
 
     /// Returns a new dataset containing only the samples at `indices`.
@@ -191,12 +281,18 @@ impl Dataset {
     ///
     /// Panics if any index is out of bounds.
     pub fn subset(&self, indices: &[usize]) -> Dataset {
-        let samples = indices.iter().map(|&i| self.samples[i].clone()).collect();
-        Dataset { dimension: self.dimension, samples }
+        let columns = self
+            .columns
+            .iter()
+            .map(|column| indices.iter().map(|&i| column[i]).collect())
+            .collect();
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Dataset { dimension: self.dimension, columns, labels }
     }
 
     /// Returns a new dataset keeping only the feature columns in `columns`
-    /// (in the given order).
+    /// (in the given order) — zero-copy: the result shares this dataset's
+    /// column allocations.
     ///
     /// This is the primitive the compaction methodology uses to "remove a
     /// specification from the training data" (paper Section 3.2).
@@ -212,30 +308,26 @@ impl Dataset {
         if let Some(&bad) = columns.iter().find(|&&c| c >= self.dimension) {
             return Err(SvmError::DimensionMismatch { expected: self.dimension, found: bad });
         }
-        let mut out = Dataset::new(columns.len())?;
-        for sample in &self.samples {
-            let features: Vec<f64> = columns.iter().map(|&c| sample.features[c]).collect();
-            out.push(features, sample.label)?;
-        }
-        Ok(out)
+        Ok(Dataset {
+            dimension: columns.len(),
+            columns: columns.iter().map(|&c| Arc::clone(&self.columns[c])).collect(),
+            labels: self.labels.clone(),
+        })
     }
 
-    /// Replaces every label using `f(old_label, features) -> new_label`.
+    /// Replaces every label using `f(old_label, features) -> new_label`,
+    /// sharing the feature columns with `self`.
     pub fn relabel<F>(&self, mut f: F) -> Dataset
     where
         F: FnMut(f64, &[f64]) -> f64,
     {
-        let samples = self
-            .samples
-            .iter()
-            .map(|s| Sample::new(s.features.clone(), f(s.label, &s.features)))
-            .collect();
-        Dataset { dimension: self.dimension, samples }
+        let labels = (0..self.len()).map(|i| f(self.labels[i], &self.features(i))).collect();
+        Dataset { dimension: self.dimension, columns: self.columns.clone(), labels }
     }
 
     /// Counts samples with a strictly positive label.
     pub fn positive_count(&self) -> usize {
-        self.samples.iter().filter(|s| s.label > 0.0).count()
+        self.labels.iter().filter(|&&l| l > 0.0).count()
     }
 
     /// Counts samples with a non-positive label.
@@ -244,27 +336,135 @@ impl Dataset {
     }
 }
 
-impl Extend<Sample> for Dataset {
-    fn extend<T: IntoIterator<Item = Sample>>(&mut self, iter: T) {
-        for sample in iter {
-            // Samples that fail validation are silently skipped would be
-            // surprising; Extend cannot return errors so enforce via assert.
-            assert_eq!(
-                sample.features.len(),
-                self.dimension,
-                "extended sample has wrong dimension"
-            );
-            self.samples.push(sample);
+/// Shared constructor validation: non-empty dimension, column lengths equal
+/// to the label count, all values and labels finite.
+fn validate_columns<'a, I>(columns: I, dimension: usize, labels: &[f64]) -> Result<()>
+where
+    I: Iterator<Item = &'a [f64]>,
+{
+    if dimension == 0 {
+        return Err(SvmError::EmptyDimension);
+    }
+    let count = labels.len();
+    for (feature, column) in columns.enumerate() {
+        if column.len() != count {
+            return Err(SvmError::DimensionMismatch { expected: count, found: column.len() });
         }
+        // `index` is the *feature* index, matching `push`'s convention.
+        if let Some(&value) = column.iter().find(|v| !v.is_finite()) {
+            return Err(SvmError::NonFiniteFeature { index: feature, value });
+        }
+    }
+    validate_labels(labels)
+}
+
+fn validate_labels(labels: &[f64]) -> Result<()> {
+    if let Some(&label) = labels.iter().find(|l| !l.is_finite()) {
+        return Err(SvmError::NonFiniteFeature { index: usize::MAX, value: label });
+    }
+    Ok(())
+}
+
+impl Serialize for Dataset {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let samples: Vec<Sample> = self.iter().collect();
+        let mut state = serializer.serialize_struct("Dataset", 2)?;
+        state.serialize_field("dimension", &self.dimension)?;
+        state.serialize_field("samples", &samples)?;
+        state.end()
     }
 }
 
+impl<'de> Deserialize<'de> for Dataset {
+    /// Deserialises the row-major wire format through the validating
+    /// constructors, so a decoded dataset upholds the same shape/finiteness
+    /// invariants as a constructed one.
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        use serde::de::{Error as _, IgnoredAny, MapAccess, Visitor};
+        struct DatasetVisitor;
+        impl<'de> Visitor<'de> for DatasetVisitor {
+            type Value = Dataset;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a dataset as {dimension, samples}")
+            }
+            fn visit_map<A: MapAccess<'de>>(
+                self,
+                mut map: A,
+            ) -> std::result::Result<Dataset, A::Error> {
+                let mut dimension: Option<usize> = None;
+                let mut samples: Option<Vec<Sample>> = None;
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "dimension" => dimension = Some(map.next_value()?),
+                        "samples" => samples = Some(map.next_value()?),
+                        _ => {
+                            map.next_value::<IgnoredAny>()?;
+                        }
+                    }
+                }
+                let dimension = dimension.ok_or_else(|| A::Error::missing_field("dimension"))?;
+                let samples = samples.ok_or_else(|| A::Error::missing_field("samples"))?;
+                let mut data = Dataset::new(dimension)
+                    .map_err(|error| A::Error::custom(format!("invalid dataset: {error}")))?;
+                if samples.is_empty() {
+                    return Ok(data);
+                }
+                let (rows, labels): (Vec<Vec<f64>>, Vec<f64>) =
+                    samples.into_iter().map(|s| (s.features, s.label)).unzip();
+                data = Dataset::from_rows(&rows, &labels)
+                    .map_err(|error| A::Error::custom(format!("invalid dataset: {error}")))?;
+                if data.dimension() != dimension {
+                    return Err(A::Error::custom(format!(
+                        "invalid dataset: declared dimension {dimension}, samples have {}",
+                        data.dimension()
+                    )));
+                }
+                Ok(data)
+            }
+        }
+        deserializer.deserialize_any(DatasetVisitor)
+    }
+}
+
+/// Owning iterator over gathered samples (column-major storage has no
+/// borrowed rows to hand out).
+pub struct SampleIter<'a> {
+    data: &'a Dataset,
+    next: usize,
+}
+
+impl Iterator for SampleIter<'_> {
+    type Item = Sample;
+
+    fn next(&mut self) -> Option<Sample> {
+        if self.next >= self.data.len() {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        Some(Sample::new(self.data.features(i), self.data.label(i)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.data.len() - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SampleIter<'_> {}
+
 impl<'a> IntoIterator for &'a Dataset {
-    type Item = &'a Sample;
-    type IntoIter = std::slice::Iter<'a, Sample>;
+    type Item = Sample;
+    type IntoIter = SampleIter<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.samples.iter()
+        SampleIter { data: self, next: 0 }
     }
 }
 
@@ -303,6 +503,15 @@ mod tests {
     }
 
     #[test]
+    fn storage_is_column_major() {
+        let d = toy();
+        assert_eq!(d.column(0), &[1.0, 4.0, 7.0]);
+        assert_eq!(d.column(2), &[3.0, 6.0, 9.0]);
+        assert_eq!(d.features(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(d.shared_columns().len(), 3);
+    }
+
+    #[test]
     fn subset_and_counts() {
         let d = toy();
         assert_eq!(d.positive_count(), 2);
@@ -319,8 +528,28 @@ mod tests {
         let projected = d.select_columns(&[2, 0]).unwrap();
         assert_eq!(projected.dimension(), 2);
         assert_eq!(projected.features(0), &[3.0, 1.0]);
+        // Zero-copy: the projection shares the parent's column allocations.
+        assert!(projected.shares_column_with(0, &d, 2));
+        assert!(projected.shares_column_with(1, &d, 0));
         assert!(d.select_columns(&[]).is_err());
         assert!(d.select_columns(&[5]).is_err());
+    }
+
+    #[test]
+    fn from_shared_columns_adopts_allocations() {
+        let a: Arc<[f64]> = vec![1.0, 2.0].into();
+        let b: Arc<[f64]> = vec![3.0, 4.0].into();
+        let d = Dataset::from_shared_columns(vec![Arc::clone(&a), Arc::clone(&b)], vec![1.0, -1.0])
+            .unwrap();
+        assert!(Arc::ptr_eq(&d.shared_columns()[0], &a));
+        assert!(Arc::ptr_eq(&d.shared_columns()[1], &b));
+        assert_eq!(d.features(0), &[1.0, 3.0]);
+        // Validation still applies to adopted columns.
+        let ragged: Arc<[f64]> = vec![1.0].into();
+        assert!(Dataset::from_shared_columns(vec![ragged], vec![1.0, -1.0]).is_err());
+        let nan: Arc<[f64]> = vec![f64::NAN, 0.0].into();
+        assert!(Dataset::from_shared_columns(vec![nan], vec![1.0, -1.0]).is_err());
+        assert!(Dataset::from_shared_columns(vec![], vec![]).is_err());
     }
 
     #[test]
@@ -338,11 +567,12 @@ mod tests {
     }
 
     #[test]
-    fn relabel_applies_function() {
+    fn relabel_applies_function_and_shares_columns() {
         let d = toy();
         let flipped = d.relabel(|l, _| -l);
         assert_eq!(flipped.label(0), -1.0);
         assert_eq!(flipped.label(1), 1.0);
+        assert!(flipped.shares_column_with(0, &d, 0));
     }
 
     #[test]
@@ -353,6 +583,9 @@ mod tests {
         assert_eq!(d.len(), 2);
         assert_eq!(d.labels(), labels);
         assert!(Dataset::from_rows(&[], &[]).is_err());
+        // Row/label count mismatches are rejected, not silently truncated.
+        assert!(Dataset::from_rows(&rows, &[1.0]).is_err());
+        assert!(Dataset::from_rows(&[vec![0.0], vec![1.0, 2.0]], &[1.0, -1.0]).is_err());
     }
 
     #[test]
@@ -360,5 +593,7 @@ mod tests {
         let d = toy();
         assert_eq!(d.iter().count(), 3);
         assert_eq!((&d).into_iter().count(), 3);
+        let gathered: Vec<Sample> = d.iter().collect();
+        assert_eq!(gathered[2], Sample::new(vec![7.0, 8.0, 9.0], 1.0));
     }
 }

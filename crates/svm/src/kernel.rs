@@ -99,11 +99,20 @@ impl Kernel {
 
     /// Evaluates the kernel for two feature vectors.
     ///
+    /// Both vectors must come from the same feature space: a [`crate::Dataset`]
+    /// (whose constructors validate dimensions and finiteness once) or a
+    /// prediction input of the same dimension.  Mismatched lengths are a
+    /// caller bug, never valid data — release builds used to *silently
+    /// truncate* to the shorter vector here (the `zip` ignores trailing
+    /// elements), which turned dimension bugs into wrong kernel values; the
+    /// guard is now unconditional.
+    ///
     /// # Panics
     ///
-    /// Panics in debug builds if the vectors have different lengths.
+    /// Panics if the vectors have different lengths (debug **and** release
+    /// builds).
     pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
-        debug_assert_eq!(x.len(), y.len(), "kernel arguments must have equal length");
+        assert_eq!(x.len(), y.len(), "kernel arguments must have equal length");
         match *self {
             Kernel::Linear => dot(x, y),
             Kernel::Polynomial { gamma, coef0, degree } => {
@@ -193,6 +202,14 @@ mod tests {
     fn default_gamma_follows_libsvm_heuristic() {
         assert_eq!(Kernel::default_gamma(4), 0.25);
         assert_eq!(Kernel::default_gamma(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn eval_rejects_mismatched_lengths_in_all_builds() {
+        // Regression guard: this used to be a debug_assert, so release
+        // builds silently truncated to the shorter vector.
+        Kernel::linear().eval(&[1.0, 2.0], &[1.0]);
     }
 
     #[test]

@@ -54,11 +54,13 @@ mod svr;
 
 pub mod backend;
 pub mod cross_validation;
+pub mod engine;
 pub mod grid_search;
 pub mod smo;
 
 pub use backend::SvmBackend;
 pub use dataset::{Dataset, Sample};
+pub use engine::{DotRowBank, KernelEngine, KernelPath};
 pub use error::SvmError;
 pub use kernel::Kernel;
 pub use scaler::{ScaleMethod, Scaler};

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::engine::{DotRowBank, KernelEngine, KernelPath};
 use crate::smo::{self, QMatrix, SmoParams, SmoProblem};
 use crate::{Dataset, Kernel, Result, SvmError};
 
@@ -26,6 +27,10 @@ pub struct SvcParams {
     max_iterations: usize,
     positive_weight: f64,
     negative_weight: f64,
+    /// Kernel row-assembly implementation (defaulted on deserialization so
+    /// pre-0.8 configs still load).
+    #[serde(default)]
+    kernel_path: KernelPath,
 }
 
 impl SvcParams {
@@ -39,6 +44,7 @@ impl SvcParams {
             max_iterations: 200_000,
             positive_weight: 1.0,
             negative_weight: 1.0,
+            kernel_path: KernelPath::default(),
         }
     }
 
@@ -90,6 +96,17 @@ impl SvcParams {
         self.tolerance
     }
 
+    /// Selects the kernel row-assembly implementation (see [`KernelPath`]).
+    pub fn with_kernel_path(mut self, kernel_path: KernelPath) -> Self {
+        self.kernel_path = kernel_path;
+        self
+    }
+
+    /// The configured kernel row-assembly implementation.
+    pub fn kernel_path(&self) -> KernelPath {
+        self.kernel_path
+    }
+
     fn validate(&self) -> Result<()> {
         if !(self.c > 0.0 && self.c.is_finite()) {
             return Err(SvmError::InvalidParameter { name: "C", value: self.c });
@@ -117,30 +134,38 @@ impl Default for SvcParams {
 }
 
 /// `Q` matrix for classification: `Q[i][j] = y_i y_j K(x_i, x_j)`.
+///
+/// Kernel rows come from the [`KernelEngine`]; the label products multiply
+/// exact `±1` factors on top, so the engine's numerical contract carries
+/// through to `Q` unchanged.
 struct SvcQ<'a> {
-    data: &'a Dataset,
-    kernel: Kernel,
+    engine: KernelEngine<'a>,
+    labels: &'a [f64],
     diag: Vec<f64>,
 }
 
 impl<'a> SvcQ<'a> {
-    fn new(data: &'a Dataset, kernel: Kernel) -> Self {
-        let diag =
-            (0..data.len()).map(|i| kernel.eval(data.features(i), data.features(i))).collect();
-        SvcQ { data, kernel, diag }
+    fn new(data: &'a Dataset, kernel: Kernel, path: KernelPath, bank: Option<&DotRowBank>) -> Self {
+        let engine = KernelEngine::with_bank(data, kernel, path, bank);
+        let diag = (0..data.len()).map(|i| engine.diag(i)).collect();
+        SvcQ { engine, labels: data.labels(), diag }
+    }
+
+    fn into_bank(self) -> DotRowBank {
+        self.engine.into_bank()
     }
 }
 
 impl QMatrix for SvcQ<'_> {
     fn len(&self) -> usize {
-        self.data.len()
+        self.engine.len()
     }
 
     fn row(&self, i: usize, out: &mut [f64]) {
-        let xi = self.data.features(i);
-        let yi = self.data.label(i);
-        for (j, cell) in out.iter_mut().enumerate().take(self.data.len()) {
-            *cell = yi * self.data.label(j) * self.kernel.eval(xi, self.data.features(j));
+        self.engine.kernel_row(i, out);
+        let yi = self.labels[i];
+        for (cell, &yj) in out.iter_mut().zip(self.labels) {
+            *cell *= yi * yj;
         }
     }
 
@@ -202,13 +227,37 @@ impl Svc {
     ///
     /// Same conditions as [`Svc::train`].
     pub fn train_warm(data: &Dataset, params: &SvcParams, warm: Option<&Svc>) -> Result<Self> {
+        Svc::train_with_bank(data, params, warm, None).map(|(model, _)| model)
+    }
+
+    /// [`Svc::train_warm`] that additionally threads the kernel engine's
+    /// [`DotRowBank`] through training: `parent_bank` (dot rows recorded by
+    /// the committed parent's training, if any) seeds this problem's kernel
+    /// rows incrementally, and the returned bank holds the rows *this*
+    /// training touched, ready for the next candidate generation.
+    ///
+    /// The bank is strictly an accelerator with the same contract as warm
+    /// starts: an inapplicable bank (different column universe or population)
+    /// is ignored, and the returned model satisfies the same stopping
+    /// tolerance either way.  On [`KernelPath::Naive`] the returned bank is
+    /// always empty.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Svc::train`].
+    pub fn train_with_bank(
+        data: &Dataset,
+        params: &SvcParams,
+        warm: Option<&Svc>,
+        parent_bank: Option<&DotRowBank>,
+    ) -> Result<(Self, DotRowBank)> {
         params.validate()?;
         if data.is_empty() {
             return Err(SvmError::EmptyDataset);
         }
-        for s in data.iter() {
-            if s.label != 1.0 && s.label != -1.0 {
-                return Err(SvmError::InvalidLabel(s.label));
+        for &label in data.labels() {
+            if label != 1.0 && label != -1.0 {
+                return Err(SvmError::InvalidLabel(label));
             }
         }
         let positives = data.positive_count();
@@ -217,7 +266,7 @@ impl Svc {
         }
 
         let n = data.len();
-        let y = data.labels();
+        let y = data.labels().to_vec();
         let upper_bound: Vec<f64> = y
             .iter()
             .map(|&label| {
@@ -233,7 +282,7 @@ impl Svc {
             None => vec![0.0; n],
         };
         let problem = SmoProblem { y: y.clone(), p: vec![-1.0; n], upper_bound, initial_alpha };
-        let q = SvcQ::new(data, params.kernel);
+        let q = SvcQ::new(data, params.kernel, params.kernel_path, parent_bank);
         let smo_params = SmoParams {
             tolerance: params.tolerance,
             max_iterations: params.max_iterations,
@@ -246,12 +295,12 @@ impl Svc {
         let mut support_indices = Vec::new();
         for (i, (&alpha, &label)) in solution.alpha.iter().zip(y.iter()).enumerate() {
             if alpha > 1e-12 {
-                support_vectors.push(data.features(i).to_vec());
+                support_vectors.push(data.features(i));
                 coefficients.push(alpha * label);
                 support_indices.push(i);
             }
         }
-        Ok(Svc {
+        let model = Svc {
             kernel: params.kernel,
             support_vectors,
             coefficients,
@@ -260,7 +309,8 @@ impl Svc {
             dimension: data.dimension(),
             bias_shift: 0.0,
             iterations: solution.iterations,
-        })
+        };
+        Ok((model, q.into_bank()))
     }
 
     /// Projects this model's dual variables onto a related problem over the

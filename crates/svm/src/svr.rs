@@ -6,8 +6,11 @@
 //! coverage near the class boundary.  This module provides the regression
 //! counterpart so the comparison can be reproduced (ablation A in DESIGN.md).
 
+use std::cell::RefCell;
+
 use serde::{Deserialize, Serialize};
 
+use crate::engine::{KernelEngine, KernelPath};
 use crate::smo::{self, QMatrix, SmoParams, SmoProblem};
 use crate::{Dataset, Kernel, Result, SvmError};
 
@@ -31,6 +34,10 @@ pub struct SvrParams {
     kernel: Kernel,
     tolerance: f64,
     max_iterations: usize,
+    /// Kernel row-assembly implementation (defaulted on deserialization so
+    /// pre-0.8 configs still load).
+    #[serde(default)]
+    kernel_path: KernelPath,
 }
 
 impl SvrParams {
@@ -42,6 +49,7 @@ impl SvrParams {
             kernel: Kernel::default(),
             tolerance: 1e-3,
             max_iterations: 200_000,
+            kernel_path: KernelPath::default(),
         }
     }
 
@@ -90,6 +98,17 @@ impl SvrParams {
         self.kernel
     }
 
+    /// Selects the kernel row-assembly implementation (see [`KernelPath`]).
+    pub fn with_kernel_path(mut self, kernel_path: KernelPath) -> Self {
+        self.kernel_path = kernel_path;
+        self
+    }
+
+    /// The configured kernel row-assembly implementation.
+    pub fn kernel_path(&self) -> KernelPath {
+        self.kernel_path
+    }
+
     fn validate(&self) -> Result<()> {
         if !(self.c > 0.0 && self.c.is_finite()) {
             return Err(SvmError::InvalidParameter { name: "C", value: self.c });
@@ -112,25 +131,29 @@ impl Default for SvrParams {
 /// Variables `0..l` correspond to `alpha` (sign +1), variables `l..2l` to
 /// `alpha*` (sign -1); `Q[s][t] = sign_s * sign_t * K(s mod l, t mod l)`.
 struct SvrQ<'a> {
-    data: &'a Dataset,
-    kernel: Kernel,
+    engine: KernelEngine<'a>,
+    /// Number of training instances `l` (the expanded dual has `2l` rows).
+    samples: usize,
     diag: Vec<f64>,
+    /// Reusable base-kernel row of length `l`, expanded into `out` per call.
+    scratch: RefCell<Vec<f64>>,
 }
 
 impl<'a> SvrQ<'a> {
-    fn new(data: &'a Dataset, kernel: Kernel) -> Self {
+    fn new(data: &'a Dataset, kernel: Kernel, path: KernelPath) -> Self {
+        let engine = KernelEngine::new(data, kernel, path);
         let l = data.len();
         let mut diag = vec![0.0; 2 * l];
         for i in 0..l {
-            let k = kernel.eval(data.features(i), data.features(i));
+            let k = engine.diag(i);
             diag[i] = k;
             diag[i + l] = k;
         }
-        SvrQ { data, kernel, diag }
+        SvrQ { engine, samples: l, diag, scratch: RefCell::new(vec![0.0; l]) }
     }
 
     fn sign(&self, t: usize) -> f64 {
-        if t < self.data.len() {
+        if t < self.samples {
             1.0
         } else {
             -1.0
@@ -138,20 +161,26 @@ impl<'a> SvrQ<'a> {
     }
 
     fn base(&self, t: usize) -> usize {
-        t % self.data.len()
+        t % self.samples
     }
 }
 
 impl QMatrix for SvrQ<'_> {
     fn len(&self) -> usize {
-        2 * self.data.len()
+        2 * self.samples
     }
 
     fn row(&self, i: usize, out: &mut [f64]) {
-        let xi = self.data.features(self.base(i));
+        // One engine row over the l base instances serves both dual halves.
+        let mut scratch = self.scratch.borrow_mut();
+        self.engine.kernel_row(self.base(i), &mut scratch);
         let si = self.sign(i);
-        for (t, cell) in out.iter_mut().enumerate().take(self.len()) {
-            *cell = si * self.sign(t) * self.kernel.eval(xi, self.data.features(self.base(t)));
+        let (alpha_half, alpha_star_half) = out[..2 * self.samples].split_at_mut(self.samples);
+        for ((cell, starred), &k) in
+            alpha_half.iter_mut().zip(alpha_star_half.iter_mut()).zip(scratch.iter())
+        {
+            *cell = si * k;
+            *starred = -si * k;
         }
     }
 
@@ -228,7 +257,7 @@ impl Svr {
             None => vec![0.0; 2 * l],
         };
         let problem = SmoProblem { y, p, upper_bound, initial_alpha };
-        let q = SvrQ::new(data, params.kernel);
+        let q = SvrQ::new(data, params.kernel, params.kernel_path);
         let smo_params = SmoParams {
             tolerance: params.tolerance,
             max_iterations: params.max_iterations,
@@ -242,7 +271,7 @@ impl Svr {
         for i in 0..l {
             let beta = solution.alpha[i] - solution.alpha[i + l];
             if beta.abs() > 1e-12 {
-                support_vectors.push(data.features(i).to_vec());
+                support_vectors.push(data.features(i));
                 coefficients.push(beta);
                 support_indices.push(i);
             }

@@ -1,0 +1,78 @@
+//! Microbenchmark of the staged sequential tester against one-shot
+//! classification on a deployed program: the per-device decision loop is the
+//! production hot path of a deployed compacted test set, and the sequential
+//! session must stay cheap enough that its early exits translate into
+//! wall-clock savings on the handler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stc_core::pipeline::CompactionPipeline;
+use stc_core::tester::{StepVerdict, TestPlan};
+use stc_core::{
+    generate_train_test, CompactionConfig, MonteCarloConfig, Prediction, SequentialStats,
+    SyntheticDevice, TestCostModel,
+};
+use stc_svm::SvmBackend;
+
+fn bench_sequential_tester(c: &mut Criterion) {
+    let device = SyntheticDevice::new(6, 1.8, 0.9);
+    let monte_carlo = MonteCarloConfig::new(300).with_seed(7);
+    let (train, test) = generate_train_test(&device, &monte_carlo, 150).expect("population");
+    let report = CompactionPipeline::for_device(&device)
+        .monte_carlo(monte_carlo)
+        .compaction(CompactionConfig::paper_default().with_tolerance(0.03))
+        .classifier(SvmBackend::paper_default())
+        .run_with_population(train, test.clone())
+        .expect("pipeline runs");
+    let program = &report.tester;
+    let cost_model = TestCostModel::uniform(test.specs().len());
+
+    let mut group = c.benchmark_group("sequential_tester");
+    group.sample_size(20);
+
+    group.bench_with_input(BenchmarkId::new("deploy", "one_shot"), &(), |b, ()| {
+        b.iter(|| {
+            let mut bad = 0usize;
+            for row in 0..test.len() {
+                let kept: Vec<f64> =
+                    program.kept().iter().map(|&column| test.value(row, column)).collect();
+                if program.classify(&kept).expect("classifies") == Prediction::Bad {
+                    bad += 1;
+                }
+            }
+            bad
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("deploy", "sequential"), &(), |b, ()| {
+        let plan = TestPlan::cheapest_first(program, &cost_model).expect("plan stages");
+        b.iter(|| {
+            let mut bad = 0usize;
+            for row in 0..test.len() {
+                let mut session = plan.begin();
+                loop {
+                    let column = session.next_stage().expect("undecided session");
+                    match session.measure(test.value(row, column)).expect("measures") {
+                        StepVerdict::Decided(verdict) => {
+                            if verdict == Prediction::Bad {
+                                bad += 1;
+                            }
+                            break;
+                        }
+                        StepVerdict::NeedMore { .. } => {}
+                    }
+                }
+            }
+            bad
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("deploy", "stats_collect"), &(), |b, ()| {
+        let plan = TestPlan::cheapest_first(program, &cost_model).expect("plan stages");
+        b.iter(|| SequentialStats::collect(&plan, &cost_model, &test).expect("stats collect"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential_tester);
+criterion_main!(benches);

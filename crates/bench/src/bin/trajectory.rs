@@ -1,21 +1,29 @@
-//! Emits and checks the kernel-engine performance trajectory files.
+//! Emits and checks the performance trajectory files.
 //!
 //! ```text
-//! trajectory --emit <path>          # deterministic solver counters
-//! trajectory --kernel <path> [n..]  # wall-clock kernel timings (default
-//!                                   # sizes 2000 10000, 24 features)
-//! trajectory --check <path>         # decode + validate either report
+//! trajectory --emit <path>            # deterministic solver counters
+//! trajectory --sequential <path>      # deterministic sequential-deploy stats
+//! trajectory --kernel <path> [n..]    # wall-clock kernel timings (default
+//!                                     # sizes 2000 10000, 24 features)
+//! trajectory --batch <path> [t..]     # wall-clock pipeline-batch timings
+//!                                     # (default thread counts 1 4)
+//! trajectory --check <path>           # decode + validate any report
 //! ```
 //!
 //! Output is wrapped in the versioned `{"schema_version": N, "payload": ...}`
-//! `stc-serve` envelope.  `--emit` is byte-deterministic across machines
-//! (CI diffs it against `crates/bench/snapshots/BENCH_trajectory.json`);
-//! `--kernel` measures wall time and is therefore only structure-checked on
-//! CI, with the committed `BENCH_kernel.json` as the reference measurement.
+//! `stc-serve` envelope.  `--emit` and `--sequential` are byte-deterministic
+//! across machines (CI diffs them against
+//! `crates/bench/snapshots/BENCH_trajectory.json` and `BENCH_sequential.json`);
+//! `--kernel` and `--batch` measure wall time and are therefore only
+//! structure-checked on CI, with the committed `BENCH_kernel.json` and
+//! `BENCH_batch.json` as the reference measurements.
 
 use std::process::ExitCode;
 
-use stc_bench::trajectory::{collect_trajectory, measure_kernel, KernelReport, TrajectoryReport};
+use stc_bench::trajectory::{
+    collect_sequential, collect_trajectory, measure_batch, measure_kernel, BatchTimingReport,
+    KernelReport, SequentialReport, TrajectoryReport,
+};
 use stc_serve::envelope;
 
 fn write_enveloped<T: serde::Serialize>(report: &T, path: &str) -> Result<(), String> {
@@ -23,13 +31,44 @@ fn write_enveloped<T: serde::Serialize>(report: &T, path: &str) -> Result<(), St
     std::fs::write(path, encoded + "\n").map_err(|error| format!("cannot write {path}: {error}"))
 }
 
-/// Checks a decoded trajectory or kernel report, whichever the file holds.
+/// Checks a decoded report, whichever of the four kinds the file holds.
 fn check(path: &str) -> Result<(), String> {
     let text =
         std::fs::read_to_string(path).map_err(|error| format!("cannot read {path}: {error}"))?;
     if let Ok(report) = envelope::decode::<TrajectoryReport>(&text) {
         report.validate()?;
         eprintln!("{path}: valid trajectory report ({} points)", report.points.len());
+        return Ok(());
+    }
+    if let Ok(report) = envelope::decode::<SequentialReport>(&text) {
+        report.validate()?;
+        for point in &report.points {
+            eprintln!(
+                "{path}: {} specs x {} devices [{}]: expected cost {:.3} vs static {:.3} \
+                 ({} early exits)",
+                point.specs,
+                point.test_devices,
+                point.cost_model,
+                point.expected_cost,
+                point.static_cost,
+                point.early_exits,
+            );
+        }
+        return Ok(());
+    }
+    if let Ok(report) = envelope::decode::<BatchTimingReport>(&text) {
+        report.validate()?;
+        for timing in &report.timings {
+            eprintln!(
+                "{path}: {} devices x {} instances on {} thread(s): {:.0} ms total, \
+                 {:.0} ms/device",
+                timing.devices,
+                timing.train_devices,
+                timing.batch_threads,
+                timing.total_ms,
+                timing.ms_per_device,
+            );
+        }
         return Ok(());
     }
     let report: KernelReport = envelope::decode(&text).map_err(|error| error.to_string())?;
@@ -59,6 +98,12 @@ fn run() -> Result<(), String> {
             eprintln!("wrote {} trajectory points to {path}", report.points.len());
             Ok(())
         }
+        [flag, path] if flag == "--sequential" => {
+            let report = collect_sequential();
+            write_enveloped(&report, path)?;
+            eprintln!("wrote {} sequential points to {path}", report.points.len());
+            Ok(())
+        }
         [flag, path, sizes @ ..] if flag == "--kernel" => {
             let sizes: Vec<usize> = if sizes.is_empty() {
                 vec![2_000, 10_000]
@@ -72,8 +117,22 @@ fn run() -> Result<(), String> {
             write_enveloped(&report, path)?;
             check(path)
         }
+        [flag, path, threads @ ..] if flag == "--batch" => {
+            let threads: Vec<usize> = if threads.is_empty() {
+                vec![1, 4]
+            } else {
+                threads
+                    .iter()
+                    .map(|t| t.parse().map_err(|_| format!("bad thread count {t}")))
+                    .collect::<Result<_, _>>()?
+            };
+            let report = measure_batch(6, 200, &threads);
+            write_enveloped(&report, path)?;
+            check(path)
+        }
         [flag, path] if flag == "--check" => check(path),
-        _ => Err("usage: trajectory --emit <path> | --kernel <path> [sizes..] | --check <path>"
+        _ => Err("usage: trajectory --emit <path> | --sequential <path> | \
+                  --kernel <path> [sizes..] | --batch <path> [threads..] | --check <path>"
             .to_string()),
     }
 }

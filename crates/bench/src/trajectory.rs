@@ -1,6 +1,6 @@
-//! Machine-readable performance trajectories for the kernel engine.
+//! Machine-readable performance trajectories for the compaction stack.
 //!
-//! Two reports, two gating disciplines:
+//! Four reports, two gating disciplines:
 //!
 //! * [`TrajectoryReport`] — **deterministic solver counters** (trainings,
 //!   SMO iterations, warm-start and cache statistics) for a fixed compaction
@@ -10,23 +10,33 @@
 //!   regenerated file against the committed
 //!   `crates/bench/snapshots/BENCH_trajectory.json`, exactly like
 //!   `BENCH_pipeline.json`.
+//! * [`SequentialReport`] — **deterministic sequential-deploy accounting**
+//!   (stage orders, decision-depth histograms, expected versus static cost)
+//!   for fixed pipelines under uniform and non-uniform cost models.  The
+//!   whole stack is deterministic, so the committed
+//!   `BENCH_sequential.json` is byte-diffed like the trajectory.
 //! * [`KernelReport`] — **wall-clock timings** of naive versus blocked
 //!   versus bank-seeded RBF kernel-row assembly.  Timings are machine
 //!   dependent, so the committed `BENCH_kernel.json` records the reference
 //!   measurement and CI regenerates a fresh copy and *validates its
 //!   structure* ([`KernelReport::validate`]) instead of byte-diffing it.
+//! * [`BatchTimingReport`] — **wall-clock timings** of the `pipeline_batch`
+//!   workload across worker-thread counts, gated like the kernel report
+//!   (`BENCH_batch.json` is the reference measurement, CI regenerates and
+//!   structure-checks).
 //!
-//! Both files are wrapped in the versioned `stc-serve` envelope
+//! All files are wrapped in the versioned `stc-serve` envelope
 //! (`{"schema_version": 1, "payload": ...}`), produced and checked by the
 //! `trajectory` binary.
 
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
+use stc_core::pipeline::CompactionPipeline;
 use stc_core::search::{BeamSearch, CostAwareGreedy, ForwardSelection, SearchStrategy};
 use stc_core::{
     generate_train_test, CompactionConfig, CompactionResult, Compactor, MonteCarloConfig,
-    SyntheticDevice,
+    PipelineBatch, SyntheticDevice, TestCostModel,
 };
 use stc_svm::{Dataset, Kernel, KernelEngine, KernelPath, SvmBackend};
 
@@ -178,6 +188,226 @@ pub fn collect_trajectory() -> TrajectoryReport {
         }
     }
     TrajectoryReport { points }
+}
+
+/// Deterministic sequential-deploy accounting for one `(population, cost
+/// model)` pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequentialPoint {
+    /// Specification count of the synthetic device.
+    pub specs: usize,
+    /// Training population size (devices).
+    pub train_devices: usize,
+    /// Held-out population size (devices).
+    pub test_devices: usize,
+    /// Error tolerance the run was configured with.
+    pub tolerance: f64,
+    /// `"uniform"` or `"grouped"` — the cost model driving the stage order.
+    pub cost_model: String,
+    /// Kept specification indices.
+    pub kept: Vec<usize>,
+    /// Cheapest-first stage order the deploy ran.
+    pub stage_order: Vec<usize>,
+    /// Devices that exited before the final stage.
+    pub early_exits: usize,
+    /// `decision_depths[d]` devices decided after `d + 1` measurements.
+    pub decision_depths: Vec<usize>,
+    /// Mean decision depth (measurements per device).
+    pub mean_depth: f64,
+    /// Expected cost per device of the sequential deploy.
+    pub expected_cost: f64,
+    /// Cost of measuring the whole kept set up front.
+    pub static_cost: f64,
+}
+
+/// The deterministic sequential-deploy trajectory (byte-diffed on CI).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequentialReport {
+    /// One point per `(population, cost model)` pair, in workload order.
+    pub points: Vec<SequentialPoint>,
+}
+
+impl SequentialReport {
+    /// Structural sanity of a decoded report (used by `trajectory --check`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.points.is_empty() {
+            return Err("sequential report has no points".to_string());
+        }
+        for (i, point) in self.points.iter().enumerate() {
+            if point.kept.is_empty() {
+                return Err(format!("point {i}: kept set is empty"));
+            }
+            let mut staged = point.stage_order.clone();
+            let mut kept = point.kept.clone();
+            staged.sort_unstable();
+            kept.sort_unstable();
+            if staged != kept {
+                return Err(format!("point {i}: stage order is not a permutation of kept"));
+            }
+            let decided: usize = point.decision_depths.iter().sum();
+            if decided != point.test_devices {
+                return Err(format!("point {i}: decision depths do not cover the population"));
+            }
+            if point.early_exits > point.test_devices {
+                return Err(format!("point {i}: more early exits than devices"));
+            }
+            if point.expected_cost > point.static_cost + 1e-9 {
+                return Err(format!(
+                    "point {i}: expected cost {} exceeds static cost {}",
+                    point.expected_cost, point.static_cost
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A non-uniform cost model over `tests` specifications: rising per-test
+/// costs split across two insertions, the second expensive to open.
+fn grouped_cost_model(tests: usize) -> TestCostModel {
+    let per_test: Vec<f64> = (0..tests).map(|i| 1.0 + i as f64).collect();
+    let groups: Vec<usize> = (0..tests).map(|i| usize::from(i >= tests / 2)).collect();
+    TestCostModel::new(per_test, groups, vec![2.0, 10.0]).expect("grouped cost model is valid")
+}
+
+/// The fixed workload behind [`SequentialReport`]: the trajectory's two
+/// synthetic populations, each compacted once on the ε-SVM backend and
+/// deployed sequentially under a uniform and a grouped cost model.
+/// Eliminations are capped so the deployed plans keep several stages — a
+/// single-stage plan cannot exit early and prices nothing.  The whole stack
+/// — simulation, training, staging, cost accounting — is deterministic, so
+/// the report is byte-identical across machines.
+///
+/// # Panics
+///
+/// Panics if a pipeline run fails (a broken build, not bad input).
+pub fn collect_sequential() -> SequentialReport {
+    let tolerance = 0.05;
+    let mut points = Vec::new();
+    for (specs, train_devices, test_devices, seed) in [(5, 300, 150, 31u64), (6, 400, 200, 7)] {
+        let device = SyntheticDevice::new(specs, 1.8, 0.92);
+        for (name, cost_model) in
+            [("uniform", TestCostModel::uniform(specs)), ("grouped", grouped_cost_model(specs))]
+        {
+            let report = CompactionPipeline::for_device(&device)
+                .monte_carlo(MonteCarloConfig::new(train_devices).with_seed(seed))
+                .test_instances(test_devices)
+                .compaction(
+                    CompactionConfig::paper_default()
+                        .with_tolerance(tolerance)
+                        .with_max_eliminated(2),
+                )
+                .classifier(SvmBackend::paper_default())
+                .cost_model(cost_model)
+                .run()
+                .expect("sequential workload pipeline runs");
+            let stats = report.sequential.as_ref().expect("sequential deploy is on by default");
+            points.push(SequentialPoint {
+                specs,
+                train_devices,
+                test_devices,
+                tolerance,
+                cost_model: name.to_string(),
+                kept: report.compaction.kept.clone(),
+                stage_order: stats.stage_order.clone(),
+                early_exits: stats.early_exits,
+                decision_depths: stats.decision_depths.clone(),
+                mean_depth: stats.mean_depth,
+                expected_cost: stats.expected_cost,
+                static_cost: stats.static_cost,
+            });
+        }
+    }
+    SequentialReport { points }
+}
+
+/// Wall-clock timing of one `pipeline_batch` workload configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchTiming {
+    /// Batch entries (devices).
+    pub devices: usize,
+    /// Training population per entry.
+    pub train_devices: usize,
+    /// Worker threads running whole pipelines concurrently.
+    pub batch_threads: usize,
+    /// Total wall time of the batch run, in milliseconds.
+    pub total_ms: f64,
+    /// `total_ms / devices`.
+    pub ms_per_device: f64,
+}
+
+/// Wall-clock `pipeline_batch` measurements (machine dependent; CI validates
+/// structure, not bytes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchTimingReport {
+    /// One timing per thread count, in measurement order.
+    pub timings: Vec<BatchTiming>,
+}
+
+impl BatchTimingReport {
+    /// Structural sanity of a decoded report (used by `trajectory --check`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.timings.is_empty() {
+            return Err("batch timing report has no timings".to_string());
+        }
+        for (i, timing) in self.timings.iter().enumerate() {
+            if timing.devices == 0 || timing.batch_threads == 0 {
+                return Err(format!("timing {i}: empty workload"));
+            }
+            for (name, value) in
+                [("total_ms", timing.total_ms), ("ms_per_device", timing.ms_per_device)]
+            {
+                if !(value.is_finite() && value > 0.0) {
+                    return Err(format!("timing {i}: {name} = {value} is not positive"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Times the `pipeline_batch` bench workload — a family of synthetic devices
+/// compacted on the grid backend with shared population caching — once per
+/// entry of `threads`.
+///
+/// # Panics
+///
+/// Panics if a batch run fails (a broken build, not bad input).
+pub fn measure_batch(devices: usize, train_devices: usize, threads: &[usize]) -> BatchTimingReport {
+    let family: Vec<SyntheticDevice> =
+        (0..devices).map(|i| SyntheticDevice::new(4 + i % 3, 1.8, 0.9)).collect();
+    let timings = threads
+        .iter()
+        .map(|&batch_threads| {
+            let mut batch = PipelineBatch::new()
+                .monte_carlo(MonteCarloConfig::new(train_devices).with_seed(23))
+                .compaction(CompactionConfig::paper_default().with_tolerance(0.05))
+                .batch_threads(batch_threads);
+            for device in &family {
+                batch = batch.device(device);
+            }
+            let start = Instant::now();
+            let report = batch.run().expect("batch workload runs");
+            let total_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(report.runs.len(), devices);
+            BatchTiming {
+                devices,
+                train_devices,
+                batch_threads,
+                total_ms,
+                ms_per_device: total_ms / devices as f64,
+            }
+        })
+        .collect();
+    BatchTimingReport { timings }
 }
 
 /// Wall-clock timing of RBF kernel-row assembly at one population size.
@@ -363,6 +593,45 @@ mod tests {
         report.validate().expect("small-scale kernel report validates");
         assert_eq!(report.timings.len(), 2);
         assert!(report.timings[0].samples < report.timings[1].samples);
+    }
+
+    #[test]
+    fn batch_measurement_is_structurally_valid_at_small_scale() {
+        let report = measure_batch(2, 60, &[1, 2]);
+        report.validate().expect("small-scale batch report validates");
+        assert_eq!(report.timings.len(), 2);
+        assert_eq!(report.timings[0].batch_threads, 1);
+        assert_eq!(report.timings[1].batch_threads, 2);
+    }
+
+    #[test]
+    fn sequential_validation_rejects_inconsistent_points() {
+        let mut report = SequentialReport {
+            points: vec![SequentialPoint {
+                specs: 4,
+                train_devices: 100,
+                test_devices: 50,
+                tolerance: 0.05,
+                cost_model: "uniform".to_string(),
+                kept: vec![0, 2],
+                stage_order: vec![2, 0],
+                early_exits: 5,
+                decision_depths: vec![5, 45],
+                mean_depth: 1.9,
+                expected_cost: 1.9,
+                static_cost: 2.0,
+            }],
+        };
+        report.validate().expect("consistent point validates");
+        report.points[0].stage_order = vec![2, 1];
+        assert!(report.validate().is_err());
+        report.points[0].stage_order = vec![2, 0];
+        report.points[0].decision_depths = vec![5, 40];
+        assert!(report.validate().is_err());
+        report.points[0].decision_depths = vec![5, 45];
+        report.points[0].expected_cost = 2.5;
+        assert!(report.validate().is_err());
+        assert!(SequentialReport { points: vec![] }.validate().is_err());
     }
 
     #[test]

@@ -193,6 +193,7 @@ pub struct PipelineBatch<'d> {
     batch_threads: usize,
     populations: Arc<PopulationCache>,
     observer: Option<Arc<dyn ProgressObserver>>,
+    sequential: bool,
 }
 
 impl std::fmt::Debug for PipelineBatch<'_> {
@@ -210,6 +211,7 @@ impl std::fmt::Debug for PipelineBatch<'_> {
             .field("lookup_table", &self.lookup_table)
             .field("batch_threads", &self.batch_threads)
             .field("observer", &self.observer)
+            .field("sequential", &self.sequential)
             .finish()
     }
 }
@@ -239,6 +241,7 @@ impl<'d> PipelineBatch<'d> {
             batch_threads: 1,
             populations: Arc::new(PopulationCache::new()),
             observer: None,
+            sequential: true,
         }
     }
 
@@ -374,6 +377,14 @@ impl<'d> PipelineBatch<'d> {
         self
     }
 
+    /// Enables or disables the staged sequential deploy accounting for every
+    /// entry (see [`CompactionPipeline::sequential_deploy`]; default:
+    /// enabled).
+    pub fn sequential_deploy(mut self, enabled: bool) -> Self {
+        self.sequential = enabled;
+        self
+    }
+
     /// The single-device pipeline for entry `index` — exactly what
     /// [`PipelineBatch::run`] executes for that entry.
     fn pipeline_for(&self, entry: &BatchEntry<'d>) -> (CompactionPipeline<'d>, MonteCarloConfig) {
@@ -404,6 +415,7 @@ impl<'d> PipelineBatch<'d> {
         if let Some(observer) = &self.observer {
             pipeline = pipeline.observer(Arc::clone(observer));
         }
+        pipeline = pipeline.sequential_deploy(self.sequential);
         (pipeline, monte_carlo)
     }
 
@@ -670,6 +682,15 @@ mod tests {
             batch = batch.device(device);
         }
         batch
+    }
+
+    #[test]
+    fn sequential_deploy_knob_threads_through() {
+        let devices = vec![SyntheticDevice::new(4, 1.8, 0.9)];
+        let on = batch(&devices).run().unwrap();
+        assert!(on.runs[0].report.sequential.is_some());
+        let off = batch(&devices).sequential_deploy(false).run().unwrap();
+        assert!(off.runs[0].report.sequential.is_none());
     }
 
     fn devices() -> Vec<SyntheticDevice> {

@@ -217,6 +217,26 @@ pub trait Classifier: fmt::Debug + Send + Sync {
     fn solver_iterations(&self) -> Option<usize> {
         None
     }
+
+    /// Decision over an axis-aligned box of feature space: `Some(true)` when
+    /// *every* point of `[lower, upper]` (per-dimension inclusive bounds, in
+    /// the same normalised feature coordinates as
+    /// [`Classifier::decision`]) is predicted good, `Some(false)` when every
+    /// point is predicted bad, and `None` when the backend cannot prove the
+    /// decision sign is constant over the box (including when it genuinely
+    /// is not).
+    ///
+    /// Powers the sequential tester's early exits
+    /// ([`SequentialSession`](crate::tester::SequentialSession)): with only
+    /// a prefix of the kept specs measured, the unmeasured coordinates span
+    /// a box, and a provably-constant bad verdict over that box decides the
+    /// device without further measurements.  The default is `None` — box
+    /// reasoning is an optional capability, and a backend without it merely
+    /// forgoes model-based early exits (range-check exits still apply).
+    fn predict_good_within(&self, lower: &[f64], upper: &[f64]) -> Option<bool> {
+        let _ = (lower, upper);
+        None
+    }
 }
 
 /// Warm-start hint handed to [`ClassifierFactory::train_warm`]: a model this

@@ -347,19 +347,6 @@ impl Compactor {
         Ok((classifier, breakdown))
     }
 
-    /// Trains and evaluates a kept set with the built-in grid backend.
-    #[deprecated(
-        since = "0.2.0",
-        note = "trains the grid backend, not the pre-0.2 ε-SVM — results differ; use `evaluate_kept_set_with` with an explicit `ClassifierFactory`"
-    )]
-    pub fn evaluate_kept_set(
-        &self,
-        kept: &[usize],
-        guard_band: &GuardBandConfig,
-    ) -> Result<(GuardBandedClassifier, ErrorBreakdown)> {
-        self.evaluate_kept_set_with(&crate::classifier::GridBackend::default(), kept, guard_band)
-    }
-
     /// Runs the greedy compaction loop of Figure 2 with an explicit
     /// classifier backend.
     ///
@@ -526,23 +513,6 @@ impl Compactor {
         Ok((result, final_model))
     }
 
-    /// Runs the greedy compaction loop with the built-in grid backend.
-    ///
-    /// **Note:** before 0.2 this entry point trained the ε-SVM; the shim
-    /// trains the grid backend instead, so kept/eliminated sets and error
-    /// numbers differ from 0.1.  Pass `stc_svm::SvmBackend` to
-    /// [`Compactor::compact_with`] to keep the paper's behaviour.
-    #[deprecated(
-        since = "0.2.0",
-        note = "trains the grid backend, not the pre-0.2 ε-SVM — results differ; \
-                use `compact_with` with an explicit `ClassifierFactory` \
-                (e.g. `stc_svm::SvmBackend` for the paper's ε-SVM), or the \
-                `CompactionPipeline` builder"
-    )]
-    pub fn compact(&self, config: &CompactionConfig) -> Result<CompactionResult> {
-        self.compact_with(&crate::classifier::GridBackend::default(), config)
-    }
-
     /// Forces the elimination of the tests in `order`, one after another,
     /// regardless of any tolerance, and records the error breakdown after each
     /// cumulative elimination.  This regenerates the Figure 5 sweep of the
@@ -602,19 +572,6 @@ impl Compactor {
         Ok(steps)
     }
 
-    /// [`Compactor::elimination_sweep_with`] with the built-in grid backend.
-    #[deprecated(
-        since = "0.2.0",
-        note = "trains the grid backend, not the pre-0.2 ε-SVM — results differ; use `elimination_sweep_with` with an explicit `ClassifierFactory`"
-    )]
-    pub fn elimination_sweep(
-        &self,
-        order: &[usize],
-        guard_band: &GuardBandConfig,
-    ) -> Result<Vec<CompactionStep>> {
-        self.elimination_sweep_with(&crate::classifier::GridBackend::default(), order, guard_band)
-    }
-
     /// Eliminates a single specification and reports the resulting error
     /// breakdown for a given number of training instances (used for the
     /// Figure 6 training-set-size study).
@@ -650,25 +607,6 @@ impl Compactor {
         evaluator.evaluate(&kept, None)
     }
 
-    /// [`Compactor::eliminate_single_with`] with the built-in grid backend.
-    #[deprecated(
-        since = "0.2.0",
-        note = "trains the grid backend, not the pre-0.2 ε-SVM — results differ; use `eliminate_single_with` with an explicit `ClassifierFactory`"
-    )]
-    pub fn eliminate_single(
-        &self,
-        spec_index: usize,
-        training_instances: usize,
-        guard_band: &GuardBandConfig,
-    ) -> Result<ErrorBreakdown> {
-        self.eliminate_single_with(
-            &crate::classifier::GridBackend::default(),
-            spec_index,
-            training_instances,
-            guard_band,
-        )
-    }
-
     /// Eliminates a *group* of specifications at once (for example every
     /// hot-temperature test of the accelerometer) and reports the error
     /// breakdown of the model built on the remaining tests.  This regenerates
@@ -701,19 +639,6 @@ impl Compactor {
             SearchBudget::unlimited(),
         );
         evaluator.evaluate(&kept, None)
-    }
-
-    /// [`Compactor::eliminate_group_with`] with the built-in grid backend.
-    #[deprecated(
-        since = "0.2.0",
-        note = "trains the grid backend, not the pre-0.2 ε-SVM — results differ; use `eliminate_group_with` with an explicit `ClassifierFactory`"
-    )]
-    pub fn eliminate_group(
-        &self,
-        group: &[usize],
-        guard_band: &GuardBandConfig,
-    ) -> Result<ErrorBreakdown> {
-        self.eliminate_group_with(&crate::classifier::GridBackend::default(), group, guard_band)
     }
 }
 
@@ -889,13 +814,17 @@ mod tests {
         assert!(result.steps.iter().all(|s| s.spec_index == 2 || s.spec_index == 0));
     }
 
+    /// `compact_with` is `compact_with_strategy` pinned to the greedy
+    /// default — the invariant the removed 0.2-era shims used to exercise,
+    /// now stated against the real entry points.
     #[test]
-    fn deprecated_shims_match_the_grid_backend() {
+    fn compact_with_equals_the_explicit_greedy_strategy() {
         let compactor = redundant_population();
         let config = CompactionConfig::paper_default().with_tolerance(0.05);
-        #[allow(deprecated)]
-        let shim = compactor.compact(&config).unwrap();
-        let explicit = compactor.compact_with(&grid(), &config).unwrap();
-        assert_eq!(shim, explicit);
+        let implicit = compactor.compact_with(&grid(), &config).unwrap();
+        let explicit = compactor
+            .compact_with_strategy(&grid(), &config, &crate::search::GreedyBackward, None)
+            .unwrap();
+        assert_eq!(implicit, explicit);
     }
 }

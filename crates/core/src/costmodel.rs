@@ -171,6 +171,72 @@ impl TestCostModel {
         }
         Ok(1.0 - self.cost_of(kept)? / full)
     }
+
+    /// Orders `kept` cheapest-first by *incremental* cost: each position is
+    /// filled with the remaining test whose marginal cost — per-test cost
+    /// plus its insertion's setup cost if no earlier pick already opened
+    /// that insertion — is smallest, ties broken by test index.  The
+    /// default stage order of a sequential
+    /// [`TestPlan`](crate::tester::TestPlan): devices that exit early skip
+    /// the most expensive tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::UnknownSpecification`] for bad indices.
+    pub fn cheapest_order(&self, kept: &[usize]) -> Result<Vec<usize>> {
+        if let Some(&bad) = kept.iter().find(|&&t| t >= self.per_test.len()) {
+            return Err(CompactionError::UnknownSpecification {
+                index: bad,
+                count: self.per_test.len(),
+            });
+        }
+        let mut remaining: Vec<usize> = Vec::new();
+        for &test in kept {
+            if !remaining.contains(&test) {
+                remaining.push(test);
+            }
+        }
+        let mut opened = vec![false; self.insertion_cost.len()];
+        let mut order = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for (position, &test) in remaining.iter().enumerate() {
+                let group = self.insertion_of_test[test];
+                let setup = if opened[group] { 0.0 } else { self.insertion_cost[group] };
+                let cost = self.per_test[test] + setup;
+                if cost < best_cost || (cost == best_cost && test < remaining[best]) {
+                    best = position;
+                    best_cost = cost;
+                }
+            }
+            let test = remaining.remove(best);
+            opened[self.insertion_of_test[test]] = true;
+            order.push(test);
+        }
+        Ok(order)
+    }
+
+    /// Expected measurement cost per device of walking `plan` sequentially
+    /// over `population` — the mean, over the devices, of the cumulative
+    /// cost of the stages each device actually needed before its session
+    /// decided (see
+    /// [`SequentialStats`](crate::tester::SequentialStats)).  Always at most
+    /// the static kept-set cost, and strictly below it as soon as one
+    /// device exits early on a strictly cheaper prefix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index errors and session errors (a detached program that
+    /// must consult its model).
+    pub fn expected_cost(
+        &self,
+        plan: &crate::tester::TestPlan<'_>,
+        population: &crate::dataset::MeasurementSet,
+    ) -> Result<f64> {
+        crate::tester::SequentialStats::collect(plan, self, population)
+            .map(|stats| stats.expected_cost)
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +292,17 @@ mod tests {
             uniform.cost_reduction(&[1, 1, 2]).unwrap(),
             uniform.cost_reduction(&[1, 2]).unwrap()
         );
+    }
+
+    #[test]
+    fn cheapest_order_defers_expensive_insertions() {
+        let model = accelerometer_costs();
+        // Room (1 + 1 setup) before hot (1 + 10) before cold (1 + 12).
+        assert_eq!(model.cheapest_order(&[0, 4, 8]).unwrap(), vec![4, 8, 0]);
+        // An opened insertion makes its siblings cheap; ties fall back to
+        // the test index.
+        assert_eq!(model.cheapest_order(&[0, 1, 4, 8]).unwrap(), vec![4, 8, 0, 1]);
+        assert!(model.cheapest_order(&[99]).is_err());
     }
 
     #[test]

@@ -206,6 +206,69 @@ impl LookupTableTester {
         self.classify_features(&data.features(i, &self.kept))
     }
 
+    /// Classifies an axis-aligned box of normalised feature space, when the
+    /// table's verdict is constant over it.
+    ///
+    /// Every point of `[lower, upper]` falls into a cell of the
+    /// hyper-rectangle spanned by the corner cells; if all those cells carry
+    /// the same attribute the box verdict is that attribute, otherwise (or
+    /// when the sub-grid is too large to scan cheaply) `None`.  The decision
+    /// seam of the sequential tester for table-backed programs
+    /// ([`SequentialSession`](crate::SequentialSession)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound lengths do not match the kept set.
+    pub fn classify_within(&self, lower: &[f64], upper: &[f64]) -> Option<Prediction> {
+        /// Sub-grids larger than this are not worth scanning per step.
+        const BOX_SCAN_CELL_LIMIT: u128 = 1 << 16;
+        assert_eq!(lower.len(), self.kept.len(), "lower bound length mismatch");
+        assert_eq!(upper.len(), self.kept.len(), "upper bound length mismatch");
+        let cell_of = |value: f64| -> usize {
+            let position = (value - self.lower) / (self.upper - self.lower);
+            ((position * self.cells_per_dim as f64) as isize)
+                .clamp(0, self.cells_per_dim as isize - 1) as usize
+        };
+        let ranges: Vec<(usize, usize)> = lower
+            .iter()
+            .zip(upper.iter())
+            .map(|(&lo, &hi)| (cell_of(lo), cell_of(hi.max(lo))))
+            .collect();
+        let cells = ranges.iter().map(|&(lo, hi)| (hi - lo + 1) as u128).product::<u128>();
+        if cells > BOX_SCAN_CELL_LIMIT {
+            return None;
+        }
+        let mut index: Vec<usize> = ranges.iter().map(|&(lo, _)| lo).collect();
+        let mut verdict: Option<Prediction> = None;
+        loop {
+            let mut flat = 0usize;
+            let mut stride = 1usize;
+            for &cell in &index {
+                flat += cell * stride;
+                stride *= self.cells_per_dim;
+            }
+            let attribute = self.attributes[flat];
+            match verdict {
+                None => verdict = Some(attribute),
+                Some(seen) if seen != attribute => return None,
+                Some(_) => {}
+            }
+            // Odometer increment over the sub-grid.
+            let mut dim = 0;
+            loop {
+                if dim == index.len() {
+                    return verdict;
+                }
+                index[dim] += 1;
+                if index[dim] <= ranges[dim].1 {
+                    break;
+                }
+                index[dim] = ranges[dim].0;
+                dim += 1;
+            }
+        }
+    }
+
     /// Fraction of a population on which the table and the exact classifier
     /// agree (a sanity metric for choosing the grid resolution).
     pub fn agreement_with(&self, classifier: &GuardBandedClassifier, data: &MeasurementSet) -> f64 {
@@ -295,6 +358,30 @@ mod tests {
             fine.agreement_with(&classifier, &test)
                 >= coarse.agreement_with(&classifier, &test) - 0.02
         );
+    }
+
+    #[test]
+    fn box_verdicts_are_sound_for_every_contained_point() {
+        let (train, _) = population();
+        let classifier = train_pair(&train, &[0, 1]);
+        let table = LookupTableTester::build(&classifier, 16).unwrap();
+        // A degenerate box (a single point) reproduces the point lookup.
+        let point = [0.4, 0.6];
+        assert_eq!(table.classify_within(&point, &point), Some(table.classify_features(&point)));
+        // Any constant box verdict must match the lookup of every sampled
+        // point inside the box; a box covering disagreeing points must
+        // return `None`.
+        let (lo, hi) = ([0.0, 0.0], [1.0, 1.0]);
+        let samples: Vec<[f64; 2]> = (0..=10)
+            .flat_map(|a| (0..=10).map(move |b| [a as f64 / 10.0, b as f64 / 10.0]))
+            .collect();
+        let verdicts: Vec<Prediction> =
+            samples.iter().map(|p| table.classify_features(p)).collect();
+        // `None` is always a legal answer (no constant verdict proven).
+        if let Some(v) = table.classify_within(&lo, &hi) {
+            assert!(verdicts.iter().all(|&seen| seen == v));
+        }
+        assert!(verdicts.len() == 121);
     }
 
     #[test]

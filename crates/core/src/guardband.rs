@@ -182,26 +182,6 @@ impl GuardBandedClassifier {
         })
     }
 
-    /// Trains the model pair with the built-in grid backend.
-    #[deprecated(
-        since = "0.2.0",
-        note = "trains the grid backend, not the pre-0.2 ε-SVM — results differ; use \
-                `train_with` with an explicit `ClassifierFactory` \
-                (e.g. `stc_svm::SvmBackend::from_guard_band(config)` for the paper's ε-SVM)"
-    )]
-    pub fn train(
-        training: &MeasurementSet,
-        kept: &[usize],
-        config: &GuardBandConfig,
-    ) -> Result<Self> {
-        GuardBandedClassifier::train_with(
-            &crate::classifier::GridBackend::default(),
-            training,
-            kept,
-            config,
-        )
-    }
-
     /// The measurement columns (specification indices) this classifier needs.
     pub fn kept(&self) -> &[usize] {
         &self.kept
@@ -263,6 +243,34 @@ impl GuardBandedClassifier {
     pub fn evaluate(&self, data: &MeasurementSet) -> ErrorBreakdown {
         crate::metrics::evaluate_population(data, |data, i| self.classify_instance(data, i))
     }
+
+    /// Classifies an axis-aligned box of feature space, when the pair's
+    /// verdict is provably constant over it.
+    ///
+    /// `lower`/`upper` are per-dimension inclusive bounds in the same
+    /// normalised coordinates as [`GuardBandedClassifier::classify_features`].
+    /// Returns `Some(prediction)` only when both underlying models prove a
+    /// constant sign over the whole box
+    /// ([`Classifier::predict_good_within`]): two constant-good signs make
+    /// the box `Good`, two constant-bad signs make it `Bad`, and one of each
+    /// places the entire box inside the guard band.  `None` means at least
+    /// one model could not prove a constant sign, so the box verdict is
+    /// unknown.
+    ///
+    /// This is the decision seam of the sequential tester
+    /// ([`SequentialSession`](crate::tester::SequentialSession)): with only
+    /// a prefix of the kept measurements taken, the unmeasured coordinates
+    /// span a box, and a `Some(Prediction::Bad)` here rejects the device
+    /// without measuring the rest.
+    pub fn classify_within(&self, lower: &[f64], upper: &[f64]) -> Option<Prediction> {
+        let strict = self.strict.predict_good_within(lower, upper)?;
+        let loose = self.loose.predict_good_within(lower, upper)?;
+        Some(match (strict, loose) {
+            (true, true) => Prediction::Good,
+            (false, false) => Prediction::Bad,
+            _ => Prediction::GuardBand,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -322,17 +330,33 @@ mod tests {
         assert!(wide.guard_band_count >= narrow.guard_band_count);
     }
 
+    /// Training is deterministic: two pairs trained with identical inputs
+    /// classify every held-out device identically (the invariant the
+    /// removed 0.2-era `train` shim used to pin against `train_with`).
     #[test]
-    fn deprecated_shim_matches_the_grid_backend() {
+    fn identical_trainings_classify_identically() {
         let (train, test) = correlated_population();
         let config = GuardBandConfig::paper_default();
-        #[allow(deprecated)]
-        let shim = GuardBandedClassifier::train(&train, &[0, 1], &config).unwrap();
-        let explicit =
-            GuardBandedClassifier::train_with(&grid(), &train, &[0, 1], &config).unwrap();
+        let first = GuardBandedClassifier::train_with(&grid(), &train, &[0, 1], &config).unwrap();
+        let second = GuardBandedClassifier::train_with(&grid(), &train, &[0, 1], &config).unwrap();
         for i in 0..test.len() {
-            assert_eq!(shim.classify_instance(&test, i), explicit.classify_instance(&test, i));
+            assert_eq!(first.classify_instance(&test, i), second.classify_instance(&test, i));
         }
+    }
+
+    /// A backend without box capability yields `None` from `classify_within`
+    /// (the grid backend keeps the trait default).
+    #[test]
+    fn grid_backend_has_no_box_verdicts() {
+        let (train, _) = correlated_population();
+        let classifier = GuardBandedClassifier::train_with(
+            &grid(),
+            &train,
+            &[0, 1],
+            &GuardBandConfig::paper_default(),
+        )
+        .unwrap();
+        assert_eq!(classifier.classify_within(&[0.0, 0.0], &[1.0, 1.0]), None);
     }
 
     #[test]

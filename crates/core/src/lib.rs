@@ -28,7 +28,10 @@
 //!    [`GridBackend`] — any
 //!    [`classifier::ClassifierFactory`] plugs in,
 //! 5. the **cost_model** stage turns the kept set into test-cost savings, and
-//!    [`TesterProgram`] packages the result for deployment (Section 3.3).
+//!    [`TesterProgram`] packages the result for deployment (Section 3.3) —
+//!    including the staged sequential mode ([`TestPlan`] /
+//!    [`SequentialSession`]) that stops measuring a device as soon as its
+//!    verdict is settled and reports the expected cost per device.
 //!
 //! ## Quick start
 //!
@@ -54,8 +57,9 @@
 //!
 //! The lower-level building blocks ([`Compactor`], [`GuardBandedClassifier`],
 //! [`montecarlo`], [`gridmodel`], [`baseline`], [`TestCostModel`]) remain
-//! public for custom flows; the pre-0.2 entry points that hard-wired the SVM
-//! into the loop survive as deprecated shims over the classifier seam.
+//! public for custom flows.  (The pre-0.2 entry points that hard-wired the
+//! SVM into the loop were removed in 0.9 — pass a
+//! [`classifier::ClassifierFactory`] explicitly.)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -69,7 +73,6 @@ mod guardband;
 mod metrics;
 mod ordering;
 mod spec;
-mod tester;
 
 pub mod baseline;
 pub mod batch;
@@ -79,6 +82,7 @@ pub mod montecarlo;
 pub mod pipeline;
 pub mod report;
 pub mod search;
+pub mod tester;
 
 pub use batch::{
     BatchAggregate, BatchReport, BatchRun, CacheStats, PipelineBatch, PopulationCache,
@@ -105,7 +109,9 @@ pub use search::{
     SimulatedAnnealing, TrainingEvent,
 };
 pub use spec::{Specification, SpecificationSet};
-pub use tester::{TesterModel, TesterProgram};
+pub use tester::{
+    SequentialSession, SequentialStats, StepVerdict, TestPlan, TesterModel, TesterProgram,
+};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, CompactionError>;

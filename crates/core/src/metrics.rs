@@ -27,6 +27,29 @@ where
     breakdown
 }
 
+/// [`evaluate_population`] for classifiers that can fail per device (for
+/// example a deserialised tester program whose detached model cannot
+/// classify): the first error aborts the evaluation and is returned instead
+/// of panicking a worker.
+///
+/// # Errors
+///
+/// Propagates the first error the classifier returns.
+pub fn try_evaluate_population<F>(
+    data: &MeasurementSet,
+    mut classify: F,
+) -> crate::Result<ErrorBreakdown>
+where
+    F: FnMut(&MeasurementSet, usize) -> crate::Result<Prediction>,
+{
+    let truths = data.labels();
+    let mut breakdown = ErrorBreakdown::default();
+    for (i, &truth) in truths.iter().enumerate() {
+        breakdown.record(truth, classify(data, i)?);
+    }
+    Ok(breakdown)
+}
+
 /// Breakdown of the prediction error of a compacted test set evaluated on a
 /// labelled population (paper Section 5.1: "yield loss is defined as the
 /// number of good devices the model predicted to be bad, and defect escape is

@@ -42,7 +42,7 @@ use crate::metrics::ErrorBreakdown;
 use crate::montecarlo::{generate_train_test, MonteCarloConfig};
 use crate::report::percent;
 use crate::search::{BudgetStats, GreedyBackward, ProgressObserver, SearchBudget, SearchStrategy};
-use crate::tester::TesterProgram;
+use crate::tester::{SequentialStats, TestPlan, TesterProgram};
 use crate::Result;
 
 /// Staged builder for the end-to-end compaction flow.
@@ -64,6 +64,7 @@ pub struct CompactionPipeline<'d> {
     search: Arc<dyn SearchStrategy>,
     lookup_table: Option<usize>,
     observer: Option<Arc<dyn ProgressObserver>>,
+    sequential: bool,
 }
 
 impl std::fmt::Debug for CompactionPipeline<'_> {
@@ -80,6 +81,7 @@ impl std::fmt::Debug for CompactionPipeline<'_> {
             .field("search", &self.search)
             .field("lookup_table", &self.lookup_table)
             .field("observer", &self.observer)
+            .field("sequential", &self.sequential)
             .finish()
     }
 }
@@ -100,6 +102,7 @@ impl<'d> CompactionPipeline<'d> {
             search: Arc::new(GreedyBackward),
             lookup_table: None,
             observer: None,
+            sequential: true,
         }
     }
 
@@ -198,6 +201,21 @@ impl<'d> CompactionPipeline<'d> {
         self
     }
 
+    /// Enables or disables the staged sequential deploy accounting
+    /// (default: enabled).
+    ///
+    /// When enabled, the report's [`PipelineReport::sequential`] carries the
+    /// per-device expected-cost statistics of driving the deployed program
+    /// through a cheapest-first [`TestPlan`] instead of measuring every kept
+    /// test up front: decision-depth histogram, early-exit fraction and the
+    /// expected cost per device next to the static kept-set cost.  One-shot
+    /// deployment numbers ([`PipelineReport::deployed`]) are unaffected —
+    /// the sequential session is verdict-identical by construction.
+    pub fn sequential_deploy(mut self, enabled: bool) -> Self {
+        self.sequential = enabled;
+        self
+    }
+
     /// The held-out population size the pipeline will simulate (the explicit
     /// [`CompactionPipeline::test_instances`] or the default of half the
     /// training population).
@@ -280,11 +298,18 @@ impl<'d> CompactionPipeline<'d> {
         // table is substituted for the exact model pair, its numbers differ
         // from the loop's `final_breakdown`, and the report must describe the
         // tester that is actually deployed.
-        let deployed = tester.evaluate(test);
+        let deployed = tester.try_evaluate(test)?;
         let guard_band = GuardBandStats {
             band_fraction: config.guard_band.guard_band_fraction,
             retest_count: deployed.guard_band_count,
             retest_fraction: deployed.guard_band_fraction(),
+        };
+
+        let sequential = if self.sequential {
+            let plan = TestPlan::cheapest_first(&tester, &cost_model)?;
+            Some(SequentialStats::collect(&plan, &cost_model, test)?)
+        } else {
+            None
         };
 
         Ok(PipelineReport {
@@ -300,6 +325,7 @@ impl<'d> CompactionPipeline<'d> {
             guard_band,
             tester,
             cost,
+            sequential,
         })
     }
 }
@@ -363,6 +389,12 @@ pub struct PipelineReport {
     pub tester: TesterProgram,
     /// Cost savings the compaction buys.
     pub cost: CostSummary,
+    /// Per-device expected-cost statistics of the staged sequential deploy
+    /// over the held-out population (`None` when the
+    /// [`CompactionPipeline::sequential_deploy`] stage disabled it, or when
+    /// the report predates the field on the wire).
+    #[serde(default)]
+    pub sequential: Option<SequentialStats>,
 }
 
 impl PipelineReport {
@@ -416,10 +448,20 @@ impl PipelineReport {
         } else {
             String::new()
         };
+        let sequential_note = match &self.sequential {
+            Some(stats) => format!(
+                "; sequential deploy expects {expected:.3} per device against a \
+                 static kept-set cost of {static_cost:.3} ({exits} early exits)",
+                expected = stats.expected_cost,
+                static_cost = stats.static_cost,
+                exits = percent(stats.early_exit_fraction()),
+            ),
+            None => String::new(),
+        };
         format!(
             "{device} [{backend}, {search}]: eliminated {eliminated} of {total} tests \
              (yield loss {yl}, defect escape {de}, {retest} retested in a {band} band), \
-             cost reduced by {cost}{budget_note}",
+             cost reduced by {cost}{budget_note}{sequential_note}",
             device = self.device,
             backend = self.backend,
             search = self.search,
@@ -525,6 +567,38 @@ mod tests {
         let forward_run = pipeline(&device).search(ForwardSelection).run().unwrap();
         assert_eq!(forward_run.search, "forward-selection");
         assert!(forward_run.final_breakdown().prediction_error() <= 0.05 + 1e-9);
+    }
+
+    #[test]
+    fn sequential_stats_ship_by_default_and_can_be_disabled() {
+        let device = SyntheticDevice::new(5, 1.8, 0.92);
+        let report = pipeline(&device).run().unwrap();
+        let stats = report.sequential.as_ref().expect("sequential deploy is on by default");
+        assert_eq!(stats.devices, report.test_instances);
+        assert_eq!(stats.stage_order.len(), report.kept().len());
+        assert!(stats.expected_cost <= stats.static_cost + 1e-12);
+        assert!(report.summary().contains("sequential deploy"));
+
+        let opted_out = pipeline(&device).sequential_deploy(false).run().unwrap();
+        assert!(opted_out.sequential.is_none());
+        assert!(!opted_out.summary().contains("sequential deploy"));
+        // The stage only adds accounting: the deployed program is unchanged.
+        assert_eq!(opted_out.deployed, report.deployed);
+    }
+
+    #[test]
+    fn sequential_stage_orders_by_the_attached_cost_model() {
+        let device = SyntheticDevice::new(4, 1.8, 0.9);
+        let cost =
+            TestCostModel::new(vec![9.0, 1.0, 1.0, 1.0], vec![0, 0, 1, 1], vec![0.0, 0.0]).unwrap();
+        let report = pipeline(&device).cost_model(cost).run().unwrap();
+        let stats = report.sequential.as_ref().unwrap();
+        // Cheapest-first: if test 0 (cost 9) was kept alongside any other
+        // kept test, it must not lead the stage order.
+        if stats.stage_order.len() > 1 && report.kept().contains(&0) {
+            assert_ne!(stats.stage_order[0], 0);
+        }
+        assert!(stats.expected_cost <= stats.static_cost + 1e-12);
     }
 
     #[test]

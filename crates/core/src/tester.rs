@@ -1,8 +1,19 @@
 //! Deployment of a compacted test set on the production tester
 //! (paper Section 3.3).
+//!
+//! Since 0.9 the deploy layer is staged: a [`TestPlan`] fixes the order in
+//! which the kept specifications are measured (cheapest-first under the
+//! run's [`TestCostModel`] by default), and a [`SequentialSession`] walks
+//! that plan one measurement at a time, emitting a verdict the moment a
+//! kept-range violation — or a guard-banded model pair that is provably
+//! decided over every possible completion — makes the remaining
+//! measurements irrelevant.  The one-shot [`TesterProgram::classify`] is a
+//! thin wrapper that drives a kept-order session to completion, so its
+//! verdicts are identical to the pre-0.9 monolithic implementation.
 
 use serde::{Deserialize, Serialize};
 
+use crate::costmodel::TestCostModel;
 use crate::dataset::MeasurementSet;
 use crate::gridmodel::LookupTableTester;
 use crate::guardband::{GuardBandedClassifier, Prediction};
@@ -163,16 +174,6 @@ impl TesterProgram {
         TesterProgram { specs, kept, model: TesterModel::Exact(classifier) }
     }
 
-    /// Builds a tester program that ships the model pair itself.
-    #[deprecated(
-        since = "0.2.0",
-        note = "renamed to `with_model`: the model pair is no \
-                                          longer necessarily an SVM"
-    )]
-    pub fn with_svm(specs: SpecificationSet, classifier: GuardBandedClassifier) -> Self {
-        TesterProgram::with_model(specs, classifier)
-    }
-
     /// Builds a tester program that ships a lookup table with the given grid
     /// resolution (the paper's low-cost option).
     ///
@@ -212,8 +213,20 @@ impl TesterProgram {
         &self.model
     }
 
+    /// Starts a sequential session over the kept set in its stored order
+    /// (the [`TestPlan::kept_order`] plan).  Use
+    /// [`TestPlan::begin`] to drive a reordered plan instead.
+    pub fn begin(&self) -> SequentialSession<'_> {
+        TestPlan::kept_order(self).begin()
+    }
+
     /// Classifies one device from its *kept* raw measurements (in the same
     /// order as [`TesterProgram::kept`]).
+    ///
+    /// Since 0.9 this is a thin wrapper that drives a kept-order
+    /// [`SequentialSession`] to its verdict; because a session only
+    /// early-exits on outcomes that are provably the final verdict, the
+    /// result is identical to evaluating every measurement up front.
     ///
     /// # Errors
     ///
@@ -226,44 +239,447 @@ impl TesterProgram {
                 found: kept_measurements.len(),
             });
         }
-        // The kept tests are real measurements: a device violating one of
-        // their ranges is rejected outright.
-        for (&column, &value) in self.kept.iter().zip(kept_measurements.iter()) {
-            if !self.specs.spec(column).passes(value) {
-                return Ok(Prediction::Bad);
+        let mut session = self.begin();
+        for &value in kept_measurements {
+            if let StepVerdict::Decided(prediction) = session.measure(value)? {
+                return Ok(prediction);
             }
         }
-        let features: Vec<f64> = self
-            .kept
-            .iter()
-            .zip(kept_measurements.iter())
-            .map(|(&column, &value)| self.specs.spec(column).normalize(value))
-            .collect();
-        Ok(match &self.model {
-            // Every kept range (i.e. every specification) passed above.
-            TesterModel::CompleteSuite => Prediction::Good,
-            TesterModel::Exact(classifier) => classifier.classify_features(&features),
-            TesterModel::LookupTable(table) => table.classify_features(&features),
-            TesterModel::Detached { backend, .. } => {
-                return Err(CompactionError::Classifier {
-                    backend: backend.clone(),
-                    message: "a detached (deserialised) exact model cannot classify devices; \
-                              retrain or deploy a lookup table"
-                        .to_owned(),
-                })
-            }
-        })
+        unreachable!("a session over the full kept set always reaches a verdict")
     }
 
     /// Applies the program to a full labelled population (which still carries
     /// every measurement) and reports the error breakdown — the end-to-end
     /// check that deployment behaves like the model it was derived from.
-    pub fn evaluate(&self, data: &MeasurementSet) -> ErrorBreakdown {
-        crate::metrics::evaluate_population(data, |data, i| {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::Classifier`] when the program carries a
+    /// detached (deserialised) exact model, which cannot classify devices.
+    pub fn try_evaluate(&self, data: &MeasurementSet) -> Result<ErrorBreakdown> {
+        crate::metrics::try_evaluate_population(data, |data, i| {
             let kept_measurements: Vec<f64> = self.kept.iter().map(|&c| data.value(i, c)).collect();
             self.classify(&kept_measurements)
-                .expect("program model must be executable (detached models cannot classify)")
         })
+    }
+
+    /// [`TesterProgram::try_evaluate`], panicking instead of returning the
+    /// detached-model error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the program carries a detached (deserialised) exact
+    /// model.  Long-running services should call
+    /// [`TesterProgram::try_evaluate`] instead.
+    pub fn evaluate(&self, data: &MeasurementSet) -> ErrorBreakdown {
+        self.try_evaluate(data)
+            .expect("program model must be executable (detached models cannot classify)")
+    }
+}
+
+/// An ordered measurement schedule over a tester program's kept
+/// specifications — the staging that a [`SequentialSession`] walks.
+///
+/// A plan is always a permutation of the program's kept set: reordering
+/// changes *when* a device's verdict is reached (and therefore the expected
+/// measurement cost per device), never *what* the verdict is.
+#[derive(Debug, Clone)]
+pub struct TestPlan<'p> {
+    program: &'p TesterProgram,
+    /// Specification columns in measurement order.
+    stages: Vec<usize>,
+    /// `slots[i]` is the position of `stages[i]` within the program's kept
+    /// set (the feature-vector index the models expect).
+    slots: Vec<usize>,
+}
+
+impl<'p> TestPlan<'p> {
+    /// The kept set in its stored order — the plan the one-shot
+    /// [`TesterProgram::classify`] drives.
+    pub fn kept_order(program: &'p TesterProgram) -> Self {
+        let stages = program.kept.to_vec();
+        let slots = (0..stages.len()).collect();
+        TestPlan { program, stages, slots }
+    }
+
+    /// Orders the kept set cheapest-first under a cost model: each stage is
+    /// the remaining kept specification with the smallest *incremental* cost
+    /// (per-test cost plus its insertion's setup cost if no earlier stage
+    /// already opened that insertion), ties broken by column index.  This is
+    /// the default deploy-time order — devices that exit early skip the most
+    /// expensive tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::UnknownSpecification`] when the cost model
+    /// does not cover the kept columns.
+    pub fn cheapest_first(program: &'p TesterProgram, cost_model: &TestCostModel) -> Result<Self> {
+        let stages = cost_model.cheapest_order(&program.kept)?;
+        TestPlan::with_stages(program, stages)
+    }
+
+    /// Orders the kept set by an externally resolved ranking (for example an
+    /// [`EliminationOrder`](crate::EliminationOrder) resolved against the
+    /// training population): kept columns are measured in the order they
+    /// appear in `order`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::InvalidConfig`] when a kept column does
+    /// not appear in `order`.
+    pub fn ordered_by(program: &'p TesterProgram, order: &[usize]) -> Result<Self> {
+        let mut stages: Vec<usize> = Vec::with_capacity(program.kept.len());
+        for &column in order {
+            if program.kept.contains(&column) && !stages.contains(&column) {
+                stages.push(column);
+            }
+        }
+        if stages.len() != program.kept.len() {
+            let missing = program.kept.iter().find(|c| !stages.contains(c)).copied().unwrap_or(0);
+            return Err(CompactionError::InvalidConfig {
+                parameter: "order",
+                value: missing as f64,
+            });
+        }
+        TestPlan::with_stages(program, stages)
+    }
+
+    /// A plan with an explicit stage order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::DimensionMismatch`] when the stage count
+    /// differs from the kept set,
+    /// [`CompactionError::UnknownSpecification`] when a stage is not a kept
+    /// column, and [`CompactionError::InvalidConfig`] on duplicates.
+    pub fn with_stages(program: &'p TesterProgram, stages: Vec<usize>) -> Result<Self> {
+        if stages.len() != program.kept.len() {
+            return Err(CompactionError::DimensionMismatch {
+                expected: program.kept.len(),
+                found: stages.len(),
+            });
+        }
+        let mut slots = Vec::with_capacity(stages.len());
+        let mut seen = vec![false; program.kept.len()];
+        for &column in &stages {
+            let slot = program.kept.iter().position(|&k| k == column).ok_or(
+                CompactionError::UnknownSpecification { index: column, count: program.specs.len() },
+            )?;
+            if seen[slot] {
+                return Err(CompactionError::InvalidConfig {
+                    parameter: "stages",
+                    value: column as f64,
+                });
+            }
+            seen[slot] = true;
+            slots.push(slot);
+        }
+        Ok(TestPlan { program, stages, slots })
+    }
+
+    /// The program this plan schedules.
+    pub fn program(&self) -> &'p TesterProgram {
+        self.program
+    }
+
+    /// Specification columns in measurement order.
+    pub fn stages(&self) -> &[usize] {
+        &self.stages
+    }
+
+    /// Number of measurement stages (the kept-set size).
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the plan has no stages (an empty kept set; never produced by
+    /// the pipeline).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Cumulative measurement cost after each stage under a cost model:
+    /// `prefix_costs(m)[d]` is what a device that exits after `d + 1`
+    /// measurements paid.  The last entry equals the static kept-set cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::UnknownSpecification`] when the cost model
+    /// does not cover the kept columns.
+    pub fn prefix_costs(&self, cost_model: &TestCostModel) -> Result<Vec<f64>> {
+        let mut costs = Vec::with_capacity(self.stages.len());
+        for end in 1..=self.stages.len() {
+            costs.push(cost_model.cost_of(&self.stages[..end])?);
+        }
+        Ok(costs)
+    }
+
+    /// Starts a sequential session over this plan.
+    pub fn begin(&self) -> SequentialSession<'p> {
+        let kept_len = self.program.kept.len();
+        SequentialSession {
+            program: self.program,
+            stages: self.stages.clone(),
+            slots: self.slots.clone(),
+            next: 0,
+            lower: vec![0.0; kept_len],
+            upper: vec![1.0; kept_len],
+            verdict: None,
+        }
+    }
+}
+
+/// Outcome of one [`SequentialSession::measure`] step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepVerdict {
+    /// The device's verdict is settled; remaining measurements are
+    /// irrelevant and the session accepts no further input.
+    Decided(Prediction),
+    /// More measurements are needed; `next` is the specification column to
+    /// measure next.
+    NeedMore {
+        /// Specification column of the next stage.
+        next: usize,
+    },
+}
+
+/// An in-flight per-device walk of a [`TestPlan`], fed one measurement at a
+/// time.
+///
+/// The session decides as early as soundness allows:
+///
+/// * a measurement violating its own specification range rejects the device
+///   immediately (the one-shot path rejects on any kept-range violation, so
+///   this is order-independent), and
+/// * once the guard-banded model pair is provably **bad** over the whole box
+///   of values the unmeasured stages could still take
+///   ([`GuardBandedClassifier::classify_within`]), the device is rejected
+///   without measuring them.
+///
+/// A *good* (or guard-band) verdict can never be emitted early: any
+/// unmeasured kept specification could still be violated.  Because both
+/// early-exit triggers are provably the final verdict, driving a session to
+/// completion yields exactly what [`TesterProgram::classify`] returns — the
+/// sequential mode only changes *when* the answer arrives, never what it is.
+///
+/// # Example
+///
+/// ```
+/// use stc_core::tester::StepVerdict;
+/// use stc_core::{Prediction, Specification, SpecificationSet, TesterProgram};
+///
+/// # fn main() -> Result<(), stc_core::CompactionError> {
+/// let specs = SpecificationSet::new(vec![
+///     Specification::new("gain", "dB", 60.0, 55.0, 65.0)?,
+///     Specification::new("offset", "mV", 0.0, -5.0, 5.0)?,
+/// ])?;
+/// let program = TesterProgram::complete(specs);
+///
+/// let mut session = program.begin();
+/// // The gain passes its range: the verdict is still open.
+/// assert_eq!(session.measure(60.0)?, StepVerdict::NeedMore { next: 1 });
+/// // The offset violates its range: rejected without further stages.
+/// assert_eq!(session.measure(9.0)?, StepVerdict::Decided(Prediction::Bad));
+/// assert_eq!(session.verdict(), Some(Prediction::Bad));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SequentialSession<'p> {
+    program: &'p TesterProgram,
+    stages: Vec<usize>,
+    slots: Vec<usize>,
+    next: usize,
+    /// Per kept slot: the box of normalised values the device can still
+    /// have.  Unmeasured in-range slots span `[0, 1]`; measured slots are
+    /// pinned to a point.
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    verdict: Option<Prediction>,
+}
+
+impl SequentialSession<'_> {
+    /// Feeds the raw measurement of the current stage and reports whether
+    /// the verdict is settled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::DimensionMismatch`] when the session is
+    /// already decided or exhausted, and [`CompactionError::Classifier`]
+    /// when a detached (deserialised) model must be consulted for the final
+    /// verdict.
+    pub fn measure(&mut self, value: f64) -> Result<StepVerdict> {
+        if self.verdict.is_some() || self.next >= self.stages.len() {
+            return Err(CompactionError::DimensionMismatch {
+                expected: self.stages.len(),
+                found: self.stages.len() + 1,
+            });
+        }
+        let column = self.stages[self.next];
+        let slot = self.slots[self.next];
+        let spec = self.program.specs.spec(column);
+        self.next += 1;
+        // The kept tests are real measurements: a device violating one of
+        // their ranges is rejected outright, whatever the model would say.
+        if !spec.passes(value) {
+            self.verdict = Some(Prediction::Bad);
+            return Ok(StepVerdict::Decided(Prediction::Bad));
+        }
+        let normalised = spec.normalize(value);
+        self.lower[slot] = normalised;
+        self.upper[slot] = normalised;
+        if self.next == self.stages.len() {
+            // Every range passed and every slot is pinned: `lower` is the
+            // exact feature vector the one-shot path would build.
+            let verdict = match &self.program.model {
+                TesterModel::CompleteSuite => Prediction::Good,
+                TesterModel::Exact(classifier) => classifier.classify_features(&self.lower),
+                TesterModel::LookupTable(table) => table.classify_features(&self.lower),
+                TesterModel::Detached { backend, .. } => {
+                    return Err(CompactionError::Classifier {
+                        backend: backend.clone(),
+                        message: "a detached (deserialised) exact model cannot classify devices; \
+                                  retrain or deploy a lookup table"
+                            .to_owned(),
+                    })
+                }
+            };
+            self.verdict = Some(verdict);
+            return Ok(StepVerdict::Decided(verdict));
+        }
+        // Model-based early exit.  Only a provably-bad box is sound: every
+        // in-range completion classifies bad, and every out-of-range
+        // completion is bad by the range check above — so the final verdict
+        // is bad whatever the remaining measurements turn out to be.  A
+        // provably-good box proves nothing (an unmeasured kept range could
+        // still be violated).
+        let box_verdict = match &self.program.model {
+            TesterModel::Exact(classifier) => classifier.classify_within(&self.lower, &self.upper),
+            TesterModel::LookupTable(table) => table.classify_within(&self.lower, &self.upper),
+            TesterModel::CompleteSuite | TesterModel::Detached { .. } => None,
+        };
+        if box_verdict == Some(Prediction::Bad) {
+            self.verdict = Some(Prediction::Bad);
+            return Ok(StepVerdict::Decided(Prediction::Bad));
+        }
+        Ok(StepVerdict::NeedMore { next: self.stages[self.next] })
+    }
+
+    /// Number of measurements taken so far.
+    pub fn measured(&self) -> usize {
+        self.next
+    }
+
+    /// The settled verdict, or `None` while the session still needs
+    /// measurements.
+    pub fn verdict(&self) -> Option<Prediction> {
+        self.verdict
+    }
+
+    /// Whether the verdict is settled.
+    pub fn is_decided(&self) -> bool {
+        self.verdict.is_some()
+    }
+
+    /// Specification column of the next stage, or `None` when the session
+    /// is decided or exhausted.
+    pub fn next_stage(&self) -> Option<usize> {
+        if self.verdict.is_some() {
+            None
+        } else {
+            self.stages.get(self.next).copied()
+        }
+    }
+}
+
+/// Deploy-time statistics of running a [`TestPlan`] sequentially over a
+/// population: how deep the sessions went and what they cost per device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequentialStats {
+    /// Specification columns in the measurement order the stats were
+    /// collected under.
+    pub stage_order: Vec<usize>,
+    /// Devices driven through the plan.
+    pub devices: usize,
+    /// Devices decided before the last stage (their remaining measurements
+    /// were skipped).
+    pub early_exits: usize,
+    /// Decision-depth histogram: `decision_depths[d]` devices were decided
+    /// after exactly `d + 1` measurements (length = stage count).
+    pub decision_depths: Vec<usize>,
+    /// Mean number of measurements per device.
+    pub mean_depth: f64,
+    /// Expected measurement cost per device under the observed early-exit
+    /// distribution (mean of the per-device prefix costs).
+    pub expected_cost: f64,
+    /// Cost of measuring the full kept set on every device — the static
+    /// compaction result the sequential mode improves on.
+    pub static_cost: f64,
+}
+
+impl SequentialStats {
+    /// Drives every device of a population through the plan and collects
+    /// the depth histogram and per-device expected cost under `cost_model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::Classifier`] when the program carries a
+    /// detached model (a session that survives to the last stage must
+    /// consult it) and cost-model coverage errors.
+    pub fn collect(
+        plan: &TestPlan<'_>,
+        cost_model: &TestCostModel,
+        data: &MeasurementSet,
+    ) -> Result<Self> {
+        let prefix_costs = plan.prefix_costs(cost_model)?;
+        let mut decision_depths = vec![0usize; plan.len()];
+        let mut early_exits = 0usize;
+        for i in 0..data.len() {
+            let mut session = plan.begin();
+            for &column in plan.stages() {
+                if let StepVerdict::Decided(_) = session.measure(data.value(i, column))? {
+                    break;
+                }
+            }
+            let depth = session.measured();
+            decision_depths[depth - 1] += 1;
+            if depth < plan.len() {
+                early_exits += 1;
+            }
+        }
+        let devices = data.len();
+        let scale = if devices == 0 { 0.0 } else { 1.0 / devices as f64 };
+        let mean_depth = decision_depths
+            .iter()
+            .enumerate()
+            .map(|(d, &count)| (d + 1) as f64 * count as f64)
+            .sum::<f64>()
+            * scale;
+        let expected_cost = decision_depths
+            .iter()
+            .zip(prefix_costs.iter())
+            .map(|(&count, &cost)| count as f64 * cost)
+            .sum::<f64>()
+            * scale;
+        let static_cost = prefix_costs.last().copied().unwrap_or(0.0);
+        Ok(SequentialStats {
+            stage_order: plan.stages().to_vec(),
+            devices,
+            early_exits,
+            decision_depths,
+            mean_depth,
+            expected_cost,
+            static_cost,
+        })
+    }
+
+    /// Fraction of devices decided before the last stage.
+    pub fn early_exit_fraction(&self) -> f64 {
+        if self.devices == 0 {
+            0.0
+        } else {
+            self.early_exits as f64 / self.devices as f64
+        }
     }
 }
 
@@ -319,24 +735,116 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_with_svm_shim_builds_the_same_program() {
-        let (train, test, classifier) = setup();
-        #[allow(deprecated)]
-        let shim = TesterProgram::with_svm(train.specs().clone(), classifier.clone());
-        let current = TesterProgram::with_model(train.specs().clone(), classifier);
-        let shim_eval = shim.evaluate(&test);
-        let current_eval = current.evaluate(&test);
-        assert_eq!(shim_eval.yield_loss_count, current_eval.yield_loss_count);
-        assert_eq!(shim_eval.defect_escape_count, current_eval.defect_escape_count);
-        assert_eq!(shim_eval.guard_band_count, current_eval.guard_band_count);
-    }
-
-    #[test]
     fn classify_rejects_wrong_measurement_count_and_bad_kept_values() {
         let (train, _, classifier) = setup();
         let program = TesterProgram::with_model(train.specs().clone(), classifier);
         assert!(program.classify(&[0.0]).is_err());
         // A kept measurement far outside its range is rejected outright.
         assert_eq!(program.classify(&[99.0, 0.0]).unwrap(), Prediction::Bad);
+    }
+
+    /// A session driven over every plan order agrees with the one-shot
+    /// verdict on every device of the population.
+    #[test]
+    fn sequential_sessions_match_the_one_shot_verdict() {
+        let (train, test, classifier) = setup();
+        let programs = [
+            TesterProgram::with_model(train.specs().clone(), classifier.clone()),
+            TesterProgram::with_lookup_table(train.specs().clone(), &classifier, 32).unwrap(),
+            TesterProgram::complete(train.specs().clone()),
+        ];
+        for program in &programs {
+            let orders: Vec<Vec<usize>> =
+                vec![program.kept().to_vec(), program.kept().iter().rev().copied().collect()];
+            for order in orders {
+                let plan = TestPlan::with_stages(program, order).unwrap();
+                for i in 0..test.len() {
+                    let kept_measurements: Vec<f64> =
+                        program.kept().iter().map(|&c| test.value(i, c)).collect();
+                    let one_shot = program.classify(&kept_measurements).unwrap();
+                    let mut session = plan.begin();
+                    let mut verdict = None;
+                    for &column in plan.stages() {
+                        if let StepVerdict::Decided(p) =
+                            session.measure(test.value(i, column)).unwrap()
+                        {
+                            verdict = Some(p);
+                            break;
+                        }
+                    }
+                    assert_eq!(verdict.expect("full plan always decides"), one_shot);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decided_sessions_reject_further_measurements() {
+        let (train, _, classifier) = setup();
+        let program = TesterProgram::with_model(train.specs().clone(), classifier);
+        let mut session = program.begin();
+        assert_eq!(session.measure(99.0).unwrap(), StepVerdict::Decided(Prediction::Bad));
+        assert!(session.is_decided());
+        assert_eq!(session.next_stage(), None);
+        assert!(session.measure(0.0).is_err());
+    }
+
+    #[test]
+    fn plan_validation_rejects_foreign_and_duplicate_stages() {
+        let (train, _, classifier) = setup();
+        let program = TesterProgram::with_model(train.specs().clone(), classifier);
+        assert!(TestPlan::with_stages(&program, vec![0]).is_err());
+        assert!(TestPlan::with_stages(&program, vec![0, 2]).is_err());
+        assert!(TestPlan::with_stages(&program, vec![0, 0]).is_err());
+        assert!(TestPlan::with_stages(&program, vec![1, 0]).is_ok());
+        assert!(TestPlan::ordered_by(&program, &[2, 1, 0]).is_ok());
+        assert!(TestPlan::ordered_by(&program, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn cheapest_first_puts_the_expensive_stage_last() {
+        let (train, _, classifier) = setup();
+        let program = TesterProgram::with_model(train.specs().clone(), classifier);
+        let costs = TestCostModel::new(vec![1.0, 5.0, 1.0], vec![0, 0, 0], vec![0.0]).unwrap();
+        let plan = TestPlan::cheapest_first(&program, &costs).unwrap();
+        assert_eq!(plan.stages(), &[0, 1]);
+        let reversed = TestCostModel::new(vec![5.0, 1.0, 1.0], vec![0, 0, 0], vec![0.0]).unwrap();
+        let plan = TestPlan::cheapest_first(&program, &reversed).unwrap();
+        assert_eq!(plan.stages(), &[1, 0]);
+    }
+
+    #[test]
+    fn sequential_stats_expected_cost_never_exceeds_static_cost() {
+        let (train, test, classifier) = setup();
+        let program = TesterProgram::with_model(train.specs().clone(), classifier);
+        let costs = TestCostModel::uniform(train.specs().len());
+        let plan = TestPlan::cheapest_first(&program, &costs).unwrap();
+        let stats = SequentialStats::collect(&plan, &costs, &test).unwrap();
+        assert_eq!(stats.devices, test.len());
+        assert_eq!(stats.decision_depths.iter().sum::<usize>(), test.len());
+        assert!(stats.expected_cost <= stats.static_cost + 1e-12);
+        assert!((stats.expected_cost - costs.expected_cost(&plan, &test).unwrap()).abs() < 1e-12);
+    }
+
+    /// A deserialised (detached) program fails `try_evaluate` with a
+    /// classifier error instead of panicking — unless a range violation
+    /// already decided the device.
+    #[test]
+    fn detached_programs_error_instead_of_panicking() {
+        let (train, test, classifier) = setup();
+        // What deserialising an `Exact` program yields (see the
+        // `TesterModel` serialisation contract).
+        let detached = TesterProgram {
+            specs: train.specs().clone(),
+            kept: classifier.kept().to_vec(),
+            model: TesterModel::Detached {
+                backend: classifier.backend().to_string(),
+                kept: classifier.kept().to_vec(),
+            },
+        };
+        assert!(matches!(detached.model(), TesterModel::Detached { .. }));
+        assert!(matches!(detached.try_evaluate(&test), Err(CompactionError::Classifier { .. })));
+        // Range violations still decide without the model.
+        assert_eq!(detached.classify(&[99.0, 0.0]).unwrap(), Prediction::Bad);
     }
 }

@@ -526,6 +526,9 @@ fn run_shard(
         if let Some(cells) = spec.lookup_table {
             pipeline = pipeline.lookup_table(cells);
         }
+        if let Some(sequential) = spec.sequential {
+            pipeline = pipeline.sequential_deploy(sequential);
+        }
         let report = pipeline.run_with_population(train.clone(), test.clone())?;
         return Ok(BatchRun { label: label.to_string(), report });
     }
@@ -553,6 +556,9 @@ fn run_shard(
     }
     if let Some(cells) = spec.lookup_table {
         batch = batch.lookup_table(cells);
+    }
+    if let Some(sequential) = spec.sequential {
+        batch = batch.sequential_deploy(sequential);
     }
     let report = batch.run()?;
     let run = report.runs.into_iter().next().expect("single-entry batch yields one run");

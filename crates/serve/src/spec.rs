@@ -229,6 +229,11 @@ pub struct JobSpec {
     /// models.
     #[serde(default)]
     pub lookup_table: Option<usize>,
+    /// Staged sequential deploy accounting (`None` keeps the pipeline
+    /// default, which is enabled; `Some(false)` opts a job out — see
+    /// [`stc_core::CompactionPipeline::sequential_deploy`]).
+    #[serde(default)]
+    pub sequential: Option<bool>,
     /// Worker threads the service spends on this job's shards (`0` means
     /// one).
     #[serde(default)]
@@ -254,6 +259,7 @@ impl JobSpec {
             budget: None,
             cost_model: None,
             lookup_table: None,
+            sequential: None,
             shard_threads: 0,
         }
     }

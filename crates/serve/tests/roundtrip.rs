@@ -129,6 +129,7 @@ proptest! {
         strategy_choice in 0usize..6,
         classifier_choice in 0usize..2,
         shard_threads in 0usize..4,
+        sequential_choice in 0usize..3,
     ) {
         let strategy = match strategy_choice {
             0 => StrategySpec::Greedy,
@@ -151,6 +152,11 @@ proptest! {
             if classifier_choice == 0 { ClassifierSpec::Grid } else { ClassifierSpec::Svm };
         spec.budget = Some(SearchBudget::unlimited().with_max_trainings(50));
         spec.shard_threads = shard_threads;
+        spec.sequential = match sequential_choice {
+            0 => None,
+            1 => Some(false),
+            _ => Some(true),
+        };
         prop_assert_eq!(json_round_trip(&spec), spec);
     }
 }
@@ -168,10 +174,28 @@ fn tiny_report() -> PipelineReport {
 #[test]
 fn pipeline_report_round_trips_byte_for_byte() {
     let report = tiny_report();
+    assert!(report.sequential.is_some(), "sequential deploy stats ship by default");
     let back = json_round_trip(&report);
     assert_eq!(back.kept(), report.kept());
     assert_eq!(back.eliminated(), report.eliminated());
     assert_eq!(back.summary(), report.summary());
+    assert_eq!(back.sequential, report.sequential);
+}
+
+#[test]
+fn pre_0_9_job_specs_still_parse() {
+    // A spec serialized before the `sequential` field existed must keep
+    // parsing, with the field at its pipeline default (None = enabled).
+    let spec = JobSpec::new(
+        vec![DeviceSpec::OpAmp],
+        MonteCarloConfig::new(50).with_seed(5),
+        CompactionConfig::paper_default().with_tolerance(0.1),
+    );
+    let json = stc_serve::json::to_string(&spec).expect("serializes");
+    let legacy = json.replacen(r#""sequential":null,"#, "", 1);
+    assert_ne!(json, legacy, "the sequential field must be present to strip");
+    let back: JobSpec = stc_serve::json::from_str(&legacy).expect("legacy spec parses");
+    assert_eq!(back, spec);
 }
 
 #[test]

@@ -137,6 +137,25 @@ impl Classifier for SvmClassifier {
     fn solver_iterations(&self) -> Option<usize> {
         Some(self.model.iterations())
     }
+
+    /// Box decisions from the interval bounds of the decision function
+    /// ([`Svc::decision_bounds`]): a sign proven constant over the whole box
+    /// with a small numerical safety margin yields `Some`, anything else
+    /// `None`.  This is what gives SVM-backed tester programs model-based
+    /// early exits in the sequential deploy mode.
+    fn predict_good_within(&self, lower: &[f64], upper: &[f64]) -> Option<bool> {
+        /// Guards the proof against floating-point rounding in the bound
+        /// accumulation: a sign this close to zero is not trusted.
+        const SIGN_MARGIN: f64 = 1e-9;
+        let (min, max) = self.model.decision_bounds(lower, upper);
+        if min > SIGN_MARGIN {
+            Some(true)
+        } else if max < -SIGN_MARGIN {
+            Some(false)
+        } else {
+            None
+        }
+    }
 }
 
 /// Builds an SVM [`Dataset`] from a training view: normalised kept-column
@@ -258,6 +277,33 @@ mod tests {
         for x in [-0.4, 0.2, 0.5, 0.8, 1.3] {
             assert_eq!(warm.predict_good(&[x]), cold.predict_good(&[x]), "x = {x}");
         }
+    }
+
+    /// Box decisions are sound (they never contradict a pointwise
+    /// prediction inside the box) and decisive on boxes far from the
+    /// boundary.
+    #[test]
+    fn box_decisions_are_sound_and_decisive_off_the_boundary() {
+        let data = population();
+        let view = TrainingView::new(&data, &[0], 0.0).unwrap();
+        let model = SvmBackend::paper_default().train(&view).unwrap();
+        // A tight box around a clearly-good point and one around a
+        // clearly-bad point decide; whatever is returned must agree with
+        // every sampled point inside the box.
+        for (lo, hi) in [(0.4, 0.6), (1.3, 1.5), (-0.4, -0.2), (0.0, 1.0)] {
+            if let Some(verdict) = model.predict_good_within(&[lo], &[hi]) {
+                for i in 0..=10 {
+                    let x = lo + (hi - lo) * i as f64 / 10.0;
+                    assert_eq!(model.predict_good(&[x]), verdict, "x = {x} in [{lo}, {hi}]");
+                }
+            }
+        }
+        // A degenerate box collapses the bounds to the exact decision, so
+        // off-boundary points always decide, with the right sign.
+        assert_eq!(model.predict_good_within(&[0.5], &[0.5]), Some(true));
+        assert_eq!(model.predict_good_within(&[1.4], &[1.4]), Some(false));
+        // A box spanning the boundary cannot be decided.
+        assert_eq!(model.predict_good_within(&[-0.5], &[1.5]), None);
     }
 
     /// A foreign backend's model as the warm hint must be ignored, not

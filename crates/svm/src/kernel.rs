@@ -132,6 +132,38 @@ impl Kernel {
             1.0 / dimension as f64
         }
     }
+
+    /// Bounds of `K(x, y)` as `y` ranges over the axis-aligned box
+    /// `[lower, upper]` (per-dimension inclusive bounds): returns
+    /// `(min, max)` such that `min <= K(x, y) <= max` for every `y` in the
+    /// box.  The bounds are exact per dimension (interval arithmetic over
+    /// the dot product / squared distance, pushed through the monotone or
+    /// piecewise-monotone outer function), which is what lets
+    /// [`crate::Svc::decision_bounds`] prove a constant decision sign over a
+    /// partially measured device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices have different lengths.
+    pub fn eval_bounds(&self, x: &[f64], lower: &[f64], upper: &[f64]) -> (f64, f64) {
+        assert_eq!(x.len(), lower.len(), "kernel arguments must have equal length");
+        assert_eq!(x.len(), upper.len(), "kernel arguments must have equal length");
+        match *self {
+            Kernel::Linear => dot_bounds(x, lower, upper),
+            Kernel::Polynomial { gamma, coef0, degree } => {
+                let (d_lo, d_hi) = dot_bounds(x, lower, upper);
+                powi_bounds(gamma * d_lo + coef0, gamma * d_hi + coef0, degree as i32)
+            }
+            Kernel::Rbf { gamma } => {
+                let (d2_lo, d2_hi) = squared_distance_bounds(x, lower, upper);
+                ((-gamma * d2_hi).exp(), (-gamma * d2_lo).exp())
+            }
+            Kernel::Sigmoid { gamma, coef0 } => {
+                let (d_lo, d_hi) = dot_bounds(x, lower, upper);
+                ((gamma * d_lo + coef0).tanh(), (gamma * d_hi + coef0).tanh())
+            }
+        }
+    }
 }
 
 impl Default for Kernel {
@@ -152,6 +184,47 @@ fn squared_distance(x: &[f64], y: &[f64]) -> f64 {
             d * d
         })
         .sum()
+}
+
+/// Bounds of `x · y` with `y_j ∈ [l_j, u_j]`: each term `x_j * y_j` is
+/// monotone in `y_j`, so the extremes sit at the interval endpoints.
+fn dot_bounds(x: &[f64], lower: &[f64], upper: &[f64]) -> (f64, f64) {
+    let mut lo = 0.0;
+    let mut hi = 0.0;
+    for ((&a, &l), &u) in x.iter().zip(lower.iter()).zip(upper.iter()) {
+        let (t1, t2) = (a * l, a * u);
+        lo += t1.min(t2);
+        hi += t1.max(t2);
+    }
+    (lo, hi)
+}
+
+/// Bounds of `||x - y||²` with `y_j ∈ [l_j, u_j]`: per dimension the
+/// squared offset is smallest at the projection of `x_j` onto the interval
+/// and largest at the farther endpoint.
+fn squared_distance_bounds(x: &[f64], lower: &[f64], upper: &[f64]) -> (f64, f64) {
+    let mut lo = 0.0;
+    let mut hi = 0.0;
+    for ((&a, &l), &u) in x.iter().zip(lower.iter()).zip(upper.iter()) {
+        let near = (l - a).max(a - u).max(0.0);
+        lo += near * near;
+        let (d1, d2) = (a - l, a - u);
+        hi += (d1 * d1).max(d2 * d2);
+    }
+    (lo, hi)
+}
+
+/// Bounds of `s^degree` for `s ∈ [lo, hi]`: monotone for odd degrees; for
+/// even degrees the minimum is 0 when the interval straddles zero.
+fn powi_bounds(lo: f64, hi: f64, degree: i32) -> (f64, f64) {
+    let (p_lo, p_hi) = (lo.powi(degree), hi.powi(degree));
+    if degree % 2 != 0 {
+        (p_lo, p_hi)
+    } else if lo <= 0.0 && hi >= 0.0 {
+        (0.0, p_lo.max(p_hi))
+    } else {
+        (p_lo.min(p_hi), p_lo.max(p_hi))
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +283,47 @@ mod tests {
         // Regression guard: this used to be a debug_assert, so release
         // builds silently truncated to the shorter vector.
         Kernel::linear().eval(&[1.0, 2.0], &[1.0]);
+    }
+
+    /// `eval_bounds` encloses the kernel value for every point of the box,
+    /// and collapses to the exact value on a degenerate (point) box.
+    #[test]
+    fn eval_bounds_enclose_every_point_of_the_box() {
+        let kernels = [
+            Kernel::linear(),
+            Kernel::rbf(0.8),
+            Kernel::polynomial(0.5, 1.0, 2),
+            Kernel::polynomial(0.5, -2.0, 3),
+            Kernel::sigmoid(0.4, -0.1),
+        ];
+        let x = [0.7, -0.3, 1.4];
+        let lower = [-0.5, 0.0, 0.2];
+        let upper = [0.5, 1.0, 1.6];
+        for k in kernels {
+            let (lo, hi) = k.eval_bounds(&x, &lower, &upper);
+            assert!(lo <= hi, "{k:?}");
+            // Dense sample of the box.
+            for i in 0..=4 {
+                for j in 0..=4 {
+                    for m in 0..=4 {
+                        let y = [
+                            lower[0] + (upper[0] - lower[0]) * i as f64 / 4.0,
+                            lower[1] + (upper[1] - lower[1]) * j as f64 / 4.0,
+                            lower[2] + (upper[2] - lower[2]) * m as f64 / 4.0,
+                        ];
+                        let value = k.eval(&x, &y);
+                        assert!(
+                            lo - 1e-12 <= value && value <= hi + 1e-12,
+                            "{k:?}: {value} outside [{lo}, {hi}] at {y:?}"
+                        );
+                    }
+                }
+            }
+            let point = [0.1, 0.5, 0.9];
+            let (p_lo, p_hi) = k.eval_bounds(&x, &point, &point);
+            let exact = k.eval(&x, &point);
+            assert!((p_lo - exact).abs() < 1e-12 && (p_hi - exact).abs() < 1e-12, "{k:?}");
+        }
     }
 
     #[test]

@@ -353,6 +353,39 @@ impl Svc {
         sum - self.rho + self.bias_shift
     }
 
+    /// Bounds of the decision function over the axis-aligned box
+    /// `[lower, upper]`: returns `(min, max)` with
+    /// `min <= f(y) <= max` for every `y` in the box, built from the
+    /// per-support-vector kernel bounds ([`Kernel::eval_bounds`]) weighted
+    /// by the sign of each coefficient.
+    ///
+    /// A strictly positive `min` proves every point of the box is
+    /// classified positive; a strictly negative `max` proves every point
+    /// negative — the capability behind the sequential tester's early
+    /// exits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds do not have [`Svc::dimension`] entries.
+    pub fn decision_bounds(&self, lower: &[f64], upper: &[f64]) -> (f64, f64) {
+        assert_eq!(lower.len(), self.dimension, "lower bound has wrong dimension");
+        assert_eq!(upper.len(), self.dimension, "upper bound has wrong dimension");
+        let mut min = 0.0;
+        let mut max = 0.0;
+        for (sv, &coef) in self.support_vectors.iter().zip(self.coefficients.iter()) {
+            let (k_lo, k_hi) = self.kernel.eval_bounds(sv, lower, upper);
+            if coef >= 0.0 {
+                min += coef * k_lo;
+                max += coef * k_hi;
+            } else {
+                min += coef * k_hi;
+                max += coef * k_lo;
+            }
+        }
+        let offset = self.bias_shift - self.rho;
+        (min + offset, max + offset)
+    }
+
     /// Predicted class label (`+1.0` or `-1.0`).
     ///
     /// # Panics

@@ -1,0 +1,74 @@
+//! Adaptive tester: drive the deployed program one measurement at a time.
+//!
+//! ```text
+//! cargo run --example adaptive_tester
+//! ```
+//!
+//! A production tester does not have to apply the whole kept set to every
+//! device: measuring sequentially, a device that violates a kept
+//! specification — or whose remaining measurements provably cannot change the
+//! model's verdict — can leave the handler early.  This example compacts a
+//! synthetic device, deploys the tester program as a staged [`TestPlan`]
+//! ordered cheapest-first under a non-uniform cost model, steps a few devices
+//! through [`SequentialSession`] by hand, and prices the whole held-out
+//! population with [`SequentialStats`].
+
+use spec_test_compaction::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = SyntheticDevice::new(6, 1.8, 0.9);
+    let monte_carlo = MonteCarloConfig::new(600).with_seed(42);
+    let (train, test) = generate_train_test(&device, &monte_carlo, 300)?;
+
+    // Non-uniform costs: two insertions, the second expensive to open, with
+    // rising per-test costs — the situation where test ordering matters.
+    let tests = train.specs().len();
+    let per_test: Vec<f64> = (0..tests).map(|i| 1.0 + i as f64).collect();
+    let groups: Vec<usize> = (0..tests).map(|i| usize::from(i >= tests / 2)).collect();
+    let cost_model = TestCostModel::new(per_test, groups, vec![2.0, 10.0])?;
+
+    let report = CompactionPipeline::for_device(&device)
+        .monte_carlo(monte_carlo)
+        .compaction(CompactionConfig::paper_default().with_tolerance(0.02))
+        .classifier(SvmBackend::paper_default())
+        .cost_model(cost_model.clone())
+        .run_with_population(train, test.clone())?;
+    println!("{}\n", report.summary());
+
+    // Stage the kept tests cheapest-first and walk a few devices through the
+    // session by hand, printing each verdict as it settles.
+    let program = &report.tester;
+    let plan = TestPlan::cheapest_first(program, &cost_model)?;
+    println!("kept tests {:?}, staged as {:?}", program.kept(), plan.stages());
+    for row in 0..5.min(test.len()) {
+        let mut session = plan.begin();
+        let verdict = loop {
+            let column = session.next_stage().expect("undecided session has a next stage");
+            match session.measure(test.value(row, column))? {
+                StepVerdict::Decided(verdict) => break verdict,
+                StepVerdict::NeedMore { next } => {
+                    print!("device {row}: measured test {column}, next {next}; ");
+                }
+            }
+        };
+        println!(
+            "device {row}: {verdict:?} after {} of {} measurements",
+            session.measured(),
+            plan.len()
+        );
+    }
+
+    // Price the whole held-out population.
+    let stats = report.sequential.as_ref().expect("sequential deploy is on by default");
+    println!(
+        "\nsequential deploy over {} devices: expected cost {:.2} vs static {:.2} \
+         ({:.1}% early exits, mean depth {:.2})",
+        stats.devices,
+        stats.expected_cost,
+        stats.static_cost,
+        stats.early_exit_fraction() * 100.0,
+        stats.mean_depth
+    );
+    println!("decision-depth histogram: {:?}", stats.decision_depths);
+    Ok(())
+}

@@ -45,9 +45,15 @@
 //! The classifier stage is pluggable: swap `SvmBackend` for the cheaper
 //! [`GridBackend`](prelude::GridBackend) (or any custom
 //! [`ClassifierFactory`](prelude::ClassifierFactory)) without touching the
-//! rest of the flow.  The pre-0.2 free-function call chain
-//! (`generate_train_test` → `Compactor::compact` → …) still compiles; the
-//! classifier-specific entry points are deprecated shims over the new seam.
+//! rest of the flow.  (The pre-0.2 entry points that hard-wired the SVM into
+//! the call chain were removed in 0.9 — drive the explicit seam,
+//! `generate_train_test` → `Compactor::compact_with(&backend, …)` → ….)
+//!
+//! The deployed [`TesterProgram`](prelude::TesterProgram) classifies devices
+//! one-shot from a full kept-set measurement vector, or *sequentially*
+//! through a staged [`TestPlan`](prelude::TestPlan) that stops measuring the
+//! moment a verdict is settled; the report's `sequential` statistics price
+//! that mode per device (see the `adaptive_tester` example).
 //!
 //! To sweep one configuration across a whole device family, wrap the same
 //! stages in a [`PipelineBatch`](prelude::PipelineBatch): devices run on a

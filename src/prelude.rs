@@ -8,8 +8,10 @@
 //! backends ([`SvmBackend`], [`GridBackend`]), the six bundled search
 //! strategies ([`GreedyBackward`], [`BeamSearch`], [`ForwardSelection`],
 //! [`CostAwareGreedy`], [`SimulatedAnnealing`], [`GeneticSearch`]), the
-//! [`SearchBudget`] limits that make every search anytime, the device
-//! adapters and every configuration type the pipeline stages take.
+//! [`SearchBudget`] limits that make every search anytime, the staged
+//! sequential deploy types ([`TestPlan`], [`SequentialSession`],
+//! [`StepVerdict`], [`SequentialStats`]), the device adapters and every
+//! configuration type the pipeline stages take.
 
 pub use crate::adapters::{opamp_specs_from_nominal, AccelerometerDevice, OpAmpDevice};
 
@@ -27,8 +29,9 @@ pub use stc_core::{
     BatchAggregate, BatchReport, BatchRun, CompactionConfig, CompactionError, CompactionResult,
     CompactionStep, Compactor, DeviceLabel, DeviceUnderTest, EliminationOrder, ErrorBreakdown,
     GuardBandConfig, GuardBandedClassifier, MeasurementMatrix, MeasurementSet, ModelCacheStats,
-    MonteCarloConfig, PipelineBatch, PopulationCache, Prediction, Specification, SpecificationSet,
-    SyntheticDevice, TestCostModel, TesterModel, TesterProgram, WarmStartStats,
+    MonteCarloConfig, PipelineBatch, PopulationCache, Prediction, SequentialSession,
+    SequentialStats, Specification, SpecificationSet, StepVerdict, SyntheticDevice, TestCostModel,
+    TestPlan, TesterModel, TesterProgram, WarmStartStats,
 };
 
 pub use stc_svm::SvmBackend;

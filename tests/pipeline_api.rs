@@ -5,8 +5,8 @@
 //! * both bundled classifier backends satisfy the `Classifier` trait
 //!   contract — `kept ∪ eliminated` partitions the full test set and the
 //!   final prediction error respects the tolerance,
-//! * the deprecated pre-0.2 entry points produce results identical to the
-//!   pipeline configured with the same backend.
+//! * driving the lower-level `Compactor` API by hand produces results
+//!   identical to the pipeline configured with the same backend.
 
 use proptest::prelude::*;
 use spec_test_compaction::prelude::*;
@@ -79,23 +79,22 @@ proptest! {
         }
     }
 
-    /// The deprecated entry points are thin shims over the pipeline: driving
-    /// the old call chain by hand gives byte-for-byte the same result as the
-    /// pipeline configured with the same (grid) backend.
+    /// The pipeline is a thin orchestrator: driving the lower-level
+    /// `Compactor` call chain by hand gives byte-for-byte the same result as
+    /// the pipeline configured with the same (grid) backend.
     #[test]
-    fn deprecated_shims_match_the_pipeline(seed in 0u64..1000, dimension in 3usize..6) {
+    fn manual_compactor_chain_matches_the_pipeline(seed in 0u64..1000, dimension in 3usize..6) {
         let device = SyntheticDevice::new(dimension, 1.8, 0.9);
         let monte_carlo = MonteCarloConfig::new(200).with_seed(seed);
         let config = CompactionConfig::paper_default().with_tolerance(0.05);
 
-        // Old-style call chain (deprecated entry points, grid default).
+        // Hand-driven call chain over the explicit backend seam.
         let (train, test) = generate_train_test(&device, &monte_carlo, 100).unwrap();
         let compactor = Compactor::new(train, test).unwrap();
-        #[allow(deprecated)]
-        let old = compactor.compact(&config).unwrap();
+        let manual = compactor.compact_with(&GridBackend::default(), &config).unwrap();
 
-        // New-style pipeline with the same backend.
-        let new = CompactionPipeline::for_device(&device)
+        // Pipeline with the same backend.
+        let pipeline = CompactionPipeline::for_device(&device)
             .monte_carlo(monte_carlo)
             .test_instances(100)
             .compaction(config)
@@ -103,6 +102,6 @@ proptest! {
             .run()
             .unwrap();
 
-        prop_assert_eq!(&old, &new.compaction);
+        prop_assert_eq!(&manual, &pipeline.compaction);
     }
 }

@@ -1,0 +1,97 @@
+//! Benchmark of screened versus exact candidate evaluation on the op-amp
+//! case study — the hot path the 0.10 Nyström screen targets.
+//!
+//! The greedy loop examines a speculative batch of candidate kept sets per
+//! round; without screening every candidate trains an exact ε-SVM pair.
+//! With [`ScreeningConfig`](stc_core::search::ScreeningConfig) enabled the
+//! batch is first scored by a Nyström low-rank model (one landmark-sized
+//! solve instead of a full SMO run) and only the shortlist trains exactly.
+//! The benchmark runs the identical compaction twice per configuration:
+//!
+//! * `exact` — screening disabled, the pre-0.10 behaviour,
+//! * `screened` — the Nyström screen on, shortlist smaller than the batch.
+//!
+//! Before timing, the harness asserts the tentpole contract on this
+//! workload: both runs produce **byte-identical kept and eliminated sets**
+//! and the screened run performs **fewer exact trainings**; the totals are
+//! printed so the saving is visible alongside the wall-clock numbers.
+//! `STC_SCALE` scales the population sizes as in the other benches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spec_test_compaction::adapters::OpAmpDevice;
+use stc_core::search::ScreeningConfig;
+use stc_core::{
+    generate_train_test, CompactionConfig, CompactionResult, Compactor, EliminationOrder,
+    MonteCarloConfig,
+};
+use stc_svm::SvmBackend;
+
+fn compactor() -> Compactor {
+    let device = OpAmpDevice::paper_setup();
+    let train_instances = stc_bench::scaled(150, 60);
+    let monte_carlo = MonteCarloConfig::new(train_instances)
+        .with_seed(404)
+        .with_threads(stc_bench::threads())
+        .with_calibration_quantiles(0.02, 0.98);
+    let (train, test) =
+        generate_train_test(&device, &monte_carlo, train_instances / 2).expect("op-amp MC runs");
+    Compactor::new(train, test).expect("populations are valid")
+}
+
+fn run(compactor: &Compactor, screening: ScreeningConfig) -> CompactionResult {
+    // Examine the three step-response specs on three worker threads: the
+    // speculative batch (= thread count) must exceed the shortlist for the
+    // screen to engage.
+    let config = CompactionConfig::paper_default()
+        .with_tolerance(0.10)
+        .with_order(EliminationOrder::Functional(vec![4, 6, 5]))
+        .with_threads(3)
+        .with_screening(screening);
+    compactor.compact_with(&SvmBackend::paper_default(), &config).expect("compaction runs")
+}
+
+fn bench_screened_search(c: &mut Criterion) {
+    let compactor = compactor();
+    let screening = ScreeningConfig::screened(32, 1);
+
+    let exact = run(&compactor, ScreeningConfig::default());
+    let screened = run(&compactor, screening);
+    // The tentpole contract on the benchmark workload itself: identical
+    // kept/eliminated sets, strictly fewer exact trainings.  (Steps are not
+    // compared — screened rejections log no step by design.)
+    assert_eq!(screened.kept, exact.kept, "kept sets diverged under screening");
+    assert_eq!(screened.eliminated, exact.eliminated);
+    assert!(
+        screened.budget.trainings < exact.budget.trainings,
+        "the screen must save exact trainings: screened {:?} vs exact {:?}",
+        screened.budget,
+        exact.budget,
+    );
+    println!(
+        "screened_search: kept {:?}, exact trainings {} vs {} ({} screened over {} batches, \
+         {} verified exactly)",
+        screened.kept,
+        screened.budget.trainings,
+        exact.budget.trainings,
+        screened.screening.screened,
+        screened.screening.batches,
+        screened.screening.verified,
+    );
+
+    let mut group = c.benchmark_group("screened_search");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("greedy-elimination", "exact"),
+        &ScreeningConfig::default(),
+        |b, &screening| b.iter(|| run(&compactor, screening)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("greedy-elimination", "screened"),
+        &screening,
+        |b, &screening| b.iter(|| run(&compactor, screening)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_screened_search);
+criterion_main!(benches);

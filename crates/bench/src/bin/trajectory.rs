@@ -3,26 +3,31 @@
 //! ```text
 //! trajectory --emit <path>            # deterministic solver counters
 //! trajectory --sequential <path>      # deterministic sequential-deploy stats
+//! trajectory --screening <path>       # deterministic screen-then-verify
+//!                                     # counters (exact-paired workloads)
 //! trajectory --kernel <path> [n..]    # wall-clock kernel timings (default
 //!                                     # sizes 2000 10000, 24 features)
 //! trajectory --batch <path> [t..]     # wall-clock pipeline-batch timings
 //!                                     # (default thread counts 1 4)
+//! trajectory --search <path>          # wall-clock search-stack timings
 //! trajectory --check <path>           # decode + validate any report
 //! ```
 //!
 //! Output is wrapped in the versioned `{"schema_version": N, "payload": ...}`
-//! `stc-serve` envelope.  `--emit` and `--sequential` are byte-deterministic
-//! across machines (CI diffs them against
-//! `crates/bench/snapshots/BENCH_trajectory.json` and `BENCH_sequential.json`);
-//! `--kernel` and `--batch` measure wall time and are therefore only
-//! structure-checked on CI, with the committed `BENCH_kernel.json` and
-//! `BENCH_batch.json` as the reference measurements.
+//! `stc-serve` envelope.  `--emit`, `--sequential` and `--screening` are
+//! byte-deterministic across machines (CI diffs them against
+//! `crates/bench/snapshots/BENCH_trajectory.json`, `BENCH_sequential.json`
+//! and `BENCH_screening.json`); `--kernel`, `--batch` and `--search` measure
+//! wall time and are therefore only structure-checked on CI, with the
+//! committed `BENCH_kernel.json`, `BENCH_batch.json` and `BENCH_search.json`
+//! as the reference measurements.
 
 use std::process::ExitCode;
 
 use stc_bench::trajectory::{
-    collect_sequential, collect_trajectory, measure_batch, measure_kernel, BatchTimingReport,
-    KernelReport, SequentialReport, TrajectoryReport,
+    collect_screening, collect_sequential, collect_trajectory, measure_batch, measure_kernel,
+    measure_search, BatchTimingReport, KernelReport, ScreeningReport, SearchTimingReport,
+    SequentialReport, TrajectoryReport,
 };
 use stc_serve::envelope;
 
@@ -31,7 +36,7 @@ fn write_enveloped<T: serde::Serialize>(report: &T, path: &str) -> Result<(), St
     std::fs::write(path, encoded + "\n").map_err(|error| format!("cannot write {path}: {error}"))
 }
 
-/// Checks a decoded report, whichever of the four kinds the file holds.
+/// Checks a decoded report, whichever of the six kinds the file holds.
 fn check(path: &str) -> Result<(), String> {
     let text =
         std::fs::read_to_string(path).map_err(|error| format!("cannot read {path}: {error}"))?;
@@ -52,6 +57,40 @@ fn check(path: &str) -> Result<(), String> {
                 point.expected_cost,
                 point.static_cost,
                 point.early_exits,
+            );
+        }
+        return Ok(());
+    }
+    if let Ok(report) = envelope::decode::<ScreeningReport>(&text) {
+        report.validate()?;
+        for point in &report.points {
+            eprintln!(
+                "{path}: {} x {} devices [{}]: {} screened, {} verified over {} batches, \
+                 {} exact trainings saved ({} -> {}), kept sets identical",
+                point.device,
+                point.train_devices,
+                point.strategy,
+                point.screened,
+                point.verified,
+                point.batches,
+                point.trainings_saved,
+                point.exact_trainings,
+                point.screened_trainings,
+            );
+        }
+        return Ok(());
+    }
+    if let Ok(report) = envelope::decode::<SearchTimingReport>(&text) {
+        report.validate()?;
+        for timing in &report.timings {
+            eprintln!(
+                "{path}: {} ({} specs x {} devices): {:.0} ms, {} trainings / {} iterations",
+                timing.scenario,
+                timing.specs,
+                timing.train_devices,
+                timing.total_ms,
+                timing.trainings,
+                timing.solver_iterations,
             );
         }
         return Ok(());
@@ -104,6 +143,18 @@ fn run() -> Result<(), String> {
             eprintln!("wrote {} sequential points to {path}", report.points.len());
             Ok(())
         }
+        [flag, path] if flag == "--screening" => {
+            let report = collect_screening();
+            report.validate()?;
+            write_enveloped(&report, path)?;
+            eprintln!("wrote {} screening points to {path}", report.points.len());
+            Ok(())
+        }
+        [flag, path] if flag == "--search" => {
+            let report = measure_search(300, 150);
+            write_enveloped(&report, path)?;
+            check(path)
+        }
         [flag, path, sizes @ ..] if flag == "--kernel" => {
             let sizes: Vec<usize> = if sizes.is_empty() {
                 vec![2_000, 10_000]
@@ -132,7 +183,8 @@ fn run() -> Result<(), String> {
         }
         [flag, path] if flag == "--check" => check(path),
         _ => Err("usage: trajectory --emit <path> | --sequential <path> | \
-                  --kernel <path> [sizes..] | --batch <path> [threads..] | --check <path>"
+                  --screening <path> | --kernel <path> [sizes..] | \
+                  --batch <path> [threads..] | --search <path> | --check <path>"
             .to_string()),
     }
 }

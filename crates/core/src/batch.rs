@@ -52,7 +52,9 @@ use crate::metrics::ErrorBreakdown;
 use crate::montecarlo::{generate_train_test, MonteCarloConfig};
 use crate::pipeline::{CompactionPipeline, PipelineReport};
 use crate::report::percent;
-use crate::search::{GreedyBackward, ProgressObserver, SearchBudget, SearchStrategy};
+use crate::search::{
+    GreedyBackward, ProgressObserver, ScreeningConfig, SearchBudget, SearchStrategy,
+};
 use crate::Result;
 
 /// Cache key for one generated population: the batch entry label, a device
@@ -186,6 +188,7 @@ pub struct PipelineBatch<'d> {
     compaction: CompactionConfig,
     guard_band: Option<GuardBandConfig>,
     budget: Option<SearchBudget>,
+    screening: Option<ScreeningConfig>,
     cost_model: Option<TestCostModel>,
     classifier: Arc<dyn ClassifierFactory>,
     search: Arc<dyn SearchStrategy>,
@@ -205,6 +208,7 @@ impl std::fmt::Debug for PipelineBatch<'_> {
             .field("compaction", &self.compaction)
             .field("guard_band", &self.guard_band)
             .field("budget", &self.budget)
+            .field("screening", &self.screening)
             .field("cost_model", &self.cost_model)
             .field("classifier", &self.classifier)
             .field("search", &self.search)
@@ -234,6 +238,7 @@ impl<'d> PipelineBatch<'d> {
             compaction: CompactionConfig::paper_default(),
             guard_band: None,
             budget: None,
+            screening: None,
             cost_model: None,
             classifier: Arc::new(GridBackend::default()),
             search: Arc::new(GreedyBackward),
@@ -341,6 +346,15 @@ impl<'d> PipelineBatch<'d> {
         self
     }
 
+    /// Configures screen-then-verify candidate evaluation for every entry
+    /// (see [`CompactionPipeline::screening`]; overrides the screening
+    /// embedded in the compaction configuration, so stages stay
+    /// order-independent).
+    pub fn screening(mut self, config: ScreeningConfig) -> Self {
+        self.screening = Some(config);
+        self
+    }
+
     /// Deploys every final model as a lookup table with the given resolution.
     pub fn lookup_table(mut self, cells_per_dim: usize) -> Self {
         self.lookup_table = Some(cells_per_dim);
@@ -405,6 +419,9 @@ impl<'d> PipelineBatch<'d> {
         }
         if let Some(budget) = self.budget {
             pipeline = pipeline.budget(budget);
+        }
+        if let Some(screening) = self.screening {
+            pipeline = pipeline.screening(screening);
         }
         if let Some(cost_model) = &self.cost_model {
             pipeline = pipeline.cost_model(cost_model.clone());
@@ -560,6 +577,10 @@ pub struct BatchAggregate {
     /// Greedy-loop warm-start diagnostics summed over all runs (trainings
     /// and solver iterations, split warm versus cold).
     pub warm_start: crate::WarmStartStats,
+    /// Screen-then-verify diagnostics summed over all runs (zero everywhere
+    /// when screening is off).
+    #[serde(default)]
+    pub screening: crate::ScreeningStats,
 }
 
 impl BatchAggregate {
@@ -579,6 +600,7 @@ impl BatchAggregate {
             model_cache_hits: 0,
             model_cache_misses: 0,
             warm_start: crate::WarmStartStats::default(),
+            screening: crate::ScreeningStats::default(),
         };
         for run in runs {
             let report = &run.report;
@@ -590,6 +612,7 @@ impl BatchAggregate {
             aggregate.model_cache_hits += report.compaction.cache.hits;
             aggregate.model_cache_misses += report.compaction.cache.misses;
             aggregate.warm_start.merge(&report.compaction.warm_start);
+            aggregate.screening.merge(&report.compaction.screening);
         }
         if devices > 0 {
             aggregate.mean_compaction_ratio /= devices as f64;

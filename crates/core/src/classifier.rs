@@ -23,6 +23,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use serde::{Deserialize, Serialize};
+
 use crate::dataset::{DeviceLabel, MeasurementSet};
 use crate::{CompactionError, Result};
 
@@ -188,6 +190,40 @@ impl<'a> TrainingView<'a> {
     }
 }
 
+/// How a backend's incremental kernel-row bank fared during one training (or
+/// several, when merged): rows seeded from the parent's bank versus rebuilt
+/// from scratch, plus banks that were supplied but could not be applied at
+/// all.  Backends without a bank mechanism report nothing
+/// ([`Classifier::bank_stats`] stays `None`) and the counters stay zero.
+///
+/// Before 0.10 an inapplicable bank was ignored *silently*; these counters
+/// make the failure mode — and the hit rate of the happy path — observable
+/// in [`WarmStartStats`](crate::WarmStartStats) and the pipeline summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankStats {
+    /// Kernel rows seeded by adjusting parent-bank rows.
+    pub seeded_rows: usize,
+    /// Kernel rows rebuilt from scratch (full column sweeps).
+    pub rebuilt_rows: usize,
+    /// Parent banks supplied but inapplicable (foreign column universe,
+    /// naive kernel path, or an adjustment no cheaper than recomputation).
+    pub ignored_banks: usize,
+}
+
+impl BankStats {
+    /// Accumulates another training's counters into this one.
+    pub fn merge(&mut self, other: &BankStats) {
+        self.seeded_rows += other.seeded_rows;
+        self.rebuilt_rows += other.rebuilt_rows;
+        self.ignored_banks += other.ignored_banks;
+    }
+
+    /// Whether any counter is non-zero (i.e. a bank-aware backend ran).
+    pub fn any(&self) -> bool {
+        self.seeded_rows > 0 || self.rebuilt_rows > 0 || self.ignored_banks > 0
+    }
+}
+
 /// A trained pass/fail decision function over normalised kept-column feature
 /// vectors.
 pub trait Classifier: fmt::Debug + Send + Sync {
@@ -235,6 +271,14 @@ pub trait Classifier: fmt::Debug + Send + Sync {
     /// forgoes model-based early exits (range-check exits still apply).
     fn predict_good_within(&self, lower: &[f64], upper: &[f64]) -> Option<bool> {
         let _ = (lower, upper);
+        None
+    }
+
+    /// Kernel-row bank diagnostics of the training that produced this model,
+    /// or `None` for backends without an incremental bank (for example the
+    /// [`GridBackend`]).  Feeds the [`BankStats`] rolled up in
+    /// [`WarmStartStats`](crate::WarmStartStats).
+    fn bank_stats(&self) -> Option<BankStats> {
         None
     }
 }
@@ -338,6 +382,37 @@ pub trait ClassifierFactory: fmt::Debug + Send + Sync {
         let _ = warm;
         self.train(view)
     }
+
+    /// Whether [`ClassifierFactory::train_screen`] returns a genuinely
+    /// cheaper approximate model.  The evaluator's screen-then-verify path
+    /// only engages when this is `true`; the default (`false`) keeps
+    /// screening inert for backends without an approximate trainer, so
+    /// enabling [`ScreeningConfig`](crate::search::ScreeningConfig) on such
+    /// a backend is a no-op rather than an error.
+    fn supports_screening(&self) -> bool {
+        false
+    }
+
+    /// Trains a cheap *approximate* classifier used only to rank candidate
+    /// kept sets before exact verification (see
+    /// [`ScreeningConfig`](crate::search::ScreeningConfig)).  `landmarks`
+    /// bounds the approximation budget (for the SVM backend: Nyström
+    /// landmark count).  Implementations must be deterministic; accuracy
+    /// only matters for ranking quality, never for committed outcomes —
+    /// every screened winner is re-trained exactly.  The default falls back
+    /// to the exact [`ClassifierFactory::train`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClassifierFactory::train`].
+    fn train_screen(
+        &self,
+        view: &TrainingView<'_>,
+        landmarks: usize,
+    ) -> Result<Arc<dyn Classifier>> {
+        let _ = landmarks;
+        self.train(view)
+    }
 }
 
 impl<F: ClassifierFactory + ?Sized> ClassifierFactory for &F {
@@ -355,6 +430,18 @@ impl<F: ClassifierFactory + ?Sized> ClassifierFactory for &F {
         warm: Option<&WarmStartContext<'_>>,
     ) -> Result<Arc<dyn Classifier>> {
         (**self).train_warm(view, warm)
+    }
+
+    fn supports_screening(&self) -> bool {
+        (**self).supports_screening()
+    }
+
+    fn train_screen(
+        &self,
+        view: &TrainingView<'_>,
+        landmarks: usize,
+    ) -> Result<Arc<dyn Classifier>> {
+        (**self).train_screen(view, landmarks)
     }
 }
 

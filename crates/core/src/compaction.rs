@@ -13,15 +13,15 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::classifier::ClassifierFactory;
+use crate::classifier::{BankStats, ClassifierFactory};
 use crate::costmodel::TestCostModel;
 use crate::dataset::MeasurementSet;
 use crate::guardband::{GuardBandConfig, GuardBandedClassifier};
 use crate::metrics::ErrorBreakdown;
 use crate::ordering::EliminationOrder;
 use crate::search::{
-    BudgetStats, CandidateEvaluator, GreedyBackward, SearchBudget, SearchContext, SearchOutcome,
-    SearchStrategy,
+    BudgetStats, CandidateEvaluator, GreedyBackward, ScreeningConfig, ScreeningStats, SearchBudget,
+    SearchContext, SearchOutcome, SearchStrategy,
 };
 use crate::{CompactionError, Result};
 
@@ -57,6 +57,14 @@ pub struct CompactionConfig {
     /// [`BudgetStats::exhausted`] set instead of failing.  See
     /// [`SearchBudget`] for the semantics and the reproducibility caveats.
     pub budget: SearchBudget,
+    /// Screen-then-verify candidate evaluation (off by default, making the
+    /// run byte-identical to pre-0.10 behaviour).  When enabled on a
+    /// backend with screening support, speculative evaluation batches are
+    /// first ranked by a cheap low-rank model and only the most promising
+    /// candidates are trained exactly; see [`ScreeningConfig`] for the
+    /// exactness guarantees and the budget semantics.
+    #[serde(default)]
+    pub screening: ScreeningConfig,
 }
 
 impl CompactionConfig {
@@ -72,6 +80,7 @@ impl CompactionConfig {
             threads: 1,
             warm_start: true,
             budget: SearchBudget::unlimited(),
+            screening: ScreeningConfig::default(),
         }
     }
 
@@ -119,6 +128,13 @@ impl CompactionConfig {
         self
     }
 
+    /// Sets the screen-then-verify configuration (off by default; see
+    /// [`CompactionConfig::screening`]).
+    pub fn with_screening(mut self, screening: ScreeningConfig) -> Self {
+        self.screening = screening;
+        self
+    }
+
     fn validate(&self) -> Result<()> {
         if !(self.error_tolerance >= 0.0 && self.error_tolerance < 1.0) {
             return Err(CompactionError::InvalidConfig {
@@ -126,7 +142,7 @@ impl CompactionConfig {
                 value: self.error_tolerance,
             });
         }
-        Ok(())
+        self.screening.validate()
     }
 }
 
@@ -197,6 +213,14 @@ pub struct WarmStartStats {
     pub warm_iterations: usize,
     /// Solver iterations summed over the cold trainings.
     pub cold_iterations: usize,
+    /// Kernel row-bank diagnostics summed over every training whose backend
+    /// reports them ([`Classifier::bank_stats`](
+    /// crate::classifier::Classifier::bank_stats)): rows seeded from a warm
+    /// parent's bank, rows rebuilt from scratch, and banks the engine had
+    /// to ignore as inapplicable (previously dropped silently).  All zeros
+    /// for backends without a kernel row bank.
+    #[serde(default)]
+    pub bank: BankStats,
 }
 
 impl WarmStartStats {
@@ -211,6 +235,7 @@ impl WarmStartStats {
         self.cold_trainings += other.cold_trainings;
         self.warm_iterations += other.warm_iterations;
         self.cold_iterations += other.cold_iterations;
+        self.bank.merge(&other.bank);
     }
 }
 
@@ -241,6 +266,11 @@ pub struct CompactionResult {
     /// iterations consumed, whether the budget truncated the search, and
     /// the provenance of the returned frontier.
     pub budget: BudgetStats,
+    /// Screen-then-verify diagnostics of this run (all zeros when screening
+    /// never ran; see [`ScreeningConfig`]).  Like the other diagnostics,
+    /// ignored by equality.
+    #[serde(default)]
+    pub screening: ScreeningStats,
 }
 
 impl PartialEq for CompactionResult {
@@ -509,6 +539,7 @@ impl Compactor {
             cache: evaluator.cache_stats(),
             warm_start: evaluator.warm_start_stats(),
             budget: evaluator.budget_stats(provenance),
+            screening: evaluator.screening_stats(),
         };
         Ok((result, final_model))
     }
@@ -548,6 +579,8 @@ impl Compactor {
             1,
             true,
             SearchBudget::unlimited(),
+            ScreeningConfig::default(),
+            0.0,
         );
         let mut eliminated: Vec<usize> = Vec::new();
         let mut steps = Vec::new();
@@ -603,6 +636,8 @@ impl Compactor {
             1,
             false,
             SearchBudget::unlimited(),
+            ScreeningConfig::default(),
+            0.0,
         );
         evaluator.evaluate(&kept, None)
     }
@@ -637,6 +672,8 @@ impl Compactor {
             1,
             false,
             SearchBudget::unlimited(),
+            ScreeningConfig::default(),
+            0.0,
         );
         evaluator.evaluate(&kept, None)
     }

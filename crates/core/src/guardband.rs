@@ -206,6 +206,20 @@ impl GuardBandedClassifier {
         }
     }
 
+    /// Warm-start bank diagnostics of the strict/loose pair, summed, or
+    /// `None` when the backend reports none (no kernel row bank — for
+    /// example the grid backend).
+    pub fn bank_stats(&self) -> Option<crate::classifier::BankStats> {
+        match (self.strict.bank_stats(), self.loose.bank_stats()) {
+            (None, None) => None,
+            (strict, loose) => {
+                let mut total = strict.unwrap_or_default();
+                total.merge(&loose.unwrap_or_default());
+                Some(total)
+            }
+        }
+    }
+
     /// Classifies instance `i` of a measurement set.
     ///
     /// # Panics

@@ -87,7 +87,9 @@ pub mod tester;
 pub use batch::{
     BatchAggregate, BatchReport, BatchRun, CacheStats, PipelineBatch, PopulationCache,
 };
-pub use classifier::{Classifier, ClassifierFactory, GridBackend, TrainingView, WarmStartContext};
+pub use classifier::{
+    BankStats, Classifier, ClassifierFactory, GridBackend, TrainingView, WarmStartContext,
+};
 pub use compaction::{
     CompactionConfig, CompactionResult, CompactionStep, Compactor, ModelCacheStats, WarmStartStats,
 };
@@ -105,8 +107,8 @@ pub use pipeline::{CompactionPipeline, CostSummary, GuardBandStats, PipelineRepo
 pub use search::{
     AnnealingSchedule, BeamSearch, BudgetStats, CandidateEvaluator, CandidateVerdict,
     CostAwareGreedy, ForwardSelection, FrontierProvenance, FrontierSnapshot, GeneticSearch,
-    GreedyBackward, ProgressObserver, SearchBudget, SearchContext, SearchOutcome, SearchStrategy,
-    SimulatedAnnealing, TrainingEvent,
+    GreedyBackward, ProgressObserver, ScreeningConfig, ScreeningStats, SearchBudget, SearchContext,
+    SearchOutcome, SearchStrategy, SimulatedAnnealing, TrainingEvent,
 };
 pub use spec::{Specification, SpecificationSet};
 pub use tester::{

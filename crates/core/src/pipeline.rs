@@ -41,7 +41,10 @@ use crate::guardband::GuardBandConfig;
 use crate::metrics::ErrorBreakdown;
 use crate::montecarlo::{generate_train_test, MonteCarloConfig};
 use crate::report::percent;
-use crate::search::{BudgetStats, GreedyBackward, ProgressObserver, SearchBudget, SearchStrategy};
+use crate::search::{
+    BudgetStats, GreedyBackward, ProgressObserver, ScreeningConfig, ScreeningStats, SearchBudget,
+    SearchStrategy,
+};
 use crate::tester::{SequentialStats, TestPlan, TesterProgram};
 use crate::Result;
 
@@ -59,6 +62,7 @@ pub struct CompactionPipeline<'d> {
     compaction: CompactionConfig,
     guard_band: Option<GuardBandConfig>,
     budget: Option<SearchBudget>,
+    screening: Option<ScreeningConfig>,
     cost_model: Option<TestCostModel>,
     classifier: Arc<dyn ClassifierFactory>,
     search: Arc<dyn SearchStrategy>,
@@ -76,6 +80,7 @@ impl std::fmt::Debug for CompactionPipeline<'_> {
             .field("compaction", &self.compaction)
             .field("guard_band", &self.guard_band)
             .field("budget", &self.budget)
+            .field("screening", &self.screening)
             .field("cost_model", &self.cost_model)
             .field("classifier", &self.classifier)
             .field("search", &self.search)
@@ -97,6 +102,7 @@ impl<'d> CompactionPipeline<'d> {
             compaction: CompactionConfig::paper_default(),
             guard_band: None,
             budget: None,
+            screening: None,
             cost_model: None,
             classifier: Arc::new(GridBackend::default()),
             search: Arc::new(GreedyBackward),
@@ -186,6 +192,16 @@ impl<'d> CompactionPipeline<'d> {
         self
     }
 
+    /// Configures screen-then-verify candidate evaluation (overrides the
+    /// screening settings embedded in the compaction configuration, like
+    /// [`CompactionPipeline::guard_band`] — stages stay order-independent).
+    /// Off by default; inert on backends without screening support.  See
+    /// [`ScreeningConfig`] for the exactness guarantees.
+    pub fn screening(mut self, config: ScreeningConfig) -> Self {
+        self.screening = Some(config);
+        self
+    }
+
     /// Deploys the final model as a grid lookup table with the given
     /// resolution instead of shipping the model itself (paper Section 3.3).
     pub fn lookup_table(mut self, cells_per_dim: usize) -> Self {
@@ -258,6 +274,9 @@ impl<'d> CompactionPipeline<'d> {
         }
         if let Some(budget) = self.budget {
             config.budget = budget;
+        }
+        if let Some(screening) = self.screening {
+            config.screening = screening;
         }
 
         let compactor = Compactor::new(train, test)?;
@@ -427,6 +446,14 @@ impl PipelineReport {
         &self.compaction.budget
     }
 
+    /// Screening diagnostics of the run: candidates scored by the low-rank
+    /// screen, candidates promoted to exact verification, and how often the
+    /// screen's favourite matched the exact winner (see
+    /// [`crate::CompactionConfig::with_screening`]).
+    pub fn screening(&self) -> &ScreeningStats {
+        &self.compaction.screening
+    }
+
     /// Error breakdown of the final compacted test set on the held-out data.
     pub fn final_breakdown(&self) -> &ErrorBreakdown {
         &self.compaction.final_breakdown
@@ -458,10 +485,35 @@ impl PipelineReport {
             ),
             None => String::new(),
         };
+        let bank = &self.compaction.warm_start.bank;
+        let bank_note = if bank.any() {
+            format!(
+                "; row bank seeded {seeded} kernel rows ({rebuilt} rebuilt, \
+                 {ignored} banks ignored)",
+                seeded = bank.seeded_rows,
+                rebuilt = bank.rebuilt_rows,
+                ignored = bank.ignored_banks,
+            )
+        } else {
+            String::new()
+        };
+        let screening = &self.compaction.screening;
+        let screening_note = if screening.any() {
+            format!(
+                "; screen scored {screened} candidates and verified {verified} \
+                 exactly over {batches} batches ({agreed} screen/exact agreements)",
+                screened = screening.screened,
+                verified = screening.verified,
+                batches = screening.batches,
+                agreed = screening.agreed,
+            )
+        } else {
+            String::new()
+        };
         format!(
             "{device} [{backend}, {search}]: eliminated {eliminated} of {total} tests \
              (yield loss {yl}, defect escape {de}, {retest} retested in a {band} band), \
-             cost reduced by {cost}{budget_note}{sequential_note}",
+             cost reduced by {cost}{budget_note}{bank_note}{screening_note}{sequential_note}",
             device = self.device,
             backend = self.backend,
             search = self.search,

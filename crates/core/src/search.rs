@@ -57,7 +57,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::classifier::ClassifierFactory;
+use crate::classifier::{BankStats, ClassifierFactory};
 use crate::compaction::{CompactionConfig, CompactionStep, ModelCacheStats, WarmStartStats};
 use crate::costmodel::TestCostModel;
 use crate::dataset::MeasurementSet;
@@ -139,6 +139,151 @@ impl SearchBudget {
         self.max_trainings.is_some()
             || self.max_solver_iterations.is_some()
             || self.deadline.is_some()
+    }
+}
+
+/// Screen-then-verify candidate evaluation (off by default).
+///
+/// When enabled on a backend that supports it
+/// ([`ClassifierFactory::supports_screening`]), every speculative
+/// evaluation batch is first scored with a cheap low-rank *screening*
+/// model ([`ClassifierFactory::train_screen`] — the Nyström approximation
+/// for the ε-SVM backend) and only the `shortlist` most promising
+/// candidates are trained exactly; the rest report
+/// [`CandidateVerdict::Screened`] without ever touching the
+/// [`SearchBudget`].  The shortlist serves both winner rules at once: its
+/// first slot is reserved for the *earliest* candidate the screen predicts
+/// within the search tolerance (the winner under the greedy
+/// commit-in-order rule) and the remaining slots fill by ascending
+/// predicted error (the argmin winner of frontier searches).  Screening
+/// changes wall-clock time, not semantics, under two guarantees:
+///
+/// * **default off ⇒ byte-identical**: a disabled screen (or a backend
+///   without screening support, or a batch no larger than the shortlist)
+///   takes exactly the pre-0.10 evaluation path,
+/// * **conditional exactness**: every shortlisted candidate is trained
+///   exactly before any frontier commit, so the kept/eliminated sets match
+///   the unscreened run whenever the shortlist contains the exact winner
+///   — with `shortlist` at least the batch size this holds always (pinned
+///   by the property tests).
+///
+/// Cache hits are always admitted for free and never screened; screened
+/// candidates never claim [`SearchBudget::max_trainings`] slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScreeningConfig {
+    /// Whether screening is active (defaults to `false`: byte-identical to
+    /// the exact path).
+    #[serde(default)]
+    pub enabled: bool,
+    /// Landmark count of the low-rank screening model (the Nyström rank for
+    /// the SVM backend); higher is more faithful and more expensive.  A
+    /// spec file enabling the screen must set this explicitly (a missing
+    /// field deserializes to `0`, which an enabled screen rejects).
+    #[serde(default)]
+    pub landmarks: usize,
+    /// How many screened candidates per batch survive to exact training.
+    /// Like `landmarks`, required whenever the screen is enabled.
+    #[serde(default)]
+    pub shortlist: usize,
+}
+
+impl Default for ScreeningConfig {
+    fn default() -> Self {
+        ScreeningConfig {
+            enabled: false,
+            landmarks: Self::default_landmarks(),
+            shortlist: Self::default_shortlist(),
+        }
+    }
+}
+
+impl ScreeningConfig {
+    fn default_landmarks() -> usize {
+        32
+    }
+
+    fn default_shortlist() -> usize {
+        4
+    }
+
+    /// An enabled screen with explicit landmark and shortlist sizes.
+    pub fn screened(landmarks: usize, shortlist: usize) -> Self {
+        ScreeningConfig { enabled: true, landmarks, shortlist }
+    }
+
+    /// Enables (or disables) the screen.
+    pub fn with_enabled(mut self, enabled: bool) -> Self {
+        self.enabled = enabled;
+        self
+    }
+
+    /// Replaces the landmark count.
+    pub fn with_landmarks(mut self, landmarks: usize) -> Self {
+        self.landmarks = landmarks;
+        self
+    }
+
+    /// Replaces the shortlist size.
+    pub fn with_shortlist(mut self, shortlist: usize) -> Self {
+        self.shortlist = shortlist;
+        self
+    }
+
+    /// Validates the configuration (only an *enabled* screen constrains the
+    /// sizes, so a default-off config is always valid).
+    pub fn validate(&self) -> Result<()> {
+        if self.enabled && self.landmarks == 0 {
+            return Err(CompactionError::InvalidConfig {
+                parameter: "screening_landmarks",
+                value: 0.0,
+            });
+        }
+        if self.enabled && self.shortlist == 0 {
+            return Err(CompactionError::InvalidConfig {
+                parameter: "screening_shortlist",
+                value: 0.0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Screen-then-verify diagnostics of one search (see [`ScreeningConfig`]).
+///
+/// Fully deterministic for a fixed configuration — screening decisions are
+/// made from deterministically trained models over deterministically
+/// composed batches — and all zeros when screening never ran.  Like the
+/// other evaluator diagnostics,
+/// [`CompactionResult`](crate::CompactionResult) equality ignores this
+/// field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScreeningStats {
+    /// Candidates scored by the approximate screening model.
+    pub screened: usize,
+    /// Screened candidates that went on to exact training (shortlist
+    /// survivors actually admitted).
+    pub verified: usize,
+    /// Batches whose screen-preferred candidate also scored best in exact
+    /// training — the screen agreed with the exact ranking where it
+    /// mattered.
+    pub agreed: usize,
+    /// Evaluation batches on which screening actually ran (batches at or
+    /// under the shortlist size bypass the screen entirely).
+    pub batches: usize,
+}
+
+impl ScreeningStats {
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &ScreeningStats) {
+        self.screened += other.screened;
+        self.verified += other.verified;
+        self.agreed += other.agreed;
+        self.batches += other.batches;
+    }
+
+    /// Whether screening ever ran.
+    pub fn any(&self) -> bool {
+        self.batches > 0
     }
 }
 
@@ -388,12 +533,16 @@ struct WarmStartTracker {
     cold_trainings: AtomicUsize,
     warm_iterations: AtomicUsize,
     cold_iterations: AtomicUsize,
+    seeded_rows: AtomicUsize,
+    rebuilt_rows: AtomicUsize,
+    ignored_banks: AtomicUsize,
 }
 
 impl WarmStartTracker {
     /// Records one successful training: whether a warm-start hint was
-    /// offered, and the solver iterations the trained pair reports.
-    fn record(&self, warmed: bool, iterations: Option<usize>) {
+    /// offered, the solver iterations the trained pair reports, and its
+    /// kernel row-bank diagnostics (when the backend reports them).
+    fn record(&self, warmed: bool, iterations: Option<usize>, bank: Option<BankStats>) {
         let (trainings, iteration_sum) = if warmed {
             (&self.warm_trainings, &self.warm_iterations)
         } else {
@@ -401,6 +550,11 @@ impl WarmStartTracker {
         };
         trainings.fetch_add(1, Ordering::Relaxed);
         iteration_sum.fetch_add(iterations.unwrap_or(0), Ordering::Relaxed);
+        if let Some(bank) = bank {
+            self.seeded_rows.fetch_add(bank.seeded_rows, Ordering::Relaxed);
+            self.rebuilt_rows.fetch_add(bank.rebuilt_rows, Ordering::Relaxed);
+            self.ignored_banks.fetch_add(bank.ignored_banks, Ordering::Relaxed);
+        }
     }
 
     fn stats(&self) -> WarmStartStats {
@@ -409,6 +563,31 @@ impl WarmStartTracker {
             cold_trainings: self.cold_trainings.load(Ordering::Relaxed),
             warm_iterations: self.warm_iterations.load(Ordering::Relaxed),
             cold_iterations: self.cold_iterations.load(Ordering::Relaxed),
+            bank: BankStats {
+                seeded_rows: self.seeded_rows.load(Ordering::Relaxed),
+                rebuilt_rows: self.rebuilt_rows.load(Ordering::Relaxed),
+                ignored_banks: self.ignored_banks.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+/// Thread-safe accumulator behind [`ScreeningStats`].
+#[derive(Debug, Default)]
+struct ScreeningTracker {
+    screened: AtomicUsize,
+    verified: AtomicUsize,
+    agreed: AtomicUsize,
+    batches: AtomicUsize,
+}
+
+impl ScreeningTracker {
+    fn stats(&self) -> ScreeningStats {
+        ScreeningStats {
+            screened: self.screened.load(Ordering::Relaxed),
+            verified: self.verified.load(Ordering::Relaxed),
+            agreed: self.agreed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
         }
     }
 }
@@ -432,6 +611,13 @@ pub enum CandidateVerdict {
     /// frontier they have committed so far (never an error); see
     /// [`SearchOutcome::provenance`].
     Exhausted,
+    /// The screen-then-verify pass ([`ScreeningConfig`]) ranked this
+    /// candidate outside the shortlist: no exact model was trained and no
+    /// budget was spent.  Strategies must treat the candidate as "not
+    /// eliminated this round" and keep scanning — exactly like
+    /// [`CandidateVerdict::Untrainable`], but without an examination log
+    /// entry (the candidate was screened, not examined).
+    Screened,
 }
 
 /// The evaluation engine strategies drive: the only component of a
@@ -455,8 +641,17 @@ pub struct CandidateEvaluator<'a> {
     guard_band: GuardBandConfig,
     threads: usize,
     warm_start: bool,
+    screening: ScreeningConfig,
+    /// Error tolerance of the surrounding search — the screen uses it to
+    /// keep the earliest candidate it predicts acceptable in the shortlist
+    /// (the winner under the greedy commit rule).
+    tolerance: f64,
     cache: ModelCache,
     tracker: WarmStartTracker,
+    screen_tracker: ScreeningTracker,
+    /// Memoized approximate screen scores keyed by canonical kept set
+    /// (`None` = the screen could not train a model for that set).
+    screen_scores: Mutex<HashMap<Vec<usize>, Option<f64>>>,
     ledger: BudgetLedger,
     observer: Option<Arc<dyn ProgressObserver>>,
 }
@@ -473,9 +668,45 @@ enum BudgetMode {
     Exempt,
 }
 
+/// What the screen decided for one deduplicated evaluation batch.
+#[derive(Debug)]
+struct ScreenPass {
+    /// `(batch index, approximate score)` for every candidate the screen
+    /// scored (`None` score = the screen could not train a model, which
+    /// conservatively admits the candidate to exact verification).
+    scored: Vec<(usize, Option<f64>)>,
+    /// Per-batch-index: `true` when the candidate was ranked outside the
+    /// shortlist and must not be trained exactly.
+    rejected: Vec<bool>,
+}
+
+/// Adapter presenting a backend's *screening* trainer
+/// ([`ClassifierFactory::train_screen`]) as a plain factory, so the
+/// screen reuses [`GuardBandedClassifier`] — strict/loose margins,
+/// kept-range enforcement and the error metrics — unchanged.
+#[derive(Debug, Clone, Copy)]
+struct ScreenFactory<'a> {
+    inner: &'a dyn ClassifierFactory,
+    landmarks: usize,
+}
+
+impl ClassifierFactory for ScreenFactory<'_> {
+    fn name(&self) -> &str {
+        "screen"
+    }
+
+    fn train(
+        &self,
+        view: &crate::classifier::TrainingView<'_>,
+    ) -> Result<Arc<dyn crate::classifier::Classifier>> {
+        self.inner.train_screen(view, self.landmarks)
+    }
+}
+
 impl<'a> CandidateEvaluator<'a> {
     /// An evaluator over explicit settings (the compaction shell and the
     /// thin experiment wrappers construct these).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn with_settings(
         training: &'a MeasurementSet,
         testing: &'a MeasurementSet,
@@ -484,6 +715,8 @@ impl<'a> CandidateEvaluator<'a> {
         threads: usize,
         warm_start: bool,
         budget: SearchBudget,
+        screening: ScreeningConfig,
+        tolerance: f64,
     ) -> Self {
         CandidateEvaluator {
             training,
@@ -492,8 +725,12 @@ impl<'a> CandidateEvaluator<'a> {
             guard_band,
             threads: threads.max(1),
             warm_start,
+            screening,
+            tolerance,
             cache: ModelCache::default(),
             tracker: WarmStartTracker::default(),
+            screen_tracker: ScreeningTracker::default(),
+            screen_scores: Mutex::new(HashMap::new()),
             ledger: BudgetLedger::new(budget),
             observer: None,
         }
@@ -520,6 +757,8 @@ impl<'a> CandidateEvaluator<'a> {
             config.threads,
             config.warm_start,
             config.budget,
+            config.screening,
+            config.error_tolerance,
         )
     }
 
@@ -597,7 +836,7 @@ impl<'a> CandidateEvaluator<'a> {
         )?;
         let breakdown = classifier.evaluate(self.testing);
         let iterations = classifier.solver_iterations();
-        self.tracker.record(warm.is_some(), iterations);
+        self.tracker.record(warm.is_some(), iterations, classifier.bank_stats());
         if mode != BudgetMode::Exempt {
             self.ledger.record_iterations(iterations.unwrap_or(0));
         }
@@ -771,11 +1010,13 @@ impl<'a> CandidateEvaluator<'a> {
         self.evaluate_candidate_sets(&kept_sets, warm_parent)
     }
 
-    /// The shared batch core: a deterministic budget pre-pass on the
-    /// caller's thread (in candidate order: cache hits are free, misses
-    /// claim a training slot, denials become [`CandidateVerdict::Exhausted`])
-    /// followed by the admitted evaluations over the worker pool.  `None`
-    /// entries stand for "the removal would leave no test" and report
+    /// The shared batch core: a deduplication pass, an optional
+    /// screen-then-verify shortlist pass ([`ScreeningConfig`]), then a
+    /// deterministic budget pre-pass on the caller's thread (in
+    /// first-occurrence order: cache hits are free, misses claim a training
+    /// slot, denials become [`CandidateVerdict::Exhausted`]) followed by
+    /// the admitted evaluations over the worker pool.  `None` entries stand
+    /// for "the removal would leave no test" and report
     /// [`CandidateVerdict::LastTest`].  Duplicates of the same canonical
     /// kept set collapse onto their first occurrence: one claim, one
     /// training, one shared verdict.
@@ -784,37 +1025,59 @@ impl<'a> CandidateEvaluator<'a> {
         kept_sets: &[Option<Vec<usize>>],
         warm_parent: Option<&[usize]>,
     ) -> Result<Vec<CandidateVerdict>> {
-        /// What the budget pre-pass decided for one candidate.
+        /// What the admission passes decided for one distinct kept set.
         #[derive(Clone, Copy, PartialEq, Eq)]
-        enum Admission {
-            LastTest,
-            /// Evaluate the distinct kept set at this index of `unique`.
-            Evaluate(usize),
+        enum Status {
+            /// Admitted: evaluate exactly as job `index`.
+            Run(usize),
+            /// The budget denied the training.
             Denied,
+            /// The screen ranked the candidate outside the shortlist.
+            Screened,
         }
+        // Pass 1 — deduplicate, with no side effects on the budget: each
+        // candidate maps onto the first occurrence of its canonical kept
+        // set (`None` = the removal would leave no test).
         let mut unique: Vec<&[usize]> = Vec::new();
         let mut unique_keys: Vec<Vec<usize>> = Vec::new();
-        let admissions: Vec<Admission> = kept_sets
+        let slots: Vec<Option<usize>> = kept_sets
             .iter()
-            .map(|kept| match kept {
-                None => Admission::LastTest,
-                Some(kept) => {
-                    let key = ModelCache::key(kept);
-                    if let Some(found) = unique_keys.iter().position(|seen| *seen == key) {
-                        return Admission::Evaluate(found);
-                    }
-                    if self.cache.contains(kept) || self.ledger.try_claim_training() {
-                        unique.push(kept);
+            .map(|kept| {
+                let kept = kept.as_ref()?;
+                let key = ModelCache::key(kept);
+                Some(match unique_keys.iter().position(|seen| *seen == key) {
+                    Some(found) => found,
+                    None => {
+                        unique.push(kept.as_slice());
                         unique_keys.push(key);
-                        Admission::Evaluate(unique.len() - 1)
-                    } else {
-                        Admission::Denied
+                        unique.len() - 1
                     }
+                })
+            })
+            .collect();
+        // Pass 2 — the screen (inactive unless configured, supported by
+        // the backend, and the batch outgrows the shortlist).
+        let screen = self.screen_shortlist(&unique)?;
+        // Pass 3 — budget admission, in first-occurrence order exactly like
+        // the pre-0.10 single-pass code: cache hits are free, misses claim
+        // a training slot, denials latch exhaustion.
+        let mut jobs: Vec<&[usize]> = Vec::new();
+        let statuses: Vec<Status> = unique
+            .iter()
+            .enumerate()
+            .map(|(index, &kept)| {
+                if screen.as_ref().is_some_and(|pass| pass.rejected[index]) {
+                    Status::Screened
+                } else if self.cache.contains(kept) || self.ledger.try_claim_training() {
+                    jobs.push(kept);
+                    Status::Run(jobs.len() - 1)
+                } else {
+                    Status::Denied
                 }
             })
             .collect();
-        let verdicts = self.run_jobs(unique.len(), |job| {
-            match self.evaluate_cached(unique[job], warm_parent, BudgetMode::Prepaid) {
+        let verdicts = self.run_jobs(jobs.len(), |job| {
+            match self.evaluate_cached(jobs[job], warm_parent, BudgetMode::Prepaid) {
                 Ok(entry) => Ok(CandidateVerdict::Scored(entry.1)),
                 Err(CompactionError::Classifier { .. })
                 | Err(CompactionError::InsufficientData { .. }) => {
@@ -823,14 +1086,150 @@ impl<'a> CandidateEvaluator<'a> {
                 Err(other) => Err(other),
             }
         })?;
-        Ok(admissions
+        if let Some(pass) = &screen {
+            self.record_screen_agreement(pass, &statuses_as_jobs(&statuses), &verdicts);
+        }
+        return Ok(slots
             .into_iter()
-            .map(|admission| match admission {
-                Admission::LastTest => CandidateVerdict::LastTest,
-                Admission::Denied => CandidateVerdict::Exhausted,
-                Admission::Evaluate(index) => verdicts[index].clone(),
+            .map(|slot| match slot {
+                None => CandidateVerdict::LastTest,
+                Some(index) => match statuses[index] {
+                    Status::Screened => CandidateVerdict::Screened,
+                    Status::Denied => CandidateVerdict::Exhausted,
+                    Status::Run(job) => verdicts[job].clone(),
+                },
             })
-            .collect())
+            .collect());
+
+        /// Projects the status list onto per-unique job indices (admitted
+        /// candidates only), for the agreement bookkeeping.
+        fn statuses_as_jobs(statuses: &[Status]) -> Vec<Option<usize>> {
+            statuses
+                .iter()
+                .map(|status| match status {
+                    Status::Run(job) => Some(*job),
+                    _ => None,
+                })
+                .collect()
+        }
+    }
+
+    /// The screen-then-verify pass over one deduplicated batch: scores
+    /// every cache-missing candidate with the approximate screening model
+    /// and rejects everything ranked outside the shortlist.  Returns `None`
+    /// when screening does not apply to this batch (disabled, unsupported
+    /// backend, or not enough cache misses to outgrow the shortlist) — the
+    /// caller then takes the exact path untouched.
+    fn screen_shortlist(&self, unique: &[&[usize]]) -> Result<Option<ScreenPass>> {
+        let config = self.screening;
+        if !config.enabled || !self.backend.supports_screening() || unique.len() <= config.shortlist
+        {
+            return Ok(None);
+        }
+        // Cache hits are admitted for free by the budget pass and never
+        // screened; only the candidates that would cost an exact training
+        // compete for shortlist slots.
+        let misses: Vec<usize> =
+            (0..unique.len()).filter(|&index| !self.cache.contains(unique[index])).collect();
+        if misses.len() <= config.shortlist {
+            return Ok(None);
+        }
+        // Score the cache misses with the approximate model, in parallel
+        // but collected in batch order (deterministic for any thread
+        // count).  A candidate the screen cannot train scores `None` and is
+        // conservatively ranked ahead of every scored candidate, so it is
+        // always verified exactly.
+        let scores: Vec<Option<f64>> =
+            self.run_jobs(misses.len(), |job| Ok(self.screen_score(unique[misses[job]])))?;
+        let mut ranked: Vec<usize> = (0..misses.len()).collect();
+        ranked.sort_by(|&a, &b| {
+            let score_a = scores[a].unwrap_or(f64::NEG_INFINITY);
+            let score_b = scores[b].unwrap_or(f64::NEG_INFINITY);
+            score_a.partial_cmp(&score_b).expect("finite screen scores").then(a.cmp(&b))
+        });
+        // Two winner notions share the shortlist: the *earliest* candidate
+        // the screen predicts acceptable takes the first slot (the winner
+        // under the greedy commit-in-order rule), the remaining slots fill
+        // by ascending score (the argmin winner of the frontier searches).
+        // An unscorable candidate (`None`) counts as predicted-acceptable —
+        // conservative on both axes.
+        if let Some(earliest) = (0..misses.len())
+            .find(|&index| scores[index].is_none_or(|score| score <= self.tolerance))
+        {
+            let position =
+                ranked.iter().position(|&rank| rank == earliest).expect("ranked is a permutation");
+            let slot = ranked.remove(position);
+            ranked.insert(0, slot);
+        }
+        let mut rejected = vec![false; unique.len()];
+        for &rank in ranked.iter().skip(config.shortlist) {
+            rejected[misses[rank]] = true;
+        }
+        self.screen_tracker.screened.fetch_add(misses.len(), Ordering::Relaxed);
+        self.screen_tracker.batches.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(ScreenPass { scored: misses.into_iter().zip(scores).collect(), rejected }))
+    }
+
+    /// Trains (or recalls) the approximate screening model of one kept set
+    /// and returns its held-out prediction error, `None` when the screen
+    /// cannot build a model for the set.  Scores are memoized for the run:
+    /// revisited kept sets (beam overlaps, genetic revisits) screen for
+    /// free.
+    fn screen_score(&self, kept: &[usize]) -> Option<f64> {
+        let key = ModelCache::key(kept);
+        if let Some(score) = self.screen_scores.lock().expect("screen memo poisoned").get(&key) {
+            return *score;
+        }
+        let screen = ScreenFactory { inner: self.backend, landmarks: self.screening.landmarks };
+        let score =
+            GuardBandedClassifier::train_with(&screen, self.training, kept, &self.guard_band)
+                .ok()
+                .map(|classifier| classifier.evaluate(self.testing).prediction_error());
+        self.screen_scores.lock().expect("screen memo poisoned").insert(key, score);
+        score
+    }
+
+    /// Screen-agreement bookkeeping of one batch: did the screen's
+    /// top-ranked verified candidate also score best in exact training?
+    /// (Ties resolve to the lower batch index on both sides, mirroring the
+    /// shortlist ranking.)
+    fn record_screen_agreement(
+        &self,
+        pass: &ScreenPass,
+        jobs_of: &[Option<usize>],
+        verdicts: &[CandidateVerdict],
+    ) {
+        // The screened candidates that were admitted and trained exactly.
+        let verified: Vec<(usize, Option<f64>, usize)> = pass
+            .scored
+            .iter()
+            .filter(|(index, _)| !pass.rejected[*index])
+            .filter_map(|&(index, score)| jobs_of[index].map(|job| (index, score, job)))
+            .collect();
+        self.screen_tracker.verified.fetch_add(verified.len(), Ordering::Relaxed);
+        let screen_best = verified
+            .iter()
+            .min_by(|a, b| {
+                let score_a = a.1.unwrap_or(f64::NEG_INFINITY);
+                let score_b = b.1.unwrap_or(f64::NEG_INFINITY);
+                score_a.partial_cmp(&score_b).expect("finite screen scores").then(a.0.cmp(&b.0))
+            })
+            .map(|(index, _, _)| *index);
+        let exact_best = verified
+            .iter()
+            .filter_map(|&(index, _, job)| match &verdicts[job] {
+                CandidateVerdict::Scored(breakdown) => Some((index, breakdown.prediction_error())),
+                _ => None,
+            })
+            .min_by(|a, b| {
+                a.1.partial_cmp(&b.1).expect("finite prediction errors").then(a.0.cmp(&b.0))
+            })
+            .map(|(index, _)| index);
+        if let (Some(screen_best), Some(exact_best)) = (screen_best, exact_best) {
+            if screen_best == exact_best {
+                self.screen_tracker.agreed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Runs `count` independent evaluation jobs, over the worker pool when
@@ -889,6 +1288,12 @@ impl<'a> CandidateEvaluator<'a> {
     /// Warm-start diagnostics accumulated so far.
     pub fn warm_start_stats(&self) -> WarmStartStats {
         self.tracker.stats()
+    }
+
+    /// Screen-then-verify diagnostics accumulated so far (all zeros when
+    /// screening never ran — see [`ScreeningConfig`]).
+    pub fn screening_stats(&self) -> ScreeningStats {
+        self.screen_tracker.stats()
     }
 
     /// Budget diagnostics accumulated so far, stamped with the provenance of
@@ -1188,6 +1593,9 @@ impl SearchStrategy for GreedyBackward {
                         // Model could not be built without this test: keep it.
                         steps.push(eval.step(candidate, false, ErrorBreakdown::default()));
                     }
+                    // Screened out: not eliminated this round, no exact
+                    // examination to log.
+                    CandidateVerdict::Screened => {}
                 }
             }
             if !accepted {
@@ -1330,6 +1738,9 @@ impl BeamSearch {
                     CandidateVerdict::Untrainable => {
                         trail.push(eval.step(candidate, false, ErrorBreakdown::default()));
                     }
+                    // Screened out: this path declines the candidate with no
+                    // exact examination to log.
+                    CandidateVerdict::Screened => {}
                 }
             }
             index = index.max(scan);
@@ -1856,6 +2267,10 @@ impl GeneticSearch {
                     CandidateVerdict::Untrainable => {
                         steps.push(eval.step(candidate, false, ErrorBreakdown::default()));
                     }
+                    // Unreachable for single-candidate batches (the screen
+                    // only engages past the shortlist size), but the
+                    // semantics are the same: not eliminated, keep scanning.
+                    CandidateVerdict::Screened => {}
                 }
             }
         }
@@ -2318,6 +2733,8 @@ mod tests {
             4,
             true,
             SearchBudget::unlimited().with_max_trainings(1),
+            ScreeningConfig::default(),
+            0.05,
         );
         let kept = vec![0usize, 1, 2];
         let verdicts = eval.evaluate_kept_sets(&[kept.clone(), kept], None).unwrap();

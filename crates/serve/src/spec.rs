@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use spec_test_compaction::adapters::{AccelerometerDevice, OpAmpDevice};
 use stc_core::search::{
     AnnealingSchedule, BeamSearch, CostAwareGreedy, ForwardSelection, GeneticSearch,
-    GreedyBackward, SearchBudget, SearchStrategy, SimulatedAnnealing,
+    GreedyBackward, ScreeningConfig, SearchBudget, SearchStrategy, SimulatedAnnealing,
 };
 use stc_core::{
     ClassifierFactory, CompactionConfig, DeviceUnderTest, GridBackend, GuardBandConfig,
@@ -222,6 +222,10 @@ pub struct JobSpec {
     /// Search-budget override applied on top of `compaction`.
     #[serde(default)]
     pub budget: Option<SearchBudget>,
+    /// Screen-then-verify override applied on top of `compaction` (see
+    /// [`stc_core::CompactionPipeline::screening`]).
+    #[serde(default)]
+    pub screening: Option<ScreeningConfig>,
     /// Test-cost model (defaults to uniform unit costs).
     #[serde(default)]
     pub cost_model: Option<TestCostModel>,
@@ -257,6 +261,7 @@ impl JobSpec {
             classifier: ClassifierSpec::default(),
             guard_band: None,
             budget: None,
+            screening: None,
             cost_model: None,
             lookup_table: None,
             sequential: None,

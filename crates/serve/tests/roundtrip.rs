@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 use stc_core::pipeline::CompactionPipeline;
-use stc_core::search::{BeamSearch, FrontierSnapshot, SearchBudget};
+use stc_core::search::{BeamSearch, FrontierSnapshot, ScreeningConfig, SearchBudget};
 use stc_core::{
     CacheStats, CompactionConfig, EliminationOrder, GuardBandConfig, MeasurementSet,
     MonteCarloConfig, PipelineBatch, PipelineReport, Specification, SpecificationSet,
@@ -65,6 +65,8 @@ proptest! {
         warm in 0usize..2,
         band in 0.0f64..0.2,
         trainings_cap in 1usize..500,
+        landmarks in 1usize..64,
+        shortlist in 1usize..16,
     ) {
         let mut config = CompactionConfig::paper_default()
             .with_tolerance(tolerance)
@@ -72,7 +74,8 @@ proptest! {
             .with_threads(threads)
             .with_warm_start(warm == 1)
             .with_guard_band(GuardBandConfig::paper_default().with_guard_band(band))
-            .with_budget(SearchBudget::unlimited().with_max_trainings(trainings_cap));
+            .with_budget(SearchBudget::unlimited().with_max_trainings(trainings_cap))
+            .with_screening(ScreeningConfig::screened(landmarks, shortlist));
         if max_eliminated > 0 {
             config = config.with_max_eliminated(max_eliminated);
         }
@@ -151,6 +154,7 @@ proptest! {
         spec.classifier =
             if classifier_choice == 0 { ClassifierSpec::Grid } else { ClassifierSpec::Svm };
         spec.budget = Some(SearchBudget::unlimited().with_max_trainings(50));
+        spec.screening = Some(ScreeningConfig::screened(24, 3));
         spec.shard_threads = shard_threads;
         spec.sequential = match sequential_choice {
             0 => None,
@@ -196,6 +200,24 @@ fn pre_0_9_job_specs_still_parse() {
     assert_ne!(json, legacy, "the sequential field must be present to strip");
     let back: JobSpec = stc_serve::json::from_str(&legacy).expect("legacy spec parses");
     assert_eq!(back, spec);
+}
+
+#[test]
+fn pre_0_10_job_specs_still_parse() {
+    // A spec serialized before the `screening` field existed must keep
+    // parsing, with the field at its pipeline default (None = inherit the
+    // compaction config, which defaults to screening off).
+    let spec = JobSpec::new(
+        vec![DeviceSpec::OpAmp],
+        MonteCarloConfig::new(50).with_seed(5),
+        CompactionConfig::paper_default().with_tolerance(0.1),
+    );
+    let json = stc_serve::json::to_string(&spec).expect("serializes");
+    let legacy = json.replacen(r#""screening":null,"#, "", 1);
+    assert_ne!(json, legacy, "the screening field must be present to strip");
+    let back: JobSpec = stc_serve::json::from_str(&legacy).expect("legacy spec parses");
+    assert_eq!(back, spec);
+    assert!(!back.compaction.screening.enabled, "screening defaults off");
 }
 
 #[test]

@@ -56,7 +56,7 @@
 //! for a deterministic solver — so training results never depend on thread
 //! count or timing.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -91,6 +91,31 @@ const BANK_MIN_ROWS: usize = 8;
 
 fn bank_capacity(samples: usize) -> usize {
     (BANK_VALUE_BUDGET / samples.max(1)).clamp(BANK_MIN_ROWS, BANK_MAX_ROWS)
+}
+
+/// Rows assembled together per column sweep of
+/// [`KernelEngine::kernel_rows`]: each shared column slice is streamed from
+/// memory once per block instead of once per row, which amortizes the
+/// memory traffic the dot-row pass is bound by (the arithmetic itself
+/// vectorizes either way).  Kept small so a block of row accumulators stays
+/// inside the L1/L2 working set alongside the column lane.
+const ROW_BLOCK: usize = 4;
+
+/// How an engine used — or could not use — the parent [`DotRowBank`] it was
+/// given, captured after training via [`KernelEngine::usage`].
+///
+/// `ignored_bank` is the previously silent failure mode this surfaces: a
+/// bank was supplied but could not be applied (naive path, foreign column
+/// universe, or a column-set distance that makes adjustment no cheaper than
+/// recomputation), so every row was rebuilt from scratch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineUsage {
+    /// Rows seeded by adjusting parent-bank rows.
+    pub seeded_rows: usize,
+    /// Rows assembled from scratch (full column sweeps).
+    pub rebuilt_rows: usize,
+    /// Whether a non-empty parent bank was supplied but not applicable.
+    pub ignored_bank: bool,
 }
 
 /// Dot-product rows banked by a parent training for reuse by its candidate
@@ -142,6 +167,10 @@ pub struct KernelEngine<'a> {
     /// Dot rows recorded during this training, keyed by sample index.
     recorded: RefCell<BTreeMap<usize, Arc<[f64]>>>,
     record_cap: usize,
+    /// Scratch dot rows assembled (cache/seed misses), for [`EngineUsage`].
+    rebuilt: Cell<usize>,
+    /// Whether a non-empty parent bank was supplied but inapplicable.
+    ignored_bank: bool,
 }
 
 impl<'a> KernelEngine<'a> {
@@ -177,6 +206,8 @@ impl<'a> KernelEngine<'a> {
                     seeded: BTreeMap::new(),
                     recorded: RefCell::new(BTreeMap::new()),
                     record_cap: bank_capacity(data.len()),
+                    rebuilt: Cell::new(0),
+                    ignored_bank: false,
                 }
             }
             KernelPath::Naive => KernelEngine {
@@ -188,12 +219,16 @@ impl<'a> KernelEngine<'a> {
                 seeded: BTreeMap::new(),
                 recorded: RefCell::new(BTreeMap::new()),
                 record_cap: 0,
+                rebuilt: Cell::new(0),
+                ignored_bank: false,
             },
         };
-        if engine.path == KernelPath::Blocked {
-            if let Some(bank) = bank {
-                engine.seed_from(bank);
-            }
+        match (engine.path, bank) {
+            (KernelPath::Blocked, Some(bank)) => engine.seed_from(bank),
+            // The naive path never seeds: a supplied non-empty bank is
+            // ignored, and the diagnostics say so instead of staying silent.
+            (KernelPath::Naive, Some(bank)) => engine.ignored_bank = !bank.is_empty(),
+            (_, None) => {}
         }
         engine
     }
@@ -211,6 +246,15 @@ impl<'a> KernelEngine<'a> {
     /// The number of rows seeded from the parent bank (diagnostic).
     pub fn seeded_rows(&self) -> usize {
         self.seeded.len()
+    }
+
+    /// Bank-usage diagnostics accumulated so far (see [`EngineUsage`]).
+    pub fn usage(&self) -> EngineUsage {
+        EngineUsage {
+            seeded_rows: self.seeded.len(),
+            rebuilt_rows: self.rebuilt.get(),
+            ignored_bank: self.ignored_bank,
+        }
     }
 
     /// Adjusts the applicable bank rows to this dataset's column set.
@@ -231,10 +275,12 @@ impl<'a> KernelEngine<'a> {
         // Adjustment must be strictly cheaper than recomputation, and the
         // bank must describe the same population (row length = sample count).
         if removed.len() + added.len() >= self.data.dimension() {
+            self.ignored_bank = true;
             return;
         }
         let n = self.data.len();
         if removed.iter().chain(&added).any(|column| column.len() != n) {
+            self.ignored_bank = true;
             return;
         }
         for (index, parent_row) in &bank.rows {
@@ -325,6 +371,7 @@ impl<'a> KernelEngine<'a> {
                     }
                     None => {
                         self.dot_row(i, out);
+                        self.rebuilt.set(self.rebuilt.get() + 1);
                         Arc::from(&out[..])
                     }
                 };
@@ -336,6 +383,98 @@ impl<'a> KernelEngine<'a> {
                 }
                 self.apply_kernel(i, out);
             }
+        }
+    }
+
+    /// Writes `K(x_{i_r}, x_j)` for every requested row `i_r` of `indices`
+    /// and every `j` into `out`, row `r` occupying
+    /// `out[r * len .. (r + 1) * len]`.
+    ///
+    /// Results and side effects are **identical** to calling
+    /// [`KernelEngine::kernel_row`] once per index in order — same
+    /// bit-exact values (each row's dot products still accumulate one
+    /// ascending feature column at a time from a zero accumulator), same
+    /// recorded-row bank contents.  The win is bandwidth: scratch rows are
+    /// assembled `ROW_BLOCK` at a time, so each shared column lane
+    /// streams from memory once per block instead of once per row, and the
+    /// RBF/poly/sigmoid scalar pass runs per row afterwards as before.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or
+    /// `out.len() != indices.len() * self.len()`.
+    pub fn kernel_rows(&self, indices: &[usize], out: &mut [f64]) {
+        let n = self.len();
+        assert_eq!(out.len(), indices.len() * n, "kernel rows buffer length mismatch");
+        if self.path == KernelPath::Naive {
+            for (row, &i) in out.chunks_exact_mut(n).zip(indices) {
+                self.kernel_row(i, row);
+            }
+            return;
+        }
+        let mut rows: Vec<&mut [f64]> = out.chunks_exact_mut(n).collect();
+        // Resolve cached rows and find the scratch work: the first
+        // occurrence of each uncached index computes, later duplicates copy.
+        let mut cached: Vec<Option<Arc<[f64]>>> = vec![None; indices.len()];
+        let mut first_slot: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut pending: Vec<usize> = Vec::new();
+        {
+            let recorded = self.recorded.borrow();
+            for (slot, &i) in indices.iter().enumerate() {
+                if let Some(row) = recorded.get(&i).or_else(|| self.seeded.get(&i)) {
+                    rows[slot].copy_from_slice(row);
+                    cached[slot] = Some(Arc::clone(row));
+                } else if let std::collections::btree_map::Entry::Vacant(entry) =
+                    first_slot.entry(i)
+                {
+                    entry.insert(slot);
+                    pending.push(slot);
+                }
+                // An uncached duplicate copies its first occurrence's dot
+                // values after the block pass.
+            }
+        }
+        // Blocked scratch assembly: per block, one pass over the columns.
+        for block in pending.chunks(ROW_BLOCK) {
+            for &slot in block {
+                rows[slot].fill(0.0);
+            }
+            for column in self.data.shared_columns() {
+                for &slot in block {
+                    let xi = column[indices[slot]];
+                    for (acc, &xj) in rows[slot].iter_mut().zip(column.iter()) {
+                        *acc += xi * xj;
+                    }
+                }
+            }
+        }
+        self.rebuilt.set(self.rebuilt.get() + pending.len());
+        // Record and post-process in request order, replicating the exact
+        // per-call bookkeeping of `kernel_row` (first `record_cap` distinct
+        // touches win a bank slot).  Duplicates copy the saved *dot* values
+        // — their first occurrence's buffer has already been mapped through
+        // the kernel in place by the time they run.
+        let mut computed: BTreeMap<usize, Arc<[f64]>> = BTreeMap::new();
+        for slot in 0..indices.len() {
+            let i = indices[slot];
+            let dots: Arc<[f64]> = if let Some(row) = &cached[slot] {
+                Arc::clone(row)
+            } else if first_slot[&i] == slot {
+                let dots: Arc<[f64]> = Arc::from(&*rows[slot]);
+                computed.insert(i, Arc::clone(&dots));
+                dots
+            } else {
+                let dots = Arc::clone(&computed[&i]);
+                rows[slot].copy_from_slice(&dots);
+                dots
+            };
+            {
+                let mut recorded = self.recorded.borrow_mut();
+                if recorded.len() < self.record_cap {
+                    recorded.entry(i).or_insert(dots);
+                }
+            }
+            self.apply_kernel(i, rows[slot]);
         }
     }
 
@@ -480,6 +619,83 @@ mod tests {
         let naive = KernelEngine::new(&stranger, kernel, KernelPath::Naive);
         naive.kernel_row(0, &mut buffer);
         assert!(naive.into_bank().is_empty());
+    }
+
+    #[test]
+    fn batched_rows_match_sequential_rows_bit_for_bit() {
+        let data = toy(5, 33);
+        // Duplicates and repeats on purpose: the batch must replicate the
+        // per-call record bookkeeping exactly.
+        let indices = [3usize, 0, 7, 3, 12, 0, 5, 9, 1, 12];
+        for kernel in all_kernels() {
+            for path in [KernelPath::Blocked, KernelPath::Naive] {
+                let sequential = KernelEngine::new(&data, kernel, path);
+                let batched = KernelEngine::new(&data, kernel, path);
+                let mut expected = vec![0.0; data.len()];
+                let mut out = vec![0.0; indices.len() * data.len()];
+                batched.kernel_rows(&indices, &mut out);
+                for (r, &i) in indices.iter().enumerate() {
+                    sequential.kernel_row(i, &mut expected);
+                    let got = &out[r * data.len()..(r + 1) * data.len()];
+                    for (a, b) in got.iter().zip(expected.iter()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{kernel:?} {path:?} row {i}");
+                    }
+                }
+                let (a, b) = (sequential.into_bank(), batched.into_bank());
+                assert_eq!(a.rows.len(), b.rows.len());
+                for ((ia, ra), (ib, rb)) in a.rows.iter().zip(b.rows.iter()) {
+                    assert_eq!(ia, ib);
+                    assert_eq!(ra.as_ref(), rb.as_ref());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_rows_reuse_seeded_rows() {
+        let parent_data = toy(6, 29);
+        let kernel = Kernel::rbf(0.4);
+        let parent = KernelEngine::new(&parent_data, kernel, KernelPath::Blocked);
+        let mut buffer = vec![0.0; parent_data.len()];
+        for i in 0..parent_data.len() {
+            parent.kernel_row(i, &mut buffer);
+        }
+        let bank = parent.into_bank();
+        let kept: Vec<usize> = (0..6).filter(|&c| c != 4).collect();
+        let child_data = parent_data.select_columns(&kept).unwrap();
+        let seeded = KernelEngine::with_bank(&child_data, kernel, KernelPath::Blocked, Some(&bank));
+        let indices: Vec<usize> = (0..child_data.len()).collect();
+        let mut out = vec![0.0; indices.len() * child_data.len()];
+        seeded.kernel_rows(&indices, &mut out);
+        let usage = seeded.usage();
+        assert_eq!(usage.seeded_rows, bank.len());
+        assert_eq!(usage.rebuilt_rows, child_data.len() - bank.len());
+        assert!(!usage.ignored_bank);
+    }
+
+    #[test]
+    fn usage_reports_ignored_banks() {
+        let parent_data = toy(4, 20);
+        let kernel = Kernel::linear();
+        let parent = KernelEngine::new(&parent_data, kernel, KernelPath::Blocked);
+        let mut buffer = vec![0.0; parent_data.len()];
+        parent.kernel_row(0, &mut buffer);
+        let bank = parent.into_bank();
+        // Foreign column universe: supplied but inapplicable.
+        let stranger = toy(4, 20);
+        let engine = KernelEngine::with_bank(&stranger, kernel, KernelPath::Blocked, Some(&bank));
+        assert!(engine.usage().ignored_bank);
+        // The naive path can never apply a bank either.
+        let naive = KernelEngine::with_bank(&stranger, kernel, KernelPath::Naive, Some(&bank));
+        assert!(naive.usage().ignored_bank);
+        // No bank supplied: nothing to ignore, rebuilt rows still counted.
+        let fresh = KernelEngine::new(&stranger, kernel, KernelPath::Blocked);
+        fresh.kernel_row(3, &mut buffer);
+        fresh.kernel_row(3, &mut buffer);
+        let usage = fresh.usage();
+        assert!(!usage.ignored_bank);
+        assert_eq!(usage.seeded_rows, 0);
+        assert_eq!(usage.rebuilt_rows, 1);
     }
 
     #[test]

@@ -56,13 +56,15 @@ pub mod backend;
 pub mod cross_validation;
 pub mod engine;
 pub mod grid_search;
+pub mod nystrom;
 pub mod smo;
 
 pub use backend::SvmBackend;
 pub use dataset::{Dataset, Sample};
-pub use engine::{DotRowBank, KernelEngine, KernelPath};
+pub use engine::{DotRowBank, EngineUsage, KernelEngine, KernelPath};
 pub use error::SvmError;
 pub use kernel::Kernel;
+pub use nystrom::{NystromModel, NystromParams};
 pub use scaler::{ScaleMethod, Scaler};
 pub use svc::{Svc, SvcParams};
 pub use svr::{Svr, SvrParams};

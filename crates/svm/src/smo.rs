@@ -33,6 +33,9 @@ use crate::{Result, SvmError};
 /// two-variable sub-problem (guards against a numerically indefinite kernel).
 const TAU: f64 = 1e-12;
 
+/// Warm-start gradient rows fetched per batched [`QMatrix::rows`] call.
+const WARM_ROW_BLOCK: usize = 8;
+
 /// Abstract view of the `Q` matrix (`Q[i][j] = y_i y_j K(i, j)`).
 ///
 /// Implementations compute rows on demand; the solver caches recently used
@@ -48,6 +51,23 @@ pub trait QMatrix {
 
     /// Writes row `i` of `Q` into `out` (which has length [`QMatrix::len`]).
     fn row(&self, i: usize, out: &mut [f64]);
+
+    /// Writes every row of `indices` into `out`, row `r` occupying
+    /// `out[r * len .. (r + 1) * len]`.
+    ///
+    /// Must be element-for-element identical to calling [`QMatrix::row`]
+    /// once per index in order — the default does exactly that.
+    /// Implementations backed by a batched kernel engine override it to
+    /// amortize memory traffic across the rows (used by the solver's
+    /// warm-start gradient reconstruction, which touches one row per
+    /// initially non-zero variable).
+    fn rows(&self, indices: &[usize], out: &mut [f64]) {
+        let n = self.len();
+        debug_assert_eq!(out.len(), indices.len() * n);
+        for (row, &i) in out.chunks_exact_mut(n).zip(indices) {
+            self.row(i, row);
+        }
+    }
 
     /// Diagonal entry `Q[i][i]`.
     fn diag(&self, i: usize) -> f64;
@@ -192,6 +212,46 @@ impl RowCache {
         self.resident += 1;
     }
 
+    /// Makes every row of `batch` resident with one batched
+    /// [`QMatrix::rows`] fetch for the misses.
+    ///
+    /// Bookkeeping — recency stamps, eviction order, resident set — is
+    /// identical to calling [`RowCache::ensure`] on each index in order,
+    /// because the fetch is a pure function of the index and only the
+    /// insertion order touches the cache state.  `batch` must hold distinct
+    /// indices and be no longer than the cache capacity (so no row of the
+    /// batch can evict another).
+    fn ensure_batch<Q: QMatrix>(&mut self, q: &Q, batch: &[usize]) {
+        debug_assert!(batch.len() <= self.capacity);
+        let misses: Vec<usize> =
+            batch.iter().copied().filter(|&i| self.rows[i].is_none()).collect();
+        let mut fetched = vec![0.0; misses.len() * q.len()];
+        q.rows(&misses, &mut fetched);
+        let mut chunks = fetched.chunks_exact(q.len());
+        for &i in batch {
+            self.clock += 1;
+            if let Some((stamp, _)) = self.rows[i].as_mut() {
+                *stamp = self.clock;
+                continue;
+            }
+            if self.resident >= self.capacity {
+                let evict = self
+                    .rows
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(t, slot)| slot.as_ref().map(|(stamp, _)| (*stamp, t)))
+                    .min()
+                    .map(|(_, t)| t)
+                    .expect("a full cache has a least-recently-used row");
+                self.rows[evict] = None;
+                self.resident -= 1;
+            }
+            let row = chunks.next().expect("one fetched row per miss").to_vec();
+            self.rows[i] = Some((self.clock, row));
+            self.resident += 1;
+        }
+    }
+
     /// Borrows a row previously made resident with [`RowCache::ensure`].
     ///
     /// # Panics
@@ -263,11 +323,17 @@ pub fn solve<Q: QMatrix>(q: &Q, problem: &SmoProblem, params: &SmoParams) -> Res
     // non-zero variable, which a start near the optimum amortises many times
     // over in saved iterations.
     let mut grad: Vec<f64> = p.clone();
-    let mut warm = false;
-    for (s, &alpha_s) in alpha.iter().enumerate() {
-        if alpha_s != 0.0 {
-            warm = true;
-            cache.ensure(q, s);
+    let warm_rows: Vec<usize> =
+        alpha.iter().enumerate().filter(|(_, &a)| a != 0.0).map(|(s, _)| s).collect();
+    let warm = !warm_rows.is_empty();
+    // Rows are fetched in blocks through `QMatrix::rows` so a batched
+    // backend amortizes its column traffic; the block never exceeds the
+    // cache capacity, so every row of a block is still resident when its
+    // gradient contribution is accumulated.
+    for block in warm_rows.chunks(WARM_ROW_BLOCK.min(cache.capacity)) {
+        cache.ensure_batch(q, block);
+        for &s in block {
+            let alpha_s = alpha[s];
             let row = cache.row(s);
             for (g, &value) in grad.iter_mut().zip(row.iter()) {
                 *g += value * alpha_s;

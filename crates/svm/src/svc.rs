@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{DotRowBank, KernelEngine, KernelPath};
+use crate::engine::{DotRowBank, EngineUsage, KernelEngine, KernelPath};
 use crate::smo::{self, QMatrix, SmoParams, SmoProblem};
 use crate::{Dataset, Kernel, Result, SvmError};
 
@@ -151,6 +151,10 @@ impl<'a> SvcQ<'a> {
         SvcQ { engine, labels: data.labels(), diag }
     }
 
+    fn usage(&self) -> EngineUsage {
+        self.engine.usage()
+    }
+
     fn into_bank(self) -> DotRowBank {
         self.engine.into_bank()
     }
@@ -166,6 +170,17 @@ impl QMatrix for SvcQ<'_> {
         let yi = self.labels[i];
         for (cell, &yj) in out.iter_mut().zip(self.labels) {
             *cell *= yi * yj;
+        }
+    }
+
+    fn rows(&self, indices: &[usize], out: &mut [f64]) {
+        self.engine.kernel_rows(indices, out);
+        let n = self.engine.len();
+        for (row, &i) in out.chunks_exact_mut(n).zip(indices) {
+            let yi = self.labels[i];
+            for (cell, &yj) in row.iter_mut().zip(self.labels) {
+                *cell *= yi * yj;
+            }
         }
     }
 
@@ -227,7 +242,7 @@ impl Svc {
     ///
     /// Same conditions as [`Svc::train`].
     pub fn train_warm(data: &Dataset, params: &SvcParams, warm: Option<&Svc>) -> Result<Self> {
-        Svc::train_with_bank(data, params, warm, None).map(|(model, _)| model)
+        Svc::train_with_bank(data, params, warm, None).map(|(model, _, _)| model)
     }
 
     /// [`Svc::train_warm`] that additionally threads the kernel engine's
@@ -240,7 +255,9 @@ impl Svc {
     /// starts: an inapplicable bank (different column universe or population)
     /// is ignored, and the returned model satisfies the same stopping
     /// tolerance either way.  On [`KernelPath::Naive`] the returned bank is
-    /// always empty.
+    /// always empty.  The returned [`EngineUsage`] says how the parent bank
+    /// fared — rows seeded versus rebuilt from scratch, and whether a
+    /// supplied bank had to be ignored.
     ///
     /// # Errors
     ///
@@ -250,7 +267,7 @@ impl Svc {
         params: &SvcParams,
         warm: Option<&Svc>,
         parent_bank: Option<&DotRowBank>,
-    ) -> Result<(Self, DotRowBank)> {
+    ) -> Result<(Self, DotRowBank, EngineUsage)> {
         params.validate()?;
         if data.is_empty() {
             return Err(SvmError::EmptyDataset);
@@ -310,7 +327,8 @@ impl Svc {
             bias_shift: 0.0,
             iterations: solution.iterations,
         };
-        Ok((model, q.into_bank()))
+        let usage = q.usage();
+        Ok((model, q.into_bank(), usage))
     }
 
     /// Projects this model's dual variables onto a related problem over the

@@ -8,7 +8,8 @@
 //! backends ([`SvmBackend`], [`GridBackend`]), the six bundled search
 //! strategies ([`GreedyBackward`], [`BeamSearch`], [`ForwardSelection`],
 //! [`CostAwareGreedy`], [`SimulatedAnnealing`], [`GeneticSearch`]), the
-//! [`SearchBudget`] limits that make every search anytime, the staged
+//! [`SearchBudget`] limits that make every search anytime, the
+//! [`ScreeningConfig`] screen-then-verify switch, the staged
 //! sequential deploy types ([`TestPlan`], [`SequentialSession`],
 //! [`StepVerdict`], [`SequentialStats`]), the device adapters and every
 //! configuration type the pipeline stages take.
@@ -22,7 +23,8 @@ pub use stc_core::pipeline::{CompactionPipeline, CostSummary, GuardBandStats, Pi
 pub use stc_core::search::{
     AnnealingSchedule, BeamSearch, BudgetStats, CandidateEvaluator, CandidateVerdict,
     CostAwareGreedy, ForwardSelection, FrontierProvenance, GeneticSearch, GreedyBackward,
-    SearchBudget, SearchContext, SearchOutcome, SearchStrategy, SimulatedAnnealing,
+    ScreeningConfig, ScreeningStats, SearchBudget, SearchContext, SearchOutcome, SearchStrategy,
+    SimulatedAnnealing,
 };
 pub use stc_core::{
     baseline, generate_measurement_set, generate_train_test, gridmodel, run_monte_carlo,

@@ -318,7 +318,8 @@ pub fn ablation_guardband(
     let rows: Vec<Vec<String>> = widths
         .iter()
         .map(|&width| {
-            let config = GuardBandConfig::paper_default().with_guard_band(width);
+            let config =
+                GuardBandConfig::paper_default().with_guard_band(width).expect("finite width");
             let (_, breakdown) = compactor
                 .evaluate_kept_set_with(&svm(&config), &kept, &config)
                 .expect("guard-band model trains");

@@ -47,8 +47,8 @@ use serde::{Deserialize, Serialize};
 use spec_test_compaction::adapters::OpAmpDevice;
 use stc_core::pipeline::{CompactionPipeline, PipelineReport};
 use stc_core::search::{
-    BeamSearch, CostAwareGreedy, ForwardSelection, GreedyBackward, ScreeningConfig, SearchBudget,
-    SearchStrategy,
+    BeamSearch, CmaEs, CostAwareGreedy, ForwardSelection, GeneticSearch, GreedyBackward,
+    ParticleSwarm, ScreeningConfig, SearchBudget, SearchStrategy,
 };
 use stc_core::{
     generate_train_test, CompactionConfig, CompactionResult, Compactor, DeviceUnderTest,
@@ -632,6 +632,20 @@ impl SearchTimingReport {
     pub const SCENARIOS: [&'static str; 4] =
         ["pipeline", "warm_start", "search_strategies", "budgeted_search"];
 
+    /// Per-strategy series rows every valid report must additionally cover:
+    /// the `search_strategies` aggregate stays for continuity, but each
+    /// bundled non-greedy strategy also records its own wall-time row, so a
+    /// new strategy lands as a new series instead of disappearing into the
+    /// sum.
+    pub const STRATEGY_SERIES: [&'static str; 6] = [
+        "strategy:beam",
+        "strategy:forward-selection",
+        "strategy:cost-aware-greedy",
+        "strategy:genetic",
+        "strategy:cma-es",
+        "strategy:particle-swarm",
+    ];
+
     /// Structural sanity of a decoded report (used by `trajectory --check`).
     ///
     /// # Errors
@@ -641,8 +655,8 @@ impl SearchTimingReport {
         if self.timings.is_empty() {
             return Err("search timing report has no timings".to_string());
         }
-        for required in Self::SCENARIOS {
-            if !self.timings.iter().any(|timing| timing.scenario == required) {
+        for required in Self::SCENARIOS.iter().chain(Self::STRATEGY_SERIES.iter()) {
+            if !self.timings.iter().any(|timing| &timing.scenario == required) {
                 return Err(format!("search timing report misses scenario {required}"));
             }
         }
@@ -663,10 +677,11 @@ impl SearchTimingReport {
 
 /// Times the search stack end to end on one synthetic population: the full
 /// staged pipeline, the warm-started greedy loop, the bundled non-greedy
-/// strategies back to back, and a budget-truncated greedy run.  The scenario
-/// names mirror the criterion benches (`pipeline`, `warm_start`,
-/// `search_strategies`, `budgeted_search`) so the two views of the same hot
-/// paths line up.
+/// strategies (one `strategy:<name>` series row each, plus the historical
+/// `search_strategies` aggregate of the first three), and a
+/// budget-truncated greedy run.  The aggregate scenario names mirror the
+/// criterion benches (`pipeline`, `warm_start`, `search_strategies`,
+/// `budgeted_search`) so the two views of the same hot paths line up.
 ///
 /// # Panics
 ///
@@ -710,26 +725,51 @@ pub fn measure_search(train_devices: usize, test_devices: usize) -> SearchTiming
         generate_train_test(&device, &monte_carlo, test_devices).expect("population generates");
     let compactor = Compactor::new(train, test).expect("populations are valid");
     let backend = SvmBackend::paper_default();
-    let strategies: [&dyn SearchStrategy; 3] =
-        [&BeamSearch::new(2), &ForwardSelection, &CostAwareGreedy];
-    let start = Instant::now();
-    let mut trainings = 0;
-    let mut solver_iterations = 0;
-    for strategy in strategies {
+    // Each bundled non-greedy strategy gets its own wall-time series row
+    // (`strategy:<name>`); the first three also feed the historical
+    // `search_strategies` aggregate.
+    let cma = CmaEs { population: 8, generations: 6, ..CmaEs::new(11) };
+    let swarm = ParticleSwarm { particles: 8, iterations: 6, ..ParticleSwarm::new(11) };
+    let series: [&dyn SearchStrategy; 6] = [
+        &BeamSearch::new(2),
+        &ForwardSelection,
+        &CostAwareGreedy,
+        &GeneticSearch::new(11),
+        &cma,
+        &swarm,
+    ];
+    let mut aggregate_ms = 0.0;
+    let mut aggregate_trainings = 0;
+    let mut aggregate_iterations = 0;
+    for (index, strategy) in series.iter().enumerate() {
+        let start = Instant::now();
         let result = compactor
-            .compact_with_strategy(&backend, &base, strategy, None)
+            .compact_with_strategy(&backend, &base, *strategy, None)
             .expect("strategy compaction runs");
-        trainings += result.budget.trainings;
-        solver_iterations += result.budget.solver_iterations;
+        let total_ms = start.elapsed().as_secs_f64() * 1e3;
+        if index < 3 {
+            aggregate_ms += total_ms;
+            aggregate_trainings += result.budget.trainings;
+            aggregate_iterations += result.budget.solver_iterations;
+        }
+        timings.push(SearchTiming {
+            scenario: format!("strategy:{}", strategy.name()),
+            specs,
+            train_devices,
+            test_devices,
+            total_ms,
+            trainings: result.budget.trainings,
+            solver_iterations: result.budget.solver_iterations,
+        });
     }
     timings.push(SearchTiming {
         scenario: "search_strategies".to_string(),
         specs,
         train_devices,
         test_devices,
-        total_ms: start.elapsed().as_secs_f64() * 1e3,
-        trainings,
-        solver_iterations,
+        total_ms: aggregate_ms,
+        trainings: aggregate_trainings,
+        solver_iterations: aggregate_iterations,
     });
     SearchTimingReport { timings }
 }
@@ -966,15 +1006,21 @@ mod tests {
     fn search_measurement_is_structurally_valid_at_small_scale() {
         let report = measure_search(80, 40);
         report.validate().expect("small-scale search report validates");
-        assert_eq!(report.timings.len(), SearchTimingReport::SCENARIOS.len());
+        assert_eq!(
+            report.timings.len(),
+            SearchTimingReport::SCENARIOS.len() + SearchTimingReport::STRATEGY_SERIES.len()
+        );
     }
 
     #[test]
-    fn search_validation_requires_every_scenario() {
+    fn search_validation_requires_every_scenario_and_series_row() {
         let report = measure_search(80, 40);
         let mut missing = report.clone();
         missing.timings.retain(|timing| timing.scenario != "warm_start");
         assert!(missing.validate().is_err());
+        let mut no_series = report.clone();
+        no_series.timings.retain(|timing| timing.scenario != "strategy:cma-es");
+        assert!(no_series.validate().is_err());
         let mut stalled = report;
         stalled.timings[0].total_ms = 0.0;
         assert!(stalled.validate().is_err());

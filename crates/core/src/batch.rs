@@ -581,6 +581,11 @@ pub struct BatchAggregate {
     /// when screening is off).
     #[serde(default)]
     pub screening: crate::ScreeningStats,
+    /// Runs whose guard band was co-optimized by a joint-mode search (zero
+    /// for staged-default strategies; see
+    /// [`JointGuardBand`](crate::search::JointGuardBand)).
+    #[serde(default)]
+    pub co_optimized_bands: usize,
 }
 
 impl BatchAggregate {
@@ -601,6 +606,7 @@ impl BatchAggregate {
             model_cache_misses: 0,
             warm_start: crate::WarmStartStats::default(),
             screening: crate::ScreeningStats::default(),
+            co_optimized_bands: 0,
         };
         for run in runs {
             let report = &run.report;
@@ -613,6 +619,8 @@ impl BatchAggregate {
             aggregate.model_cache_misses += report.compaction.cache.misses;
             aggregate.warm_start.merge(&report.compaction.warm_start);
             aggregate.screening.merge(&report.compaction.screening);
+            aggregate.co_optimized_bands +=
+                usize::from(report.compaction.co_optimized_guard_band.is_some());
         }
         if devices > 0 {
             aggregate.mean_compaction_ratio /= devices as f64;
@@ -672,11 +680,18 @@ impl BatchReport {
                 devices = self.aggregate.devices,
             ),
         };
+        let band_note = match self.aggregate.co_optimized_bands {
+            0 => String::new(),
+            bands => format!(
+                "; guard band co-optimized in {bands} of {devices} runs",
+                devices = self.aggregate.devices,
+            ),
+        };
         format!(
             "{devices} devices [{search}]: eliminated {eliminated} of {total} tests \
              (mean compaction {ratio}, mean cost reduction {cost}; \
              aggregate yield loss {yl}, defect escape {de}; \
-             model cache {hits} hits / {misses} misses){budget_note}",
+             model cache {hits} hits / {misses} misses){band_note}{budget_note}",
             devices = self.aggregate.devices,
             search = self.search_strategy(),
             eliminated = self.aggregate.total_eliminated,

@@ -241,8 +241,9 @@ impl WarmStartStats {
 
 /// Result of a compaction run.
 ///
-/// Equality compares the compaction outcome (kept/eliminated sets, steps and
-/// final breakdown) and deliberately ignores the [`CompactionResult::cache`],
+/// Equality compares the compaction outcome (kept/eliminated sets, steps,
+/// final breakdown and co-optimized guard band) and deliberately ignores the
+/// [`CompactionResult::cache`],
 /// [`CompactionResult::warm_start`] and [`CompactionResult::budget`]
 /// diagnostics: those counters vary with the speculative thread count (and
 /// with warm starts being on or off) while the outcome is guaranteed not to.
@@ -271,6 +272,14 @@ pub struct CompactionResult {
     /// ignored by equality.
     #[serde(default)]
     pub screening: ScreeningStats,
+    /// Guard-band fraction co-optimized by the search, when the strategy ran
+    /// in joint guard-band mode (see
+    /// [`JointGuardBand`](crate::search::JointGuardBand)) and improved on
+    /// the incumbent; `None` on every staged-default run.  When set, the
+    /// final breakdown and deployed model were trained with this fraction
+    /// instead of the configured one.
+    #[serde(default)]
+    pub co_optimized_guard_band: Option<f64>,
 }
 
 impl PartialEq for CompactionResult {
@@ -279,6 +288,7 @@ impl PartialEq for CompactionResult {
             && self.eliminated == other.eliminated
             && self.steps == other.steps
             && self.final_breakdown == other.final_breakdown
+            && self.co_optimized_guard_band == other.co_optimized_guard_band
     }
 }
 
@@ -495,6 +505,7 @@ impl Compactor {
             other => other?,
         };
         let provenance = outcome.provenance;
+        let co_optimized_guard_band = outcome.guard_band;
         let eliminated = outcome.eliminated;
         let steps = outcome.steps;
 
@@ -526,8 +537,17 @@ impl Compactor {
             // last elimination was accepted, so this is a guaranteed cache
             // hit: the search's last accepted model doubles as the deployed
             // model.  (A custom strategy that never evaluated it trains it
-            // here, cold.)
-            let entry = evaluator.final_entry(&kept)?;
+            // here, cold.)  A joint-mode outcome names the band its winner
+            // was scored with; the deploy-stage model uses that band.
+            let banded;
+            let band = match co_optimized_guard_band {
+                Some(fraction) => {
+                    banded = config.guard_band.with_guard_band(fraction)?;
+                    Some(&banded)
+                }
+                None => None,
+            };
+            let entry = evaluator.final_entry(&kept, band)?;
             (entry.1, Some(entry.0.clone()))
         };
 
@@ -540,6 +560,7 @@ impl Compactor {
             warm_start: evaluator.warm_start_stats(),
             budget: evaluator.budget_stats(provenance),
             screening: evaluator.screening_stats(),
+            co_optimized_guard_band,
         };
         Ok((result, final_model))
     }

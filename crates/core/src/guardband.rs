@@ -61,9 +61,22 @@ impl GuardBandConfig {
     }
 
     /// Sets the guard-band fraction.
-    pub fn with_guard_band(mut self, fraction: f64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::InvalidConfig`] when the fraction is NaN,
+    /// infinite or negative.  An in-range but too-wide fraction (≥ 0.5) is
+    /// still rejected at training time, so sweeps can construct configs
+    /// they never train.
+    pub fn with_guard_band(mut self, fraction: f64) -> Result<Self> {
+        if !(fraction >= 0.0 && fraction.is_finite()) {
+            return Err(CompactionError::InvalidConfig {
+                parameter: "guard_band_fraction",
+                value: fraction,
+            });
+        }
         self.guard_band_fraction = fraction;
-        self
+        Ok(self)
     }
 
     /// Sets the SVM hyper-parameters used by SVM-based backends.
@@ -329,7 +342,7 @@ mod tests {
             &grid(),
             &train,
             &[0, 1, 2],
-            &GuardBandConfig::paper_default().with_guard_band(0.02),
+            &GuardBandConfig::paper_default().with_guard_band(0.02).unwrap(),
         )
         .unwrap()
         .evaluate(&test);
@@ -337,7 +350,7 @@ mod tests {
             &grid(),
             &train,
             &[0, 1, 2],
-            &GuardBandConfig::paper_default().with_guard_band(0.15),
+            &GuardBandConfig::paper_default().with_guard_band(0.15).unwrap(),
         )
         .unwrap()
         .evaluate(&test);
@@ -404,7 +417,13 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         let (train, _) = correlated_population();
-        let bad_band = GuardBandConfig::paper_default().with_guard_band(0.9);
+        // Non-finite and negative fractions fail fast at config time.
+        assert!(GuardBandConfig::paper_default().with_guard_band(f64::NAN).is_err());
+        assert!(GuardBandConfig::paper_default().with_guard_band(f64::INFINITY).is_err());
+        assert!(GuardBandConfig::paper_default().with_guard_band(-0.1).is_err());
+        // A finite but too-wide fraction is constructible (sweeps may build
+        // configs they never train) and rejected at training time.
+        let bad_band = GuardBandConfig::paper_default().with_guard_band(0.9).unwrap();
         assert!(GuardBandedClassifier::train_with(&grid(), &train, &[0], &bad_band).is_err());
         let bad_c = GuardBandConfig::paper_default().with_svm(0.0, 1.0);
         assert!(GuardBandedClassifier::train_with(&grid(), &train, &[0], &bad_c).is_err());

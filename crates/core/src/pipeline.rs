@@ -318,8 +318,14 @@ impl<'d> CompactionPipeline<'d> {
         // from the loop's `final_breakdown`, and the report must describe the
         // tester that is actually deployed.
         let deployed = tester.try_evaluate(test)?;
+        // A joint-mode search co-optimizes the band with the kept set; the
+        // deployed model was trained with the co-optimized fraction, so the
+        // stats report it (and name the staged default it replaced).
         let guard_band = GuardBandStats {
-            band_fraction: config.guard_band.guard_band_fraction,
+            band_fraction: compaction
+                .co_optimized_guard_band
+                .unwrap_or(config.guard_band.guard_band_fraction),
+            co_optimized: compaction.co_optimized_guard_band.is_some(),
             retest_count: deployed.guard_band_count,
             retest_fraction: deployed.guard_band_fraction(),
         };
@@ -352,8 +358,15 @@ impl<'d> CompactionPipeline<'d> {
 /// Guard-band retest statistics of the final compacted test set.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GuardBandStats {
-    /// Configured guard-band half-width (fraction of each range).
+    /// Guard-band half-width (fraction of each range) of the deployed model:
+    /// the configured width on staged runs, or the co-optimized width when a
+    /// joint-mode search improved on the incumbent.
     pub band_fraction: f64,
+    /// Whether [`GuardBandStats::band_fraction`] was co-optimized by the
+    /// search (joint guard-band mode) rather than staged from the
+    /// configuration.
+    #[serde(default)]
+    pub co_optimized: bool,
     /// Devices of the held-out population that fell in the band (candidates
     /// for retest with the full specification suite).
     pub retest_count: usize,
@@ -510,10 +523,12 @@ impl PipelineReport {
         } else {
             String::new()
         };
+        let band_kind = if self.guard_band.co_optimized { "co-optimized" } else { "staged" };
         format!(
             "{device} [{backend}, {search}]: eliminated {eliminated} of {total} tests \
-             (yield loss {yl}, defect escape {de}, {retest} retested in a {band} band), \
-             cost reduced by {cost}{budget_note}{bank_note}{screening_note}{sequential_note}",
+             (yield loss {yl}, defect escape {de}, {retest} retested in a {band} \
+             {band_kind} band), cost reduced by \
+             {cost}{budget_note}{bank_note}{screening_note}{sequential_note}",
             device = self.device,
             backend = self.backend,
             search = self.search,

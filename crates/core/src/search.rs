@@ -18,7 +18,7 @@
 //!   [`SearchOutcome`] that the [`Compactor`](crate::Compactor) shell turns
 //!   into a [`CompactionResult`](crate::CompactionResult).
 //!
-//! Six strategies ship with the crate:
+//! Eight strategies ship with the crate:
 //!
 //! * [`GreedyBackward`] — the paper's Figure 2 loop, byte-identical to the
 //!   pre-0.5 hard-coded implementation (pinned by the property tests),
@@ -34,7 +34,13 @@
 //!   escaping greedy local minima without beam-style breadth,
 //! * [`GeneticSearch`] — seeded tournament/crossover/mutation evolution with
 //!   elitism pinned to the greedy-lineage incumbent, so it never finishes
-//!   worse than [`GreedyBackward`] under the same budget.
+//!   worse than [`GreedyBackward`] under the same budget,
+//! * [`CmaEs`] and [`ParticleSwarm`] — population-based global optimizers
+//!   over the continuous relaxation of kept-set membership provided by
+//!   [`relaxed::RelaxedObjective`], with the same incumbent-pinning
+//!   contract as [`GeneticSearch`] and an optional
+//!   [`relaxed::JointGuardBand`] mode that co-optimizes the guard-band
+//!   fraction together with the kept set.
 //!
 //! # Budgeted, anytime search
 //!
@@ -64,6 +70,12 @@ use crate::dataset::MeasurementSet;
 use crate::guardband::{GuardBandConfig, GuardBandedClassifier};
 use crate::metrics::ErrorBreakdown;
 use crate::{CompactionError, Result};
+
+pub mod relaxed;
+
+pub use relaxed::{
+    CmaEs, JointGuardBand, ParticleSwarm, RelaxedCandidate, RelaxedObjective, RelaxedScore,
+};
 
 /// Deterministic limits on the training effort one search may spend, plus an
 /// opt-in wall-clock deadline.
@@ -464,35 +476,46 @@ pub trait ProgressObserver: Send + Sync + std::fmt::Debug {
 /// A cached trained model together with its held-out error breakdown.
 pub(crate) type CachedModel = Arc<(GuardBandedClassifier, ErrorBreakdown)>;
 
-/// Per-run cache of guard-banded models keyed by canonicalised kept set.
+/// Per-run cache of guard-banded models keyed by canonicalised kept set
+/// plus the exact guard-band fraction the pair was trained with.
 ///
 /// Training is deterministic for a fixed kept set, training population and
-/// guard-band configuration (all fixed within one run), so reusing a cached
-/// model is byte-identical to retraining it — the cache changes wall-clock
-/// time, never results.
+/// guard-band configuration, so reusing a cached model is byte-identical to
+/// retraining it — the cache changes wall-clock time, never results.  Runs
+/// that never override the guard band (everything except the
+/// [`relaxed::JointGuardBand`] mode) see exactly the pre-0.11 behaviour:
+/// one fraction, so the band component of the key is constant.
 ///
-/// Memory: at most one model pair per *distinct* evaluated kept set is
-/// retained for the duration of the run.  For the greedy loop that is
-/// bounded by the examined-candidate count; beam and forward searches
-/// revisit overlapping frontiers, which is exactly where the cache pays off.
+/// Memory: at most one model pair per *distinct* evaluated (kept set,
+/// band) combination is retained for the duration of the run.  For the
+/// greedy loop that is bounded by the examined-candidate count; beam and
+/// forward searches revisit overlapping frontiers, which is exactly where
+/// the cache pays off.
 #[derive(Debug, Default)]
 struct ModelCache {
-    models: Mutex<HashMap<Vec<usize>, CachedModel>>,
+    models: Mutex<HashMap<BandedSetKey, CachedModel>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
 
+/// Canonical identity of one banded evaluation: the kept set in ascending
+/// order plus the bit pattern of the guard-band fraction it trains with.
+pub(crate) type BandedSetKey = (Vec<usize>, u64);
+
 impl ModelCache {
-    /// Canonical cache key: the kept set in ascending order.
-    fn key(kept: &[usize]) -> Vec<usize> {
-        let mut key = kept.to_vec();
-        key.sort_unstable();
-        key
+    /// Canonical cache key: the kept set in ascending order plus the bit
+    /// pattern of the guard-band fraction the model is trained with (the
+    /// joint-band decoder quantizes fractions onto a grid, so nearby points
+    /// share keys instead of fragmenting the cache).
+    fn key(kept: &[usize], band: &GuardBandConfig) -> BandedSetKey {
+        let mut sorted = kept.to_vec();
+        sorted.sort_unstable();
+        (sorted, band.guard_band_fraction.to_bits())
     }
 
-    fn lookup(&self, kept: &[usize]) -> Option<CachedModel> {
+    fn lookup(&self, kept: &[usize], band: &GuardBandConfig) -> Option<CachedModel> {
         let found =
-            self.models.lock().expect("model cache poisoned").get(&Self::key(kept)).cloned();
+            self.models.lock().expect("model cache poisoned").get(&Self::key(kept, band)).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -503,19 +526,19 @@ impl ModelCache {
     /// [`ModelCache::lookup`] without touching the hit/miss counters — used
     /// to fetch warm-start sources, which are an accelerator rather than a
     /// kept-set request and must not distort the cache diagnostics.
-    fn peek(&self, kept: &[usize]) -> Option<CachedModel> {
-        self.models.lock().expect("model cache poisoned").get(&Self::key(kept)).cloned()
+    fn peek(&self, kept: &[usize], band: &GuardBandConfig) -> Option<CachedModel> {
+        self.models.lock().expect("model cache poisoned").get(&Self::key(kept, band)).cloned()
     }
 
     /// Whether a kept set is cached, without touching the hit/miss counters
     /// — used by the budget pre-pass, which must not distort the
     /// diagnostics.
-    fn contains(&self, kept: &[usize]) -> bool {
-        self.models.lock().expect("model cache poisoned").contains_key(&Self::key(kept))
+    fn contains(&self, kept: &[usize], band: &GuardBandConfig) -> bool {
+        self.models.lock().expect("model cache poisoned").contains_key(&Self::key(kept, band))
     }
 
-    fn insert(&self, kept: &[usize], entry: CachedModel) {
-        self.models.lock().expect("model cache poisoned").insert(Self::key(kept), entry);
+    fn insert(&self, kept: &[usize], band: &GuardBandConfig, entry: CachedModel) {
+        self.models.lock().expect("model cache poisoned").insert(Self::key(kept, band), entry);
     }
 
     fn stats(&self) -> ModelCacheStats {
@@ -649,9 +672,10 @@ pub struct CandidateEvaluator<'a> {
     cache: ModelCache,
     tracker: WarmStartTracker,
     screen_tracker: ScreeningTracker,
-    /// Memoized approximate screen scores keyed by canonical kept set
-    /// (`None` = the screen could not train a model for that set).
-    screen_scores: Mutex<HashMap<Vec<usize>, Option<f64>>>,
+    /// Memoized approximate screen scores keyed by canonical kept set and
+    /// guard band (`None` = the screen could not train a model for that
+    /// set).
+    screen_scores: Mutex<HashMap<BandedSetKey, Option<f64>>>,
     ledger: BudgetLedger,
     observer: Option<Arc<dyn ProgressObserver>>,
 }
@@ -809,31 +833,33 @@ impl<'a> CandidateEvaluator<'a> {
     /// Evaluates one kept set through the cache, warm-started from the
     /// cached model of `warm_parent` when warm starts are enabled and the
     /// parent was evaluated earlier in this run.  `mode` decides how a
-    /// cache-missing training settles its [`SearchBudget`] claim.
+    /// cache-missing training settles its [`SearchBudget`] claim; `band` is
+    /// the guard-band configuration the model is trained with (the run's
+    /// configured band everywhere except a joint-band override).
     fn evaluate_cached(
         &self,
         kept: &[usize],
         warm_parent: Option<&[usize]>,
         mode: BudgetMode,
+        band: &GuardBandConfig,
     ) -> Result<CachedModel> {
-        if let Some(entry) = self.cache.lookup(kept) {
+        if let Some(entry) = self.cache.lookup(kept, band) {
             return Ok(entry);
         }
         if mode == BudgetMode::Charged && !self.ledger.try_claim_training() {
             return Err(CompactionError::BudgetExhausted);
         }
+        // A banded candidate's parent may only be cached under the run's
+        // configured band (the incumbent always is), so fall back to it.
         let warm_entry = match warm_parent {
-            Some(parent) if self.warm_start => self.cache.peek(parent),
+            Some(parent) if self.warm_start => {
+                self.cache.peek(parent, band).or_else(|| self.cache.peek(parent, &self.guard_band))
+            }
             _ => None,
         };
         let warm = warm_entry.as_ref().map(|entry| &entry.0);
-        let classifier = GuardBandedClassifier::train_with_warm(
-            self.backend,
-            self.training,
-            kept,
-            &self.guard_band,
-            warm,
-        )?;
+        let classifier =
+            GuardBandedClassifier::train_with_warm(self.backend, self.training, kept, band, warm)?;
         let breakdown = classifier.evaluate(self.testing);
         let iterations = classifier.solver_iterations();
         self.tracker.record(warm.is_some(), iterations, classifier.bank_stats());
@@ -848,7 +874,7 @@ impl<'a> CandidateEvaluator<'a> {
             });
         }
         let entry = Arc::new((classifier, breakdown));
-        self.cache.insert(kept, Arc::clone(&entry));
+        self.cache.insert(kept, band, Arc::clone(&entry));
         Ok(entry)
     }
 
@@ -869,7 +895,7 @@ impl<'a> CandidateEvaluator<'a> {
         kept: &[usize],
         warm_parent: Option<&[usize]>,
     ) -> Result<ErrorBreakdown> {
-        Ok(self.evaluate_cached(kept, warm_parent, BudgetMode::Charged)?.1)
+        Ok(self.evaluate_cached(kept, warm_parent, BudgetMode::Charged, &self.guard_band)?.1)
     }
 
     /// [`CandidateEvaluator::evaluate`], treating "the backend cannot build
@@ -891,7 +917,7 @@ impl<'a> CandidateEvaluator<'a> {
         kept: &[usize],
         warm_parent: Option<&[usize]>,
     ) -> Result<Option<ErrorBreakdown>> {
-        match self.evaluate_cached(kept, warm_parent, BudgetMode::Charged) {
+        match self.evaluate_cached(kept, warm_parent, BudgetMode::Charged, &self.guard_band) {
             Ok(entry) => Ok(Some(entry.1)),
             Err(CompactionError::Classifier { .. })
             | Err(CompactionError::InsufficientData { .. })
@@ -916,7 +942,8 @@ impl<'a> CandidateEvaluator<'a> {
     pub fn notify_frontier(&self, eliminated: &[usize]) {
         let Some(observer) = &self.observer else { return };
         let kept = self.kept_without(eliminated, None);
-        let prediction_error = self.cache.peek(&kept).map(|entry| entry.1.prediction_error());
+        let prediction_error =
+            self.cache.peek(&kept, &self.guard_band).map(|entry| entry.1.prediction_error());
         observer
             .on_frontier(&FrontierSnapshot { eliminated: eliminated.to_vec(), prediction_error });
     }
@@ -949,12 +976,12 @@ impl<'a> CandidateEvaluator<'a> {
         candidates: &[usize],
     ) -> Result<Vec<CandidateVerdict>> {
         let parent = self.kept_without(eliminated, None);
-        let kept_sets: Vec<Option<Vec<usize>>> = candidates
+        let kept_sets: Vec<Option<(Vec<usize>, Option<GuardBandConfig>)>> = candidates
             .iter()
             .map(|&candidate| {
                 let kept = self.kept_without(eliminated, Some(candidate));
                 // Never eliminate the last remaining test.
-                (!kept.is_empty()).then_some(kept)
+                (!kept.is_empty()).then_some((kept, None))
             })
             .collect();
         self.evaluate_candidate_sets(&kept_sets, Some(&parent))
@@ -976,14 +1003,14 @@ impl<'a> CandidateEvaluator<'a> {
         candidates: &[usize],
     ) -> Result<Vec<CandidateVerdict>> {
         let parent: Option<&[usize]> = if kept.is_empty() { None } else { Some(kept) };
-        let kept_sets: Vec<Option<Vec<usize>>> = candidates
+        let kept_sets: Vec<Option<(Vec<usize>, Option<GuardBandConfig>)>> = candidates
             .iter()
             .map(|&candidate| {
                 let mut child: Vec<usize> = kept.to_vec();
                 child.push(candidate);
                 child.sort_unstable();
                 child.dedup();
-                Some(child)
+                Some((child, None))
             })
             .collect();
         self.evaluate_candidate_sets(&kept_sets, parent)
@@ -1005,9 +1032,44 @@ impl<'a> CandidateEvaluator<'a> {
         kept_sets: &[Vec<usize>],
         warm_parent: Option<&[usize]>,
     ) -> Result<Vec<CandidateVerdict>> {
-        let kept_sets: Vec<Option<Vec<usize>>> =
-            kept_sets.iter().map(|kept| (!kept.is_empty()).then(|| kept.clone())).collect();
+        let kept_sets: Vec<Option<(Vec<usize>, Option<GuardBandConfig>)>> =
+            kept_sets.iter().map(|kept| (!kept.is_empty()).then(|| (kept.clone(), None))).collect();
         self.evaluate_candidate_sets(&kept_sets, warm_parent)
+    }
+
+    /// [`CandidateEvaluator::evaluate_kept_sets`] with an optional
+    /// per-candidate [`GuardBandConfig`] override (`None` = the run's
+    /// configured band).  This is the joint guard-band seam: strategies
+    /// searching the band together with the kept set — the
+    /// [`relaxed::JointGuardBand`] mode of [`CmaEs`] / [`ParticleSwarm`] —
+    /// score each candidate with the guard-banded breakdown of its *own*
+    /// band.  Models are cached per (kept set, band) pair, duplicates
+    /// collapse onto their first occurrence, and the budget pre-pass stays
+    /// deterministic, so banded batches keep the thread-count-invariance
+    /// contract of the plain path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and data errors; per-candidate training
+    /// failures surface as [`CandidateVerdict::Untrainable`] and budget
+    /// denials as [`CandidateVerdict::Exhausted`].
+    pub fn evaluate_banded_kept_sets(
+        &self,
+        candidates: &[(Vec<usize>, Option<GuardBandConfig>)],
+        warm_parent: Option<&[usize]>,
+    ) -> Result<Vec<CandidateVerdict>> {
+        let kept_sets: Vec<Option<(Vec<usize>, Option<GuardBandConfig>)>> = candidates
+            .iter()
+            .map(|(kept, band)| (!kept.is_empty()).then(|| (kept.clone(), *band)))
+            .collect();
+        self.evaluate_candidate_sets(&kept_sets, warm_parent)
+    }
+
+    /// The guard-band configuration this run trains with unless a candidate
+    /// overrides it (see
+    /// [`CandidateEvaluator::evaluate_banded_kept_sets`]).
+    pub fn guard_band(&self) -> &GuardBandConfig {
+        &self.guard_band
     }
 
     /// The shared batch core: a deduplication pass, an optional
@@ -1022,7 +1084,7 @@ impl<'a> CandidateEvaluator<'a> {
     /// training, one shared verdict.
     fn evaluate_candidate_sets(
         &self,
-        kept_sets: &[Option<Vec<usize>>],
+        kept_sets: &[Option<(Vec<usize>, Option<GuardBandConfig>)>],
         warm_parent: Option<&[usize]>,
     ) -> Result<Vec<CandidateVerdict>> {
         /// What the admission passes decided for one distinct kept set.
@@ -1036,19 +1098,21 @@ impl<'a> CandidateEvaluator<'a> {
             Screened,
         }
         // Pass 1 — deduplicate, with no side effects on the budget: each
-        // candidate maps onto the first occurrence of its canonical kept
-        // set (`None` = the removal would leave no test).
-        let mut unique: Vec<&[usize]> = Vec::new();
-        let mut unique_keys: Vec<Vec<usize>> = Vec::new();
+        // candidate maps onto the first occurrence of its canonical
+        // (kept set, effective band) pair (`None` = the removal would
+        // leave no test).
+        let mut unique: Vec<(&[usize], GuardBandConfig)> = Vec::new();
+        let mut unique_keys: Vec<BandedSetKey> = Vec::new();
         let slots: Vec<Option<usize>> = kept_sets
             .iter()
-            .map(|kept| {
-                let kept = kept.as_ref()?;
-                let key = ModelCache::key(kept);
+            .map(|candidate| {
+                let (kept, band) = candidate.as_ref()?;
+                let band = band.unwrap_or(self.guard_band);
+                let key = ModelCache::key(kept, &band);
                 Some(match unique_keys.iter().position(|seen| *seen == key) {
                     Some(found) => found,
                     None => {
-                        unique.push(kept.as_slice());
+                        unique.push((kept.as_slice(), band));
                         unique_keys.push(key);
                         unique.len() - 1
                     }
@@ -1061,15 +1125,15 @@ impl<'a> CandidateEvaluator<'a> {
         // Pass 3 — budget admission, in first-occurrence order exactly like
         // the pre-0.10 single-pass code: cache hits are free, misses claim
         // a training slot, denials latch exhaustion.
-        let mut jobs: Vec<&[usize]> = Vec::new();
+        let mut jobs: Vec<usize> = Vec::new();
         let statuses: Vec<Status> = unique
             .iter()
             .enumerate()
-            .map(|(index, &kept)| {
+            .map(|(index, (kept, band))| {
                 if screen.as_ref().is_some_and(|pass| pass.rejected[index]) {
                     Status::Screened
-                } else if self.cache.contains(kept) || self.ledger.try_claim_training() {
-                    jobs.push(kept);
+                } else if self.cache.contains(kept, band) || self.ledger.try_claim_training() {
+                    jobs.push(index);
                     Status::Run(jobs.len() - 1)
                 } else {
                     Status::Denied
@@ -1077,7 +1141,8 @@ impl<'a> CandidateEvaluator<'a> {
             })
             .collect();
         let verdicts = self.run_jobs(jobs.len(), |job| {
-            match self.evaluate_cached(jobs[job], warm_parent, BudgetMode::Prepaid) {
+            let (kept, band) = &unique[jobs[job]];
+            match self.evaluate_cached(kept, warm_parent, BudgetMode::Prepaid, band) {
                 Ok(entry) => Ok(CandidateVerdict::Scored(entry.1)),
                 Err(CompactionError::Classifier { .. })
                 | Err(CompactionError::InsufficientData { .. }) => {
@@ -1120,7 +1185,10 @@ impl<'a> CandidateEvaluator<'a> {
     /// when screening does not apply to this batch (disabled, unsupported
     /// backend, or not enough cache misses to outgrow the shortlist) — the
     /// caller then takes the exact path untouched.
-    fn screen_shortlist(&self, unique: &[&[usize]]) -> Result<Option<ScreenPass>> {
+    fn screen_shortlist(
+        &self,
+        unique: &[(&[usize], GuardBandConfig)],
+    ) -> Result<Option<ScreenPass>> {
         let config = self.screening;
         if !config.enabled || !self.backend.supports_screening() || unique.len() <= config.shortlist
         {
@@ -1129,8 +1197,12 @@ impl<'a> CandidateEvaluator<'a> {
         // Cache hits are admitted for free by the budget pass and never
         // screened; only the candidates that would cost an exact training
         // compete for shortlist slots.
-        let misses: Vec<usize> =
-            (0..unique.len()).filter(|&index| !self.cache.contains(unique[index])).collect();
+        let misses: Vec<usize> = (0..unique.len())
+            .filter(|&index| {
+                let (kept, band) = &unique[index];
+                !self.cache.contains(kept, band)
+            })
+            .collect();
         if misses.len() <= config.shortlist {
             return Ok(None);
         }
@@ -1139,8 +1211,10 @@ impl<'a> CandidateEvaluator<'a> {
         // count).  A candidate the screen cannot train scores `None` and is
         // conservatively ranked ahead of every scored candidate, so it is
         // always verified exactly.
-        let scores: Vec<Option<f64>> =
-            self.run_jobs(misses.len(), |job| Ok(self.screen_score(unique[misses[job]])))?;
+        let scores: Vec<Option<f64>> = self.run_jobs(misses.len(), |job| {
+            let (kept, band) = &unique[misses[job]];
+            Ok(self.screen_score(kept, band))
+        })?;
         let mut ranked: Vec<usize> = (0..misses.len()).collect();
         ranked.sort_by(|&a, &b| {
             let score_a = scores[a].unwrap_or(f64::NEG_INFINITY);
@@ -1175,16 +1249,15 @@ impl<'a> CandidateEvaluator<'a> {
     /// cannot build a model for the set.  Scores are memoized for the run:
     /// revisited kept sets (beam overlaps, genetic revisits) screen for
     /// free.
-    fn screen_score(&self, kept: &[usize]) -> Option<f64> {
-        let key = ModelCache::key(kept);
+    fn screen_score(&self, kept: &[usize], band: &GuardBandConfig) -> Option<f64> {
+        let key = ModelCache::key(kept, band);
         if let Some(score) = self.screen_scores.lock().expect("screen memo poisoned").get(&key) {
             return *score;
         }
         let screen = ScreenFactory { inner: self.backend, landmarks: self.screening.landmarks };
-        let score =
-            GuardBandedClassifier::train_with(&screen, self.training, kept, &self.guard_band)
-                .ok()
-                .map(|classifier| classifier.evaluate(self.testing).prediction_error());
+        let score = GuardBandedClassifier::train_with(&screen, self.training, kept, band)
+            .ok()
+            .map(|classifier| classifier.evaluate(self.testing).prediction_error());
         self.screen_scores.lock().expect("screen memo poisoned").insert(key, score);
         score
     }
@@ -1271,13 +1344,18 @@ impl<'a> CandidateEvaluator<'a> {
         collected.into_iter().map(|(_, result)| result).collect()
     }
 
-    /// The deploy-stage model of the final kept set.  For every bundled
-    /// strategy the final kept set was already evaluated when its last
-    /// elimination was accepted, so this is a guaranteed cache hit.  Exempt
-    /// from the [`SearchBudget`]: shipping the result of a truncated search
-    /// never fails on the budget.
-    pub(crate) fn final_entry(&self, kept: &[usize]) -> Result<CachedModel> {
-        self.evaluate_cached(kept, None, BudgetMode::Exempt)
+    /// The deploy-stage model of the final kept set, trained with `band`
+    /// when the search co-optimized a guard band (`None` = the run's
+    /// configured band).  For every bundled strategy the final kept set was
+    /// already evaluated when its last elimination was accepted, so this is
+    /// a guaranteed cache hit.  Exempt from the [`SearchBudget`]: shipping
+    /// the result of a truncated search never fails on the budget.
+    pub(crate) fn final_entry(
+        &self,
+        kept: &[usize],
+        band: Option<&GuardBandConfig>,
+    ) -> Result<CachedModel> {
+        self.evaluate_cached(kept, None, BudgetMode::Exempt, band.unwrap_or(&self.guard_band))
     }
 
     /// Model-cache hit/miss counters accumulated so far.
@@ -1388,24 +1466,47 @@ pub struct SearchOutcome {
     /// incumbent ([`FrontierProvenance::Completed`] by default; surfaced as
     /// [`BudgetStats::provenance`]).
     pub provenance: FrontierProvenance,
+    /// The co-optimized guard-band fraction the returned frontier was
+    /// scored with, when the strategy searched the band jointly with the
+    /// kept set (the [`relaxed::JointGuardBand`] mode); `None` = the run's
+    /// configured guard band applies.  The shell trains the deploy-stage
+    /// model with this fraction.
+    pub guard_band: Option<f64>,
 }
 
 impl SearchOutcome {
     /// An outcome that ran to natural completion.
     pub fn completed(eliminated: Vec<usize>, steps: Vec<CompactionStep>) -> Self {
-        SearchOutcome { eliminated, steps, provenance: FrontierProvenance::Completed }
+        SearchOutcome {
+            eliminated,
+            steps,
+            provenance: FrontierProvenance::Completed,
+            guard_band: None,
+        }
     }
 
     /// A budget-truncated outcome: the best frontier committed before
     /// exhaustion.
     pub fn truncated(eliminated: Vec<usize>, steps: Vec<CompactionStep>) -> Self {
-        SearchOutcome { eliminated, steps, provenance: FrontierProvenance::Truncated }
+        SearchOutcome {
+            eliminated,
+            steps,
+            provenance: FrontierProvenance::Truncated,
+            guard_band: None,
+        }
     }
 
     /// The conservative outcome: eliminate nothing, keep the complete
     /// suite.
     pub fn keep_everything() -> Self {
         SearchOutcome::default()
+    }
+
+    /// Stamps the outcome with the co-optimized guard-band fraction its
+    /// frontier was scored with (joint-band strategies only).
+    pub fn with_guard_band(mut self, fraction: f64) -> Self {
+        self.guard_band = Some(fraction);
+        self
     }
 
     /// [`SearchOutcome::completed`] or [`SearchOutcome::truncated`],
@@ -1479,6 +1580,86 @@ impl SearchOutcome {
 ///     &GridBackend::default(),
 ///     &config,
 ///     &DropSet { drop: vec![3] },
+///     None,
+/// )?;
+/// assert_eq!(result.kept.len() + result.eliminated.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Custom strategies over the continuous relaxation
+///
+/// Discrete moves are not the only option: a [`RelaxedObjective`] maps
+/// continuous
+/// membership vectors in `[0, 1]^dims` onto memoized kept-set evaluations
+/// (decoding, validity repair and model caching all handled), so a custom
+/// global optimizer only has to move points around the unit cube.  This is
+/// the seam [`CmaEs`] and [`ParticleSwarm`] are built on; a minimal random
+/// sampler looks like this:
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::{Rng, SeedableRng};
+/// use stc_core::classifier::GridBackend;
+/// use stc_core::search::relaxed::{RelaxedObjective, RelaxedScore};
+/// use stc_core::search::{CandidateEvaluator, SearchContext, SearchOutcome, SearchStrategy};
+/// use stc_core::{
+///     generate_train_test, CompactionConfig, Compactor, MonteCarloConfig, SyntheticDevice,
+/// };
+///
+/// /// Best of `samples` uniformly random relaxed points.
+/// #[derive(Debug)]
+/// struct RandomRelaxed {
+///     seed: u64,
+///     samples: usize,
+/// }
+///
+/// impl SearchStrategy for RandomRelaxed {
+///     fn name(&self) -> &str {
+///         "random-relaxed"
+///     }
+///
+///     fn search(
+///         &self,
+///         eval: &mut CandidateEvaluator<'_>,
+///         ctx: &SearchContext<'_>,
+///     ) -> stc_core::Result<SearchOutcome> {
+///         let mut objective = RelaxedObjective::new(eval, ctx);
+///         // All draws on the search thread: seed-deterministic at any
+///         // speculative thread count.
+///         let mut rng = StdRng::seed_from_u64(self.seed);
+///         let points: Vec<Vec<f64>> = (0..self.samples)
+///             .map(|_| (0..objective.dims()).map(|_| rng.gen::<f64>()).collect())
+///             .collect();
+///         let mut best: Option<(Vec<usize>, f64)> = None;
+///         for (candidate, score) in objective.score_batch(&points)? {
+///             match score {
+///                 RelaxedScore::Feasible { fitness, .. }
+///                     if best.as_ref().is_none_or(|(_, f)| fitness > *f) =>
+///                 {
+///                     best = Some((candidate.eliminated, fitness));
+///                 }
+///                 RelaxedScore::Exhausted => break,
+///                 _ => {}
+///             }
+///         }
+///         Ok(match best {
+///             Some((eliminated, _)) => SearchOutcome::completed(eliminated, Vec::new()),
+///             None => SearchOutcome::keep_everything(),
+///         })
+///     }
+/// }
+///
+/// # fn main() -> Result<(), stc_core::CompactionError> {
+/// let device = SyntheticDevice::new(4, 1.8, 0.9);
+/// let (train, test) =
+///     generate_train_test(&device, &MonteCarloConfig::new(200).with_seed(1), 100)?;
+/// let compactor = Compactor::new(train, test)?;
+/// let config = CompactionConfig::paper_default().with_tolerance(0.2);
+/// let result = compactor.compact_with_strategy(
+///     &GridBackend::default(),
+///     &config,
+///     &RandomRelaxed { seed: 7, samples: 32 },
 ///     None,
 /// )?;
 /// assert_eq!(result.kept.len() + result.eliminated.len(), 4);
@@ -2232,50 +2413,51 @@ impl GeneticSearch {
     pub fn new(seed: u64) -> Self {
         GeneticSearch { seed, population: 16, generations: 12 }
     }
+}
 
-    /// The greedy incumbent phase, scanning one candidate per evaluation
-    /// batch.  Acceptance-for-acceptance this is [`GreedyBackward`] (pinned
-    /// by the tests), but it never spends budget on discarded speculative
-    /// evaluations, so the incumbent — and with it the whole genetic search
-    /// — consumes the [`SearchBudget`] identically for any thread count,
-    /// and is never shallower than the speculative greedy loop under the
-    /// same budget.
-    fn sequential_incumbent(
-        eval: &CandidateEvaluator<'_>,
-        ctx: &SearchContext<'_>,
-    ) -> Result<SearchOutcome> {
-        let order = ctx.order();
-        let mut eliminated: Vec<usize> = Vec::new();
-        let mut steps = Vec::new();
-        'scan: for &candidate in order {
-            if !ctx.within_budget(eliminated.len()) {
-                break;
-            }
-            let verdicts = eval.evaluate_removals(&eliminated, &[candidate])?;
-            for verdict in verdicts {
-                match verdict {
-                    CandidateVerdict::LastTest => break 'scan,
-                    CandidateVerdict::Exhausted => break 'scan,
-                    CandidateVerdict::Scored(breakdown) => {
-                        let eliminate = breakdown.prediction_error() <= ctx.tolerance();
-                        if eliminate {
-                            eliminated.push(candidate);
-                            eval.notify_frontier(&eliminated);
-                        }
-                        steps.push(eval.step(candidate, eliminate, breakdown));
+/// The greedy incumbent phase shared by the population-based strategies
+/// ([`GeneticSearch`], [`CmaEs`], [`ParticleSwarm`]), scanning one
+/// candidate per evaluation batch.  Acceptance-for-acceptance this is
+/// [`GreedyBackward`] (pinned by the tests), but it never spends budget on
+/// discarded speculative evaluations, so the incumbent — and with it the
+/// whole population search — consumes the [`SearchBudget`] identically for
+/// any thread count, and is never shallower than the speculative greedy
+/// loop under the same budget.
+fn sequential_incumbent(
+    eval: &CandidateEvaluator<'_>,
+    ctx: &SearchContext<'_>,
+) -> Result<SearchOutcome> {
+    let order = ctx.order();
+    let mut eliminated: Vec<usize> = Vec::new();
+    let mut steps = Vec::new();
+    'scan: for &candidate in order {
+        if !ctx.within_budget(eliminated.len()) {
+            break;
+        }
+        let verdicts = eval.evaluate_removals(&eliminated, &[candidate])?;
+        for verdict in verdicts {
+            match verdict {
+                CandidateVerdict::LastTest => break 'scan,
+                CandidateVerdict::Exhausted => break 'scan,
+                CandidateVerdict::Scored(breakdown) => {
+                    let eliminate = breakdown.prediction_error() <= ctx.tolerance();
+                    if eliminate {
+                        eliminated.push(candidate);
+                        eval.notify_frontier(&eliminated);
                     }
-                    CandidateVerdict::Untrainable => {
-                        steps.push(eval.step(candidate, false, ErrorBreakdown::default()));
-                    }
-                    // Unreachable for single-candidate batches (the screen
-                    // only engages past the shortlist size), but the
-                    // semantics are the same: not eliminated, keep scanning.
-                    CandidateVerdict::Screened => {}
+                    steps.push(eval.step(candidate, eliminate, breakdown));
                 }
+                CandidateVerdict::Untrainable => {
+                    steps.push(eval.step(candidate, false, ErrorBreakdown::default()));
+                }
+                // Unreachable for single-candidate batches (the screen
+                // only engages past the shortlist size), but the
+                // semantics are the same: not eliminated, keep scanning.
+                CandidateVerdict::Screened => {}
             }
         }
-        Ok(SearchOutcome::finished(eliminated, steps, eval.budget_exhausted()))
     }
+    Ok(SearchOutcome::finished(eliminated, steps, eval.budget_exhausted()))
 }
 
 impl SearchStrategy for GeneticSearch {
@@ -2290,7 +2472,7 @@ impl SearchStrategy for GeneticSearch {
     ) -> Result<SearchOutcome> {
         // Phase 1: the greedy incumbent, under the same budget.  Its final
         // kept set's model is cached, seeding the evolved trainings.
-        let incumbent = Self::sequential_incumbent(eval, ctx)?;
+        let incumbent = sequential_incumbent(eval, ctx)?;
         let pool = ctx.candidate_pool();
         if eval.budget_exhausted() || pool.is_empty() || self.generations == 0 {
             return Ok(incumbent);
@@ -2426,6 +2608,7 @@ impl SearchStrategy for GeneticSearch {
             eliminated: eliminated_of(&best_genome),
             steps: incumbent.steps,
             provenance,
+            guard_band: None,
         })
     }
 }
@@ -2599,13 +2782,15 @@ mod tests {
         let compactor = redundant_population();
         let base = CompactionConfig::paper_default().with_tolerance(0.1);
         let budgeted = base.clone().with_budget(SearchBudget::unlimited());
-        let strategies: [&dyn SearchStrategy; 6] = [
+        let strategies: [&dyn SearchStrategy; 8] = [
             &GreedyBackward,
             &BeamSearch::new(3),
             &ForwardSelection,
             &CostAwareGreedy,
             &SimulatedAnnealing::new(7),
             &GeneticSearch::new(7),
+            &CmaEs::new(7),
+            &ParticleSwarm::new(7),
         ];
         for strategy in strategies {
             let default = compactor.compact_with_strategy(&grid(), &base, strategy, None).unwrap();
@@ -2694,13 +2879,15 @@ mod tests {
     fn every_strategy_is_anytime_under_any_training_budget() {
         let compactor = redundant_population();
         let base = CompactionConfig::paper_default().with_tolerance(0.3);
-        let strategies: [&dyn SearchStrategy; 6] = [
+        let strategies: [&dyn SearchStrategy; 8] = [
             &GreedyBackward,
             &BeamSearch::new(3),
             &ForwardSelection,
             &CostAwareGreedy,
             &SimulatedAnnealing::new(3),
             &GeneticSearch::new(3),
+            &CmaEs::new(3),
+            &ParticleSwarm::new(3),
         ];
         for strategy in strategies {
             for budget in [0usize, 1, 2, 3, 5, 8, 13] {
@@ -2893,6 +3080,137 @@ mod tests {
             evolved.budget.provenance,
             FrontierProvenance::Completed | FrontierProvenance::Incumbent
         ));
+    }
+
+    #[test]
+    fn relaxed_strategies_never_finish_worse_than_greedy_under_the_same_budget() {
+        let compactor = redundant_population();
+        let cost =
+            TestCostModel::new(vec![1.0, 1.0, 1.0, 1.0, 100.0], vec![0; 5], vec![0.0]).unwrap();
+        let strategies: [&dyn SearchStrategy; 2] = [&CmaEs::new(9), &ParticleSwarm::new(9)];
+        for strategy in strategies {
+            for budget in [None, Some(2), Some(5), Some(10), Some(40)] {
+                let mut config = CompactionConfig::paper_default()
+                    .with_tolerance(0.4)
+                    .with_order(EliminationOrder::Functional(vec![0, 1, 2, 3, 4]));
+                if let Some(max) = budget {
+                    config = config.with_budget(SearchBudget::unlimited().with_max_trainings(max));
+                }
+                let greedy = compactor
+                    .compact_with_strategy(&grid(), &config, &GreedyBackward, Some(&cost))
+                    .unwrap();
+                let relaxed = compactor
+                    .compact_with_strategy(&grid(), &config, strategy, Some(&cost))
+                    .unwrap();
+                let greedy_cost = cost.cost_of(&greedy.kept).unwrap();
+                let relaxed_cost = cost.cost_of(&relaxed.kept).unwrap();
+                assert!(
+                    relaxed_cost <= greedy_cost,
+                    "strategy {:?}, budget {budget:?}: kept {:?} (cost {relaxed_cost}) worse \
+                     than greedy kept {:?} (cost {greedy_cost})",
+                    strategy,
+                    relaxed.kept,
+                    greedy.kept
+                );
+                if !relaxed.eliminated.is_empty() {
+                    assert!(relaxed.final_breakdown.prediction_error() <= 0.4 + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_strategies_are_seed_deterministic_and_thread_invariant() {
+        let compactor = redundant_population();
+        let cma =
+            CmaEs { seed: 21, population: 8, generations: 4, sigma: 0.3, joint_guard_band: None };
+        let swarm = ParticleSwarm {
+            seed: 21,
+            particles: 8,
+            iterations: 4,
+            inertia: 0.7,
+            joint_guard_band: None,
+        };
+        let strategies: [&dyn SearchStrategy; 2] = [&cma, &swarm];
+        for strategy in strategies {
+            for budget in [None, Some(4), Some(30)] {
+                let mut base = CompactionConfig::paper_default().with_tolerance(0.3);
+                if let Some(max) = budget {
+                    base = base.with_budget(SearchBudget::unlimited().with_max_trainings(max));
+                }
+                let sequential =
+                    compactor.compact_with_strategy(&grid(), &base, strategy, None).unwrap();
+                let repeated =
+                    compactor.compact_with_strategy(&grid(), &base, strategy, None).unwrap();
+                let threaded = compactor
+                    .compact_with_strategy(&grid(), &base.clone().with_threads(4), strategy, None)
+                    .unwrap();
+                assert_eq!(sequential, repeated, "strategy {:?}, budget {budget:?}", strategy);
+                assert_eq!(sequential, threaded, "strategy {:?}, budget {budget:?}", strategy);
+                assert_eq!(sequential.steps, threaded.steps, "budget {budget:?}");
+                // Deterministically composed batches: the consumed budget
+                // agrees too.
+                assert_eq!(sequential.budget, threaded.budget, "budget {budget:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_incumbent_provenance_is_reported() {
+        let compactor = redundant_population();
+        // A zero-generation CMA-ES run is exactly the greedy incumbent, and
+        // never reports a co-optimized band.
+        let config = CompactionConfig::paper_default().with_tolerance(0.1);
+        let incumbent_only = compactor
+            .compact_with_strategy(
+                &grid(),
+                &config,
+                &CmaEs { generations: 0, ..CmaEs::new(1) },
+                None,
+            )
+            .unwrap();
+        let greedy =
+            compactor.compact_with_strategy(&grid(), &config, &GreedyBackward, None).unwrap();
+        assert_eq!(incumbent_only, greedy);
+        assert_eq!(incumbent_only.co_optimized_guard_band, None);
+        for strategy in
+            [&CmaEs::new(1) as &dyn SearchStrategy, &ParticleSwarm::new(1) as &dyn SearchStrategy]
+        {
+            let evolved =
+                compactor.compact_with_strategy(&grid(), &config, strategy, None).unwrap();
+            assert!(matches!(
+                evolved.budget.provenance,
+                FrontierProvenance::Completed | FrontierProvenance::Incumbent
+            ));
+        }
+    }
+
+    #[test]
+    fn joint_guard_band_never_ships_a_worse_breakdown_than_the_staged_default() {
+        let compactor = redundant_population();
+        let config = CompactionConfig::paper_default().with_tolerance(0.4);
+        let staged =
+            compactor.compact_with_strategy(&grid(), &config, &GreedyBackward, None).unwrap();
+        let strategy = CmaEs::new(5).with_joint_guard_band(JointGuardBand::paper_default());
+        let joint = compactor.compact_with_strategy(&grid(), &config, &strategy, None).unwrap();
+        // A joint winner names the band its deployed model was trained
+        // with; falling back to the incumbent names none.
+        match joint.co_optimized_guard_band {
+            Some(fraction) => {
+                assert!((0.0..0.5).contains(&fraction), "fraction {fraction}");
+                assert_eq!(joint.budget.provenance, FrontierProvenance::Completed);
+            }
+            None => assert_eq!(joint.budget.provenance, FrontierProvenance::Incumbent),
+        }
+        // The joint feasibility ceiling is pinned to the incumbent's error,
+        // so the shipped breakdown is never worse than the staged default.
+        assert!(
+            joint.final_breakdown.prediction_error()
+                <= staged.final_breakdown.prediction_error() + 1e-9,
+            "joint {} vs staged {}",
+            joint.final_breakdown.prediction_error(),
+            staged.final_breakdown.prediction_error()
+        );
     }
 
     #[test]

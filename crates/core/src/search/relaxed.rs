@@ -1,0 +1,915 @@
+//! Continuous relaxation of kept-set search: the objective seam behind the
+//! population-based global strategies.
+//!
+//! The paper's search space is discrete — a specification is kept or
+//! eliminated — which keeps gradient-free global optimizers (CMA-ES,
+//! particle swarms) out of reach and forces the guard band to be tuned in a
+//! separate, staged pass.  [`RelaxedObjective`] removes both restrictions:
+//!
+//! * every specification in the candidate pool gets a continuous
+//!   *membership weight* in `[0, 1]` (≥ 0.5 keeps the test, < 0.5
+//!   eliminates it), decoded deterministically with a top-k repair so the
+//!   kept set is always valid (never empty, never over the
+//!   [`SearchContext::max_eliminated`] cap),
+//! * with a [`JointGuardBand`] mode attached, one extra coordinate maps
+//!   onto a quantized guard-band fraction, and candidates are scored with
+//!   the guard-banded breakdown of their *own* band through
+//!   [`CandidateEvaluator::evaluate_banded_kept_sets`] — the band is
+//!   co-optimized with the kept set instead of staged after it,
+//! * decoding is memoized on the canonical (kept set, band) pair, so the
+//!   many nearby points a population optimizer proposes collapse onto the
+//!   evaluator's model cache instead of re-training.
+//!
+//! On top of the seam ship two seeded, budget-aware, thread-count-invariant
+//! strategies, [`CmaEs`] and [`ParticleSwarm`].  Both run the same greedy
+//! incumbent phase as [`GeneticSearch`](super::GeneticSearch) first and pin
+//! their elitism to it, so they never finish with a worse frontier than
+//! [`GreedyBackward`](super::GreedyBackward) under the same
+//! [`SearchBudget`](super::SearchBudget).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use super::{
+    sequential_incumbent, BandedSetKey, CandidateEvaluator, CandidateVerdict, FrontierProvenance,
+    SearchContext, SearchOutcome, SearchStrategy,
+};
+use crate::costmodel::TestCostModel;
+use crate::guardband::GuardBandConfig;
+use crate::{CompactionError, Result};
+
+/// Joint guard-band co-optimization: appends the guard-band fraction as one
+/// extra search coordinate of a [`RelaxedObjective`].
+///
+/// The coordinate lives in `[0, 1]` and decodes onto a quantized fraction
+/// grid over `[0, max_fraction]` (`steps` cells, so nearby points share
+/// model-cache entries).  The grid cell containing the run's configured
+/// fraction snaps onto it exactly, which keeps the greedy incumbent — always
+/// trained at the configured band — a guaranteed cache hit.
+///
+/// Joint candidates are scored with their own band's guard-banded breakdown
+/// and pay a *retest penalty*: every device the band sends to retest costs
+/// the full suite again, so the fitness of a candidate is its kept-set cost
+/// saving minus `guard-band fraction × full-suite cost`.  Feasibility is
+/// additionally pinned to the incumbent's achieved error (not just the
+/// tolerance), so a co-optimized band never ships a worse breakdown than
+/// the staged default.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JointGuardBand {
+    /// Upper end of the searched fraction range (the decoder clamps into
+    /// `[0, max_fraction]`).
+    pub max_fraction: f64,
+    /// Number of quantization cells over the range (clamped to at least 1).
+    pub steps: usize,
+}
+
+impl JointGuardBand {
+    /// The default joint mode: fractions up to 20 % on a 32-cell grid.
+    pub fn paper_default() -> Self {
+        JointGuardBand { max_fraction: 0.2, steps: 32 }
+    }
+
+    /// A joint mode over `[0, max_fraction]` with the default grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompactionError::InvalidConfig`] unless
+    /// `0 < max_fraction < 0.5` (the trainable band range).
+    pub fn new(max_fraction: f64) -> Result<Self> {
+        if !(max_fraction > 0.0 && max_fraction < 0.5) {
+            return Err(CompactionError::InvalidConfig {
+                parameter: "joint_guard_band_max_fraction",
+                value: max_fraction,
+            });
+        }
+        Ok(JointGuardBand { max_fraction, ..JointGuardBand::paper_default() })
+    }
+
+    /// Decodes a unit coordinate onto the quantized fraction grid, snapping
+    /// the cell containing `default` onto it exactly.
+    fn quantize(&self, unit: f64, default: f64) -> f64 {
+        let steps = self.steps.max(1) as f64;
+        let fraction = (unit.clamp(0.0, 1.0) * steps).round() / steps * self.max_fraction;
+        let half_cell = self.max_fraction / (2.0 * steps);
+        if (fraction - default).abs() <= half_cell {
+            default
+        } else {
+            fraction
+        }
+    }
+}
+
+impl Default for JointGuardBand {
+    fn default() -> Self {
+        JointGuardBand::paper_default()
+    }
+}
+
+/// One decoded point of the relaxation: a valid discrete kept set plus the
+/// guard-band fraction it is scored with (joint mode only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelaxedCandidate {
+    /// Eliminated pool members, in pool (examination-preference) order.
+    pub eliminated: Vec<usize>,
+    /// The implied kept set, ascending — never empty, never over the
+    /// elimination cap (the decoder repairs both).
+    pub kept: Vec<usize>,
+    /// The quantized guard-band fraction of a joint-mode point; `None`
+    /// without a [`JointGuardBand`] (the run's configured band applies).
+    pub guard_band: Option<f64>,
+}
+
+/// What scoring one decoded candidate produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RelaxedScore {
+    /// The candidate meets the error ceiling; higher fitness is better
+    /// (kept-set cost saving, minus the retest penalty in joint mode).
+    Feasible {
+        /// Cost saving of the candidate (joint mode subtracts the retest
+        /// penalty `guard-band fraction × full-suite cost`).
+        fitness: f64,
+        /// Held-out prediction error of the candidate's model.
+        error: f64,
+    },
+    /// Over the error ceiling, or the backend could not train the set.
+    Infeasible,
+    /// The evaluator's [`SearchBudget`](super::SearchBudget) is spent:
+    /// strategies must stop and return their best committed frontier.
+    Exhausted,
+}
+
+/// The continuous-relaxation objective: maps membership-weight vectors onto
+/// memoized discrete kept-set evaluations.
+///
+/// Built per search from the evaluator and context (see the
+/// [module docs](self)); strategies sample points in `[0, 1]^dims`, call
+/// [`RelaxedObjective::score_batch`] and maximize the returned fitness.
+/// Decoding and scoring are deterministic, all model training goes through
+/// the evaluator's deterministic batch core, and scores are memoized per
+/// (kept set, band) — so optimizers stay seed-deterministic and
+/// thread-count-invariant for free.
+#[derive(Debug)]
+pub struct RelaxedObjective<'e, 'a> {
+    eval: &'e CandidateEvaluator<'a>,
+    pool: Vec<usize>,
+    /// Whether the pool covers every specification (only then can a point
+    /// decode to an empty kept set before repair).
+    covers_all: bool,
+    /// Feasibility ceiling on the held-out prediction error (the context
+    /// tolerance, optionally tightened to the incumbent's error).
+    error_ceiling: f64,
+    max_eliminated: Option<usize>,
+    cost_model: TestCostModel,
+    full_cost: f64,
+    joint: Option<JointGuardBand>,
+    warm_parent: Option<Vec<usize>>,
+    memo: HashMap<BandedSetKey, RelaxedScore>,
+}
+
+impl<'e, 'a> RelaxedObjective<'e, 'a> {
+    /// An objective over the context's candidate pool, tolerance and
+    /// elimination cap, without a joint guard band.
+    pub fn new(eval: &'e CandidateEvaluator<'a>, ctx: &SearchContext<'_>) -> Self {
+        let pool = ctx.candidate_pool();
+        let covers_all = pool.len() == eval.spec_count();
+        RelaxedObjective {
+            eval,
+            pool,
+            covers_all,
+            error_ceiling: ctx.tolerance(),
+            max_eliminated: ctx.max_eliminated(),
+            cost_model: ctx.cost_model().clone(),
+            full_cost: ctx.cost_model().full_cost(),
+            joint: None,
+            warm_parent: None,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Appends the guard-band fraction as an extra search coordinate (see
+    /// [`JointGuardBand`]).
+    pub fn with_joint_guard_band(mut self, joint: JointGuardBand) -> Self {
+        self.joint = Some(joint);
+        self
+    }
+
+    /// Tightens the feasibility ceiling (it never loosens past the context
+    /// tolerance): joint-mode strategies pin it to the incumbent's achieved
+    /// error so a co-optimized band never ships a worse breakdown.
+    pub fn with_error_ceiling(mut self, ceiling: f64) -> Self {
+        self.error_ceiling = self.error_ceiling.min(ceiling);
+        self
+    }
+
+    /// Names the kept set whose cached model warm-starts the scored
+    /// trainings (typically the greedy incumbent's kept set).
+    pub fn with_warm_parent(mut self, kept: Vec<usize>) -> Self {
+        self.warm_parent = Some(kept);
+        self
+    }
+
+    /// Dimensionality of the search space: one membership weight per pool
+    /// candidate, plus the guard-band coordinate in joint mode.
+    pub fn dims(&self) -> usize {
+        self.pool.len() + usize::from(self.joint.is_some())
+    }
+
+    /// The candidate pool (the resolved order with duplicates removed).
+    pub fn pool(&self) -> &[usize] {
+        &self.pool
+    }
+
+    /// Embeds a committed eliminated set as a search point: eliminated
+    /// members sit at 0.25, kept members at 0.75, and the joint coordinate
+    /// (when present) at the run's configured fraction.
+    pub fn point_of(&self, eliminated: &[usize]) -> Vec<f64> {
+        let mut point: Vec<f64> = self
+            .pool
+            .iter()
+            .map(|candidate| if eliminated.contains(candidate) { 0.25 } else { 0.75 })
+            .collect();
+        if let Some(joint) = &self.joint {
+            let default = self.eval.guard_band().guard_band_fraction;
+            point.push((default / self.max_fraction_of(joint)).clamp(0.0, 1.0));
+        }
+        point
+    }
+
+    fn max_fraction_of(&self, joint: &JointGuardBand) -> f64 {
+        if joint.max_fraction > 0.0 {
+            joint.max_fraction
+        } else {
+            1.0
+        }
+    }
+
+    /// Decodes one point into a valid discrete candidate: weights are
+    /// clamped into `[0, 1]`, weights below 0.5 eliminate their test, and
+    /// two repairs keep the result valid — over the elimination cap only
+    /// the lowest-weight (most confidently eliminated) candidates stay
+    /// eliminated, and a fully-eliminated suite re-keeps its highest-weight
+    /// member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point's length is not [`RelaxedObjective::dims`].
+    pub fn decode(&self, point: &[f64]) -> RelaxedCandidate {
+        assert_eq!(point.len(), self.dims(), "point dimensionality mismatch");
+        let weights: Vec<f64> =
+            point[..self.pool.len()].iter().map(|w| w.clamp(0.0, 1.0)).collect();
+        let mut positions: Vec<usize> =
+            (0..self.pool.len()).filter(|&p| weights[p] < 0.5).collect();
+        if let Some(max) = self.max_eliminated {
+            if positions.len() > max {
+                // Top-k repair: keep the k strongest elimination signals.
+                positions.sort_by(|&a, &b| {
+                    weights[a]
+                        .partial_cmp(&weights[b])
+                        .expect("clamped weights are comparable")
+                        .then(a.cmp(&b))
+                });
+                positions.truncate(max);
+                positions.sort_unstable();
+            }
+        }
+        if self.covers_all && !self.pool.is_empty() && positions.len() == self.pool.len() {
+            // Never eliminate the last test: re-keep the member the point
+            // holds onto hardest (first maximum wins, deterministically).
+            let mut rekept = 0;
+            for p in 1..self.pool.len() {
+                if weights[p] > weights[rekept] {
+                    rekept = p;
+                }
+            }
+            positions.retain(|&p| p != rekept);
+        }
+        let eliminated: Vec<usize> = positions.iter().map(|&p| self.pool[p]).collect();
+        let kept: Vec<usize> =
+            (0..self.eval.spec_count()).filter(|c| !eliminated.contains(c)).collect();
+        let guard_band = self.joint.map(|joint| {
+            joint.quantize(point[self.pool.len()], self.eval.guard_band().guard_band_fraction)
+        });
+        RelaxedCandidate { eliminated, kept, guard_band }
+    }
+
+    /// Scores the greedy incumbent at the run's configured band and seeds
+    /// the memo with it — the elitism anchor of the population strategies.
+    /// Costs no training: the incumbent's model is already cached (or the
+    /// incumbent is the complete suite, whose error is zero by
+    /// construction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cost-model errors.
+    pub fn incumbent_score(
+        &mut self,
+        incumbent: &SearchOutcome,
+    ) -> Result<(RelaxedCandidate, RelaxedScore)> {
+        let kept: Vec<usize> =
+            (0..self.eval.spec_count()).filter(|c| !incumbent.eliminated.contains(c)).collect();
+        let mut fitness = self.full_cost - self.cost_model.cost_of(&kept)?;
+        let mut error = 0.0;
+        if let Some(entry) = self.eval.cache.peek(&kept, self.eval.guard_band()) {
+            error = entry.1.prediction_error();
+            if self.joint.is_some() {
+                fitness -= entry.1.guard_band_fraction() * self.full_cost;
+            }
+        }
+        let candidate =
+            RelaxedCandidate { eliminated: incumbent.eliminated.clone(), kept, guard_band: None };
+        let score = RelaxedScore::Feasible { fitness, error };
+        self.memo.insert(self.memo_key(&candidate), score);
+        Ok((candidate, score))
+    }
+
+    /// Decodes and scores a batch of points: distinct unmemoized
+    /// (kept set, band) pairs are evaluated as one deterministically
+    /// composed evaluator batch (speculative threads welcome), everything
+    /// else is served from the memo.  An [`RelaxedScore::Exhausted`] entry
+    /// means the budget is spent — stop searching.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, data and cost-model errors; per-candidate
+    /// training failures surface as [`RelaxedScore::Infeasible`].
+    pub fn score_batch(
+        &mut self,
+        points: &[Vec<f64>],
+    ) -> Result<Vec<(RelaxedCandidate, RelaxedScore)>> {
+        let decoded: Vec<RelaxedCandidate> = points.iter().map(|p| self.decode(p)).collect();
+        let mut job_keys: Vec<BandedSetKey> = Vec::new();
+        let mut jobs: Vec<(Vec<usize>, Option<GuardBandConfig>)> = Vec::new();
+        for candidate in &decoded {
+            let key = self.memo_key(candidate);
+            if self.memo.contains_key(&key) || job_keys.contains(&key) {
+                continue;
+            }
+            job_keys.push(key);
+            jobs.push((candidate.kept.clone(), self.band_config(candidate)?));
+        }
+        let verdicts = self.eval.evaluate_banded_kept_sets(&jobs, self.warm_parent.as_deref())?;
+        for ((key, (kept, _)), verdict) in job_keys.into_iter().zip(jobs.iter()).zip(verdicts) {
+            let score = match verdict {
+                CandidateVerdict::Scored(breakdown) => {
+                    let error = breakdown.prediction_error();
+                    if error <= self.error_ceiling {
+                        let mut fitness = self.full_cost - self.cost_model.cost_of(kept)?;
+                        if self.joint.is_some() {
+                            fitness -= breakdown.guard_band_fraction() * self.full_cost;
+                        }
+                        RelaxedScore::Feasible { fitness, error }
+                    } else {
+                        RelaxedScore::Infeasible
+                    }
+                }
+                CandidateVerdict::Exhausted => RelaxedScore::Exhausted,
+                // LastTest is unreachable (the decoder repairs empty kept
+                // sets); Untrainable and Screened both mean "no exact
+                // breakdown for this candidate".
+                _ => RelaxedScore::Infeasible,
+            };
+            self.memo.insert(key, score);
+        }
+        Ok(decoded
+            .into_iter()
+            .map(|candidate| {
+                let score =
+                    *self.memo.get(&self.memo_key(&candidate)).expect("batch scored every key");
+                (candidate, score)
+            })
+            .collect())
+    }
+
+    /// Canonical memo key of a candidate: its (already ascending) kept set
+    /// plus the bit pattern of the band it is scored with.
+    fn memo_key(&self, candidate: &RelaxedCandidate) -> BandedSetKey {
+        let fraction = candidate.guard_band.unwrap_or(self.eval.guard_band().guard_band_fraction);
+        (candidate.kept.clone(), fraction.to_bits())
+    }
+
+    /// The per-candidate band override handed to the evaluator (`None` for
+    /// non-joint candidates).
+    fn band_config(&self, candidate: &RelaxedCandidate) -> Result<Option<GuardBandConfig>> {
+        candidate
+            .guard_band
+            .map(|fraction| self.eval.guard_band().with_guard_band(fraction))
+            .transpose()
+    }
+}
+
+/// One standard normal draw (Box–Muller over the vendored uniform source);
+/// every draw happens on the search thread, keeping strategies
+/// thread-count-invariant.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]: never ln(0)
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Ranking fitness of a score: feasible candidates by fitness, everything
+/// else below every feasible candidate.
+fn ranking_fitness(score: &RelaxedScore) -> f64 {
+    match score {
+        RelaxedScore::Feasible { fitness, .. } => *fitness,
+        _ => f64::NEG_INFINITY,
+    }
+}
+
+/// Shared epilogue of the population strategies: assemble the outcome from
+/// the elitism state.
+fn population_outcome(
+    incumbent: SearchOutcome,
+    best: Option<(RelaxedCandidate, f64)>,
+    exhausted: bool,
+) -> SearchOutcome {
+    match best {
+        Some((candidate, _)) => {
+            let provenance = if exhausted {
+                FrontierProvenance::Truncated
+            } else {
+                FrontierProvenance::Completed
+            };
+            SearchOutcome {
+                eliminated: candidate.eliminated,
+                steps: incumbent.steps,
+                provenance,
+                guard_band: candidate.guard_band,
+            }
+        }
+        None => SearchOutcome {
+            eliminated: incumbent.eliminated,
+            steps: incumbent.steps,
+            provenance: if exhausted {
+                FrontierProvenance::Truncated
+            } else {
+                FrontierProvenance::Incumbent
+            },
+            guard_band: None,
+        },
+    }
+}
+
+/// CMA-ES over the continuous relaxation: diagonal-covariance evolution
+/// strategy with rank-μ updates and cumulative step-size adaptation —
+/// ample for the ~10–30-dimensional spec spaces of this crate.
+///
+/// Phase 1 runs the same sequential greedy incumbent as
+/// [`GeneticSearch`](super::GeneticSearch) under the same budget; phase 2
+/// samples `population` points per generation around the adapted mean
+/// (initialized at the incumbent's embedding), scores each generation as
+/// one deterministic evaluator batch, and keeps the best feasible
+/// candidate ever seen.  The incumbent anchors the elitism, so the
+/// strategy **never finishes worse than greedy under the same budget**;
+/// with no improvement the outcome carries
+/// [`FrontierProvenance::Incumbent`].
+///
+/// With [`CmaEs::with_joint_guard_band`] the guard-band fraction joins the
+/// search (see [`JointGuardBand`]) and the outcome reports the
+/// co-optimized fraction through [`SearchOutcome::guard_band`].
+///
+/// Determinism mirrors the other population strategies: every random draw
+/// happens on the search thread and batches are deterministically
+/// composed, so results are byte-identical for a fixed seed across any
+/// speculative thread count, budgeted or not.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmaEs {
+    /// RNG seed driving the sampled generations.
+    pub seed: u64,
+    /// Samples per generation (λ, clamped to at least 4).
+    pub population: usize,
+    /// Number of sampled generations (`0` skips straight to the greedy
+    /// incumbent).
+    pub generations: usize,
+    /// Initial step size in the unit cube (clamped to `[0.01, 1]`).
+    pub sigma: f64,
+    /// Optional joint guard-band co-optimization.
+    pub joint_guard_band: Option<JointGuardBand>,
+}
+
+impl CmaEs {
+    /// CMA-ES with the default population (12), generation count (16) and
+    /// step size (0.3).
+    pub fn new(seed: u64) -> Self {
+        CmaEs { seed, population: 12, generations: 16, sigma: 0.3, joint_guard_band: None }
+    }
+
+    /// Enables joint guard-band co-optimization.
+    pub fn with_joint_guard_band(mut self, joint: JointGuardBand) -> Self {
+        self.joint_guard_band = Some(joint);
+        self
+    }
+}
+
+impl SearchStrategy for CmaEs {
+    fn name(&self) -> &str {
+        "cma-es"
+    }
+
+    fn search(
+        &self,
+        eval: &mut CandidateEvaluator<'_>,
+        ctx: &SearchContext<'_>,
+    ) -> Result<SearchOutcome> {
+        // Phase 1: the greedy incumbent, under the same budget.  Its final
+        // kept set's model is cached, seeding the sampled trainings.
+        let incumbent = sequential_incumbent(eval, ctx)?;
+        let pool = ctx.candidate_pool();
+        if eval.budget_exhausted() || pool.is_empty() || self.generations == 0 {
+            return Ok(incumbent);
+        }
+        let eval: &CandidateEvaluator<'_> = eval;
+        let mut objective = RelaxedObjective::new(eval, ctx);
+        if let Some(joint) = self.joint_guard_band {
+            objective = objective.with_joint_guard_band(joint);
+        }
+        if !incumbent.eliminated.is_empty() {
+            let kept: Vec<usize> =
+                (0..eval.spec_count()).filter(|c| !incumbent.eliminated.contains(c)).collect();
+            objective = objective.with_warm_parent(kept);
+        }
+        let (_, incumbent_score) = objective.incumbent_score(&incumbent)?;
+        let RelaxedScore::Feasible { fitness: incumbent_fitness, error: incumbent_error } =
+            incumbent_score
+        else {
+            unreachable!("the incumbent always scores feasible");
+        };
+        if self.joint_guard_band.is_some() {
+            // A co-optimized band must never ship a worse breakdown than
+            // the staged default.
+            objective = objective.with_error_ceiling(incumbent_error);
+        }
+
+        let n = objective.dims();
+        let lambda = self.population.max(4);
+        let mu = lambda / 2;
+        let raw: Vec<f64> =
+            (0..mu).map(|i| (mu as f64 + 0.5).ln() - ((i + 1) as f64).ln()).collect();
+        let total: f64 = raw.iter().sum();
+        let weights: Vec<f64> = raw.iter().map(|w| w / total).collect();
+        let mu_eff = 1.0 / weights.iter().map(|w| w * w).sum::<f64>();
+        let dim = n as f64;
+        let c_sigma = (mu_eff + 2.0) / (dim + mu_eff + 5.0);
+        let d_sigma = 1.0 + c_sigma + 2.0 * ((mu_eff - 1.0) / (dim + 1.0)).max(0.0).sqrt();
+        let c_mu = (2.0 * mu_eff / ((dim + 2.0) * (dim + 2.0) + mu_eff)).min(1.0);
+        let chi_n = dim.sqrt() * (1.0 - 1.0 / (4.0 * dim) + 1.0 / (21.0 * dim * dim));
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut mean = objective.point_of(&incumbent.eliminated);
+        let mut sigma = self.sigma.clamp(0.01, 1.0);
+        let mut diag = vec![1.0f64; n];
+        let mut p_sigma = vec![0.0f64; n];
+
+        let mut best_fitness = incumbent_fitness;
+        let mut best: Option<(RelaxedCandidate, f64)> = None;
+        let mut exhausted = false;
+
+        'generations: for _ in 0..self.generations {
+            // Sample λ points around the mean — all draws on this thread.
+            let mut zs: Vec<Vec<f64>> = Vec::with_capacity(lambda);
+            let mut points: Vec<Vec<f64>> = Vec::with_capacity(lambda);
+            for _ in 0..lambda {
+                let z: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+                let x: Vec<f64> = (0..n).map(|i| mean[i] + sigma * diag[i].sqrt() * z[i]).collect();
+                zs.push(z);
+                points.push(x);
+            }
+            let scored = objective.score_batch(&points)?;
+            // Elitism: adopt strictly better feasible candidates, in sample
+            // order.
+            for (candidate, score) in &scored {
+                match score {
+                    RelaxedScore::Exhausted => {
+                        exhausted = true;
+                    }
+                    RelaxedScore::Feasible { fitness, .. } if *fitness > best_fitness => {
+                        best_fitness = *fitness;
+                        eval.notify_frontier(&candidate.eliminated);
+                        best = Some((candidate.clone(), *fitness));
+                    }
+                    _ => {}
+                }
+            }
+            if exhausted {
+                break 'generations;
+            }
+            // Rank-μ update on the top-μ samples (ties break by sample
+            // index, keeping the update deterministic).
+            let mut ranked: Vec<usize> = (0..lambda).collect();
+            ranked.sort_by(|&a, &b| {
+                ranking_fitness(&scored[b].1)
+                    .partial_cmp(&ranking_fitness(&scored[a].1))
+                    .expect("ranking fitness is never NaN")
+                    .then(a.cmp(&b))
+            });
+            let selected = &ranked[..mu];
+            let mut z_mean = vec![0.0f64; n];
+            let mut new_mean = vec![0.0f64; n];
+            for (weight, &sample) in weights.iter().zip(selected) {
+                for i in 0..n {
+                    z_mean[i] += weight * zs[sample][i];
+                    new_mean[i] += weight * points[sample][i];
+                }
+            }
+            mean = new_mean;
+            for (i, p) in p_sigma.iter_mut().enumerate() {
+                *p = (1.0 - c_sigma) * *p + (c_sigma * (2.0 - c_sigma) * mu_eff).sqrt() * z_mean[i];
+            }
+            let p_norm = p_sigma.iter().map(|p| p * p).sum::<f64>().sqrt();
+            sigma *= ((c_sigma / d_sigma) * (p_norm / chi_n - 1.0)).exp();
+            sigma = sigma.clamp(1e-4, 1.0);
+            for (i, c) in diag.iter_mut().enumerate() {
+                let rank_mu: f64 =
+                    weights.iter().zip(selected).map(|(w, &s)| w * zs[s][i] * zs[s][i]).sum();
+                *c = (*c * ((1.0 - c_mu) + c_mu * rank_mu)).clamp(1e-6, 1e2);
+            }
+        }
+        Ok(population_outcome(incumbent, best, exhausted || eval.budget_exhausted()))
+    }
+}
+
+/// Particle-swarm optimization over the continuous relaxation: `particles`
+/// positions in the unit cube, pulled toward their personal best and the
+/// swarm's global best each iteration.
+///
+/// Shares the whole contract of [`CmaEs`]: greedy incumbent first (same
+/// budget), elitism anchored to it (**never worse than greedy under the
+/// same budget**), optional [`JointGuardBand`] co-optimization, and
+/// seed-deterministic, thread-count-invariant results — every random draw
+/// happens on the search thread and each iteration scores one
+/// deterministically composed batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParticleSwarm {
+    /// RNG seed driving initialization and the velocity updates.
+    pub seed: u64,
+    /// Swarm size (clamped to at least 2; particle 0 starts at the
+    /// incumbent's embedding).
+    pub particles: usize,
+    /// Velocity/position update rounds after the initial scoring (`0`
+    /// scores only the initial swarm).
+    pub iterations: usize,
+    /// Inertia weight of the velocity update (clamped to `[0, 1]`).
+    pub inertia: f64,
+    /// Optional joint guard-band co-optimization.
+    pub joint_guard_band: Option<JointGuardBand>,
+}
+
+impl ParticleSwarm {
+    /// A swarm with the default size (12), iteration count (16) and
+    /// inertia (0.7).
+    pub fn new(seed: u64) -> Self {
+        ParticleSwarm { seed, particles: 12, iterations: 16, inertia: 0.7, joint_guard_band: None }
+    }
+
+    /// Enables joint guard-band co-optimization.
+    pub fn with_joint_guard_band(mut self, joint: JointGuardBand) -> Self {
+        self.joint_guard_band = Some(joint);
+        self
+    }
+}
+
+/// Cognitive and social acceleration of the velocity update.
+const SWARM_ACCELERATION: f64 = 1.5;
+/// Velocity clamp, keeping particles from tunnelling across the cube.
+const SWARM_MAX_VELOCITY: f64 = 0.5;
+
+impl SearchStrategy for ParticleSwarm {
+    fn name(&self) -> &str {
+        "particle-swarm"
+    }
+
+    fn search(
+        &self,
+        eval: &mut CandidateEvaluator<'_>,
+        ctx: &SearchContext<'_>,
+    ) -> Result<SearchOutcome> {
+        let incumbent = sequential_incumbent(eval, ctx)?;
+        let pool = ctx.candidate_pool();
+        if eval.budget_exhausted() || pool.is_empty() {
+            return Ok(incumbent);
+        }
+        let eval: &CandidateEvaluator<'_> = eval;
+        let mut objective = RelaxedObjective::new(eval, ctx);
+        if let Some(joint) = self.joint_guard_band {
+            objective = objective.with_joint_guard_band(joint);
+        }
+        if !incumbent.eliminated.is_empty() {
+            let kept: Vec<usize> =
+                (0..eval.spec_count()).filter(|c| !incumbent.eliminated.contains(c)).collect();
+            objective = objective.with_warm_parent(kept);
+        }
+        let (_, incumbent_score) = objective.incumbent_score(&incumbent)?;
+        let RelaxedScore::Feasible { fitness: incumbent_fitness, error: incumbent_error } =
+            incumbent_score
+        else {
+            unreachable!("the incumbent always scores feasible");
+        };
+        if self.joint_guard_band.is_some() {
+            objective = objective.with_error_ceiling(incumbent_error);
+        }
+
+        let n = objective.dims();
+        let swarm = self.particles.max(2);
+        let inertia = self.inertia.clamp(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let incumbent_point = objective.point_of(&incumbent.eliminated);
+        let mut positions: Vec<Vec<f64>> = (0..swarm)
+            .map(|particle| {
+                if particle == 0 {
+                    incumbent_point.clone()
+                } else {
+                    (0..n).map(|_| rng.gen::<f64>()).collect()
+                }
+            })
+            .collect();
+        let mut velocities: Vec<Vec<f64>> =
+            (0..swarm).map(|_| (0..n).map(|_| rng.gen_range(-0.25..=0.25)).collect()).collect();
+        let mut personal_best = positions.clone();
+        let mut personal_fitness = vec![f64::NEG_INFINITY; swarm];
+        // The global best starts at the incumbent: the swarm can only
+        // improve on it.
+        let mut global_position = incumbent_point;
+        let mut global_fitness = incumbent_fitness;
+        let mut best: Option<(RelaxedCandidate, f64)> = None;
+        let mut exhausted = false;
+
+        'iterations: for round in 0..=self.iterations {
+            if round > 0 {
+                for particle in 0..swarm {
+                    for i in 0..n {
+                        let r1: f64 = rng.gen();
+                        let r2: f64 = rng.gen();
+                        let velocity = inertia * velocities[particle][i]
+                            + SWARM_ACCELERATION
+                                * r1
+                                * (personal_best[particle][i] - positions[particle][i])
+                            + SWARM_ACCELERATION
+                                * r2
+                                * (global_position[i] - positions[particle][i]);
+                        velocities[particle][i] =
+                            velocity.clamp(-SWARM_MAX_VELOCITY, SWARM_MAX_VELOCITY);
+                        positions[particle][i] =
+                            (positions[particle][i] + velocities[particle][i]).clamp(0.0, 1.0);
+                    }
+                }
+            }
+            let scored = objective.score_batch(&positions)?;
+            for (particle, (candidate, score)) in scored.iter().enumerate() {
+                match score {
+                    RelaxedScore::Exhausted => {
+                        exhausted = true;
+                    }
+                    RelaxedScore::Feasible { fitness, .. } => {
+                        if *fitness > personal_fitness[particle] {
+                            personal_fitness[particle] = *fitness;
+                            personal_best[particle] = positions[particle].clone();
+                        }
+                        if *fitness > global_fitness {
+                            global_fitness = *fitness;
+                            global_position = positions[particle].clone();
+                            eval.notify_frontier(&candidate.eliminated);
+                            best = Some((candidate.clone(), *fitness));
+                        }
+                    }
+                    RelaxedScore::Infeasible => {}
+                }
+            }
+            if exhausted {
+                break 'iterations;
+            }
+        }
+        Ok(population_outcome(incumbent, best, exhausted || eval.budget_exhausted()))
+    }
+}
+
+// Tests for the decoder/quantizer live here; the strategy contracts
+// (determinism, incumbent pinning, joint-band plumbing) are covered by the
+// parent module's tests and the crate-level `global_search` suite.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::GridBackend;
+    use crate::device::SyntheticDevice;
+    use crate::montecarlo::{generate_train_test, MonteCarloConfig};
+    use crate::search::{ScreeningConfig, SearchBudget};
+
+    fn population() -> (crate::dataset::MeasurementSet, crate::dataset::MeasurementSet) {
+        let device = SyntheticDevice::new(5, 1.8, 0.92);
+        generate_train_test(&device, &MonteCarloConfig::new(300).with_seed(31), 150).unwrap()
+    }
+
+    fn evaluator<'a>(
+        train: &'a crate::dataset::MeasurementSet,
+        test: &'a crate::dataset::MeasurementSet,
+        backend: &'a GridBackend,
+    ) -> CandidateEvaluator<'a> {
+        CandidateEvaluator::with_settings(
+            train,
+            test,
+            backend,
+            crate::guardband::GuardBandConfig::paper_default(),
+            1,
+            true,
+            SearchBudget::unlimited(),
+            ScreeningConfig::default(),
+            0.4,
+        )
+    }
+
+    #[test]
+    fn decode_thresholds_and_orders_eliminations() {
+        let (train, test) = population();
+        let backend = GridBackend::default();
+        let eval = evaluator(&train, &test, &backend);
+        let order: Vec<usize> = vec![4, 2, 0, 1, 3];
+        let cost = TestCostModel::uniform(5);
+        let ctx = SearchContext::new(&order, 0.4, None, &cost);
+        let objective = RelaxedObjective::new(&eval, &ctx);
+        assert_eq!(objective.dims(), 5);
+        let candidate = objective.decode(&[0.2, 0.7, 0.49, 0.51, 0.5]);
+        // Pool order is the examination order: 4 and 0 fall below 0.5.
+        assert_eq!(candidate.eliminated, vec![4, 0]);
+        assert_eq!(candidate.kept, vec![1, 2, 3]);
+        assert_eq!(candidate.guard_band, None);
+        // Out-of-range coordinates clamp instead of panicking.
+        let clamped = objective.decode(&[-3.0, 9.0, 1.0, 1.0, 1.0]);
+        assert_eq!(clamped.eliminated, vec![4]);
+    }
+
+    #[test]
+    fn decode_repairs_empty_and_oversized_eliminations() {
+        let (train, test) = population();
+        let backend = GridBackend::default();
+        let eval = evaluator(&train, &test, &backend);
+        let order: Vec<usize> = vec![0, 1, 2, 3, 4];
+        let cost = TestCostModel::uniform(5);
+        // A fully-eliminated point re-keeps its highest-weight member.
+        let ctx = SearchContext::new(&order, 0.4, None, &cost);
+        let objective = RelaxedObjective::new(&eval, &ctx);
+        let repaired = objective.decode(&[0.1, 0.3, 0.2, 0.1, 0.1]);
+        assert_eq!(repaired.kept, vec![1]);
+        assert_eq!(repaired.eliminated, vec![0, 2, 3, 4]);
+        // An over-cap point keeps only the lowest-weight eliminations.
+        let capped_ctx = SearchContext::new(&order, 0.4, Some(2), &cost);
+        let capped = RelaxedObjective::new(&eval, &capped_ctx);
+        let candidate = capped.decode(&[0.4, 0.1, 0.3, 0.6, 0.2]);
+        assert_eq!(candidate.eliminated, vec![1, 4]);
+        assert_eq!(candidate.kept, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn joint_band_coordinate_quantizes_and_snaps_to_the_default() {
+        let (train, test) = population();
+        let backend = GridBackend::default();
+        let eval = evaluator(&train, &test, &backend);
+        let order: Vec<usize> = vec![0, 1, 2];
+        let cost = TestCostModel::uniform(5);
+        let ctx = SearchContext::new(&order, 0.4, None, &cost);
+        let objective = RelaxedObjective::new(&eval, &ctx)
+            .with_joint_guard_band(JointGuardBand::paper_default());
+        assert_eq!(objective.dims(), 4);
+        // The incumbent embedding decodes back onto the configured band.
+        let incumbent_point = objective.point_of(&[1]);
+        let incumbent = objective.decode(&incumbent_point);
+        assert_eq!(incumbent.eliminated, vec![1]);
+        assert_eq!(incumbent.guard_band, Some(0.05));
+        // Other coordinates land on the quantization grid.
+        let wide = objective.decode(&[0.75, 0.25, 0.75, 1.0]);
+        assert_eq!(wide.guard_band, Some(0.2));
+        let narrow = objective.decode(&[0.75, 0.25, 0.75, 0.0]);
+        assert_eq!(narrow.guard_band, Some(0.0));
+        // Nearby coordinates share a grid cell (and so a cache key).
+        let a = objective.decode(&[0.75, 0.25, 0.75, 0.51]);
+        let b = objective.decode(&[0.75, 0.25, 0.75, 0.515]);
+        assert_eq!(a.guard_band, b.guard_band);
+    }
+
+    #[test]
+    fn joint_band_limits_are_validated() {
+        assert!(JointGuardBand::new(0.3).is_ok());
+        assert!(JointGuardBand::new(0.0).is_err());
+        assert!(JointGuardBand::new(0.5).is_err());
+        assert!(JointGuardBand::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn score_batch_memoizes_repeated_points() {
+        let (train, test) = population();
+        let backend = GridBackend::default();
+        let eval = evaluator(&train, &test, &backend);
+        let order: Vec<usize> = vec![0, 1, 2, 3];
+        let cost = TestCostModel::uniform(5);
+        let ctx = SearchContext::new(&order, 0.4, None, &cost);
+        let mut objective = RelaxedObjective::new(&eval, &ctx);
+        let point = vec![0.2, 0.8, 0.8, 0.8];
+        let first = objective.score_batch(&[point.clone(), point.clone()]).unwrap();
+        assert_eq!(first[0], first[1]);
+        let misses = eval.cache_stats().misses;
+        // The same point again: memo hit, no further cache traffic.
+        let again = objective.score_batch(&[point]).unwrap();
+        assert_eq!(again[0], first[0]);
+        assert_eq!(eval.cache_stats().misses, misses);
+    }
+}

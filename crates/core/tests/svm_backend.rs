@@ -238,7 +238,7 @@ fn wider_guard_band_captures_more_devices() {
         &svm(),
         &train,
         &[0, 1, 2],
-        &GuardBandConfig::paper_default().with_guard_band(0.02),
+        &GuardBandConfig::paper_default().with_guard_band(0.02).unwrap(),
     )
     .unwrap()
     .evaluate(&test);
@@ -246,7 +246,7 @@ fn wider_guard_band_captures_more_devices() {
         &svm(),
         &train,
         &[0, 1, 2],
-        &GuardBandConfig::paper_default().with_guard_band(0.15),
+        &GuardBandConfig::paper_default().with_guard_band(0.15).unwrap(),
     )
     .unwrap()
     .evaluate(&test);

@@ -14,8 +14,9 @@ use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use spec_test_compaction::adapters::{AccelerometerDevice, OpAmpDevice};
 use stc_core::search::{
-    AnnealingSchedule, BeamSearch, CostAwareGreedy, ForwardSelection, GeneticSearch,
-    GreedyBackward, ScreeningConfig, SearchBudget, SearchStrategy, SimulatedAnnealing,
+    AnnealingSchedule, BeamSearch, CmaEs, CostAwareGreedy, ForwardSelection, GeneticSearch,
+    GreedyBackward, JointGuardBand, ParticleSwarm, ScreeningConfig, SearchBudget, SearchStrategy,
+    SimulatedAnnealing,
 };
 use stc_core::{
     ClassifierFactory, CompactionConfig, DeviceUnderTest, GridBackend, GuardBandConfig,
@@ -151,6 +152,37 @@ pub enum StrategySpec {
         /// Bred generations after the initial scatter.
         generations: usize,
     },
+    /// Seeded CMA-ES over the continuous relaxation ([`CmaEs`]).
+    CmaEs {
+        /// RNG seed of the sampled generations.
+        seed: u64,
+        /// Samples per generation.
+        population: usize,
+        /// Sampled generations after the greedy incumbent.
+        generations: usize,
+        /// Initial step size in the unit cube.
+        sigma: f64,
+        /// Joint guard-band co-optimization (`None` stages the configured
+        /// band as usual).
+        #[serde(default)]
+        joint_guard_band: Option<JointGuardBand>,
+    },
+    /// Seeded particle-swarm optimization over the continuous relaxation
+    /// ([`ParticleSwarm`]).
+    ParticleSwarm {
+        /// RNG seed of the swarm.
+        seed: u64,
+        /// Swarm size.
+        particles: usize,
+        /// Velocity/position update rounds.
+        iterations: usize,
+        /// Inertia weight of the velocity update.
+        inertia: f64,
+        /// Joint guard-band co-optimization (`None` stages the configured
+        /// band as usual).
+        #[serde(default)]
+        joint_guard_band: Option<JointGuardBand>,
+    },
 }
 
 impl StrategySpec {
@@ -168,6 +200,28 @@ impl StrategySpec {
                 seed: *seed,
                 population: *population,
                 generations: *generations,
+            }),
+            StrategySpec::CmaEs { seed, population, generations, sigma, joint_guard_band } => {
+                Arc::new(CmaEs {
+                    seed: *seed,
+                    population: *population,
+                    generations: *generations,
+                    sigma: *sigma,
+                    joint_guard_band: *joint_guard_band,
+                })
+            }
+            StrategySpec::ParticleSwarm {
+                seed,
+                particles,
+                iterations,
+                inertia,
+                joint_guard_band,
+            } => Arc::new(ParticleSwarm {
+                seed: *seed,
+                particles: *particles,
+                iterations: *iterations,
+                inertia: *inertia,
+                joint_guard_band: *joint_guard_band,
             }),
         }
     }

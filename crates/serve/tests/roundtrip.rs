@@ -6,7 +6,9 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 use stc_core::pipeline::CompactionPipeline;
-use stc_core::search::{BeamSearch, FrontierSnapshot, ScreeningConfig, SearchBudget};
+use stc_core::search::{
+    BeamSearch, FrontierSnapshot, JointGuardBand, ScreeningConfig, SearchBudget,
+};
 use stc_core::{
     CacheStats, CompactionConfig, EliminationOrder, GuardBandConfig, MeasurementSet,
     MonteCarloConfig, PipelineBatch, PipelineReport, Specification, SpecificationSet,
@@ -73,7 +75,7 @@ proptest! {
             .with_order(order_from(order_choice, order_seed, functional))
             .with_threads(threads)
             .with_warm_start(warm == 1)
-            .with_guard_band(GuardBandConfig::paper_default().with_guard_band(band))
+            .with_guard_band(GuardBandConfig::paper_default().with_guard_band(band).unwrap())
             .with_budget(SearchBudget::unlimited().with_max_trainings(trainings_cap))
             .with_screening(ScreeningConfig::screened(landmarks, shortlist));
         if max_eliminated > 0 {
@@ -129,18 +131,36 @@ proptest! {
         instances in 20usize..400,
         seed in 0u64..1_000_000,
         tolerance in 0.01f64..0.3,
-        strategy_choice in 0usize..6,
+        strategy_choice in 0usize..8,
         classifier_choice in 0usize..2,
         shard_threads in 0usize..4,
         sequential_choice in 0usize..3,
+        joint_choice in 0usize..2,
+        joint_max in 0.05f64..0.4,
     ) {
+        let joint_guard_band = (joint_choice == 1)
+            .then(|| JointGuardBand::new(joint_max).expect("valid joint band"));
         let strategy = match strategy_choice {
             0 => StrategySpec::Greedy,
             1 => StrategySpec::Beam { width: 3 },
             2 => StrategySpec::ForwardSelection,
             3 => StrategySpec::CostAware,
             4 => StrategySpec::Annealing { seed, schedule: Default::default() },
-            _ => StrategySpec::Genetic { seed, population: 8, generations: 4 },
+            5 => StrategySpec::Genetic { seed, population: 8, generations: 4 },
+            6 => StrategySpec::CmaEs {
+                seed,
+                population: 8,
+                generations: 4,
+                sigma: 0.3,
+                joint_guard_band,
+            },
+            _ => StrategySpec::ParticleSwarm {
+                seed,
+                particles: 8,
+                iterations: 4,
+                inertia: 0.7,
+                joint_guard_band,
+            },
         };
         let mut spec = JobSpec::new(
             vec![
@@ -218,6 +238,30 @@ fn pre_0_10_job_specs_still_parse() {
     let back: JobSpec = stc_serve::json::from_str(&legacy).expect("legacy spec parses");
     assert_eq!(back, spec);
     assert!(!back.compaction.screening.enabled, "screening defaults off");
+}
+
+#[test]
+fn pre_0_11_relaxed_strategy_specs_still_parse() {
+    // A relaxed-strategy spec written without the `joint_guard_band` field
+    // (or serialized before it existed) must keep parsing, with joint
+    // co-optimization off.
+    let mut spec = JobSpec::new(
+        vec![DeviceSpec::OpAmp],
+        MonteCarloConfig::new(50).with_seed(5),
+        CompactionConfig::paper_default().with_tolerance(0.1),
+    );
+    spec.strategy = StrategySpec::CmaEs {
+        seed: 7,
+        population: 8,
+        generations: 4,
+        sigma: 0.3,
+        joint_guard_band: None,
+    };
+    let json = stc_serve::json::to_string(&spec).expect("serializes");
+    let legacy = json.replacen(r#","joint_guard_band":null"#, "", 1);
+    assert_ne!(json, legacy, "the joint_guard_band field must be present to strip");
+    let back: JobSpec = stc_serve::json::from_str(&legacy).expect("legacy spec parses");
+    assert_eq!(back, spec);
 }
 
 #[test]

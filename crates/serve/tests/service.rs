@@ -1,10 +1,11 @@
 //! Service-level behaviour: shard/direct parity, cancellation semantics,
 //! budget exhaustion, and streaming progress.
 
-use stc_core::search::SearchBudget;
+use stc_core::search::{CmaEs, JointGuardBand, SearchBudget};
 use stc_core::{CompactionConfig, MonteCarloConfig, PipelineBatch, SyntheticDevice};
 use stc_serve::{
     envelope, ClassifierSpec, CompactionService, DeviceSpec, JobSpec, JobStatus, ServeError,
+    StrategySpec,
 };
 
 fn synthetic_pair_spec() -> JobSpec {
@@ -143,4 +144,45 @@ fn unknown_jobs_and_empty_specs_are_rejected() {
     let _ = service.await_result(ok).expect("await");
     let bogus = stc_serve::JobId::from_raw(u64::MAX);
     assert!(matches!(service.status(bogus), Err(ServeError::UnknownJob(_))));
+}
+
+/// The relaxed global strategies run end to end through a serve job spec:
+/// a CMA-ES job with joint guard-band co-optimization produces the same
+/// report as a direct batch run with the equivalent strategy value.
+#[test]
+fn relaxed_strategy_jobs_match_direct_batches() {
+    let mut spec = synthetic_pair_spec();
+    spec.strategy = StrategySpec::CmaEs {
+        seed: 11,
+        population: 6,
+        generations: 2,
+        sigma: 0.3,
+        joint_guard_band: Some(JointGuardBand::paper_default()),
+    };
+    let service = CompactionService::new(1);
+    let report = service.run_blocking(spec).expect("cma-es job runs");
+    assert_eq!(report.search_strategy(), "cma-es");
+
+    let alpha = SyntheticDevice::new(4, 1.8, 0.9);
+    let beta = SyntheticDevice::new(5, 1.5, 0.8);
+    let direct = PipelineBatch::new()
+        .device(&alpha)
+        .device(&beta)
+        .monte_carlo(MonteCarloConfig::new(120).with_seed(42))
+        .compaction(CompactionConfig::paper_default().with_tolerance(0.1))
+        .search(CmaEs {
+            seed: 11,
+            population: 6,
+            generations: 2,
+            sigma: 0.3,
+            joint_guard_band: Some(JointGuardBand::paper_default()),
+        })
+        .run()
+        .expect("direct batch runs");
+    let direct_json = envelope::encode(&direct).expect("direct encodes");
+    let service_json = envelope::encode(&report).expect("service encodes");
+    assert_eq!(direct_json, service_json);
+    let co_optimized =
+        report.reports().filter(|run| run.compaction.co_optimized_guard_band.is_some()).count();
+    assert_eq!(report.aggregate.co_optimized_bands, co_optimized);
 }

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("guard band | yield loss | defect escape | devices in band");
     println!("-----------+------------+---------------+----------------");
     for width in [0.0, 0.01, 0.02, 0.05, 0.10, 0.15] {
-        let config = GuardBandConfig::paper_default().with_guard_band(width);
+        let config = GuardBandConfig::paper_default().with_guard_band(width)?;
         let (_, breakdown) = compactor.evaluate_kept_set_with(&svm, &kept, &config)?;
         println!(
             "   {:>5.1}%  |   {:>5.2}%   |    {:>5.2}%     |     {:>5.1}%",

@@ -5,9 +5,11 @@
 //! ```
 //!
 //! brings in the [`CompactionPipeline`] builder, both bundled classifier
-//! backends ([`SvmBackend`], [`GridBackend`]), the six bundled search
+//! backends ([`SvmBackend`], [`GridBackend`]), the eight bundled search
 //! strategies ([`GreedyBackward`], [`BeamSearch`], [`ForwardSelection`],
-//! [`CostAwareGreedy`], [`SimulatedAnnealing`], [`GeneticSearch`]), the
+//! [`CostAwareGreedy`], [`SimulatedAnnealing`], [`GeneticSearch`],
+//! [`CmaEs`], [`ParticleSwarm`] — the latter two optionally co-optimizing
+//! the guard band via [`JointGuardBand`]), the
 //! [`SearchBudget`] limits that make every search anytime, the
 //! [`ScreeningConfig`] screen-then-verify switch, the staged
 //! sequential deploy types ([`TestPlan`], [`SequentialSession`],
@@ -21,8 +23,9 @@ pub use stc_core::classifier::{
 };
 pub use stc_core::pipeline::{CompactionPipeline, CostSummary, GuardBandStats, PipelineReport};
 pub use stc_core::search::{
-    AnnealingSchedule, BeamSearch, BudgetStats, CandidateEvaluator, CandidateVerdict,
+    AnnealingSchedule, BeamSearch, BudgetStats, CandidateEvaluator, CandidateVerdict, CmaEs,
     CostAwareGreedy, ForwardSelection, FrontierProvenance, GeneticSearch, GreedyBackward,
+    JointGuardBand, ParticleSwarm, RelaxedCandidate, RelaxedObjective, RelaxedScore,
     ScreeningConfig, ScreeningStats, SearchBudget, SearchContext, SearchOutcome, SearchStrategy,
     SimulatedAnnealing,
 };

@@ -1,0 +1,168 @@
+//! Property tests of the continuous-relaxation global strategies (CMA-ES and
+//! particle swarm): seed determinism across speculative thread counts and
+//! the incumbent-pinning contract (never worse than greedy backward under
+//! the same budget), on both classifier backends, plus joint guard-band
+//! co-optimization end to end through the pipeline, the batch runner and a
+//! serve job spec.
+
+use spec_test_compaction::prelude::*;
+
+fn population() -> Compactor {
+    let device = SyntheticDevice::new(5, 1.8, 0.92);
+    let (train, test) =
+        generate_train_test(&device, &MonteCarloConfig::new(400).with_seed(31), 200)
+            .expect("synthetic generation succeeds");
+    Compactor::new(train, test).expect("populations are valid")
+}
+
+fn cma(joint: Option<JointGuardBand>) -> CmaEs {
+    CmaEs { seed: 17, population: 6, generations: 3, sigma: 0.3, joint_guard_band: joint }
+}
+
+fn swarm(joint: Option<JointGuardBand>) -> ParticleSwarm {
+    ParticleSwarm { seed: 17, particles: 6, iterations: 3, inertia: 0.7, joint_guard_band: joint }
+}
+
+fn backends() -> [(&'static str, Box<dyn ClassifierFactory>); 2] {
+    [("grid", Box::new(GridBackend::default())), ("svm", Box::new(SvmBackend::paper_default()))]
+}
+
+#[test]
+fn relaxed_strategies_are_seed_deterministic_at_any_thread_count_on_both_backends() {
+    let compactor = population();
+    for (label, backend) in backends() {
+        let cma = cma(None);
+        let swarm = swarm(None);
+        let strategies: [&dyn SearchStrategy; 2] = [&cma, &swarm];
+        for strategy in strategies {
+            for budget in [None, Some(6)] {
+                let mut config = CompactionConfig::paper_default().with_tolerance(0.3);
+                if let Some(max) = budget {
+                    config = config.with_budget(SearchBudget::unlimited().with_max_trainings(max));
+                }
+                let sequential = compactor
+                    .compact_with_strategy(backend.as_ref(), &config, strategy, None)
+                    .unwrap();
+                let repeated = compactor
+                    .compact_with_strategy(backend.as_ref(), &config, strategy, None)
+                    .unwrap();
+                let threaded = compactor
+                    .compact_with_strategy(
+                        backend.as_ref(),
+                        &config.clone().with_threads(4),
+                        strategy,
+                        None,
+                    )
+                    .unwrap();
+                assert_eq!(
+                    sequential, repeated,
+                    "[{label}] {:?} budget {budget:?}: rerun diverged",
+                    strategy
+                );
+                assert_eq!(
+                    sequential, threaded,
+                    "[{label}] {:?} budget {budget:?}: thread count leaked into the outcome",
+                    strategy
+                );
+                assert_eq!(sequential.steps, threaded.steps);
+                assert_eq!(sequential.budget, threaded.budget);
+            }
+        }
+    }
+}
+
+#[test]
+fn relaxed_strategies_never_finish_worse_than_greedy_under_the_same_budget() {
+    let compactor = population();
+    let cost = TestCostModel::new(vec![1.0, 1.0, 1.0, 1.0, 100.0], vec![0; 5], vec![0.0]).unwrap();
+    for (label, backend) in backends() {
+        let cma = cma(None);
+        let swarm = swarm(None);
+        let strategies: [&dyn SearchStrategy; 2] = [&cma, &swarm];
+        for strategy in strategies {
+            for budget in [None, Some(3), Some(12)] {
+                let mut config = CompactionConfig::paper_default()
+                    .with_tolerance(0.4)
+                    .with_order(EliminationOrder::Functional(vec![0, 1, 2, 3, 4]));
+                if let Some(max) = budget {
+                    config = config.with_budget(SearchBudget::unlimited().with_max_trainings(max));
+                }
+                let greedy = compactor
+                    .compact_with_strategy(backend.as_ref(), &config, &GreedyBackward, Some(&cost))
+                    .unwrap();
+                let relaxed = compactor
+                    .compact_with_strategy(backend.as_ref(), &config, strategy, Some(&cost))
+                    .unwrap();
+                let greedy_cost = cost.cost_of(&greedy.kept).unwrap();
+                let relaxed_cost = cost.cost_of(&relaxed.kept).unwrap();
+                assert!(
+                    relaxed_cost <= greedy_cost,
+                    "[{label}] {:?} budget {budget:?}: kept {:?} (cost {relaxed_cost}) worse \
+                     than greedy kept {:?} (cost {greedy_cost})",
+                    strategy,
+                    relaxed.kept,
+                    greedy.kept
+                );
+                if !relaxed.eliminated.is_empty() {
+                    assert!(relaxed.final_breakdown.prediction_error() <= 0.4 + 1e-9);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn joint_guard_band_runs_through_the_pipeline() {
+    let device = SyntheticDevice::new(5, 1.8, 0.92);
+    let pipeline = || {
+        CompactionPipeline::for_device(&device)
+            .monte_carlo(MonteCarloConfig::new(400).with_seed(31))
+            .test_instances(200)
+            .compaction(CompactionConfig::paper_default().with_tolerance(0.3))
+    };
+    let staged = pipeline().run().unwrap();
+    assert!(!staged.guard_band.co_optimized);
+    let joint = pipeline().search(cma(Some(JointGuardBand::paper_default()))).run().unwrap();
+    // The report names the band the deployed model was trained with, and
+    // whether the search (rather than the staged config) chose it.
+    match joint.compaction.co_optimized_guard_band {
+        Some(fraction) => {
+            assert!(joint.guard_band.co_optimized);
+            assert!((joint.guard_band.band_fraction - fraction).abs() < 1e-12);
+            assert!(joint.summary().contains("co-optimized band"));
+        }
+        None => {
+            assert!(!joint.guard_band.co_optimized);
+            assert_eq!(joint.compaction, staged.compaction);
+        }
+    }
+    // Incumbent pinning: the joint run never ships a worse deployed error.
+    assert!(
+        joint.deployed.prediction_error() <= staged.deployed.prediction_error() + 1e-9,
+        "joint {} vs staged {}",
+        joint.deployed.prediction_error(),
+        staged.deployed.prediction_error()
+    );
+}
+
+#[test]
+fn joint_guard_band_runs_through_the_batch_runner() {
+    let devices = [SyntheticDevice::new(5, 1.8, 0.92), SyntheticDevice::new(6, 1.8, 0.9)];
+    let mut batch = PipelineBatch::new()
+        .monte_carlo(MonteCarloConfig::new(300).with_seed(17))
+        .test_instances(150)
+        .compaction(CompactionConfig::paper_default().with_tolerance(0.3))
+        .search(swarm(Some(JointGuardBand::paper_default())));
+    for device in &devices {
+        batch = batch.device(device);
+    }
+    let report = batch.run().unwrap();
+    assert_eq!(report.runs.len(), 2);
+    assert_eq!(report.search_strategy(), "particle-swarm");
+    let co_optimized =
+        report.reports().filter(|run| run.compaction.co_optimized_guard_band.is_some()).count();
+    assert_eq!(report.aggregate.co_optimized_bands, co_optimized);
+    if co_optimized > 0 {
+        assert!(report.summary().contains("guard band co-optimized"));
+    }
+}

@@ -139,7 +139,7 @@ fn guard_band_devices_are_never_counted_as_errors() {
         &SvmBackend::paper_default(),
         &train,
         &[0, 1, 2, 3, 4],
-        &GuardBandConfig::paper_default().with_guard_band(0.2),
+        &GuardBandConfig::paper_default().with_guard_band(0.2).unwrap(),
     )
     .unwrap();
     let breakdown = classifier.evaluate(&test);
